@@ -1,0 +1,88 @@
+// Ablation B — Algorithm 2's caching claim.
+//
+// "The expensive steps of the algorithm are executed for only those formats
+// that have not been seen previously." Cold = fresh receiver handling its
+// first v2.0 message (MaxMatch + chain search + Ecode compilation + JIT);
+// warm = every subsequent message of the same format.
+#include "bench_support.hpp"
+
+#include "core/receiver.hpp"
+#include "pbio/encode.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+void setup_receiver(core::Receiver& rx) {
+  rx.register_handler(echo::channel_open_response_v1_format(), [](const core::Delivery&) {});
+  rx.learn_format(echo::channel_open_response_v2_format());
+  rx.learn_transform(echo::response_v2_to_v1_spec());
+}
+
+void paper_table() {
+  std::printf("Ablation B: first-message vs cached-path cost (ms), morphing receiver\n\n");
+  print_header("size", {"cold(1st)", "warm", "cold/warm"});
+  for (size_t size : {size_t{100}, size_t{10 << 10}, size_t{1 << 20}}) {
+    RecordArena arena;
+    auto* rec = make_payload(size, arena);
+    ByteBuffer wire;
+    pbio::Encoder(echo::channel_open_response_v2_format()).encode(rec, wire);
+
+    // Cold: build a fresh receiver per run so the decision cache is empty.
+    double cold_ms = time_median_ms(1 << 20 /* few reps */, [&] {
+      core::Receiver rx;
+      setup_receiver(rx);
+      RecordArena a;
+      rx.process(wire.data(), wire.size(), a);
+    });
+
+    core::Receiver rx;
+    setup_receiver(rx);
+    RecordArena a;
+    rx.process(wire.data(), wire.size(), a);  // prime the cache
+    double warm_ms = time_median_ms(size, [&] {
+      a.reset();
+      rx.process(wire.data(), wire.size(), a);
+    });
+
+    print_row(size_label(size), {cold_ms, warm_ms, cold_ms / warm_ms});
+  }
+  std::printf(
+      "\nexpectation: the one-time MaxMatch + DCG cost dominates small messages and\n"
+      "amortizes to nothing; warm cost scales only with payload\n");
+}
+
+void bm_warm(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  ByteBuffer wire;
+  pbio::Encoder(echo::channel_open_response_v2_format()).encode(rec, wire);
+  core::Receiver rx;
+  setup_receiver(rx);
+  RecordArena a;
+  rx.process(wire.data(), wire.size(), a);
+  for (auto _ : state) {
+    a.reset();
+    benchmark::DoNotOptimize(rx.process(wire.data(), wire.size(), a));
+  }
+}
+BENCHMARK(bm_warm)->Arg(100)->Arg(10 << 10)->Arg(1 << 20);
+
+void bm_cold(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  ByteBuffer wire;
+  pbio::Encoder(echo::channel_open_response_v2_format()).encode(rec, wire);
+  for (auto _ : state) {
+    core::Receiver rx;
+    setup_receiver(rx);
+    RecordArena a;
+    benchmark::DoNotOptimize(rx.process(wire.data(), wire.size(), a));
+  }
+}
+BENCHMARK(bm_cold)->Arg(100);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

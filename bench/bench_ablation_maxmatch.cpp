@@ -1,0 +1,69 @@
+// Ablation C — MaxMatch scaling.
+//
+// Cost of the MaxMatch comparison as the number of candidate formats and
+// the per-format width grow. This is a one-time, per-new-format cost in
+// Algorithm 2, but the paper's future work ("more protocol evolution
+// trials") makes its scaling interesting.
+#include "bench_support.hpp"
+
+#include "core/match.hpp"
+#include "pbio/randgen.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+std::vector<pbio::FormatPtr> format_family(size_t count, uint32_t width, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<pbio::FormatPtr> out;
+  pbio::RandFormatOptions opt;
+  opt.min_fields = width;
+  opt.max_fields = width;
+  opt.max_depth = 1;
+  auto base = pbio::random_format(rng, "Fam", opt);
+  out.push_back(base);
+  for (size_t i = 1; i < count; ++i) {
+    out.push_back(pbio::mutate_format(rng, *out.back()));
+  }
+  return out;
+}
+
+void paper_table() {
+  std::printf("Ablation C: MaxMatch cost (ms) vs candidate-set size and format width\n\n");
+  print_header("formats", {"w=8", "w=32", "w=128"});
+  core::MatchThresholds loose{1000, 1.0};
+  for (size_t n : {2u, 8u, 32u}) {
+    std::vector<double> cols;
+    for (uint32_t width : {8u, 32u, 128u}) {
+      auto family = format_family(n, width, n * 1000 + width);
+      std::vector<pbio::FormatPtr> readers(family.begin(), family.begin() + family.size() / 2);
+      std::vector<pbio::FormatPtr> senders(family.begin() + family.size() / 2, family.end());
+      double ms = time_median_ms(1 << 20 /* few reps, no inner loop */, [&] {
+        benchmark::DoNotOptimize(core::max_match(senders, readers, loose));
+      });
+      cols.push_back(ms);
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "%zu", n);
+    print_row(label, cols);
+  }
+  std::printf("\nexpectation: cost grows with |F1| x |F2| x field count; it is paid once\n"
+              "per unseen format, then cached\n");
+}
+
+void bm_maxmatch(benchmark::State& state) {
+  auto family = format_family(static_cast<size_t>(state.range(0)),
+                              static_cast<uint32_t>(state.range(1)), 7);
+  std::vector<pbio::FormatPtr> readers(family.begin(), family.begin() + family.size() / 2);
+  std::vector<pbio::FormatPtr> senders(family.begin() + family.size() / 2, family.end());
+  core::MatchThresholds loose{1000, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::max_match(senders, readers, loose));
+  }
+}
+BENCHMARK(bm_maxmatch)->Args({2, 8})->Args({8, 32})->Args({32, 128});
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

@@ -1,0 +1,95 @@
+// Ablation E — out-of-band vs inline meta-data.
+//
+// The paper's premise for PBIO: "the performance impact of carrying
+// meta-data on high-volume data transfers makes this [self-describing
+// message] approach problematic". This bench quantifies it: the same
+// record stream with (a) PBIO's out-of-band discipline (descriptor once,
+// 16-byte headers after) vs (b) a self-describing variant that ships the
+// serialized descriptor inside every message and re-parses it on receipt
+// (what schema-in-band systems do), vs (c) XML, where the meta-data is the
+// tag structure itself.
+#include "bench_support.hpp"
+
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "xmlx/xml_bind.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+void paper_table() {
+  std::printf("Ablation E: out-of-band vs inline meta-data, 1000-message stream\n\n");
+  std::printf("%-8s  %14s  %14s  %14s  %12s\n", "payload", "oob bytes/msg", "inline b/msg",
+              "XML b/msg", "inline-dec-x");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  auto fmt = echo::channel_open_response_v2_format();
+  ByteBuffer meta;
+  fmt->serialize(meta);
+
+  for (size_t size : {size_t{100}, size_t{1 << 10}, size_t{10 << 10}}) {
+    RecordArena arena;
+    auto* rec = make_payload(size, arena);
+    ByteBuffer wire;
+    pbio::Encoder(fmt).encode(rec, wire);
+    std::string xml;
+    xmlx::xml_encode_record(*fmt, rec, xml);
+
+    const int kMessages = 1000;
+    // Out-of-band: descriptor amortized over the stream.
+    double oob_per_msg =
+        static_cast<double>(meta.size()) / kMessages + static_cast<double>(wire.size());
+    // Inline: descriptor rides with every message.
+    double inline_per_msg = static_cast<double>(meta.size() + wire.size());
+    double xml_per_msg = static_cast<double>(xml.size());
+
+    // Decode cost: out-of-band decodes with a cached plan; inline must
+    // re-parse the descriptor per message before it can decode.
+    pbio::Decoder cached(fmt);
+    RecordArena a1;
+    double oob_ms = time_median_ms(size, [&] {
+      a1.reset();
+      benchmark::DoNotOptimize(cached.decode(wire.data(), wire.size(), fmt, a1));
+    });
+    RecordArena a2;
+    double inline_ms = time_median_ms(size, [&] {
+      a2.reset();
+      ByteReader r(meta.data(), meta.size());
+      pbio::FormatPtr per_msg_fmt = pbio::FormatDescriptor::deserialize(r);
+      pbio::Decoder fresh(per_msg_fmt);
+      benchmark::DoNotOptimize(fresh.decode(wire.data(), wire.size(), per_msg_fmt, a2));
+    });
+
+    std::printf("%-8s  %14.1f  %14.1f  %14.1f  %11.1fx\n", size_label(size), oob_per_msg,
+                inline_per_msg, xml_per_msg, inline_ms / oob_ms);
+  }
+  std::printf("\nthe %zu-byte descriptor costs nothing amortized out-of-band; inline it\n"
+              "dominates small messages and forces per-message descriptor parsing +\n"
+              "conversion-plan rebuilds (the right-hand column)\n",
+              meta.size());
+}
+
+void bm_inline_decode(benchmark::State& state) {
+  auto fmt = echo::channel_open_response_v2_format();
+  ByteBuffer meta;
+  fmt->serialize(meta);
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  ByteBuffer wire;
+  pbio::Encoder(fmt).encode(rec, wire);
+  RecordArena out;
+  for (auto _ : state) {
+    out.reset();
+    ByteReader r(meta.data(), meta.size());
+    pbio::FormatPtr per_msg_fmt = pbio::FormatDescriptor::deserialize(r);
+    pbio::Decoder fresh(per_msg_fmt);
+    benchmark::DoNotOptimize(fresh.decode(wire.data(), wire.size(), per_msg_fmt, out));
+  }
+}
+BENCHMARK(bm_inline_decode)->Arg(100)->Arg(10 << 10);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

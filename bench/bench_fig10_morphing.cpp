@@ -1,0 +1,108 @@
+// Figure 10 — Decoding cost WITH message evolution.
+//
+// The receiver only understands ChannelOpenResponse v1.0; the sender sends
+// v2.0.
+//   PBIO morphing:  decode v2.0 (compiled conversion plan) + apply the
+//                   JIT-compiled Figure 5 Ecode transform.
+//   XML/XSLT:       parse the v2.0 document + apply the v2->v1 stylesheet +
+//                   walk the result tree into a native v1.0 struct.
+// The paper reports XML/XSLT an order of magnitude slower.
+#include "bench_support.hpp"
+
+#include "core/transform.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "xmlx/xml_bind.hpp"
+#include "xmlx/xslt.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+struct MorphSetup {
+  pbio::FormatPtr v2 = echo::channel_open_response_v2_format();
+  pbio::FormatPtr v1 = echo::channel_open_response_v1_format();
+  core::TransformSpec spec = echo::response_v2_to_v1_spec();
+  core::MorphChain chain{{&spec}, ecode::ExecBackend::kAuto};
+  pbio::Decoder decoder{chain.src_format()};
+};
+
+void paper_table() {
+  std::printf(
+      "Figure 10: decoding cost with msg evolution (ms per message), "
+      "v2.0 message -> v1.0 receiver\n\n");
+  print_header("size", {"PBIO-morph", "XML/XSLT", "XSLT/morph"});
+  MorphSetup setup;
+  xmlx::Stylesheet sheet = xmlx::Stylesheet::parse(echo::response_v2_to_v1_xslt());
+
+  for (size_t size : paper_sizes()) {
+    RecordArena arena;
+    auto* rec = make_payload(size, arena);
+    ByteBuffer wire;
+    pbio::Encoder(setup.v2).encode(rec, wire);
+    std::string xml;
+    xmlx::xml_encode_record(*setup.v2, rec, xml);
+
+    RecordArena morph_arena;
+    double morph_ms = time_median_ms(size, [&] {
+      morph_arena.reset();
+      void* native = setup.decoder.decode(wire.data(), wire.size(), setup.v2, morph_arena);
+      void* v1_rec = setup.chain.apply(native, morph_arena);
+      benchmark::DoNotOptimize(v1_rec);
+    });
+
+    RecordArena xslt_arena;
+    double xslt_ms = time_median_ms(size, [&] {
+      xslt_arena.reset();
+      auto doc = xmlx::xml_parse(xml);
+      auto v1_doc = sheet.apply(*doc);
+      void* v1_rec = xmlx::xml_decode_record(*setup.v1, *v1_doc, xslt_arena);
+      benchmark::DoNotOptimize(v1_rec);
+    });
+
+    print_row(size_label(size), {morph_ms, xslt_ms, xslt_ms / morph_ms});
+  }
+  std::printf("\npaper's shape: XML/XSLT is about an order of magnitude slower than "
+              "PBIO-based morphing\n");
+  std::printf("(morph backend: %s)\n",
+              MorphSetup().chain.jitted() ? "x86-64 JIT" : "bytecode VM");
+}
+
+void bm_pbio_morph(benchmark::State& state) {
+  MorphSetup setup;
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  ByteBuffer wire;
+  pbio::Encoder(setup.v2).encode(rec, wire);
+  RecordArena out;
+  for (auto _ : state) {
+    out.reset();
+    void* native = setup.decoder.decode(wire.data(), wire.size(), setup.v2, out);
+    benchmark::DoNotOptimize(setup.chain.apply(native, out));
+  }
+}
+
+void bm_xml_xslt(benchmark::State& state) {
+  auto v2 = echo::channel_open_response_v2_format();
+  auto v1 = echo::channel_open_response_v1_format();
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  std::string xml;
+  xmlx::xml_encode_record(*v2, rec, xml);
+  xmlx::Stylesheet sheet = xmlx::Stylesheet::parse(echo::response_v2_to_v1_xslt());
+  RecordArena out;
+  for (auto _ : state) {
+    out.reset();
+    auto doc = xmlx::xml_parse(xml);
+    auto v1_doc = sheet.apply(*doc);
+    benchmark::DoNotOptimize(xmlx::xml_decode_record(*v1, *v1_doc, out));
+  }
+}
+
+BENCHMARK(bm_pbio_morph)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+BENCHMARK(bm_xml_xslt)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

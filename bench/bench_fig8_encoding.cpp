@@ -1,0 +1,73 @@
+// Figure 8 — Encoding cost.
+//
+// Encodes a ChannelOpenResponse v2.0 at the paper's five payload sizes with
+// (a) PBIO (native-layout flatten) and (b) XML (text encoding). The paper
+// reports XML at least 2x PBIO across the sweep.
+#include "bench_support.hpp"
+
+#include "pbio/encode.hpp"
+#include "xmlx/xml_bind.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+void paper_table() {
+  std::printf("Figure 8: encoding cost (ms per message), ChannelOpenResponse v2.0\n\n");
+  print_header("size", {"PBIO", "XML", "XML/PBIO"});
+  for (size_t size : paper_sizes()) {
+    RecordArena arena;
+    auto* rec = make_payload(size, arena);
+    auto fmt = echo::channel_open_response_v2_format();
+    pbio::Encoder encoder(fmt);
+
+    ByteBuffer wire;
+    double pbio_ms = time_median_ms(size, [&] {
+      encoder.encode(rec, wire);
+      benchmark::DoNotOptimize(wire.data());
+    });
+
+    std::string xml;
+    double xml_ms = time_median_ms(size, [&] {
+      xmlx::xml_encode_record(*fmt, rec, xml);
+      benchmark::DoNotOptimize(xml.data());
+    });
+
+    print_row(size_label(size), {pbio_ms, xml_ms, xml_ms / pbio_ms});
+  }
+  std::printf("\npaper's shape: XML encode >= 2x PBIO at every size\n");
+}
+
+void bm_pbio_encode(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  pbio::Encoder encoder(echo::channel_open_response_v2_format());
+  ByteBuffer wire;
+  for (auto _ : state) {
+    encoder.encode(rec, wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+
+void bm_xml_encode(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  auto fmt = echo::channel_open_response_v2_format();
+  std::string xml;
+  for (auto _ : state) {
+    xmlx::xml_encode_record(*fmt, rec, xml);
+    benchmark::DoNotOptimize(xml.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+
+BENCHMARK(bm_pbio_encode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+BENCHMARK(bm_xml_encode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

@@ -1,0 +1,29 @@
+#include "bench_support.hpp"
+
+#include <cstring>
+
+namespace morph::bench {
+
+int bench_main(int argc, char** argv, const std::function<void()>& paper_table) {
+  bool gbench = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) {
+      gbench = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!gbench) {
+    paper_table();
+    return 0;
+  }
+  int gargc = static_cast<int>(args.size());
+  benchmark::Initialize(&gargc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace morph::bench

@@ -1,0 +1,93 @@
+// The paper's §4.1 case study, end to end: an ECho pub/sub deployment where
+// the channel creator runs ECho v2.0 (compact ChannelOpenResponse) while
+// old v1.0 subscribers are still in the field. The v2.0 format ships with
+// the Figure 5 retro-transform; old subscribers morph it on arrival with no
+// change to their code and no version negotiation.
+//
+// Build & run:  ./examples/echo_evolution
+#include <cstdio>
+
+#include "echo/process.hpp"
+#include "pbio/record.hpp"
+
+using namespace morph;
+using echo::EchoDomain;
+using echo::EchoProcess;
+using echo::EchoVersion;
+
+namespace {
+
+void dump_members(const EchoProcess& p, const char* channel) {
+  std::printf("  %s sees members of '%s':\n", p.contact().c_str(), channel);
+  for (const auto& m : p.members(channel)) {
+    std::printf("    #%d %-12s %s%s\n", m.id, m.contact.c_str(), m.is_source ? "source " : "",
+                m.is_sink ? "sink" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  EchoDomain domain;
+
+  // The upgraded creator and a mixed population of subscribers.
+  auto& creator = domain.spawn("creator", EchoVersion::kV2);
+  auto& legacy_viz = domain.spawn("legacy-viz", EchoVersion::kV1);   // old binary!
+  auto& new_sensor = domain.spawn("new-sensor", EchoVersion::kV2);
+  auto& legacy_log = domain.spawn("legacy-log", EchoVersion::kV1);   // old binary!
+
+  domain.connect(creator, legacy_viz);
+  domain.connect(creator, new_sensor);
+  domain.connect(creator, legacy_log);
+  domain.connect(new_sensor, legacy_viz);
+  domain.connect(new_sensor, legacy_log);
+  domain.pump();
+
+  std::printf("== channel bootstrap ==\n");
+  creator.create_channel("telemetry");
+  legacy_viz.open_channel("telemetry", "creator", /*source=*/false, /*sink=*/true);
+  new_sensor.open_channel("telemetry", "creator", /*source=*/true, /*sink=*/false);
+  legacy_log.open_channel("telemetry", "creator", /*source=*/false, /*sink=*/true);
+  domain.pump();
+
+  dump_members(legacy_viz, "telemetry");
+  dump_members(new_sensor, "telemetry");
+
+  std::printf("\n== who morphs? ==\n");
+  for (const EchoProcess* p : {&legacy_viz, &new_sensor, &legacy_log}) {
+    auto t = p->receiver_totals();
+    std::printf("  %-12s (v%s): %llu responses, %llu morphed, %llu exact\n",
+                p->contact().c_str(), p->version() == EchoVersion::kV2 ? "2.0" : "1.0",
+                static_cast<unsigned long long>(p->stats().responses_received),
+                static_cast<unsigned long long>(t.morphed),
+                static_cast<unsigned long long>(t.exact));
+  }
+
+  // Events still flow between everyone.
+  std::printf("\n== event delivery ==\n");
+  struct Sample {
+    int32_t seq;
+    double value;
+  };
+  auto sample_fmt = pbio::FormatBuilder("Sample", sizeof(Sample))
+                        .add_int("seq", 4, offsetof(Sample, seq))
+                        .add_float("value", 8, offsetof(Sample, value))
+                        .build();
+  for (EchoProcess* sink : {&legacy_viz, &legacy_log}) {
+    sink->on_event("telemetry", sample_fmt, [sink](const echo::Event& ev) {
+      pbio::RecordRef r(ev.delivery->record, ev.delivery->format);
+      std::printf("  %s got sample seq=%lld value=%.2f\n", sink->contact().c_str(),
+                  static_cast<long long>(r.get_int("seq")), r.get_float("value"));
+    });
+  }
+
+  RecordArena arena;
+  Sample s{1, 20.25};
+  size_t fanout = new_sensor.publish("telemetry", sample_fmt, &s);
+  domain.pump();
+  std::printf("  published to %zu sinks\n", fanout);
+
+  std::printf("\nno subscriber was modified, no protocol was negotiated; the Figure 5\n"
+              "transform was compiled on demand at each old receiver.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI: build, test, sanitize, bench-smoke.
+#
+#   scripts/check.sh            # build + ctest + bench smoke
+#   scripts/check.sh --asan     # also run the ASan/UBSan test sweep
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== configure + build =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== bench smoke (paper tables) =="
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "--- $b"
+  "$b"
+done
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== sanitizer sweep =="
+  cmake -B build-asan -G Ninja \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "ALL GREEN"

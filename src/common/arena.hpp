@@ -1,0 +1,105 @@
+// Bump allocator that owns every allocation made while materializing a
+// decoded or transformed record.
+//
+// Native-layout records contain raw pointers (strings, dynamic arrays).
+// Rather than making callers track each allocation, the decoder and the
+// ecode runtime carve everything out of one RecordArena; the record is valid
+// exactly as long as its arena, and freeing is O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace morph {
+
+class RecordArena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit RecordArena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  RecordArena(const RecordArena&) = delete;
+  RecordArena& operator=(const RecordArena&) = delete;
+  RecordArena(RecordArena&&) = default;
+  RecordArena& operator=(RecordArena&&) = default;
+
+  /// Allocate `size` bytes aligned to `align` (power of two). Zero-filled.
+  void* allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    size_t base = (cursor_ + (align - 1)) & ~(align - 1);
+    if (current_ == nullptr || base + size > current_size_) {
+      grow(size + align);
+      base = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = base + size;
+    void* p = current_ + base;
+    std::memset(p, 0, size);
+    return p;
+  }
+
+  template <typename T>
+  T* allocate_array(size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copy a string into the arena, NUL-terminated; returns the copy.
+  char* copy_string(std::string_view s) {
+    char* p = static_cast<char*>(allocate(s.size() + 1, 1));
+    std::memcpy(p, s.data(), s.size());
+    p[s.size()] = '\0';
+    return p;
+  }
+
+  /// Total bytes handed out (diagnostics only).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Drop every allocation but keep the chunks for reuse. Pointers into the
+  /// arena become dangling; only call between messages.
+  void reset() {
+    if (!chunks_.empty()) {
+      current_ = chunks_.front().get();
+      current_size_ = chunk_sizes_.front();
+      cursor_ = 0;
+      active_chunk_ = 0;
+    }
+    bytes_allocated_ = 0;
+  }
+
+ private:
+  void grow(size_t min_bytes) {
+    // Reuse a retained chunk if one is big enough, otherwise allocate.
+    while (active_chunk_ + 1 < chunks_.size()) {
+      ++active_chunk_;
+      if (chunk_sizes_[active_chunk_] >= min_bytes) {
+        current_ = chunks_[active_chunk_].get();
+        current_size_ = chunk_sizes_[active_chunk_];
+        cursor_ = 0;
+        return;
+      }
+    }
+    size_t n = chunk_bytes_;
+    while (n < min_bytes) n *= 2;
+    chunks_.push_back(std::make_unique<uint8_t[]>(n));
+    chunk_sizes_.push_back(n);
+    active_chunk_ = chunks_.size() - 1;
+    current_ = chunks_.back().get();
+    current_size_ = n;
+    cursor_ = 0;
+    bytes_allocated_ += n;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  std::vector<size_t> chunk_sizes_;
+  uint8_t* current_ = nullptr;
+  size_t current_size_ = 0;
+  size_t cursor_ = 0;
+  size_t active_chunk_ = 0;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace morph

@@ -1,0 +1,17 @@
+#include "common/bytes.hpp"
+
+namespace morph {
+
+std::string to_hex(const void* data, size_t size) {
+  static const char kDigits[] = "0123456789abcdef";
+  const auto* p = static_cast<const uint8_t*>(data);
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[p[i] >> 4]);
+    out.push_back(kDigits[p[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace morph

@@ -1,0 +1,166 @@
+// Growable byte buffer (writer side) and bounds-checked cursor (reader side).
+//
+// These are the only two primitives the wire layer is built on. ByteBuffer
+// grows geometrically and supports patching earlier positions, which the
+// PBIO encoder uses to fix up pointer fields after flattening variable-size
+// data. ByteReader throws DecodeError instead of reading out of bounds so a
+// hostile or truncated message can never walk off a buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace morph {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+  void clear() { data_.clear(); }
+  void reserve(size_t n) { data_.reserve(n); }
+
+  /// Append `n` raw bytes.
+  void append(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    data_.insert(data_.end(), b, b + n);
+  }
+
+  /// Append `n` zero bytes and return the offset of the first one.
+  size_t append_zeros(size_t n) {
+    size_t at = data_.size();
+    data_.resize(data_.size() + n, 0);
+    return at;
+  }
+
+  /// Zero-pad until size() is a multiple of `alignment` (power of two).
+  void align_to(size_t alignment) {
+    size_t rem = data_.size() & (alignment - 1);
+    if (rem != 0) append_zeros(alignment - rem);
+  }
+
+  void append_u8(uint8_t v) { data_.push_back(v); }
+  void append_u16(uint16_t v) { append(&v, sizeof v); }
+  void append_u32(uint32_t v) { append(&v, sizeof v); }
+  void append_u64(uint64_t v) { append(&v, sizeof v); }
+  void append_i32(int32_t v) { append(&v, sizeof v); }
+  void append_i64(int64_t v) { append(&v, sizeof v); }
+  void append_f64(double v) { append(&v, sizeof v); }
+
+  /// Append a length-prefixed (u32) string.
+  void append_string(std::string_view s) {
+    append_u32(static_cast<uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+
+  /// Overwrite `n` bytes at `offset` (must already exist).
+  void patch(size_t offset, const void* p, size_t n) {
+    if (offset + n > data_.size()) throw Error("ByteBuffer::patch out of range");
+    std::memcpy(data_.data() + offset, p, n);
+  }
+
+  void patch_u32(size_t offset, uint32_t v) { patch(offset, &v, sizeof v); }
+  void patch_u64(size_t offset, uint64_t v) { patch(offset, &v, sizeof v); }
+
+  std::vector<uint8_t> take() { return std::move(data_); }
+  const std::vector<uint8_t>& vec() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+  void require(size_t n) const {
+    if (n > remaining()) throw DecodeError("truncated buffer: need " + std::to_string(n) +
+                                           " bytes, have " + std::to_string(remaining()));
+  }
+
+  void skip(size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  void seek(size_t pos) {
+    if (pos > size_) throw DecodeError("seek beyond buffer");
+    pos_ = pos;
+  }
+
+  void read(void* out, size_t n) {
+    require(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  uint8_t read_u8() {
+    uint8_t v;
+    read(&v, 1);
+    return v;
+  }
+  uint16_t read_u16() {
+    uint16_t v;
+    read(&v, sizeof v);
+    return v;
+  }
+  uint32_t read_u32() {
+    uint32_t v;
+    read(&v, sizeof v);
+    return v;
+  }
+  uint64_t read_u64() {
+    uint64_t v;
+    read(&v, sizeof v);
+    return v;
+  }
+  int32_t read_i32() {
+    int32_t v;
+    read(&v, sizeof v);
+    return v;
+  }
+  int64_t read_i64() {
+    int64_t v;
+    read(&v, sizeof v);
+    return v;
+  }
+  double read_f64() {
+    double v;
+    read(&v, sizeof v);
+    return v;
+  }
+
+  std::string read_string() {
+    uint32_t n = read_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Render a byte range as lowercase hex, for diagnostics and tests.
+std::string to_hex(const void* data, size_t size);
+
+}  // namespace morph

@@ -1,0 +1,24 @@
+// Monotonic timing helper for the paper-table benchmark mode.
+#pragma once
+
+#include <chrono>
+
+namespace morph {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+  double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace morph

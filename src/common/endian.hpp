@@ -1,0 +1,65 @@
+// Host byte-order detection and byte-swapping primitives.
+//
+// PBIO ships records in the *writer's* native byte order together with a
+// one-byte order tag in the out-of-band meta-data; the receiver swaps only
+// when the orders differ (the common homogeneous-cluster case pays nothing).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace morph {
+
+enum class ByteOrder : uint8_t { kLittle = 0, kBig = 1 };
+
+constexpr ByteOrder host_byte_order() {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittle
+                                                    : ByteOrder::kBig;
+}
+
+constexpr uint16_t byteswap16(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr uint32_t byteswap32(uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+constexpr uint64_t byteswap64(uint64_t v) {
+  return (static_cast<uint64_t>(byteswap32(static_cast<uint32_t>(v))) << 32) |
+         byteswap32(static_cast<uint32_t>(v >> 32));
+}
+
+/// Swap a value of `size` bytes (1, 2, 4, or 8) in place. Sizes other than
+/// these are left untouched (single bytes and opaque blobs never swap).
+inline void byteswap_inplace(void* p, size_t size) {
+  switch (size) {
+    case 2: {
+      uint16_t v;
+      std::memcpy(&v, p, 2);
+      v = byteswap16(v);
+      std::memcpy(p, &v, 2);
+      break;
+    }
+    case 4: {
+      uint32_t v;
+      std::memcpy(&v, p, 4);
+      v = byteswap32(v);
+      std::memcpy(p, &v, 4);
+      break;
+    }
+    case 8: {
+      uint64_t v;
+      std::memcpy(&v, p, 8);
+      v = byteswap64(v);
+      std::memcpy(p, &v, 8);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace morph

@@ -1,0 +1,57 @@
+// Error types shared by every morph library.
+//
+// The libraries throw exceptions for programmer errors (malformed format
+// declarations, ecode syntax errors) and return status/optional values on
+// data-dependent paths that a distributed receiver must survive (truncated
+// wire buffers, unknown formats).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace morph {
+
+/// Base class for all errors raised by the morph libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A format declaration is self-inconsistent (duplicate field names,
+/// dynamic array without a size field, negative offsets, ...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+/// A wire buffer cannot be decoded (truncated, bad magic, bad offsets).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+/// Ecode compilation failed (lexical, syntax, or type error). Carries the
+/// 1-based source line where the problem was detected.
+class EcodeError : public Error {
+ public:
+  EcodeError(const std::string& what, int line)
+      : Error("ecode error (line " + std::to_string(line) + "): " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// XML parsing / XSLT evaluation failure.
+class XmlError : public Error {
+ public:
+  explicit XmlError(const std::string& what) : Error("xml error: " + what) {}
+};
+
+/// Transport-level failure (socket errors, broken frames).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport error: " + what) {}
+};
+
+}  // namespace morph

@@ -1,0 +1,35 @@
+// FNV-1a hashing, used for format fingerprints and registry keys.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace morph {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t fnv1a(const void* data, size_t size, uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t fnv1a(std::string_view s, uint64_t seed = kFnvOffset) {
+  return fnv1a(s.data(), s.size(), seed);
+}
+
+/// String literals must never resolve to the (pointer, length) overload —
+/// the second argument would silently become a byte count.
+inline uint64_t fnv1a(const char* s, uint64_t seed = kFnvOffset) {
+  return fnv1a(std::string_view(s), seed);
+}
+
+inline uint64_t fnv1a_u64(uint64_t v, uint64_t seed) { return fnv1a(&v, sizeof v, seed); }
+
+}  // namespace morph

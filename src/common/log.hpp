@@ -1,0 +1,48 @@
+// Minimal leveled logger. Middleware pieces (transport, echo) log through
+// this so examples can show what the morphing layer is doing; hot paths
+// never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace morph {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn, so tests
+/// and benchmarks stay quiet unless something is wrong.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& component, const std::string& text);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define MORPH_LOG(level, component)                        \
+  if (static_cast<int>(level) < static_cast<int>(::morph::log_level())) { \
+  } else                                                   \
+    ::morph::detail::LogLine(level, component)
+
+#define MORPH_LOG_DEBUG(component) MORPH_LOG(::morph::LogLevel::kDebug, component)
+#define MORPH_LOG_INFO(component) MORPH_LOG(::morph::LogLevel::kInfo, component)
+#define MORPH_LOG_WARN(component) MORPH_LOG(::morph::LogLevel::kWarn, component)
+#define MORPH_LOG_ERROR(component) MORPH_LOG(::morph::LogLevel::kError, component)
+
+}  // namespace morph

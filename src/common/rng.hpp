@@ -1,0 +1,49 @@
+// Deterministic PRNG (splitmix64) for workload generators and property
+// tests. Deterministic seeds keep every benchmark row and every generated
+// test case reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace morph {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+  double next_double() {  // [0, 1)
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Lowercase identifier of the given length (starts with a letter).
+  std::string next_ident(size_t len) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(kAlpha[next_below(26)]);
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace morph

@@ -1,0 +1,238 @@
+#include "echo/messages.hpp"
+
+#include <cstddef>
+#include <cstring>
+
+#include "pbio/record.hpp"
+
+namespace morph::echo {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+FormatPtr member_entry_v1_format() {
+  static FormatPtr fmt = FormatBuilder("CMentry", sizeof(MemberEntryV1))
+                             .add_string("info", offsetof(MemberEntryV1, info))
+                             .add_int("ID", 4, offsetof(MemberEntryV1, id))
+                             .build();
+  return fmt;
+}
+
+FormatPtr member_entry_v2_format() {
+  static FormatPtr fmt = FormatBuilder("CMentry", sizeof(MemberEntryV2))
+                             .add_string("info", offsetof(MemberEntryV2, info))
+                             .add_int("ID", 4, offsetof(MemberEntryV2, id))
+                             .add_int("is_source", 4, offsetof(MemberEntryV2, is_source))
+                             .add_int("is_sink", 4, offsetof(MemberEntryV2, is_sink))
+                             .build();
+  return fmt;
+}
+
+FormatPtr channel_open_response_v1_format() {
+  static FormatPtr fmt =
+      FormatBuilder("ChannelOpenResponse", sizeof(ChannelOpenResponseV1))
+          .add_string("channel", offsetof(ChannelOpenResponseV1, channel))
+          .add_int("member_count", 4, offsetof(ChannelOpenResponseV1, member_count))
+          .add_dyn_array("member_list", member_entry_v1_format(), "member_count",
+                         offsetof(ChannelOpenResponseV1, member_list))
+          .add_int("src_count", 4, offsetof(ChannelOpenResponseV1, src_count))
+          .add_dyn_array("src_list", member_entry_v1_format(), "src_count",
+                         offsetof(ChannelOpenResponseV1, src_list))
+          .add_int("sink_count", 4, offsetof(ChannelOpenResponseV1, sink_count))
+          .add_dyn_array("sink_list", member_entry_v1_format(), "sink_count",
+                         offsetof(ChannelOpenResponseV1, sink_list))
+          .build();
+  return fmt;
+}
+
+FormatPtr channel_open_response_v2_format() {
+  static FormatPtr fmt =
+      FormatBuilder("ChannelOpenResponse", sizeof(ChannelOpenResponseV2))
+          .add_string("channel", offsetof(ChannelOpenResponseV2, channel))
+          .add_int("member_count", 4, offsetof(ChannelOpenResponseV2, member_count))
+          .add_dyn_array("member_list", member_entry_v2_format(), "member_count",
+                         offsetof(ChannelOpenResponseV2, member_list))
+          .build();
+  return fmt;
+}
+
+FormatPtr channel_open_request_format() {
+  static FormatPtr fmt =
+      FormatBuilder("ChannelOpenRequest", sizeof(ChannelOpenRequest))
+          .add_string("channel_id", offsetof(ChannelOpenRequest, channel_id))
+          .add_string("contact", offsetof(ChannelOpenRequest, contact))
+          .add_int("as_source", 4, offsetof(ChannelOpenRequest, as_source))
+          .add_int("as_sink", 4, offsetof(ChannelOpenRequest, as_sink))
+          .build();
+  return fmt;
+}
+
+const std::string& response_v2_to_v1_code() {
+  // Figure 5, in Ecode. `old` is the v1.0 destination, `new` the v2.0
+  // source. Destination dynamic arrays grow automatically on indexed
+  // stores; the count fields are stored explicitly, as in the paper.
+  static const std::string kCode = R"ECODE(
+    int i;
+    int sink_count = 0;
+    int src_count = 0;
+    old.channel = new.channel;
+    old.member_count = new.member_count;
+    for (i = 0; i < new.member_count; i++) {
+      old.member_list[i].info = new.member_list[i].info;
+      old.member_list[i].ID = new.member_list[i].ID;
+      if (new.member_list[i].is_source) {
+        old.src_list[src_count].info = new.member_list[i].info;
+        old.src_list[src_count].ID = new.member_list[i].ID;
+        src_count++;
+      }
+      if (new.member_list[i].is_sink) {
+        old.sink_list[sink_count].info = new.member_list[i].info;
+        old.sink_list[sink_count].ID = new.member_list[i].ID;
+        sink_count++;
+      }
+    }
+    old.src_count = src_count;
+    old.sink_count = sink_count;
+  )ECODE";
+  return kCode;
+}
+
+core::TransformSpec response_v2_to_v1_spec() {
+  core::TransformSpec spec;
+  spec.src = channel_open_response_v2_format();
+  spec.dst = channel_open_response_v1_format();
+  spec.code = response_v2_to_v1_code();
+  return spec;
+}
+
+const std::string& response_v2_to_v1_xslt() {
+  static const std::string kSheet = R"XSLT(
+<xsl:stylesheet version="1.0">
+  <xsl:template match="/ChannelOpenResponse">
+    <ChannelOpenResponse>
+      <channel><xsl:value-of select="channel"/></channel>
+      <member_count><xsl:value-of select="member_count"/></member_count>
+      <xsl:for-each select="member_list">
+        <member_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </member_list>
+      </xsl:for-each>
+      <src_count><xsl:value-of select="count(member_list[is_source='1'])"/></src_count>
+      <xsl:for-each select="member_list[is_source='1']">
+        <src_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </src_list>
+      </xsl:for-each>
+      <sink_count><xsl:value-of select="count(member_list[is_sink='1'])"/></sink_count>
+      <xsl:for-each select="member_list[is_sink='1']">
+        <sink_list>
+          <info><xsl:value-of select="info"/></info>
+          <ID><xsl:value-of select="ID"/></ID>
+        </sink_list>
+      </xsl:for-each>
+    </ChannelOpenResponse>
+  </xsl:template>
+</xsl:stylesheet>
+)XSLT";
+  return kSheet;
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+ChannelOpenResponseV2* make_response_v2(const ResponseWorkload& workload, Rng& rng,
+                                        RecordArena& arena) {
+  auto* rec = static_cast<ChannelOpenResponseV2*>(
+      pbio::alloc_record(*channel_open_response_v2_format(), arena));
+  rec->channel = arena.copy_string("load-monitor");
+  rec->member_count = static_cast<int32_t>(workload.members);
+  rec->member_list = static_cast<MemberEntryV2*>(
+      pbio::alloc_dyn_array(arena, sizeof(MemberEntryV2), workload.members));
+  for (uint32_t i = 0; i < workload.members; ++i) {
+    MemberEntryV2& m = rec->member_list[i];
+    // Contact info shaped like ECho's: transport address + QoS attributes.
+    std::string info = "atl" + std::to_string(i) + ".cc.gt:";
+    info += std::to_string(6000 + rng.next_below(3000));
+    while (info.size() < workload.contact_bytes) info += 'q';
+    if (info.size() > workload.contact_bytes) info.resize(workload.contact_bytes);
+    m.info = arena.copy_string(info);
+    m.id = static_cast<int32_t>(i + 1);
+    m.is_source = rng.next_double() < workload.source_fraction ? 1 : 0;
+    m.is_sink = rng.next_double() < workload.sink_fraction ? 1 : 0;
+  }
+  return rec;
+}
+
+ChannelOpenResponseV1* transform_v2_to_v1_reference(const ChannelOpenResponseV2& v2,
+                                                    RecordArena& arena) {
+  auto* rec = static_cast<ChannelOpenResponseV1*>(
+      pbio::alloc_record(*channel_open_response_v1_format(), arena));
+  rec->channel = arena.copy_string(v2.channel == nullptr ? "" : v2.channel);
+  int32_t n = v2.member_count;
+  rec->member_count = n;
+  rec->member_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1),
+                                                        static_cast<uint64_t>(n > 0 ? n : 1)));
+  rec->src_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1),
+                                                        static_cast<uint64_t>(n > 0 ? n : 1)));
+  rec->sink_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1),
+                                                        static_cast<uint64_t>(n > 0 ? n : 1)));
+  int32_t src = 0, sink = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    const MemberEntryV2& m = v2.member_list[i];
+    rec->member_list[i].info = arena.copy_string(m.info == nullptr ? "" : m.info);
+    rec->member_list[i].id = m.id;
+    if (m.is_source) {
+      rec->src_list[src].info = arena.copy_string(m.info == nullptr ? "" : m.info);
+      rec->src_list[src].id = m.id;
+      ++src;
+    }
+    if (m.is_sink) {
+      rec->sink_list[sink].info = arena.copy_string(m.info == nullptr ? "" : m.info);
+      rec->sink_list[sink].id = m.id;
+      ++sink;
+    }
+  }
+  rec->src_count = src;
+  rec->sink_count = sink;
+  return rec;
+}
+
+namespace {
+size_t entry_bytes_v1(const MemberEntryV1& e) {
+  return sizeof(MemberEntryV1) + (e.info == nullptr ? 0 : std::strlen(e.info) + 1);
+}
+}  // namespace
+
+size_t unencoded_size_v1(const ChannelOpenResponseV1& rec) {
+  size_t total = sizeof(ChannelOpenResponseV1);
+  if (rec.channel != nullptr) total += std::strlen(rec.channel) + 1;
+  for (int32_t i = 0; i < rec.member_count; ++i) total += entry_bytes_v1(rec.member_list[i]);
+  for (int32_t i = 0; i < rec.src_count; ++i) total += entry_bytes_v1(rec.src_list[i]);
+  for (int32_t i = 0; i < rec.sink_count; ++i) total += entry_bytes_v1(rec.sink_list[i]);
+  return total;
+}
+
+size_t unencoded_size_v2(const ChannelOpenResponseV2& rec) {
+  size_t total = sizeof(ChannelOpenResponseV2);
+  if (rec.channel != nullptr) total += std::strlen(rec.channel) + 1;
+  for (int32_t i = 0; i < rec.member_count; ++i) {
+    total += sizeof(MemberEntryV2) +
+             (rec.member_list[i].info == nullptr ? 0 : std::strlen(rec.member_list[i].info) + 1);
+  }
+  return total;
+}
+
+uint32_t members_for_target_size(size_t target_bytes, const ResponseWorkload& workload) {
+  size_t per_member = sizeof(MemberEntryV2) + workload.contact_bytes + 1;
+  if (target_bytes <= sizeof(ChannelOpenResponseV2)) return 1;
+  size_t n = (target_bytes - sizeof(ChannelOpenResponseV2) + per_member / 2) / per_member;
+  return static_cast<uint32_t>(n == 0 ? 1 : n);
+}
+
+}  // namespace morph::echo

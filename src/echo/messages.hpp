@@ -1,0 +1,119 @@
+// The ECho protocol messages from the paper's case study (§4.1).
+//
+// Figure 4 gives two revisions of ChannelOpenResponse:
+//   v1.0 — member list plus separate source and sink lists (contact info
+//          repeated up to three times per member),
+//   v2.0 — a single member list with is_source / is_sink booleans.
+// Figure 5 gives the retro-transformation (v2.0 -> v1.0) that ships with
+// the v2.0 format. This header exposes both formats, the native structs
+// bound to them, the transform source, and workload generators used by the
+// tests, benchmarks, and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "core/transform.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::echo {
+
+/// One subscriber entry: contact information (an address string, which grew
+/// "more complex" as QoS was added — we model the QoS-rich form) and the
+/// channel-local ID.
+struct MemberEntryV1 {
+  const char* info;
+  int32_t id;
+};
+
+struct MemberEntryV2 {
+  const char* info;
+  int32_t id;
+  int32_t is_source;
+  int32_t is_sink;
+};
+
+/// ChannelOpenResponse, ECho v1.0 (Figure 4.a). We add one field over the
+/// paper's figure — the channel name — which the real system carried in
+/// its connection context; it is needed here to route responses when one
+/// connection serves many channels, and it exists identically in both
+/// versions, so it does not affect the match analysis.
+struct ChannelOpenResponseV1 {
+  const char* channel;
+  int32_t member_count;
+  MemberEntryV1* member_list;
+  int32_t src_count;
+  MemberEntryV1* src_list;
+  int32_t sink_count;
+  MemberEntryV1* sink_list;
+};
+
+/// ChannelOpenResponse, ECho v2.0 (Figure 4.b).
+struct ChannelOpenResponseV2 {
+  const char* channel;
+  int32_t member_count;
+  MemberEntryV2* member_list;
+};
+
+/// ChannelOpenRequest (both versions; it never changed).
+struct ChannelOpenRequest {
+  const char* channel_id;
+  const char* contact;
+  int32_t as_source;
+  int32_t as_sink;
+};
+
+pbio::FormatPtr member_entry_v1_format();
+pbio::FormatPtr member_entry_v2_format();
+pbio::FormatPtr channel_open_response_v1_format();
+pbio::FormatPtr channel_open_response_v2_format();
+pbio::FormatPtr channel_open_request_format();
+
+/// The Ecode retro-transformation of Figure 5 (v2.0 record `new` into a
+/// v1.0 record `old`).
+const std::string& response_v2_to_v1_code();
+
+/// The full TransformSpec a v2.0 sender attaches to its format.
+core::TransformSpec response_v2_to_v1_spec();
+
+/// The equivalent XSL stylesheet (the XML/XSLT comparison leg of §5):
+/// transforms a v2.0 ChannelOpenResponse document into the v1.0 shape.
+const std::string& response_v2_to_v1_xslt();
+
+// ---------------------------------------------------------------------------
+// Workload generation (benchmarks and tests)
+// ---------------------------------------------------------------------------
+
+struct ResponseWorkload {
+  uint32_t members = 8;
+  /// Fraction of members subscribed as sources / sinks. The paper's
+  /// member-list is a superset of both lists; with both at 1.0 the v1.0
+  /// rollback triples the data volume (Table 1's "increases by three
+  /// times").
+  double source_fraction = 1.0;
+  double sink_fraction = 1.0;
+  uint32_t contact_bytes = 16;  // length of each contact-info string
+};
+
+/// Build a v2.0 response with `workload.members` members in `arena`.
+ChannelOpenResponseV2* make_response_v2(const ResponseWorkload& workload, Rng& rng,
+                                        RecordArena& arena);
+
+/// Build the equivalent v1.0 response (reference output of the Figure 5
+/// transform, produced by handwritten C++ — the oracle the Ecode versions
+/// are checked against, and the "native" baseline in the ablation bench).
+ChannelOpenResponseV1* transform_v2_to_v1_reference(const ChannelOpenResponseV2& v2,
+                                                    RecordArena& arena);
+
+/// In-memory (unencoded) payload size of a record, counting struct bytes,
+/// strings, and array elements — the "Unencoded" rows of Table 1.
+size_t unencoded_size_v1(const ChannelOpenResponseV1& rec);
+size_t unencoded_size_v2(const ChannelOpenResponseV2& rec);
+
+/// Member count whose v2.0 unencoded size is closest to `target_bytes`
+/// (used to reproduce the paper's 100B .. 1MB sweep).
+uint32_t members_for_target_size(size_t target_bytes, const ResponseWorkload& workload);
+
+}  // namespace morph::echo

@@ -1,0 +1,363 @@
+#include "echo/process.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::echo {
+
+using core::Delivery;
+using core::Outcome;
+using transport::MessagePort;
+
+struct EchoProcess::Peer {
+  std::string name;  // learned from the hello control frame
+  std::unique_ptr<core::Receiver> receiver;
+  std::unique_ptr<MessagePort> port;
+};
+
+EchoProcess::EchoProcess(std::string contact, EchoVersion version,
+                         core::ReceiverOptions receiver_options)
+    : contact_(std::move(contact)), version_(version), rx_options_(receiver_options) {}
+
+EchoProcess::~EchoProcess() = default;
+
+void EchoProcess::attach_link(transport::Link& link) {
+  auto peer = std::make_unique<Peer>();
+  peer->receiver = std::make_unique<core::Receiver>(rx_options_);
+  peer->port = std::make_unique<MessagePort>(link, peer->receiver.get());
+  setup_peer(*peer);
+  peers_.push_back(std::move(peer));
+  // Introduce ourselves so the other side can route by contact name.
+  std::string hello = "HELLO " + contact_;
+  peers_.back()->port->send_control(hello.data(), hello.size());
+}
+
+void EchoProcess::setup_peer(Peer& peer) {
+  Peer* p = &peer;
+
+  peer.port->set_on_control([this, p](const uint8_t* data, size_t size) {
+    std::string msg(reinterpret_cast<const char*>(data), size);
+    if (msg.rfind("HELLO ", 0) == 0) {
+      p->name = msg.substr(6);
+      MORPH_LOG_DEBUG("echo") << contact_ << ": peer introduced as " << p->name;
+    }
+  });
+
+  // Channel-open request handling (creator side).
+  peer.receiver->register_handler(channel_open_request_format(),
+                                  [this, p](const Delivery& d) { handle_open_request(*p, d); });
+
+  // Channel-open response handling (subscriber side). A v1.0 process only
+  // understands v1.0; a v2.0 process registers both ("speaks X and Y").
+  peer.receiver->register_handler(channel_open_response_v1_format(), [this](const Delivery& d) {
+    handle_open_response(d, /*from_v2_format=*/false);
+  });
+  if (version_ == EchoVersion::kV2) {
+    peer.receiver->register_handler(channel_open_response_v2_format(), [this](const Delivery& d) {
+      handle_open_response(d, /*from_v2_format=*/true);
+    });
+    // A v2.0 sender always ships the Figure 5 retro-transform with its
+    // response format.
+    peer.port->declare_transform(response_v2_to_v1_spec());
+  }
+
+  // Event formats registered so far.
+  for (const auto& reg : event_regs_) {
+    const EventReg* r = &reg;
+    peer.receiver->register_handler(reg.fmt, [this, r](const Delivery& d) {
+      ++stats_.events_received;
+      if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
+        ++stats_.events_morphed;
+      }
+      Event ev{&d, r->channel};
+      r->handler(ev);
+    });
+  }
+  for (const auto& spec : event_transforms_) peer.port->declare_transform(spec);
+}
+
+EchoProcess::Peer* EchoProcess::peer_by_contact(const std::string& peer_contact) {
+  for (auto& p : peers_) {
+    if (p->name == peer_contact) return p.get();
+  }
+  return nullptr;
+}
+
+void EchoProcess::create_channel(const std::string& channel) {
+  auto& state = channels_[channel];
+  state.creator = true;
+}
+
+void EchoProcess::open_channel(const std::string& channel, const std::string& creator_contact,
+                               bool as_source, bool as_sink) {
+  Peer* p = peer_by_contact(creator_contact);
+  if (p == nullptr) {
+    throw Error("echo: no connected peer named '" + creator_contact + "'");
+  }
+  channels_[channel];  // ensure state exists (members arrive in the response)
+
+  RecordArena arena;
+  auto* req = static_cast<ChannelOpenRequest*>(
+      pbio::alloc_record(*channel_open_request_format(), arena));
+  req->channel_id = arena.copy_string(channel);
+  req->contact = arena.copy_string(contact_);
+  req->as_source = as_source ? 1 : 0;
+  req->as_sink = as_sink ? 1 : 0;
+  p->port->send_record(channel_open_request_format(), req);
+}
+
+void EchoProcess::leave_channel(const std::string& channel,
+                                const std::string& creator_contact) {
+  // A subscription as neither source nor sink is the leave signal; the
+  // creator removes us and re-notifies the remaining members.
+  open_channel(channel, creator_contact, false, false);
+}
+
+void EchoProcess::handle_open_request(Peer& peer, const Delivery& d) {
+  ++stats_.open_requests_handled;
+  const auto* req = static_cast<const ChannelOpenRequest*>(d.record);
+  std::string channel = req->channel_id == nullptr ? "" : req->channel_id;
+  std::string contact = req->contact == nullptr ? "" : req->contact;
+  auto it = channels_.find(channel);
+  if (it == channels_.end() || !it->second.creator) {
+    MORPH_LOG_WARN("echo") << contact_ << ": open request for unknown channel '" << channel
+                           << "'";
+    return;
+  }
+  if (peer.name.empty()) peer.name = contact;
+  auto& members = it->second.members;
+
+  bool leaving = req->as_source == 0 && req->as_sink == 0;
+  if (leaving) {
+    // A request subscribing as neither source nor sink is a leave.
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](const Member& m) { return m.contact == contact; }),
+                  members.end());
+  } else {
+    bool found = false;
+    for (auto& m : members) {
+      if (m.contact == contact) {
+        m.is_source = req->as_source != 0;
+        m.is_sink = req->as_sink != 0;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Member m;
+      m.contact = contact;
+      m.id = ++it->second.next_member_id;
+      m.is_source = req->as_source != 0;
+      m.is_sink = req->as_sink != 0;
+      members.push_back(std::move(m));
+    }
+  }
+
+  // Reply to the requester (including a leaver, so it sees the post-leave
+  // membership) and re-notify every remaining member.
+  send_response_to(peer, channel);
+  for (const auto& m : members) {
+    if (m.contact == contact) continue;
+    Peer* target = peer_by_contact(m.contact);
+    if (target != nullptr) send_response_to(*target, channel);
+  }
+}
+
+void EchoProcess::send_response_to(Peer& peer, const std::string& channel) {
+  const auto& members = channels_[channel].members;
+  RecordArena arena;
+
+  if (version_ == EchoVersion::kV2) {
+    auto* rec = static_cast<ChannelOpenResponseV2*>(
+        pbio::alloc_record(*channel_open_response_v2_format(), arena));
+    rec->channel = arena.copy_string(channel);
+    rec->member_count = static_cast<int32_t>(members.size());
+    rec->member_list = static_cast<MemberEntryV2*>(
+        pbio::alloc_dyn_array(arena, sizeof(MemberEntryV2), members.size()));
+    for (size_t i = 0; i < members.size(); ++i) {
+      rec->member_list[i].info = arena.copy_string(members[i].contact);
+      rec->member_list[i].id = members[i].id;
+      rec->member_list[i].is_source = members[i].is_source ? 1 : 0;
+      rec->member_list[i].is_sink = members[i].is_sink ? 1 : 0;
+    }
+    peer.port->send_record(channel_open_response_v2_format(), rec);
+    return;
+  }
+
+  auto* rec = static_cast<ChannelOpenResponseV1*>(
+      pbio::alloc_record(*channel_open_response_v1_format(), arena));
+  rec->channel = arena.copy_string(channel);
+  rec->member_count = static_cast<int32_t>(members.size());
+  size_t cap = members.empty() ? 1 : members.size();
+  rec->member_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1), cap));
+  rec->src_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1), cap));
+  rec->sink_list =
+      static_cast<MemberEntryV1*>(pbio::alloc_dyn_array(arena, sizeof(MemberEntryV1), cap));
+  int32_t src = 0, sink = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    rec->member_list[i].info = arena.copy_string(members[i].contact);
+    rec->member_list[i].id = members[i].id;
+    if (members[i].is_source) {
+      rec->src_list[src].info = rec->member_list[i].info;
+      rec->src_list[src].id = members[i].id;
+      ++src;
+    }
+    if (members[i].is_sink) {
+      rec->sink_list[sink].info = rec->member_list[i].info;
+      rec->sink_list[sink].id = members[i].id;
+      ++sink;
+    }
+  }
+  rec->src_count = src;
+  rec->sink_count = sink;
+  peer.port->send_record(channel_open_response_v1_format(), rec);
+}
+
+void EchoProcess::handle_open_response(const Delivery& d, bool from_v2_format) {
+  ++stats_.responses_received;
+  if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
+    ++stats_.responses_morphed;
+  }
+
+  std::string channel;
+  std::vector<Member> members;
+  if (from_v2_format) {
+    const auto* rec = static_cast<const ChannelOpenResponseV2*>(d.record);
+    channel = rec->channel == nullptr ? "" : rec->channel;
+    for (int32_t i = 0; i < rec->member_count; ++i) {
+      Member m;
+      m.contact = rec->member_list[i].info == nullptr ? "" : rec->member_list[i].info;
+      m.id = rec->member_list[i].id;
+      m.is_source = rec->member_list[i].is_source != 0;
+      m.is_sink = rec->member_list[i].is_sink != 0;
+      members.push_back(std::move(m));
+    }
+  } else {
+    const auto* rec = static_cast<const ChannelOpenResponseV1*>(d.record);
+    channel = rec->channel == nullptr ? "" : rec->channel;
+    for (int32_t i = 0; i < rec->member_count; ++i) {
+      Member m;
+      m.contact = rec->member_list[i].info == nullptr ? "" : rec->member_list[i].info;
+      m.id = rec->member_list[i].id;
+      members.push_back(std::move(m));
+    }
+    auto mark = [&members](const MemberEntryV1* list, int32_t count, bool source) {
+      for (int32_t i = 0; i < count; ++i) {
+        const char* info = list[i].info;
+        for (auto& m : members) {
+          if (m.contact == (info == nullptr ? "" : info)) {
+            (source ? m.is_source : m.is_sink) = true;
+          }
+        }
+      }
+    };
+    mark(rec->src_list, rec->src_count, true);
+    mark(rec->sink_list, rec->sink_count, false);
+  }
+  channels_[channel].members = std::move(members);
+}
+
+std::vector<Member> EchoProcess::members(const std::string& channel) const {
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? std::vector<Member>{} : it->second.members;
+}
+
+void EchoProcess::on_event(const std::string& channel, pbio::FormatPtr fmt,
+                           EventHandler handler) {
+  for (const auto& reg : event_regs_) {
+    if (reg.fmt->name() == fmt->name() && reg.channel != channel) {
+      throw Error("echo: event format '" + fmt->name() +
+                  "' is already registered for channel '" + reg.channel +
+                  "' (one channel per format name per process)");
+    }
+  }
+  event_regs_.push_back({channel, std::move(fmt), std::move(handler)});
+  const EventReg& reg = event_regs_.back();
+  const EventReg* r = &reg;
+  for (auto& p : peers_) {
+    p->receiver->register_handler(reg.fmt, [this, r](const Delivery& d) {
+      ++stats_.events_received;
+      if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
+        ++stats_.events_morphed;
+      }
+      Event ev{&d, r->channel};
+      r->handler(ev);
+    });
+  }
+}
+
+void EchoProcess::declare_event_transform(core::TransformSpec spec) {
+  event_transforms_.push_back(spec);
+  for (auto& p : peers_) p->port->declare_transform(spec);
+}
+
+size_t EchoProcess::publish(const std::string& channel, const pbio::FormatPtr& fmt,
+                            const void* record) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) throw Error("echo: unknown channel '" + channel + "'");
+  size_t sent = 0;
+  for (const auto& m : it->second.members) {
+    if (!m.is_sink || m.contact == contact_) continue;
+    Peer* p = peer_by_contact(m.contact);
+    if (p == nullptr) {
+      MORPH_LOG_WARN("echo") << contact_ << ": no link to sink " << m.contact;
+      continue;
+    }
+    p->port->send_record(fmt, record);
+    ++sent;
+  }
+  return sent;
+}
+
+core::ReceiverStats EchoProcess::receiver_totals() const {
+  core::ReceiverStats total;
+  for (const auto& p : peers_) {
+    const auto& s = p->receiver->stats();
+    total.messages += s.messages;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.exact += s.exact;
+    total.perfect += s.perfect;
+    total.morphed += s.morphed;
+    total.reconciled += s.reconciled;
+    total.defaulted += s.defaulted;
+    total.rejected += s.rejected;
+    total.transforms_compiled += s.transforms_compiled;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// EchoDomain
+// ---------------------------------------------------------------------------
+
+EchoProcess& EchoDomain::spawn(const std::string& contact, EchoVersion version,
+                               core::ReceiverOptions options) {
+  processes_.push_back(std::make_unique<EchoProcess>(contact, version, options));
+  return *processes_.back();
+}
+
+void EchoDomain::connect(EchoProcess& a, EchoProcess& b) {
+  pairs_.push_back(std::make_unique<transport::InprocPair>());
+  auto& pair = *pairs_.back();
+  a.attach_link(pair.a());
+  b.attach_link(pair.b());
+}
+
+size_t EchoDomain::pump() {
+  size_t total = 0;
+  for (;;) {
+    size_t round = 0;
+    for (auto& pair : pairs_) round += pair->pump();
+    total += round;
+    if (round == 0) return total;
+  }
+}
+
+}  // namespace morph::echo

@@ -1,0 +1,164 @@
+// Ecode abstract syntax tree.
+//
+// Nodes carry slots for the annotations the semantic pass fills in
+// (value types, resolved locals, resolved field descriptors), so the
+// compiler can run as a simple annotated-tree walk.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::ecode {
+
+/// Value categories during checking and compilation.
+enum class TyKind : uint8_t {
+  kInt,      // any integer-ish value (i64 at runtime)
+  kFloat,    // f64 at runtime
+  kString,   // char* at runtime
+  kRecord,   // intermediate: a struct (base of a field chain)
+  kArray,    // intermediate: an array field awaiting indexing
+  kVoid,
+};
+
+struct Ty {
+  TyKind kind = TyKind::kVoid;
+  const pbio::FormatDescriptor* record = nullptr;   // kRecord
+  const pbio::FieldDescriptor* array_field = nullptr;  // kArray
+
+  static Ty Int() { return {TyKind::kInt, nullptr, nullptr}; }
+  static Ty Float() { return {TyKind::kFloat, nullptr, nullptr}; }
+  static Ty String() { return {TyKind::kString, nullptr, nullptr}; }
+  static Ty Record(const pbio::FormatDescriptor* f) { return {TyKind::kRecord, f, nullptr}; }
+  static Ty Array(const pbio::FieldDescriptor* fd) { return {TyKind::kArray, nullptr, fd}; }
+  static Ty Void() { return {TyKind::kVoid, nullptr, nullptr}; }
+
+  bool is_numeric() const { return kind == TyKind::kInt || kind == TyKind::kFloat; }
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kVarRef,       // local variable or record parameter
+  kFieldAccess,  // base.field
+  kIndex,        // base[expr]
+  kUnary,
+  kBinary,
+  kCond,         // a ? b : c
+  kCall,         // builtin call
+};
+
+enum class UnOp : uint8_t { kNeg, kNot, kBitNot };
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,             // short-circuit logical
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // literals
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;  // kStringLit text; kVarRef/kFieldAccess/kCall name
+
+  // children
+  std::unique_ptr<Expr> a;  // base / lhs / operand / condition
+  std::unique_ptr<Expr> b;  // index / rhs / then
+  std::unique_ptr<Expr> c;  // else
+  std::vector<std::unique_ptr<Expr>> args;  // kCall
+
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+
+  // --- sema annotations ---
+  Ty type;
+  int local_slot = -1;                                 // kVarRef -> local
+  int param_index = -1;                                // kVarRef -> record param
+  const pbio::FieldDescriptor* field = nullptr;        // kFieldAccess / kIndex element
+  int builtin = -1;                                    // kCall
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kDecl,
+  kAssign,     // lvalue op= expr  (op may be plain =)
+  kIncDec,     // lvalue++ / lvalue--
+  kExpr,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kBlock,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+enum class AssignOp : uint8_t { kSet, kAdd, kSub, kMul, kDiv, kMod };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Declarator {
+  std::string name;
+  ExprPtr init;   // may be null
+  int local_slot = -1;  // sema
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kDecl
+  TyKind decl_type = TyKind::kInt;
+  std::vector<Declarator> decls;
+
+  // kAssign / kIncDec
+  ExprPtr lvalue;
+  AssignOp assign_op = AssignOp::kSet;
+  int inc_delta = 1;  // +1 or -1
+
+  // kExpr / kAssign rhs / kReturn value (unused) / kIf & loops condition
+  ExprPtr expr;
+
+  // kIf
+  StmtPtr then_branch;
+  StmtPtr else_branch;
+
+  // kWhile / kFor body
+  StmtPtr body;
+
+  // kFor
+  StmtPtr for_init;  // decl / assign / expr statement, may be null
+  StmtPtr for_step;  // assign / expr statement, may be null
+
+  // kBlock
+  std::vector<StmtPtr> stmts;
+};
+
+/// A whole transform: statements plus the record parameters it binds.
+struct Program {
+  std::vector<StmtPtr> stmts;
+  // sema results
+  int local_slot_count = 0;
+  std::vector<std::string> string_pool;  // literal storage referenced by index
+};
+
+}  // namespace morph::ecode

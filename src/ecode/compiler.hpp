@@ -1,0 +1,15 @@
+// Ecode bytecode compiler: annotated AST -> Chunk.
+#pragma once
+
+#include <memory>
+
+#include "ecode/ast.hpp"
+#include "ecode/bytecode.hpp"
+#include "ecode/sema.hpp"
+
+namespace morph::ecode {
+
+/// Compile an analyzed program (see analyze()) into bytecode.
+Chunk compile(const Program& prog, const std::vector<RecordParam>& params);
+
+}  // namespace morph::ecode

@@ -1,0 +1,77 @@
+#include "ecode/ecode.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ecode/compiler.hpp"
+#include "ecode/jit_x64.hpp"
+#include "ecode/parser.hpp"
+#include "ecode/vm.hpp"
+
+namespace morph::ecode {
+
+bool jit_supported() {
+#if defined(__x86_64__) && defined(__unix__)
+  const char* disabled = std::getenv("MORPH_DISABLE_JIT");
+  return disabled == nullptr || disabled[0] == '\0' || disabled[0] == '0';
+#else
+  return false;
+#endif
+}
+
+Transform Transform::compile(const std::string& source, std::vector<RecordParam> params,
+                             ExecBackend backend) {
+  auto prog = parse(source);
+  analyze(*prog, params);
+
+  Transform t;
+  t.chunk_ = ecode::compile(*prog, params);
+  t.params_ = std::move(params);
+
+  bool want_jit = backend == ExecBackend::kJit || (backend == ExecBackend::kAuto && jit_supported());
+  if (want_jit) {
+    auto jit = JitCode::build(t.chunk_);
+    if (jit == nullptr && backend == ExecBackend::kJit) {
+      throw Error("ecode: JIT requested but not supported on this platform");
+    }
+    t.jit_ = std::move(jit);
+  }
+  return t;
+}
+
+Transform::~Transform() = default;
+Transform::Transform(Transform&&) noexcept = default;
+Transform& Transform::operator=(Transform&&) noexcept = default;
+
+bool Transform::jitted() const { return jit_ != nullptr; }
+
+size_t Transform::native_code_size() const { return jit_ ? jit_->code_size() : 0; }
+
+void Transform::run(void* const* records, RecordArena& arena) const {
+  EcodeRuntime rt;
+  rt.arena = &arena;
+  if (jit_) {
+    // Locals live on the caller's stack frame; 64 covers almost every
+    // transform without touching the heap.
+    if (chunk_.local_slots <= 64) {
+      int64_t locals[64] = {0};
+      jit_->run(records, locals, rt);
+    } else {
+      std::vector<int64_t> locals(static_cast<size_t>(chunk_.local_slots), 0);
+      jit_->run(records, locals.data(), rt);
+    }
+    return;
+  }
+  vm_run(chunk_, records, rt);
+}
+
+void Transform::run2(void* dst, const void* src, RecordArena& arena) const {
+  if (params_.size() != 2) {
+    throw Error("Transform::run2 requires a two-parameter transform");
+  }
+  void* records[2] = {dst, const_cast<void*>(src)};
+  run(records, arena);
+}
+
+}  // namespace morph::ecode

@@ -1,0 +1,90 @@
+// Ecode: the transformation language of Message Morphing.
+//
+// Ecode is the C subset the paper uses to express format transforms
+// (Figure 5). A transform binds one or more named record parameters — by
+// convention the destination first ("old") and the source second ("new") —
+// and is compiled at runtime: lexer -> parser -> semantic analysis against
+// the PBIO formats -> stack bytecode -> either an x86-64 native function
+// (dynamic binary code generation, the paper's headline mechanism) or the
+// portable bytecode VM.
+//
+// Language summary:
+//   * types: int / long / short / char / unsigned / float / double
+//     (integers are 64-bit at runtime; floats are doubles)
+//   * statements: declarations, assignment (= += -= *= /= %=), ++/--,
+//     if/else, for, while, blocks, return
+//   * expressions: full C operator precedence, ?:, short-circuit && and ||,
+//     builtins abs/min/max/strlen/streq, string literals
+//   * record access: param.field, nested structs, static and dynamic
+//     arrays (param.list[i].member). Writing through a destination
+//     dynamic array grows it automatically; its count field is whatever
+//     the program stores into it (as in Figure 5).
+//   * division by zero yields 0; transforms can never trap.
+//
+// Thread safety: a compiled Transform is immutable and may be shared;
+// each run() call uses its own arena/runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "ecode/bytecode.hpp"
+#include "ecode/sema.hpp"
+
+namespace morph::ecode {
+
+class JitCode;  // internal (jit_x64.cpp)
+
+enum class ExecBackend {
+  kAuto,         // JIT when supported on this host, VM otherwise
+  kInterpreter,  // force the bytecode VM
+  kJit,          // force native code (throws if unsupported)
+};
+
+/// True when the native code generator supports this process (x86-64 and
+/// not disabled via MORPH_DISABLE_JIT=1).
+bool jit_supported();
+
+/// A compiled Ecode transform.
+class Transform {
+ public:
+  /// Compile `source` against the given record parameters.
+  /// Throws EcodeError on lexical/syntax/type errors.
+  static Transform compile(const std::string& source, std::vector<RecordParam> params,
+                           ExecBackend backend = ExecBackend::kAuto);
+
+  ~Transform();
+  Transform(Transform&&) noexcept;
+  Transform& operator=(Transform&&) noexcept;
+
+  /// Execute against `records` (one base pointer per record parameter, in
+  /// declaration order). Memory the transform allocates (strings, grown
+  /// arrays) comes from `arena` and must outlive the destination record.
+  void run(void* const* records, RecordArena& arena) const;
+
+  /// Convenience for the common two-parameter (dst, src) shape.
+  void run2(void* dst, const void* src, RecordArena& arena) const;
+
+  /// True when this transform executes as native code.
+  bool jitted() const;
+
+  const Chunk& chunk() const { return chunk_; }
+  const std::vector<RecordParam>& params() const { return params_; }
+
+  /// Bytecode listing (diagnostics).
+  std::string disassemble() const { return chunk_.disassemble(); }
+
+  /// Native code size in bytes (0 when interpreted).
+  size_t native_code_size() const;
+
+ private:
+  Transform() = default;
+
+  Chunk chunk_;
+  std::vector<RecordParam> params_;
+  std::shared_ptr<const JitCode> jit_;  // null -> VM
+};
+
+}  // namespace morph::ecode

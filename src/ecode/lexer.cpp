@@ -1,0 +1,284 @@
+#include "ecode/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace morph::ecode {
+
+std::string_view token_name(Tok t) {
+  switch (t) {
+    case Tok::kEnd: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kKwInt: return "'int'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwShort: return "'short'";
+    case Tok::kKwChar: return "'char'";
+    case Tok::kKwUnsigned: return "'unsigned'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwDouble: return "'double'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwFor: return "'for'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwDo: return "'do'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwBreak: return "'break'";
+    case Tok::kKwContinue: return "'continue'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kDot: return "'.'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPercentAssign: return "'%='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"int", Tok::kKwInt},       {"long", Tok::kKwLong},     {"short", Tok::kKwShort},
+      {"char", Tok::kKwChar},     {"unsigned", Tok::kKwUnsigned},
+      {"float", Tok::kKwFloat},   {"double", Tok::kKwDouble}, {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},     {"for", Tok::kKwFor},       {"while", Tok::kKwWhile},  {"do", Tok::kKwDo},
+      {"return", Tok::kKwReturn},  {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+  };
+  return kMap;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      Token t = next();
+      bool end = t.kind == Tok::kEnd;
+      out.push_back(std::move(t));
+      if (end) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) { throw EcodeError(msg, line_); }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  bool match(char c) {
+    if (peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') fail("unterminated /* comment");
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  char escape() {
+    char c = advance();
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: fail(std::string("unknown escape \\") + c);
+    }
+  }
+
+  Token next() {
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = Tok::kEnd;
+      return t;
+    }
+    char c = advance();
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case '.': t.kind = Tok::kDot; return t;
+      case '~': t.kind = Tok::kTilde; return t;
+      case '?': t.kind = Tok::kQuestion; return t;
+      case ':': t.kind = Tok::kColon; return t;
+      case '+':
+        t.kind = match('+') ? Tok::kPlusPlus : match('=') ? Tok::kPlusAssign : Tok::kPlus;
+        return t;
+      case '-':
+        t.kind = match('-') ? Tok::kMinusMinus : match('=') ? Tok::kMinusAssign : Tok::kMinus;
+        return t;
+      case '*': t.kind = match('=') ? Tok::kStarAssign : Tok::kStar; return t;
+      case '/': t.kind = match('=') ? Tok::kSlashAssign : Tok::kSlash; return t;
+      case '%': t.kind = match('=') ? Tok::kPercentAssign : Tok::kPercent; return t;
+      case '&': t.kind = match('&') ? Tok::kAndAnd : Tok::kAmp; return t;
+      case '|': t.kind = match('|') ? Tok::kOrOr : Tok::kPipe; return t;
+      case '^': t.kind = Tok::kCaret; return t;
+      case '!': t.kind = match('=') ? Tok::kNe : Tok::kBang; return t;
+      case '=': t.kind = match('=') ? Tok::kEq : Tok::kAssign; return t;
+      case '<':
+        t.kind = match('<') ? Tok::kShl : match('=') ? Tok::kLe : Tok::kLt;
+        return t;
+      case '>':
+        t.kind = match('>') ? Tok::kShr : match('=') ? Tok::kGe : Tok::kGt;
+        return t;
+      case '"': {
+        t.kind = Tok::kStringLit;
+        while (peek() != '"') {
+          if (peek() == '\0') fail("unterminated string literal");
+          char ch = advance();
+          t.text.push_back(ch == '\\' ? escape() : ch);
+        }
+        advance();
+        return t;
+      }
+      case '\'': {
+        t.kind = Tok::kCharLit;
+        if (peek() == '\0') fail("unterminated char literal");
+        char ch = advance();
+        if (ch == '\\') ch = escape();
+        t.int_value = static_cast<unsigned char>(ch);
+        if (!match('\'')) fail("unterminated char literal");
+        return t;
+      }
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_ - 1;
+      if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+        advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+        t.kind = Tok::kIntLit;
+        t.int_value = static_cast<int64_t>(
+            std::strtoull(src_.substr(start, pos_ - start).c_str(), nullptr, 16));
+        return t;
+      }
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        size_t save = pos_;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+          is_float = true;
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        } else {
+          pos_ = save;
+        }
+      }
+      std::string text = src_.substr(start, pos_ - start);
+      if (is_float) {
+        t.kind = Tok::kFloatLit;
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = Tok::kIntLit;
+        t.int_value = static_cast<int64_t>(std::strtoull(text.c_str(), nullptr, 10));
+      }
+      return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_ - 1;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+      t.text = src_.substr(start, pos_ - start);
+      auto it = keywords().find(t.text);
+      t.kind = it == keywords().end() ? Tok::kIdent : it->second;
+      return t;
+    }
+
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace morph::ecode

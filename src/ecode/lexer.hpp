@@ -1,0 +1,19 @@
+// Ecode lexer: source text -> token stream.
+//
+// Supports C-style `/* */` and `//` comments, decimal/hex integer literals,
+// float literals, character literals, and double-quoted string literals
+// with the usual escapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ecode/token.hpp"
+
+namespace morph::ecode {
+
+/// Tokenize `source`. Throws EcodeError on lexical errors. The returned
+/// vector always ends with a kEnd token.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace morph::ecode

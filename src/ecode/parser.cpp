@@ -1,0 +1,463 @@
+#include "ecode/parser.hpp"
+
+#include "common/error.hpp"
+#include "ecode/lexer.hpp"
+
+namespace morph::ecode {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  std::unique_ptr<Program> run() {
+    auto prog = std::make_unique<Program>();
+    while (!at(Tok::kEnd)) prog->stmts.push_back(statement());
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_type_keyword() const {
+    switch (cur().kind) {
+      case Tok::kKwInt:
+      case Tok::kKwLong:
+      case Tok::kKwShort:
+      case Tok::kKwChar:
+      case Tok::kKwUnsigned:
+      case Tok::kKwFloat:
+      case Tok::kKwDouble:
+        return true;
+      default:
+        return false;
+    }
+  }
+  Token take() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) {
+      fail("expected " + std::string(token_name(k)) + " " + what + ", found " +
+           std::string(token_name(cur().kind)));
+    }
+    return take();
+  }
+  [[noreturn]] void fail(const std::string& msg) const { throw EcodeError(msg, cur().line); }
+
+  // --- statements ---------------------------------------------------------
+
+  StmtPtr statement() {
+    if (at(Tok::kLBrace)) return block();
+    if (at_type_keyword()) return declaration(true);
+    if (at(Tok::kKwIf)) return if_statement();
+    if (at(Tok::kKwWhile)) return while_statement();
+    if (at(Tok::kKwDo)) return do_while_statement();
+    if (at(Tok::kKwFor)) return for_statement();
+    if (at(Tok::kKwReturn)) {
+      auto s = make_stmt(StmtKind::kReturn);
+      take();
+      expect(Tok::kSemi, "after 'return'");
+      return s;
+    }
+    if (at(Tok::kKwBreak)) {
+      auto s = make_stmt(StmtKind::kBreak);
+      take();
+      expect(Tok::kSemi, "after 'break'");
+      return s;
+    }
+    if (at(Tok::kKwContinue)) {
+      auto s = make_stmt(StmtKind::kContinue);
+      take();
+      expect(Tok::kSemi, "after 'continue'");
+      return s;
+    }
+    auto s = simple_statement();
+    expect(Tok::kSemi, "after statement");
+    return s;
+  }
+
+  StmtPtr make_stmt(StmtKind k) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = k;
+    s->line = cur().line;
+    return s;
+  }
+
+  StmtPtr block() {
+    auto s = make_stmt(StmtKind::kBlock);
+    expect(Tok::kLBrace, "to open block");
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEnd)) fail("unterminated block");
+      s->stmts.push_back(statement());
+    }
+    take();
+    return s;
+  }
+
+  StmtPtr declaration(bool eat_semi) {
+    auto s = make_stmt(StmtKind::kDecl);
+    s->decl_type = parse_type();
+    for (;;) {
+      Declarator d;
+      d.name = expect(Tok::kIdent, "in declaration").text;
+      if (accept(Tok::kAssign)) d.init = expression();
+      s->decls.push_back(std::move(d));
+      if (!accept(Tok::kComma)) break;
+    }
+    if (eat_semi) expect(Tok::kSemi, "after declaration");
+    return s;
+  }
+
+  TyKind parse_type() {
+    switch (take().kind) {
+      case Tok::kKwFloat:
+      case Tok::kKwDouble:
+        return TyKind::kFloat;
+      case Tok::kKwUnsigned:
+        // 'unsigned', 'unsigned int', 'unsigned long', ...
+        if (at(Tok::kKwInt) || at(Tok::kKwLong) || at(Tok::kKwShort) || at(Tok::kKwChar)) take();
+        return TyKind::kInt;
+      case Tok::kKwLong:
+        if (at(Tok::kKwLong)) take();  // long long
+        if (at(Tok::kKwInt)) take();
+        return TyKind::kInt;
+      default:
+        return TyKind::kInt;
+    }
+  }
+
+  StmtPtr if_statement() {
+    auto s = make_stmt(StmtKind::kIf);
+    take();
+    expect(Tok::kLParen, "after 'if'");
+    s->expr = expression();
+    expect(Tok::kRParen, "after condition");
+    s->then_branch = statement();
+    if (accept(Tok::kKwElse)) s->else_branch = statement();
+    return s;
+  }
+
+  StmtPtr while_statement() {
+    auto s = make_stmt(StmtKind::kWhile);
+    take();
+    expect(Tok::kLParen, "after 'while'");
+    s->expr = expression();
+    expect(Tok::kRParen, "after condition");
+    s->body = statement();
+    return s;
+  }
+
+  StmtPtr do_while_statement() {
+    auto s = make_stmt(StmtKind::kDoWhile);
+    take();
+    s->body = statement();
+    expect(Tok::kKwWhile, "after do-body");
+    expect(Tok::kLParen, "after 'while'");
+    s->expr = expression();
+    expect(Tok::kRParen, "after condition");
+    expect(Tok::kSemi, "after do/while");
+    return s;
+  }
+
+  StmtPtr for_statement() {
+    auto s = make_stmt(StmtKind::kFor);
+    take();
+    expect(Tok::kLParen, "after 'for'");
+    if (!accept(Tok::kSemi)) {
+      s->for_init = at_type_keyword() ? declaration(false) : simple_statement();
+      expect(Tok::kSemi, "after for-initializer");
+    }
+    if (!at(Tok::kSemi)) s->expr = expression();
+    expect(Tok::kSemi, "after for-condition");
+    if (!at(Tok::kRParen)) s->for_step = simple_statement();
+    expect(Tok::kRParen, "after for-step");
+    s->body = statement();
+    return s;
+  }
+
+  /// assignment | inc/dec | bare expression (no trailing ';').
+  StmtPtr simple_statement() {
+    // Prefix ++/--.
+    if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+      auto s = make_stmt(StmtKind::kIncDec);
+      s->inc_delta = take().kind == Tok::kPlusPlus ? 1 : -1;
+      s->lvalue = postfix_expression();
+      return s;
+    }
+    ExprPtr e = expression();
+    switch (cur().kind) {
+      case Tok::kAssign:
+      case Tok::kPlusAssign:
+      case Tok::kMinusAssign:
+      case Tok::kStarAssign:
+      case Tok::kSlashAssign:
+      case Tok::kPercentAssign: {
+        auto s = make_stmt(StmtKind::kAssign);
+        switch (take().kind) {
+          case Tok::kAssign: s->assign_op = AssignOp::kSet; break;
+          case Tok::kPlusAssign: s->assign_op = AssignOp::kAdd; break;
+          case Tok::kMinusAssign: s->assign_op = AssignOp::kSub; break;
+          case Tok::kStarAssign: s->assign_op = AssignOp::kMul; break;
+          case Tok::kSlashAssign: s->assign_op = AssignOp::kDiv; break;
+          default: s->assign_op = AssignOp::kMod; break;
+        }
+        s->lvalue = std::move(e);
+        s->expr = expression();
+        return s;
+      }
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus: {
+        auto s = make_stmt(StmtKind::kIncDec);
+        s->inc_delta = take().kind == Tok::kPlusPlus ? 1 : -1;
+        s->lvalue = std::move(e);
+        return s;
+      }
+      default: {
+        auto s = make_stmt(StmtKind::kExpr);
+        s->expr = std::move(e);
+        return s;
+      }
+    }
+  }
+
+  // --- expressions (C precedence) ------------------------------------------
+
+  ExprPtr make_expr(ExprKind k) {
+    auto e = std::make_unique<Expr>();
+    e->kind = k;
+    e->line = cur().line;
+    return e;
+  }
+
+  ExprPtr expression() { return conditional(); }
+
+  ExprPtr conditional() {
+    ExprPtr cond = logical_or();
+    if (!accept(Tok::kQuestion)) return cond;
+    auto e = make_expr(ExprKind::kCond);
+    e->a = std::move(cond);
+    e->b = expression();
+    expect(Tok::kColon, "in conditional expression");
+    e->c = conditional();
+    return e;
+  }
+
+  ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->line = lhs->line;
+    e->bin_op = op;
+    e->a = std::move(lhs);
+    e->b = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr logical_or() {
+    ExprPtr e = logical_and();
+    while (accept(Tok::kOrOr)) e = binary(BinOp::kOr, std::move(e), logical_and());
+    return e;
+  }
+  ExprPtr logical_and() {
+    ExprPtr e = bit_or();
+    while (accept(Tok::kAndAnd)) e = binary(BinOp::kAnd, std::move(e), bit_or());
+    return e;
+  }
+  ExprPtr bit_or() {
+    ExprPtr e = bit_xor();
+    while (at(Tok::kPipe)) {
+      take();
+      e = binary(BinOp::kBitOr, std::move(e), bit_xor());
+    }
+    return e;
+  }
+  ExprPtr bit_xor() {
+    ExprPtr e = bit_and();
+    while (at(Tok::kCaret)) {
+      take();
+      e = binary(BinOp::kBitXor, std::move(e), bit_and());
+    }
+    return e;
+  }
+  ExprPtr bit_and() {
+    ExprPtr e = equality();
+    while (at(Tok::kAmp)) {
+      take();
+      e = binary(BinOp::kBitAnd, std::move(e), equality());
+    }
+    return e;
+  }
+  ExprPtr equality() {
+    ExprPtr e = relational();
+    for (;;) {
+      if (accept(Tok::kEq)) {
+        e = binary(BinOp::kEq, std::move(e), relational());
+      } else if (accept(Tok::kNe)) {
+        e = binary(BinOp::kNe, std::move(e), relational());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr relational() {
+    ExprPtr e = shift();
+    for (;;) {
+      if (accept(Tok::kLt)) {
+        e = binary(BinOp::kLt, std::move(e), shift());
+      } else if (accept(Tok::kLe)) {
+        e = binary(BinOp::kLe, std::move(e), shift());
+      } else if (accept(Tok::kGt)) {
+        e = binary(BinOp::kGt, std::move(e), shift());
+      } else if (accept(Tok::kGe)) {
+        e = binary(BinOp::kGe, std::move(e), shift());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr shift() {
+    ExprPtr e = additive();
+    for (;;) {
+      if (accept(Tok::kShl)) {
+        e = binary(BinOp::kShl, std::move(e), additive());
+      } else if (accept(Tok::kShr)) {
+        e = binary(BinOp::kShr, std::move(e), additive());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr additive() {
+    ExprPtr e = multiplicative();
+    for (;;) {
+      if (accept(Tok::kPlus)) {
+        e = binary(BinOp::kAdd, std::move(e), multiplicative());
+      } else if (accept(Tok::kMinus)) {
+        e = binary(BinOp::kSub, std::move(e), multiplicative());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr multiplicative() {
+    ExprPtr e = unary();
+    for (;;) {
+      if (accept(Tok::kStar)) {
+        e = binary(BinOp::kMul, std::move(e), unary());
+      } else if (accept(Tok::kSlash)) {
+        e = binary(BinOp::kDiv, std::move(e), unary());
+      } else if (accept(Tok::kPercent)) {
+        e = binary(BinOp::kMod, std::move(e), unary());
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr unary() {
+    if (accept(Tok::kMinus)) {
+      auto e = make_expr(ExprKind::kUnary);
+      e->un_op = UnOp::kNeg;
+      e->a = unary();
+      return e;
+    }
+    if (accept(Tok::kBang)) {
+      auto e = make_expr(ExprKind::kUnary);
+      e->un_op = UnOp::kNot;
+      e->a = unary();
+      return e;
+    }
+    if (accept(Tok::kTilde)) {
+      auto e = make_expr(ExprKind::kUnary);
+      e->un_op = UnOp::kBitNot;
+      e->a = unary();
+      return e;
+    }
+    if (accept(Tok::kPlus)) return unary();
+    return postfix_expression();
+  }
+
+  ExprPtr postfix_expression() {
+    ExprPtr e = primary();
+    for (;;) {
+      if (accept(Tok::kDot)) {
+        auto f = make_expr(ExprKind::kFieldAccess);
+        f->str_value = expect(Tok::kIdent, "after '.'").text;
+        f->a = std::move(e);
+        e = std::move(f);
+      } else if (accept(Tok::kLBracket)) {
+        auto f = make_expr(ExprKind::kIndex);
+        f->a = std::move(e);
+        f->b = expression();
+        expect(Tok::kRBracket, "after index");
+        e = std::move(f);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr primary() {
+    switch (cur().kind) {
+      case Tok::kIntLit:
+      case Tok::kCharLit: {
+        auto e = make_expr(ExprKind::kIntLit);
+        e->int_value = take().int_value;
+        return e;
+      }
+      case Tok::kFloatLit: {
+        auto e = make_expr(ExprKind::kFloatLit);
+        e->float_value = take().float_value;
+        return e;
+      }
+      case Tok::kStringLit: {
+        auto e = make_expr(ExprKind::kStringLit);
+        e->str_value = take().text;
+        return e;
+      }
+      case Tok::kLParen: {
+        take();
+        ExprPtr e = expression();
+        expect(Tok::kRParen, "to close parenthesis");
+        return e;
+      }
+      case Tok::kIdent: {
+        // Builtin call or variable reference.
+        if (peek().kind == Tok::kLParen) {
+          auto e = make_expr(ExprKind::kCall);
+          e->str_value = take().text;
+          take();  // '('
+          if (!at(Tok::kRParen)) {
+            e->args.push_back(expression());
+            while (accept(Tok::kComma)) e->args.push_back(expression());
+          }
+          expect(Tok::kRParen, "to close call");
+          return e;
+        }
+        auto e = make_expr(ExprKind::kVarRef);
+        e->str_value = take().text;
+        return e;
+      }
+      default:
+        fail("expected expression, found " + std::string(token_name(cur().kind)));
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parse(const std::string& source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace morph::ecode

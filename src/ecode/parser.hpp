@@ -1,0 +1,15 @@
+// Ecode recursive-descent parser: tokens -> AST. Pure syntax; all name and
+// type resolution happens in sema.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ecode/ast.hpp"
+
+namespace morph::ecode {
+
+/// Parse a transform body (a sequence of statements). Throws EcodeError.
+std::unique_ptr<Program> parse(const std::string& source);
+
+}  // namespace morph::ecode

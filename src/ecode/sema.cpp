@@ -1,0 +1,403 @@
+#include "ecode/sema.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace morph::ecode {
+
+namespace {
+
+using pbio::FieldKind;
+
+struct LocalVar {
+  int slot;
+  TyKind type;  // kInt or kFloat
+};
+
+class Sema {
+ public:
+  Sema(Program& prog, const std::vector<RecordParam>& params) : prog_(prog), params_(params) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (!params[i].format) throw EcodeError("record parameter '" + params[i].name + "' has no format", 0);
+      for (size_t j = 0; j < i; ++j) {
+        if (params[j].name == params[i].name) {
+          throw EcodeError("duplicate record parameter name '" + params[i].name + "'", 0);
+        }
+      }
+    }
+  }
+
+  void run() {
+    scopes_.emplace_back();
+    for (auto& s : prog_.stmts) stmt(*s);
+    scopes_.pop_back();
+    prog_.local_slot_count = next_slot_;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg, int line) { throw EcodeError(msg, line); }
+
+  int find_param(const std::string& name) const {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  const LocalVar* find_local(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  LocalVar& declare_local(const std::string& name, TyKind type, int line) {
+    if (find_param(name) >= 0) {
+      fail("variable '" + name + "' shadows a record parameter", line);
+    }
+    auto& scope = scopes_.back();
+    if (scope.count(name) != 0) fail("redeclaration of '" + name + "'", line);
+    return scope.emplace(name, LocalVar{next_slot_++, type}).first->second;
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  void stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (auto& child : s.stmts) stmt(*child);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::kDecl: {
+        for (auto& d : s.decls) {
+          if (d.init) {
+            Ty t = expr(*d.init);
+            if (!t.is_numeric()) {
+              fail("initializer for '" + d.name + "' must be numeric", s.line);
+            }
+          }
+          d.local_slot = declare_local(d.name, s.decl_type, s.line).slot;
+        }
+        break;
+      }
+      case StmtKind::kAssign: {
+        Ty lhs = expr(*s.lvalue);
+        Ty rhs = expr(*s.expr);
+        if (lhs.kind == TyKind::kRecord) {
+          // Whole-struct assignment: deep copy between identical formats.
+          if (s.assign_op != AssignOp::kSet) {
+            fail("compound assignment is not defined for structs", s.line);
+          }
+          if (rhs.kind != TyKind::kRecord) fail("assigning non-struct to struct field", s.line);
+          if (!lhs.record->identical_to(*rhs.record)) {
+            fail("struct assignment requires identical formats ('" + lhs.record->name() +
+                     "' differs); copy field-wise or supply a transform",
+                 s.line);
+          }
+          break;
+        }
+        check_lvalue(*s.lvalue, s.line);
+        if (lhs.kind == TyKind::kString) {
+          if (s.assign_op != AssignOp::kSet) {
+            fail("compound assignment is not defined for strings", s.line);
+          }
+          if (rhs.kind != TyKind::kString) fail("assigning non-string to string field", s.line);
+        } else if (lhs.is_numeric()) {
+          if (!rhs.is_numeric()) fail("assigning non-numeric value to numeric target", s.line);
+          if (s.assign_op == AssignOp::kMod &&
+              (lhs.kind == TyKind::kFloat || rhs.kind == TyKind::kFloat)) {
+            fail("'%=' requires integer operands", s.line);
+          }
+        } else {
+          fail("assignment target must be a scalar or string field", s.line);
+        }
+        break;
+      }
+      case StmtKind::kIncDec: {
+        Ty t = expr(*s.lvalue);
+        check_lvalue(*s.lvalue, s.line);
+        if (t.kind != TyKind::kInt) fail("'++'/'--' requires an integer target", s.line);
+        break;
+      }
+      case StmtKind::kExpr:
+        expr(*s.expr);
+        break;
+      case StmtKind::kIf: {
+        condition(*s.expr, s.line);
+        stmt(*s.then_branch);
+        if (s.else_branch) stmt(*s.else_branch);
+        break;
+      }
+      case StmtKind::kWhile: {
+        condition(*s.expr, s.line);
+        ++loop_depth_;
+        stmt(*s.body);
+        --loop_depth_;
+        break;
+      }
+      case StmtKind::kDoWhile: {
+        ++loop_depth_;
+        stmt(*s.body);
+        --loop_depth_;
+        condition(*s.expr, s.line);
+        break;
+      }
+      case StmtKind::kFor: {
+        scopes_.emplace_back();
+        if (s.for_init) stmt(*s.for_init);
+        if (s.expr) condition(*s.expr, s.line);
+        if (s.for_step) stmt(*s.for_step);
+        ++loop_depth_;
+        stmt(*s.body);
+        --loop_depth_;
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::kBreak:
+        if (loop_depth_ == 0) fail("'break' outside of a loop", s.line);
+        break;
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) fail("'continue' outside of a loop", s.line);
+        break;
+      case StmtKind::kReturn:
+        break;
+    }
+  }
+
+  void condition(Expr& e, int line) {
+    Ty t = expr(e);
+    if (t.kind != TyKind::kInt) {
+      fail("condition must be an integer expression (use comparisons for floats/strings)", line);
+    }
+  }
+
+  /// An assignable expression: a local variable, or a field chain rooted at
+  /// a record parameter ending in a scalar/string field.
+  void check_lvalue(const Expr& e, int line) {
+    switch (e.kind) {
+      case ExprKind::kVarRef:
+        if (e.param_index >= 0) fail("cannot assign to a whole record parameter", line);
+        return;
+      case ExprKind::kFieldAccess:
+      case ExprKind::kIndex:
+        return;  // resolution in expr() already validated the chain
+      default:
+        fail("expression is not assignable", line);
+    }
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Ty expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return e.type = Ty::Int();
+      case ExprKind::kFloatLit:
+        return e.type = Ty::Float();
+      case ExprKind::kStringLit: {
+        // Intern into the program pool; the compiler references it by index.
+        e.int_value = static_cast<int64_t>(prog_.string_pool.size());
+        prog_.string_pool.push_back(e.str_value);
+        return e.type = Ty::String();
+      }
+      case ExprKind::kVarRef: {
+        int p = find_param(e.str_value);
+        if (p >= 0) {
+          e.param_index = p;
+          return e.type = Ty::Record(params_[static_cast<size_t>(p)].format.get());
+        }
+        const LocalVar* local = find_local(e.str_value);
+        if (local == nullptr) fail("unknown identifier '" + e.str_value + "'", e.line);
+        e.local_slot = local->slot;
+        return e.type = (local->type == TyKind::kFloat ? Ty::Float() : Ty::Int());
+      }
+      case ExprKind::kFieldAccess: {
+        Ty base = expr(*e.a);
+        if (base.kind != TyKind::kRecord) {
+          fail("'." + e.str_value + "': left side is not a record", e.line);
+        }
+        const pbio::FieldDescriptor* fd = base.record->find_field(e.str_value);
+        if (fd == nullptr) {
+          fail("format '" + base.record->name() + "' has no field '" + e.str_value + "'",
+               e.line);
+        }
+        e.field = fd;
+        return e.type = field_type(*fd);
+      }
+      case ExprKind::kIndex: {
+        Ty base = expr(*e.a);
+        if (base.kind != TyKind::kArray) fail("indexed expression is not an array", e.line);
+        Ty idx = expr(*e.b);
+        if (idx.kind != TyKind::kInt) fail("array index must be an integer", e.line);
+        const pbio::FieldDescriptor* fd = base.array_field;
+        e.field = fd;
+        if (fd->element_format) return e.type = Ty::Record(fd->element_format.get());
+        switch (fd->element_kind) {
+          case FieldKind::kString:
+            return e.type = Ty::String();
+          case FieldKind::kFloat:
+            return e.type = Ty::Float();
+          default:
+            return e.type = Ty::Int();
+        }
+      }
+      case ExprKind::kUnary: {
+        Ty t = expr(*e.a);
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            if (!t.is_numeric()) fail("unary '-' requires a numeric operand", e.line);
+            return e.type = t;
+          case UnOp::kNot:
+          case UnOp::kBitNot:
+            if (t.kind != TyKind::kInt) fail("'!' and '~' require integer operands", e.line);
+            return e.type = Ty::Int();
+        }
+        return e.type = Ty::Int();
+      }
+      case ExprKind::kBinary:
+        return binary(e);
+      case ExprKind::kCond: {
+        Ty c = expr(*e.a);
+        if (c.kind != TyKind::kInt) fail("'?:' condition must be an integer", e.line);
+        Ty t1 = expr(*e.b);
+        Ty t2 = expr(*e.c);
+        if (t1.kind == TyKind::kString && t2.kind == TyKind::kString) {
+          return e.type = Ty::String();
+        }
+        if (t1.is_numeric() && t2.is_numeric()) {
+          return e.type = (t1.kind == TyKind::kFloat || t2.kind == TyKind::kFloat) ? Ty::Float()
+                                                                                   : Ty::Int();
+        }
+        fail("'?:' branches must both be numeric or both be strings", e.line);
+      }
+      case ExprKind::kCall:
+        return call(e);
+    }
+    return Ty::Void();
+  }
+
+  Ty field_type(const pbio::FieldDescriptor& fd) {
+    switch (fd.kind) {
+      case FieldKind::kFloat:
+        return Ty::Float();
+      case FieldKind::kString:
+        return Ty::String();
+      case FieldKind::kStruct:
+        return Ty::Record(fd.element_format.get());
+      case FieldKind::kStaticArray:
+      case FieldKind::kDynArray:
+        return Ty::Array(&fd);
+      default:
+        return Ty::Int();
+    }
+  }
+
+  Ty binary(Expr& e) {
+    Ty l = expr(*e.a);
+    Ty r = expr(*e.b);
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+        if (!l.is_numeric() || !r.is_numeric()) fail("arithmetic requires numeric operands", e.line);
+        return e.type =
+                   (l.kind == TyKind::kFloat || r.kind == TyKind::kFloat) ? Ty::Float() : Ty::Int();
+      case BinOp::kMod:
+      case BinOp::kBitAnd:
+      case BinOp::kBitOr:
+      case BinOp::kBitXor:
+      case BinOp::kShl:
+      case BinOp::kShr:
+        if (l.kind != TyKind::kInt || r.kind != TyKind::kInt) {
+          fail("integer operation requires integer operands", e.line);
+        }
+        return e.type = Ty::Int();
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        if (!l.is_numeric() || !r.is_numeric()) {
+          fail("comparison requires numeric operands (use streq for strings)", e.line);
+        }
+        return e.type = Ty::Int();
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        if (l.kind != TyKind::kInt || r.kind != TyKind::kInt) {
+          fail("'&&'/'||' require integer operands", e.line);
+        }
+        return e.type = Ty::Int();
+    }
+    return Ty::Int();
+  }
+
+  Ty call(Expr& e) {
+    const std::string& name = e.str_value;
+    auto arg = [&](size_t i) -> Expr& { return *e.args[i]; };
+    auto expect_argc = [&](size_t n) {
+      if (e.args.size() != n) {
+        fail(name + "() expects " + std::to_string(n) + " argument(s)", e.line);
+      }
+    };
+    if (name == "abs") {
+      expect_argc(1);
+      Ty t = expr(arg(0));
+      if (!t.is_numeric()) fail("abs() requires a numeric argument", e.line);
+      e.builtin = static_cast<int>(Builtin::kAbs);
+      return e.type = t;
+    }
+    if (name == "min" || name == "max") {
+      expect_argc(2);
+      Ty a = expr(arg(0));
+      Ty b = expr(arg(1));
+      if (!a.is_numeric() || !b.is_numeric()) fail(name + "() requires numeric arguments", e.line);
+      e.builtin = static_cast<int>(name == "min" ? Builtin::kMin : Builtin::kMax);
+      return e.type =
+                 (a.kind == TyKind::kFloat || b.kind == TyKind::kFloat) ? Ty::Float() : Ty::Int();
+    }
+    if (name == "strlen") {
+      expect_argc(1);
+      if (expr(arg(0)).kind != TyKind::kString) fail("strlen() requires a string", e.line);
+      e.builtin = static_cast<int>(Builtin::kStrLen);
+      return e.type = Ty::Int();
+    }
+    if (name == "sqrt" || name == "floor" || name == "ceil") {
+      expect_argc(1);
+      Ty t = expr(arg(0));
+      if (!t.is_numeric()) fail(name + "() requires a numeric argument", e.line);
+      e.builtin = static_cast<int>(name == "sqrt" ? Builtin::kSqrt
+                                   : name == "floor" ? Builtin::kFloor
+                                                     : Builtin::kCeil);
+      return e.type = Ty::Float();
+    }
+    if (name == "streq") {
+      expect_argc(2);
+      if (expr(arg(0)).kind != TyKind::kString || expr(arg(1)).kind != TyKind::kString) {
+        fail("streq() requires two strings", e.line);
+      }
+      e.builtin = static_cast<int>(Builtin::kStrEq);
+      return e.type = Ty::Int();
+    }
+    fail("unknown function '" + name + "'", e.line);
+  }
+
+  Program& prog_;
+  const std::vector<RecordParam>& params_;
+  std::vector<std::unordered_map<std::string, LocalVar>> scopes_;
+  int next_slot_ = 0;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+void analyze(Program& prog, const std::vector<RecordParam>& params) {
+  Sema(prog, params).run();
+}
+
+}  // namespace morph::ecode

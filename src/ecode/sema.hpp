@@ -1,0 +1,41 @@
+// Ecode semantic analysis: binds names (locals and record parameters),
+// resolves field accesses against PBIO format descriptors, checks types,
+// and annotates the AST for the bytecode compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ecode/ast.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::ecode {
+
+/// A record parameter of a transform: its name inside the program (e.g.
+/// "old", "new" in the paper's Figure 5) and its format. The formats must
+/// outlive any compiled artifact.
+struct RecordParam {
+  std::string name;
+  pbio::FormatPtr format;
+};
+
+/// Builtin functions available in expressions.
+enum class Builtin : int {
+  kAbs = 0,   // abs(x)        numeric -> same kind
+  kMin,       // min(a, b)     numeric, unified kind
+  kMax,       // max(a, b)
+  kStrLen,    // strlen(s)     string -> int
+  kStrEq,     // streq(a, b)   strings -> int (1 equal / 0 not)
+  kSqrt,      // sqrt(x)       numeric -> float
+  kFloor,     // floor(x)      float -> float
+  kCeil,      // ceil(x)       float -> float
+};
+
+/// Run sema on a parsed program. Throws EcodeError on any violation.
+/// On success, every Expr carries a resolved `type`, VarRefs carry slots or
+/// parameter indices, field accesses carry FieldDescriptor pointers, string
+/// literals are interned into prog.string_pool, and prog.local_slot_count
+/// is set.
+void analyze(Program& prog, const std::vector<RecordParam>& params);
+
+}  // namespace morph::ecode

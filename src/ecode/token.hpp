@@ -1,0 +1,90 @@
+// Token taxonomy for the Ecode language (the C subset of the paper's
+// transformation snippets, per Figure 5 and GIT-CC-02-42).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace morph::ecode {
+
+enum class Tok : uint8_t {
+  kEnd,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kCharLit,
+
+  // keywords
+  kKwInt,
+  kKwLong,
+  kKwShort,
+  kKwChar,
+  kKwUnsigned,
+  kKwFloat,
+  kKwDouble,
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwWhile,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kDot,
+
+  kAssign,       // =
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kStarAssign,   // *=
+  kSlashAssign,  // /=
+  kPercentAssign,  // %=
+  kPlusPlus,     // ++
+  kMinusMinus,   // --
+
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kShl,
+  kShr,
+  kBang,
+  kAndAnd,
+  kOrOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kQuestion,
+  kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;    // identifier / literal spelling
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+};
+
+std::string_view token_name(Tok t);
+
+}  // namespace morph::ecode

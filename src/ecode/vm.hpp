@@ -1,0 +1,14 @@
+// Portable bytecode interpreter: the fallback execution backend (and the
+// differential-testing oracle for the JIT).
+#pragma once
+
+#include "ecode/bytecode.hpp"
+#include "ecode/runtime.hpp"
+
+namespace morph::ecode {
+
+/// Execute `chunk` against `params` (array of chunk.param_count record base
+/// pointers). Allocation goes through rt.arena.
+void vm_run(const Chunk& chunk, void* const* params, EcodeRuntime& rt);
+
+}  // namespace morph::ecode

@@ -1,0 +1,43 @@
+// Umbrella header: everything a downstream application needs to use
+// Message Morphing.
+//
+//   #include <morph.hpp>
+//
+//   pbio::FormatBuilder / build_format   declare formats
+//   pbio::Encoder / Decoder              wire encode / decode
+//   ecode::Transform                     compile transformation code
+//   core::TransformSpec / Receiver       Algorithm 2 morphing pipeline
+//   transport::MessagePort / TcpLink     framed links + out-of-band meta-data
+//   echo::EchoProcess                    the pub/sub middleware
+//
+// Individual headers remain usable for finer-grained includes.
+#pragma once
+
+#include "common/arena.hpp"
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/compat.hpp"
+#include "core/match.hpp"
+#include "core/receiver.hpp"
+#include "core/reconcile.hpp"
+#include "core/transform.hpp"
+#include "ecode/ecode.hpp"
+#include "echo/messages.hpp"
+#include "echo/process.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/format.hpp"
+#include "pbio/iofield.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+#include "pbio/registry.hpp"
+#include "transport/framing.hpp"
+#include "transport/link.hpp"
+#include "transport/port.hpp"
+#include "transport/tcp.hpp"
+#include "xmlx/xml.hpp"
+#include "xmlx/xml_bind.hpp"
+#include "xmlx/xpath.hpp"
+#include "xmlx/xslt.hpp"

@@ -1,0 +1,118 @@
+// PBIO decoder: turns wire buffers back into native-layout records.
+//
+// Two paths, mirroring PBIO's design:
+//
+//  * In-place fast path — when the incoming format is byte-identical to the
+//    receiver's format (same fingerprint) and byte orders agree, decoding
+//    only rewrites the body-relative pointer offsets into real pointers
+//    inside the caller's buffer. No copies, no allocation.
+//
+//  * Conversion plan — for any other (wire, host) format pair, a
+//    ConversionPlan is compiled once and cached: a flat program of
+//    field-level steps (copy / swap / widen / convert / default / recurse)
+//    that materializes a host record in a RecordArena. This is the portable
+//    equivalent of PBIO's dynamically generated conversion subroutine, and
+//    it is also the engine the morph layer uses to reconcile imperfect
+//    matches (fill defaults, drop unknown fields).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/arena.hpp"
+#include "common/endian.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::pbio {
+
+struct VarWalk;  // internal, defined in varwalk.hpp
+
+/// Parsed wire header.
+struct WireInfo {
+  uint8_t version = 0;
+  ByteOrder order = ByteOrder::kLittle;
+  uint64_t fingerprint = 0;
+  uint32_t total_size = 0;
+};
+
+/// Validate and parse the 16-byte header. Throws DecodeError on bad input.
+WireInfo peek_header(const void* buf, size_t size);
+
+/// Compiled conversion from one wire format into one host format.
+/// Immutable after construction; safe to share across threads.
+class ConversionPlan {
+ public:
+  ConversionPlan(FormatPtr wire_fmt, FormatPtr host_fmt);
+  ~ConversionPlan();
+  ConversionPlan(ConversionPlan&&) noexcept;
+
+  const FormatPtr& wire_format() const { return wire_; }
+  const FormatPtr& host_format() const { return host_; }
+
+  /// True when wire and host formats are layout-identical (no work beyond
+  /// pointer rewriting would be needed).
+  bool identity() const { return identity_; }
+
+  /// True when at least one host field had no usable wire source and was
+  /// filled from defaults — i.e. the match was imperfect.
+  bool lossy() const { return lossy_; }
+
+  /// Number of host fields filled from defaults.
+  size_t defaulted_fields() const { return defaulted_; }
+
+  /// Convert the body of the message `buf` (a full wire message including
+  /// header) into a fresh host record allocated from `arena`.
+  void* execute(const void* buf, size_t size, RecordArena& arena) const;
+
+  struct Impl;  // compiled step program; internal to decode.cpp
+
+ private:
+  FormatPtr wire_;
+  FormatPtr host_;
+  bool identity_ = false;
+  bool lossy_ = false;
+  size_t defaulted_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Receiver-side decoder bound to one host format. Caches conversion plans
+/// per incoming wire format (PBIO: "expensive steps executed only for
+/// formats not seen previously").
+class Decoder {
+ public:
+  explicit Decoder(FormatPtr host_fmt);
+  ~Decoder();
+  Decoder(Decoder&&) noexcept;
+
+  const FormatPtr& format() const { return host_; }
+
+  /// Fast path: if the message's format fingerprint equals the host
+  /// format's and the byte order matches, rewrite offsets to pointers in
+  /// the caller's mutable buffer and return the record pointer (aliasing
+  /// `buf`). Returns nullptr when the fast path does not apply.
+  void* decode_in_place(void* buf, size_t size) const;
+
+  /// General path: convert using (and caching) a plan for `wire_fmt`.
+  /// `wire_fmt` must describe the sender's format (learned out-of-band).
+  void* decode(const void* buf, size_t size, const FormatPtr& wire_fmt,
+               RecordArena& arena);
+
+  /// Access (building if needed) the cached plan for a wire format.
+  const ConversionPlan& plan_for(const FormatPtr& wire_fmt);
+
+  size_t cached_plans() const { return plans_.size(); }
+
+ private:
+  FormatPtr host_;
+  std::unique_ptr<VarWalk> walk_;  // for the in-place path
+  std::unordered_map<uint64_t, std::unique_ptr<ConversionPlan>> plans_;
+};
+
+/// Testing / heterogeneity-simulation aid: byte-swap every scalar and
+/// offset slot of an encoded message so it looks like it came from a
+/// machine of the opposite byte order. The format must be the message's
+/// true format. Flips the header order tag.
+void reorder_encoded(ByteBuffer& message, const FormatDescriptor& fmt);
+
+}  // namespace morph::pbio

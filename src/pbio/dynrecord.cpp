@@ -1,0 +1,317 @@
+#include "pbio/dynrecord.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::pbio {
+
+bool DynStruct::operator==(const DynStruct& other) const {
+  // Equality is data equality under the format's field names, so a value
+  // survives layout changes: compare field-by-name, not by position.
+  if (!format || !other.format) return format == other.format && fields == other.fields;
+  if (fields.size() != format->field_count() || other.fields.size() != other.format->field_count())
+    return fields == other.fields;
+  if (format->field_count() != other.format->field_count()) return false;
+  for (size_t i = 0; i < format->field_count(); ++i) {
+    const auto& name = format->field_at(i).name;
+    size_t j = other.format->field_index(name);
+    if (j == FormatDescriptor::npos) return false;
+    if (!(fields[i] == other.fields[j])) return false;
+  }
+  return true;
+}
+
+const DynValue& DynValue::field(std::string_view name) const {
+  const auto& s = as_struct();
+  size_t i = s.format->field_index(name);
+  if (i == FormatDescriptor::npos) {
+    throw FormatError("DynValue: no field '" + std::string(name) + "'");
+  }
+  return s.fields[i];
+}
+
+DynValue& DynValue::field(std::string_view name) {
+  const auto& s = as_struct();
+  size_t i = s.format->field_index(name);
+  if (i == FormatDescriptor::npos) {
+    throw FormatError("DynValue: no field '" + std::string(name) + "'");
+  }
+  return as_struct().fields[i];
+}
+
+namespace {
+
+DynValue box_element(const FieldDescriptor& fd, const uint8_t* elem) {
+  if (fd.element_format) {
+    return to_dyn(*fd.element_format, elem);
+  }
+  switch (fd.element_kind) {
+    case FieldKind::kString: {
+      const char* s;
+      std::memcpy(&s, elem, sizeof(char*));
+      return DynValue(std::string(s == nullptr ? "" : s));
+    }
+    case FieldKind::kFloat: {
+      FieldDescriptor tmp;
+      tmp.kind = fd.element_kind;
+      tmp.size = fd.element_size;
+      tmp.offset = 0;
+      return DynValue(read_scalar_f64(elem, tmp));
+    }
+    default: {
+      FieldDescriptor tmp;
+      tmp.kind = fd.element_kind;
+      tmp.size = fd.element_size;
+      tmp.offset = 0;
+      return DynValue(read_scalar_i64(elem, tmp));
+    }
+  }
+}
+
+void unbox_element(const FieldDescriptor& fd, const DynValue& v, uint8_t* elem,
+                   RecordArena& arena);
+
+void unbox_struct(const DynStruct& s, uint8_t* dst, RecordArena& arena) {
+  const FormatDescriptor& fmt = *s.format;
+  if (s.fields.size() != fmt.field_count()) {
+    throw FormatError("DynStruct field count does not match format '" + fmt.name() + "'");
+  }
+  // Arrays sharing a count field must agree on their length, or the
+  // materialized record would lie about one of them.
+  for (size_t i = 0; i < fmt.field_count(); ++i) {
+    const FieldDescriptor& a = fmt.field_at(i);
+    if (a.kind != FieldKind::kDynArray) continue;
+    for (size_t j = i + 1; j < fmt.field_count(); ++j) {
+      const FieldDescriptor& b = fmt.field_at(j);
+      if (b.kind == FieldKind::kDynArray && b.length_field == a.length_field &&
+          s.fields[i].as_list().size() != s.fields[j].as_list().size()) {
+        throw FormatError("arrays '" + a.name + "' and '" + b.name +
+                          "' share count field '" + a.length_field +
+                          "' but have different lengths");
+      }
+    }
+  }
+  for (size_t i = 0; i < fmt.field_count(); ++i) {
+    const FieldDescriptor& fd = fmt.field_at(i);
+    const DynValue& v = s.fields[i];
+    switch (fd.kind) {
+      case FieldKind::kInt:
+      case FieldKind::kUInt:
+      case FieldKind::kEnum:
+      case FieldKind::kChar:
+        write_scalar_i64(dst, fd, v.is_float() ? static_cast<int64_t>(v.as_float()) : v.as_int());
+        break;
+      case FieldKind::kFloat:
+        write_scalar_f64(dst, fd, v.is_int() ? static_cast<double>(v.as_int()) : v.as_float());
+        break;
+      case FieldKind::kString:
+        write_string_field(dst, fd, v.as_string(), arena);
+        break;
+      case FieldKind::kStruct:
+        unbox_struct(v.as_struct(), dst + fd.offset, arena);
+        break;
+      case FieldKind::kStaticArray: {
+        const DynList& list = v.as_list();
+        uint32_t stride = fd.element_stride();
+        uint32_t n = std::min<uint32_t>(fd.static_count, static_cast<uint32_t>(list.size()));
+        for (uint32_t e = 0; e < n; ++e) {
+          unbox_element(fd, list[e], dst + fd.offset + e * stride, arena);
+        }
+        break;
+      }
+      case FieldKind::kDynArray: {
+        const DynList& list = v.as_list();
+        uint32_t stride = fd.element_stride();
+        if (list.empty()) {
+          write_pointer(dst, fd, nullptr);
+        } else {
+          auto* elems =
+              static_cast<uint8_t*>(alloc_dyn_array(arena, stride, list.size()));
+          for (size_t e = 0; e < list.size(); ++e) {
+            unbox_element(fd, list[e], elems + e * stride, arena);
+          }
+          write_pointer(dst, fd, elems);
+        }
+        // Keep the count field consistent with the materialized list.
+        const FieldDescriptor* len = fmt.find_field(fd.length_field);
+        if (len != nullptr) write_scalar_i64(dst, *len, static_cast<int64_t>(list.size()));
+        break;
+      }
+    }
+  }
+}
+
+void unbox_element(const FieldDescriptor& fd, const DynValue& v, uint8_t* elem,
+                   RecordArena& arena) {
+  if (fd.element_format) {
+    unbox_struct(v.as_struct(), elem, arena);
+    return;
+  }
+  switch (fd.element_kind) {
+    case FieldKind::kString: {
+      char* s = arena.copy_string(v.as_string());
+      std::memcpy(elem, &s, sizeof(char*));
+      break;
+    }
+    default: {
+      FieldDescriptor tmp;
+      tmp.kind = fd.element_kind;
+      tmp.size = fd.element_size;
+      tmp.offset = 0;
+      if (fd.element_kind == FieldKind::kFloat) {
+        write_scalar_f64(elem, tmp, v.is_int() ? static_cast<double>(v.as_int()) : v.as_float());
+      } else {
+        write_scalar_i64(elem, tmp, v.is_float() ? static_cast<int64_t>(v.as_float()) : v.as_int());
+      }
+      break;
+    }
+  }
+}
+
+void debug_render(const DynValue& v, std::string& out, int indent);
+
+void debug_render_struct(const DynStruct& s, std::string& out, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out += "{\n";
+  for (size_t i = 0; i < s.fields.size(); ++i) {
+    out += pad + "  " + (s.format ? s.format->field_at(i).name : std::to_string(i)) + " = ";
+    debug_render(s.fields[i], out, indent + 1);
+    out += "\n";
+  }
+  out += pad + "}";
+}
+
+void debug_render(const DynValue& v, std::string& out, int indent) {
+  if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_float()) {
+    out += std::to_string(v.as_float());
+  } else if (v.is_string()) {
+    out += "\"" + v.as_string() + "\"";
+  } else if (v.is_struct()) {
+    debug_render_struct(v.as_struct(), out, indent);
+  } else {
+    out += "[";
+    const auto& list = v.as_list();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i > 0) out += ", ";
+      debug_render(list[i], out, indent);
+    }
+    out += "]";
+  }
+}
+
+}  // namespace
+
+DynValue to_dyn(const FormatDescriptor& fmt, const void* record) {
+  const auto* rec = static_cast<const uint8_t*>(record);
+  DynStruct s;
+  s.format = const_cast<FormatDescriptor&>(fmt).shared_from_this();
+  s.fields.reserve(fmt.field_count());
+  for (const auto& fd : fmt.fields()) {
+    switch (fd.kind) {
+      case FieldKind::kInt:
+      case FieldKind::kUInt:
+      case FieldKind::kEnum:
+      case FieldKind::kChar:
+        s.fields.emplace_back(read_scalar_i64(rec, fd));
+        break;
+      case FieldKind::kFloat:
+        s.fields.emplace_back(read_scalar_f64(rec, fd));
+        break;
+      case FieldKind::kString:
+        s.fields.emplace_back(std::string(read_string_field(rec, fd)));
+        break;
+      case FieldKind::kStruct:
+        s.fields.emplace_back(to_dyn(*fd.element_format, rec + fd.offset));
+        break;
+      case FieldKind::kStaticArray: {
+        DynList list;
+        uint32_t stride = fd.element_stride();
+        list.reserve(fd.static_count);
+        for (uint32_t i = 0; i < fd.static_count; ++i) {
+          list.push_back(box_element(fd, rec + fd.offset + i * stride));
+        }
+        s.fields.emplace_back(std::move(list));
+        break;
+      }
+      case FieldKind::kDynArray: {
+        DynList list;
+        const FieldDescriptor* len = fmt.find_field(fd.length_field);
+        int64_t count = len ? read_scalar_i64(rec, *len) : 0;
+        const auto* elems = static_cast<const uint8_t*>(read_pointer(rec, fd));
+        uint32_t stride = fd.element_stride();
+        if (elems != nullptr && count > 0) {
+          list.reserve(static_cast<size_t>(count));
+          for (int64_t i = 0; i < count; ++i) {
+            list.push_back(box_element(fd, elems + static_cast<size_t>(i) * stride));
+          }
+        }
+        s.fields.emplace_back(std::move(list));
+        break;
+      }
+    }
+  }
+  return DynValue(std::move(s));
+}
+
+void* from_dyn(const DynValue& value, RecordArena& arena) {
+  const DynStruct& s = value.as_struct();
+  if (!s.format) throw FormatError("from_dyn: struct value has no format");
+  void* rec = alloc_record(*s.format, arena);
+  unbox_struct(s, static_cast<uint8_t*>(rec), arena);
+  return rec;
+}
+
+DynValue make_dyn(const FormatPtr& fmt) {
+  if (!fmt) throw FormatError("make_dyn: null format");
+  DynStruct s;
+  s.format = fmt;
+  for (const auto& fd : fmt->fields()) {
+    switch (fd.kind) {
+      case FieldKind::kFloat:
+        s.fields.emplace_back(0.0);
+        break;
+      case FieldKind::kString:
+        s.fields.emplace_back(std::string());
+        break;
+      case FieldKind::kStruct:
+        s.fields.push_back(make_dyn(fd.element_format));
+        break;
+      case FieldKind::kStaticArray: {
+        DynList list;
+        for (uint32_t i = 0; i < fd.static_count; ++i) {
+          if (fd.element_format) {
+            list.push_back(make_dyn(fd.element_format));
+          } else if (fd.element_kind == FieldKind::kString) {
+            list.emplace_back(std::string());
+          } else if (fd.element_kind == FieldKind::kFloat) {
+            list.emplace_back(0.0);
+          } else {
+            list.emplace_back(int64_t{0});
+          }
+        }
+        s.fields.emplace_back(std::move(list));
+        break;
+      }
+      case FieldKind::kDynArray:
+        s.fields.emplace_back(DynList{});
+        break;
+      default:
+        s.fields.emplace_back(int64_t{0});
+        break;
+    }
+  }
+  return DynValue(std::move(s));
+}
+
+std::string to_debug_string(const DynValue& value) {
+  std::string out;
+  debug_render(value, out, 0);
+  return out;
+}
+
+}  // namespace morph::pbio

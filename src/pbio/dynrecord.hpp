@@ -1,0 +1,83 @@
+// DynRecord: boxed, self-describing record values.
+//
+// The hot paths in this library operate on raw native-layout memory; tests,
+// generators, examples, and the XML binding want a safe, comparable,
+// printable value type instead. DynValue is that type: a variant tree that
+// can be produced from any native record (to_dyn) and materialized back
+// into native layout (from_dyn). Round-tripping through DynValue is the
+// canonical way tests assert that two records carry the same data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::pbio {
+
+class DynValue;
+
+/// A struct value: field values parallel to format()->fields().
+struct DynStruct {
+  FormatPtr format;
+  std::vector<DynValue> fields;
+
+  bool operator==(const DynStruct& other) const;
+};
+
+using DynList = std::vector<DynValue>;
+
+class DynValue {
+ public:
+  using Storage = std::variant<int64_t, double, std::string, DynStruct, DynList>;
+
+  DynValue() : v_(int64_t{0}) {}
+  DynValue(int64_t v) : v_(v) {}                    // NOLINT(google-explicit-constructor)
+  DynValue(double v) : v_(v) {}                     // NOLINT(google-explicit-constructor)
+  DynValue(std::string v) : v_(std::move(v)) {}     // NOLINT(google-explicit-constructor)
+  DynValue(DynStruct v) : v_(std::move(v)) {}       // NOLINT(google-explicit-constructor)
+  DynValue(DynList v) : v_(std::move(v)) {}         // NOLINT(google-explicit-constructor)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_float() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_struct() const { return std::holds_alternative<DynStruct>(v_); }
+  bool is_list() const { return std::holds_alternative<DynList>(v_); }
+
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_float() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const DynStruct& as_struct() const { return std::get<DynStruct>(v_); }
+  DynStruct& as_struct() { return std::get<DynStruct>(v_); }
+  const DynList& as_list() const { return std::get<DynList>(v_); }
+  DynList& as_list() { return std::get<DynList>(v_); }
+
+  bool operator==(const DynValue& other) const { return v_ == other.v_; }
+
+  /// Field access on struct values; throws FormatError on unknown names.
+  const DynValue& field(std::string_view name) const;
+  DynValue& field(std::string_view name);
+
+ private:
+  Storage v_;
+};
+
+/// Box a native record described by `fmt`.
+DynValue to_dyn(const FormatDescriptor& fmt, const void* record);
+
+/// Materialize a boxed struct value back into native layout in `arena`.
+/// The value must be a DynStruct; dynamic-array count fields are rewritten
+/// from the actual list sizes so records are always self-consistent.
+void* from_dyn(const DynValue& value, RecordArena& arena);
+
+/// Build an empty struct value for a format: zeros, empty strings/lists,
+/// recursively sized static arrays.
+DynValue make_dyn(const FormatPtr& fmt);
+
+/// Multi-line debug rendering.
+std::string to_debug_string(const DynValue& value);
+
+}  // namespace morph::pbio

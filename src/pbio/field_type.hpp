@@ -1,0 +1,84 @@
+// Field type taxonomy for PBIO record formats.
+//
+// The paper distinguishes *basic* types (integer, unsigned integer, float,
+// char, enumeration, string) from *complex* types (collections of other
+// fields). We add two array flavors — fixed-count and dynamically-sized —
+// because the paper's driving example (ChannelOpenResponse's member lists)
+// requires variable-length lists of structures.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace morph::pbio {
+
+enum class FieldKind : uint8_t {
+  kInt = 0,      // signed integer, size 1/2/4/8
+  kUInt = 1,     // unsigned integer, size 1/2/4/8
+  kFloat = 2,    // IEEE float, size 4/8
+  kChar = 3,     // single character, size 1
+  kEnum = 4,     // named 32-bit enumeration
+  kString = 5,   // NUL-terminated char*, owned by the record's arena
+  kStruct = 6,   // nested record, stored inline
+  kStaticArray = 7,  // fixed element count, stored inline
+  kDynArray = 8,     // pointer to elements; count lives in a sibling field
+};
+
+/// Basic types are the leaves counted by the paper's diff/weight metrics.
+constexpr bool is_basic(FieldKind k) {
+  switch (k) {
+    case FieldKind::kInt:
+    case FieldKind::kUInt:
+    case FieldKind::kFloat:
+    case FieldKind::kChar:
+    case FieldKind::kEnum:
+    case FieldKind::kString:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_array(FieldKind k) {
+  return k == FieldKind::kStaticArray || k == FieldKind::kDynArray;
+}
+
+/// Scalar kinds that occupy fixed bytes directly inside the struct.
+constexpr bool is_fixed_scalar(FieldKind k) {
+  switch (k) {
+    case FieldKind::kInt:
+    case FieldKind::kUInt:
+    case FieldKind::kFloat:
+    case FieldKind::kChar:
+    case FieldKind::kEnum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr std::string_view field_kind_name(FieldKind k) {
+  switch (k) {
+    case FieldKind::kInt:
+      return "integer";
+    case FieldKind::kUInt:
+      return "unsigned integer";
+    case FieldKind::kFloat:
+      return "float";
+    case FieldKind::kChar:
+      return "char";
+    case FieldKind::kEnum:
+      return "enumeration";
+    case FieldKind::kString:
+      return "string";
+    case FieldKind::kStruct:
+      return "struct";
+    case FieldKind::kStaticArray:
+      return "static array";
+    case FieldKind::kDynArray:
+      return "dynamic array";
+  }
+  return "?";
+}
+
+}  // namespace morph::pbio

@@ -1,0 +1,685 @@
+#include "pbio/format.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace morph::pbio {
+
+namespace {
+
+uint32_t align_up(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
+
+void check_scalar_size(FieldKind kind, uint32_t size, const std::string& field) {
+  auto fail = [&] {
+    throw FormatError("field '" + field + "': invalid size " + std::to_string(size) +
+                      " for " + std::string(field_kind_name(kind)));
+  };
+  switch (kind) {
+    case FieldKind::kInt:
+    case FieldKind::kUInt:
+      if (size != 1 && size != 2 && size != 4 && size != 8) fail();
+      break;
+    case FieldKind::kFloat:
+      if (size != 4 && size != 8) fail();
+      break;
+    case FieldKind::kChar:
+      if (size != 1) fail();
+      break;
+    case FieldKind::kEnum:
+      if (size != 4) fail();
+      break;
+    default:
+      break;
+  }
+}
+
+/// Natural alignment of a field within the host struct.
+uint32_t field_alignment(const FieldDescriptor& fd) {
+  switch (fd.kind) {
+    case FieldKind::kInt:
+    case FieldKind::kUInt:
+    case FieldKind::kFloat:
+    case FieldKind::kEnum:
+      return fd.size;
+    case FieldKind::kChar:
+      return 1;
+    case FieldKind::kString:
+    case FieldKind::kDynArray:
+      return alignof(void*);
+    case FieldKind::kStruct:
+      return fd.element_format->alignment();
+    case FieldKind::kStaticArray:
+      return fd.element_format ? fd.element_format->alignment()
+                               : (fd.element_kind == FieldKind::kString
+                                      ? static_cast<uint32_t>(alignof(void*))
+                                      : fd.element_size);
+  }
+  return 1;
+}
+
+uint64_t hash_field_shape(const FieldDescriptor& fd) {
+  // Shape identity ignores size and offset: diff()/MaxMatch treat same-name,
+  // same-kind fields as matching even when widths or layouts differ, because
+  // the conversion plan absorbs those differences.
+  uint64_t h = fnv1a(fd.name);
+  h = fnv1a_u64(static_cast<uint64_t>(fd.kind), h);
+  FieldKind ek = fd.element_format ? FieldKind::kStruct : fd.element_kind;
+  if (is_array(fd.kind)) h = fnv1a_u64(static_cast<uint64_t>(ek), h);
+  if (fd.element_format) h = fnv1a_u64(fd.element_format->shape_fingerprint(), h);
+  return h * kFnvPrime;
+}
+
+struct Derived {
+  uint32_t weight = 0;
+  uint64_t fingerprint = 0;
+  uint64_t shape_fingerprint = 0;
+  bool has_pointers = false;
+};
+
+Derived compute_derived(const std::string& name, uint32_t struct_size,
+                        const std::vector<FieldDescriptor>& fields) {
+  Derived d;
+  uint64_t fp = fnv1a(name);
+  uint64_t shape = 0;
+  for (const auto& fd : fields) {
+    if (is_basic(fd.kind)) {
+      d.weight += 1;
+    } else if (fd.element_format) {
+      d.weight += fd.element_format->weight();
+    } else {
+      d.weight += 1;  // array of basic elements counts as one field
+    }
+    if (fd.kind == FieldKind::kString || fd.kind == FieldKind::kDynArray) d.has_pointers = true;
+    if (fd.element_format && fd.element_format->has_pointers()) d.has_pointers = true;
+    if (is_array(fd.kind) && fd.element_kind == FieldKind::kString && !fd.element_format) {
+      d.has_pointers = true;
+    }
+    fp = fnv1a(fd.name, fp);
+    fp = fnv1a_u64(static_cast<uint64_t>(fd.kind), fp);
+    fp = fnv1a_u64(fd.size, fp);
+    fp = fnv1a_u64(fd.offset, fp);
+    fp = fnv1a_u64(static_cast<uint64_t>(fd.element_kind), fp);
+    fp = fnv1a_u64(fd.element_size, fp);
+    fp = fnv1a_u64(fd.static_count, fp);
+    fp = fnv1a(fd.length_field, fp);
+    fp = fnv1a_u64(fd.importance, fp);
+    for (const auto& ev : fd.enumerators) {
+      fp = fnv1a(ev.name, fp);
+      fp = fnv1a_u64(static_cast<uint64_t>(ev.value), fp);
+    }
+    if (fd.element_format) fp = fnv1a_u64(fd.element_format->fingerprint(), fp);
+    shape += hash_field_shape(fd);  // order-insensitive combine
+  }
+  fp = fnv1a_u64(struct_size, fp);
+  d.fingerprint = fp;
+  d.shape_fingerprint = fnv1a(name) ^ shape;
+  return d;
+}
+
+}  // namespace
+
+uint32_t FieldDescriptor::element_stride() const {
+  if (element_format) {
+    return align_up(element_format->struct_size(), element_format->alignment());
+  }
+  if (element_kind == FieldKind::kString) return sizeof(void*);
+  return element_size;
+}
+
+// ---------------------------------------------------------------------------
+// FormatDescriptor
+// ---------------------------------------------------------------------------
+
+const FieldDescriptor* FormatDescriptor::find_field(std::string_view field_name) const {
+  for (const auto& fd : fields_) {
+    if (fd.name == field_name) return &fd;
+  }
+  return nullptr;
+}
+
+size_t FormatDescriptor::field_index(std::string_view field_name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == field_name) return i;
+  }
+  return npos;
+}
+
+bool FormatDescriptor::identical_to(const FormatDescriptor& other) const {
+  if (this == &other) return true;
+  if (name_ != other.name_ || struct_size_ != other.struct_size_ ||
+      fields_.size() != other.fields_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const auto& a = fields_[i];
+    const auto& b = other.fields_[i];
+    if (a.name != b.name || a.kind != b.kind || a.size != b.size || a.offset != b.offset ||
+        a.element_kind != b.element_kind || a.element_size != b.element_size ||
+        a.static_count != b.static_count || a.length_field != b.length_field ||
+        a.importance != b.importance || a.enumerators != b.enumerators) {
+      return false;
+    }
+    if ((a.element_format == nullptr) != (b.element_format == nullptr)) return false;
+    if (a.element_format && !a.element_format->identical_to(*b.element_format)) return false;
+  }
+  return true;
+}
+
+std::string FormatDescriptor::to_string() const {
+  std::string out;
+  to_string_rec(out, 0);
+  return out;
+}
+
+void FormatDescriptor::to_string_rec(std::string& out, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out += pad + "format \"" + name_ + "\" (size " + std::to_string(struct_size_) + ", weight " +
+         std::to_string(weight_) + ")\n";
+  for (const auto& fd : fields_) {
+    out += pad + "  " + fd.name + " : " + std::string(field_kind_name(fd.kind));
+    if (is_fixed_scalar(fd.kind)) out += "[" + std::to_string(fd.size) + "]";
+    if (fd.kind == FieldKind::kStaticArray) out += " x" + std::to_string(fd.static_count);
+    if (fd.kind == FieldKind::kDynArray) out += " [len=" + fd.length_field + "]";
+    out += " @" + std::to_string(fd.offset) + "\n";
+    if (fd.element_format) fd.element_format->to_string_rec(out, indent + 2);
+  }
+}
+
+void FormatDescriptor::serialize(ByteBuffer& out) const { serialize_rec(out, 0); }
+
+void FormatDescriptor::serialize_rec(ByteBuffer& out, int depth) const {
+  if (depth > static_cast<int>(kMaxNesting)) throw FormatError("nesting too deep to serialize");
+  out.append_string(name_);
+  out.append_u32(struct_size_);
+  out.append_u32(alignment_);
+  out.append_u32(static_cast<uint32_t>(fields_.size()));
+  for (const auto& fd : fields_) {
+    out.append_string(fd.name);
+    out.append_u8(static_cast<uint8_t>(fd.kind));
+    out.append_u32(fd.size);
+    out.append_u32(fd.offset);
+    out.append_u8(static_cast<uint8_t>(fd.element_kind));
+    out.append_u32(fd.element_size);
+    out.append_u32(fd.static_count);
+    out.append_string(fd.length_field);
+    out.append_u32(static_cast<uint32_t>(fd.enumerators.size()));
+    for (const auto& ev : fd.enumerators) {
+      out.append_string(ev.name);
+      out.append_i32(ev.value);
+    }
+    uint8_t flags = 0;
+    if (fd.element_format) flags |= 1;
+    if (fd.default_int) flags |= 2;
+    if (fd.default_float) flags |= 4;
+    if (fd.default_string) flags |= 8;
+    out.append_u8(flags);
+    out.append_u32(fd.importance);
+    if (fd.default_int) out.append_i64(*fd.default_int);
+    if (fd.default_float) out.append_f64(*fd.default_float);
+    if (fd.default_string) out.append_string(*fd.default_string);
+    if (fd.element_format) fd.element_format->serialize_rec(out, depth + 1);
+  }
+}
+
+FormatPtr FormatDescriptor::deserialize(ByteReader& in) { return deserialize_rec(in, 0); }
+
+FormatPtr FormatDescriptor::deserialize_rec(ByteReader& in, int depth) {
+  if (depth > static_cast<int>(kMaxNesting)) throw DecodeError("format nesting too deep");
+  std::string name = in.read_string();
+  if (name.empty()) throw DecodeError("empty format name");
+  uint32_t struct_size = in.read_u32();
+  uint32_t alignment = in.read_u32();
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0 || alignment > 64) {
+    throw DecodeError("bad format alignment");
+  }
+  uint32_t nfields = in.read_u32();
+  if (nfields > FormatDescriptor::kMaxFields) throw DecodeError("too many fields");
+  std::vector<FieldDescriptor> fields;
+  fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    FieldDescriptor fd;
+    fd.name = in.read_string();
+    if (fd.name.empty()) throw DecodeError("empty field name");
+    fd.kind = static_cast<FieldKind>(in.read_u8());
+    if (static_cast<uint8_t>(fd.kind) > static_cast<uint8_t>(FieldKind::kDynArray)) {
+      throw DecodeError("bad field kind");
+    }
+    fd.size = in.read_u32();
+    fd.offset = in.read_u32();
+    fd.element_kind = static_cast<FieldKind>(in.read_u8());
+    fd.element_size = in.read_u32();
+    fd.static_count = in.read_u32();
+    fd.length_field = in.read_string();
+    uint32_t nenum = in.read_u32();
+    if (nenum > FormatDescriptor::kMaxFields) throw DecodeError("too many enumerators");
+    for (uint32_t e = 0; e < nenum; ++e) {
+      EnumValue ev;
+      ev.name = in.read_string();
+      ev.value = in.read_i32();
+      fd.enumerators.push_back(std::move(ev));
+    }
+    uint8_t flags = in.read_u8();
+    fd.importance = in.read_u32();
+    if (flags & 2) fd.default_int = in.read_i64();
+    if (flags & 4) fd.default_float = in.read_f64();
+    if (flags & 8) fd.default_string = in.read_string();
+    if (flags & 1) fd.element_format = deserialize_rec(in, depth + 1);
+    // Sanity limits that keep a hostile descriptor from driving huge
+    // allocations during later conversion.
+    if (fd.offset > (1u << 30) || fd.size > (1u << 30) || struct_size > (1u << 30)) {
+      throw DecodeError("format dimensions out of range");
+    }
+    if (fd.offset + fd.size > struct_size) {
+      throw DecodeError("field '" + fd.name + "' extends past struct size");
+    }
+    if (fd.kind == FieldKind::kDynArray && fd.length_field.empty()) {
+      throw DecodeError("dynamic array '" + fd.name + "' lacks a length field");
+    }
+    // Internal consistency: everything the decoder later trusts when it
+    // walks raw wire bytes must be proven here, not assumed.
+    switch (fd.kind) {
+      case FieldKind::kInt:
+      case FieldKind::kUInt:
+        if (fd.size != 1 && fd.size != 2 && fd.size != 4 && fd.size != 8) {
+          throw DecodeError("bad integer size in '" + fd.name + "'");
+        }
+        break;
+      case FieldKind::kFloat:
+        if (fd.size != 4 && fd.size != 8) throw DecodeError("bad float size in '" + fd.name + "'");
+        break;
+      case FieldKind::kChar:
+        if (fd.size != 1) throw DecodeError("bad char size in '" + fd.name + "'");
+        break;
+      case FieldKind::kEnum:
+        if (fd.size != 4) throw DecodeError("bad enum size in '" + fd.name + "'");
+        break;
+      case FieldKind::kString:
+      case FieldKind::kDynArray:
+        // Wire pointer slots are always 8-byte body-relative offsets.
+        if (fd.size != 8) throw DecodeError("bad pointer slot size in '" + fd.name + "'");
+        break;
+      case FieldKind::kStruct:
+        if (fd.element_format == nullptr || fd.size != fd.element_format->struct_size()) {
+          throw DecodeError("struct field '" + fd.name + "' size mismatch");
+        }
+        break;
+      case FieldKind::kStaticArray:
+        break;  // checked below, element data parsed by now
+    }
+    if (fd.kind == FieldKind::kStaticArray) {
+      if (fd.static_count == 0) throw DecodeError("zero-count static array '" + fd.name + "'");
+      if (!fd.element_format && !is_basic(fd.element_kind)) {
+        throw DecodeError("bad element kind in '" + fd.name + "'");
+      }
+      uint64_t stride = fd.element_stride();
+      if (stride == 0 || stride * fd.static_count != fd.size) {
+        throw DecodeError("static array '" + fd.name + "' extent mismatch");
+      }
+    }
+    if (is_array(fd.kind) && !fd.element_format) {
+      if (!is_basic(fd.element_kind)) {
+        throw DecodeError("bad element kind in '" + fd.name + "'");
+      }
+      if (fd.element_kind == FieldKind::kString) {
+        if (fd.element_size != 8) throw DecodeError("bad string element size in '" + fd.name + "'");
+      } else {
+        uint32_t es = fd.element_size;
+        bool ok = fd.element_kind == FieldKind::kChar ? es == 1
+                  : fd.element_kind == FieldKind::kFloat
+                      ? (es == 4 || es == 8)
+                      : (es == 1 || es == 2 || es == 4 || es == 8);
+        if (!ok) throw DecodeError("bad element size in '" + fd.name + "'");
+      }
+    }
+    fields.push_back(std::move(fd));
+  }
+  // Validate dynamic-array length references point at earlier integer fields.
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].kind != FieldKind::kDynArray) continue;
+    bool ok = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (fields[j].name == fields[i].length_field &&
+          (fields[j].kind == FieldKind::kInt || fields[j].kind == FieldKind::kUInt)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw DecodeError("bad length field reference in '" + fields[i].name + "'");
+  }
+
+  auto fmt = std::shared_ptr<FormatDescriptor>(new FormatDescriptor());
+  fmt->name_ = std::move(name);
+  fmt->struct_size_ = struct_size;
+  fmt->alignment_ = alignment;
+  fmt->fields_ = std::move(fields);
+  Derived d = compute_derived(fmt->name_, fmt->struct_size_, fmt->fields_);
+  fmt->weight_ = d.weight;
+  fmt->fingerprint_ = d.fingerprint;
+  fmt->shape_fingerprint_ = d.shape_fingerprint;
+  fmt->has_pointers_ = d.has_pointers;
+  return fmt;
+}
+
+// ---------------------------------------------------------------------------
+// FormatBuilder
+// ---------------------------------------------------------------------------
+
+FormatBuilder::FormatBuilder(std::string format_name, uint32_t struct_size)
+    : name_(std::move(format_name)), declared_size_(struct_size) {
+  if (name_.empty()) throw FormatError("format name must not be empty");
+}
+
+FieldDescriptor& FormatBuilder::push(FieldDescriptor fd) {
+  if (built_) throw FormatError("builder already consumed");
+  if (fd.name.empty()) throw FormatError("field name must not be empty");
+  if (fields_.size() >= FormatDescriptor::kMaxFields) throw FormatError("too many fields");
+  for (const auto& existing : fields_) {
+    if (existing.name == fd.name) {
+      throw FormatError("duplicate field name '" + fd.name + "' in format '" + name_ + "'");
+    }
+  }
+  fields_.push_back(std::move(fd));
+  return fields_.back();
+}
+
+FieldDescriptor& FormatBuilder::last() {
+  if (fields_.empty()) throw FormatError("no field added yet");
+  return fields_.back();
+}
+
+FormatBuilder& FormatBuilder::add_int(std::string name, uint32_t size, uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kInt;
+  fd.size = size;
+  fd.offset = offset;
+  check_scalar_size(fd.kind, size, fd.name);
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_uint(std::string name, uint32_t size, uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kUInt;
+  fd.size = size;
+  fd.offset = offset;
+  check_scalar_size(fd.kind, size, fd.name);
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_float(std::string name, uint32_t size, uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kFloat;
+  fd.size = size;
+  fd.offset = offset;
+  check_scalar_size(fd.kind, size, fd.name);
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_char(std::string name, uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kChar;
+  fd.size = 1;
+  fd.offset = offset;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_enum(std::string name, std::vector<EnumValue> values,
+                                       uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kEnum;
+  fd.size = 4;
+  fd.offset = offset;
+  fd.enumerators = std::move(values);
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_string(std::string name, uint32_t offset) {
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kString;
+  fd.size = sizeof(void*);
+  fd.offset = offset;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_struct(std::string name, FormatPtr format, uint32_t offset) {
+  if (!format) throw FormatError("null nested format for field '" + name + "'");
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kStruct;
+  fd.size = format->struct_size();
+  fd.offset = offset;
+  fd.element_format = std::move(format);
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_static_array(std::string name, FieldKind element_kind,
+                                               uint32_t element_size, uint32_t count,
+                                               uint32_t offset) {
+  if (!is_basic(element_kind)) {
+    throw FormatError("static array '" + name + "': element kind must be basic");
+  }
+  if (count == 0) throw FormatError("static array '" + name + "': zero count");
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kStaticArray;
+  fd.element_kind = element_kind;
+  if (element_kind == FieldKind::kString) {
+    fd.element_size = sizeof(void*);
+  } else {
+    check_scalar_size(element_kind, element_size, fd.name);
+    fd.element_size = element_size;
+  }
+  fd.static_count = count;
+  fd.offset = offset;
+  fd.size = fd.element_stride() * count;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_static_array(std::string name, FormatPtr element_format,
+                                               uint32_t count, uint32_t offset) {
+  if (!element_format) throw FormatError("null element format for array '" + name + "'");
+  if (count == 0) throw FormatError("static array '" + name + "': zero count");
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kStaticArray;
+  fd.element_kind = FieldKind::kStruct;
+  fd.element_format = std::move(element_format);
+  fd.static_count = count;
+  fd.offset = offset;
+  fd.size = fd.element_stride() * count;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_dyn_array(std::string name, FieldKind element_kind,
+                                            uint32_t element_size, std::string length_field,
+                                            uint32_t offset) {
+  if (!is_basic(element_kind)) {
+    throw FormatError("dynamic array '" + name + "': element kind must be basic");
+  }
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kDynArray;
+  fd.element_kind = element_kind;
+  if (element_kind == FieldKind::kString) {
+    fd.element_size = sizeof(void*);
+  } else {
+    check_scalar_size(element_kind, element_size, fd.name);
+    fd.element_size = element_size;
+  }
+  fd.length_field = std::move(length_field);
+  fd.size = sizeof(void*);
+  fd.offset = offset;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::add_dyn_array(std::string name, FormatPtr element_format,
+                                            std::string length_field, uint32_t offset) {
+  if (!element_format) throw FormatError("null element format for array '" + name + "'");
+  FieldDescriptor fd;
+  fd.name = std::move(name);
+  fd.kind = FieldKind::kDynArray;
+  fd.element_kind = FieldKind::kStruct;
+  fd.element_format = std::move(element_format);
+  fd.length_field = std::move(length_field);
+  fd.size = sizeof(void*);
+  fd.offset = offset;
+  push(std::move(fd));
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::with_default(int64_t v) {
+  last().default_int = v;
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::with_default(double v) {
+  last().default_float = v;
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::with_default(std::string v) {
+  last().default_string = std::move(v);
+  return *this;
+}
+
+FormatBuilder& FormatBuilder::with_importance(uint32_t importance) {
+  last().importance = importance;
+  return *this;
+}
+
+FormatPtr FormatBuilder::build() {
+  if (built_) throw FormatError("builder already consumed");
+  built_ = true;
+
+  // Validate dynamic-array length references: the length field must exist,
+  // be an integer, and be declared before the array (so decoders and
+  // transforms can always read the count first).
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const auto& fd = fields_[i];
+    if (fd.kind != FieldKind::kDynArray) continue;
+    bool found = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (fields_[j].name == fd.length_field) {
+        if (fields_[j].kind != FieldKind::kInt && fields_[j].kind != FieldKind::kUInt) {
+          throw FormatError("length field '" + fd.length_field + "' of array '" + fd.name +
+                            "' must be an integer field");
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw FormatError("dynamic array '" + fd.name + "' references length field '" +
+                        fd.length_field + "' which is not declared before it");
+    }
+  }
+
+  uint32_t max_align = 1;
+  for (auto& fd : fields_) max_align = std::max(max_align, field_alignment(fd));
+
+  uint32_t struct_size = declared_size_;
+  if (declared_size_ == 0) {
+    // Auto mode: natural C layout.
+    uint32_t cursor = 0;
+    for (auto& fd : fields_) {
+      if (fd.offset != kAutoOffset) {
+        throw FormatError("field '" + fd.name +
+                          "' has explicit offset but no struct size was declared");
+      }
+      uint32_t a = field_alignment(fd);
+      cursor = align_up(cursor, a);
+      fd.offset = cursor;
+      cursor += fd.size;
+    }
+    struct_size = align_up(std::max(cursor, 1u), max_align);
+  } else {
+    // Bound mode: all offsets must be explicit and in range.
+    for (const auto& fd : fields_) {
+      if (fd.offset == kAutoOffset) {
+        throw FormatError("field '" + fd.name +
+                          "' has auto offset but the format declared an explicit struct size");
+      }
+      if (fd.offset + fd.size > declared_size_) {
+        throw FormatError("field '" + fd.name + "' extends past declared struct size");
+      }
+    }
+  }
+
+  auto fmt = std::shared_ptr<FormatDescriptor>(new FormatDescriptor());
+  fmt->name_ = std::move(name_);
+  fmt->struct_size_ = struct_size;
+  fmt->alignment_ = max_align;
+  fmt->fields_ = std::move(fields_);
+  Derived d = compute_derived(fmt->name_, fmt->struct_size_, fmt->fields_);
+  fmt->weight_ = d.weight;
+  fmt->fingerprint_ = d.fingerprint;
+  fmt->shape_fingerprint_ = d.shape_fingerprint;
+  fmt->has_pointers_ = d.has_pointers;
+  return fmt;
+}
+
+FormatPtr relayout(const FormatDescriptor& fmt) {
+  FormatBuilder b(fmt.name());
+  for (const auto& fd : fmt.fields()) {
+    switch (fd.kind) {
+      case FieldKind::kInt:
+        b.add_int(fd.name, fd.size);
+        break;
+      case FieldKind::kUInt:
+        b.add_uint(fd.name, fd.size);
+        break;
+      case FieldKind::kFloat:
+        b.add_float(fd.name, fd.size);
+        break;
+      case FieldKind::kChar:
+        b.add_char(fd.name);
+        break;
+      case FieldKind::kEnum:
+        b.add_enum(fd.name, fd.enumerators);
+        break;
+      case FieldKind::kString:
+        b.add_string(fd.name);
+        break;
+      case FieldKind::kStruct:
+        b.add_struct(fd.name, relayout(*fd.element_format));
+        break;
+      case FieldKind::kStaticArray:
+        if (fd.element_format) {
+          b.add_static_array(fd.name, relayout(*fd.element_format), fd.static_count);
+        } else {
+          b.add_static_array(fd.name, fd.element_kind, fd.element_size, fd.static_count);
+        }
+        break;
+      case FieldKind::kDynArray:
+        if (fd.element_format) {
+          b.add_dyn_array(fd.name, relayout(*fd.element_format), fd.length_field);
+        } else {
+          b.add_dyn_array(fd.name, fd.element_kind, fd.element_size, fd.length_field);
+        }
+        break;
+    }
+    if (fd.default_int) b.with_default(*fd.default_int);
+    if (fd.default_float) b.with_default(*fd.default_float);
+    if (fd.default_string) b.with_default(*fd.default_string);
+    if (fd.importance != 1) b.with_importance(fd.importance);
+  }
+  return b.build();
+}
+
+}  // namespace morph::pbio

@@ -1,0 +1,212 @@
+// PBIO format descriptors: the out-of-band meta-data that describes the
+// names, types, sizes, and positions of the fields in a record.
+//
+// A FormatDescriptor is immutable once built and shared by pointer; it is
+// consumed by the encoder (flattening plans), the decoder (conversion
+// plans), the ecode compiler (field resolution), the morph core (diff /
+// MaxMatch), and the XML binding. Formats describe records laid out as raw
+// C structs: scalars at fixed offsets, strings and dynamic arrays as
+// pointers, nested structs and static arrays inline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "pbio/field_type.hpp"
+
+namespace morph::pbio {
+
+class FormatDescriptor;
+using FormatPtr = std::shared_ptr<const FormatDescriptor>;
+
+/// Sentinel offset: let the builder assign offsets using natural C layout
+/// rules (each field aligned to its alignment, struct padded to max align).
+constexpr uint32_t kAutoOffset = 0xFFFFFFFFu;
+
+struct EnumValue {
+  std::string name;
+  int32_t value = 0;
+  bool operator==(const EnumValue&) const = default;
+};
+
+/// One field of a record format.
+struct FieldDescriptor {
+  std::string name;
+  FieldKind kind = FieldKind::kInt;
+  uint32_t size = 0;    // byte size occupied in the struct (pointer size for
+                        // kString / kDynArray; total inline size for
+                        // kStruct / kStaticArray)
+  uint32_t offset = 0;  // byte offset within the struct
+
+  // Element description for kStruct / kStaticArray / kDynArray.
+  FieldKind element_kind = FieldKind::kInt;  // for arrays of basic elements
+  uint32_t element_size = 0;                 // scalar element byte size
+  FormatPtr element_format;                  // for kStruct and struct arrays
+  uint32_t static_count = 0;                 // kStaticArray only
+
+  // kDynArray: name of the integer field (in the same struct, declared
+  // earlier) that carries the element count.
+  std::string length_field;
+
+  // kEnum: the enumerator table.
+  std::vector<EnumValue> enumerators;
+
+  // Optional default used when a receiver must fill in a field the sender's
+  // format lacks (Algorithm 2, line 27). Stored as int/float/string.
+  std::optional<int64_t> default_int;
+  std::optional<double> default_float;
+  std::optional<std::string> default_string;
+
+  // Importance weight for the weighted diff / MaxMatch variant (the
+  // paper's §6 future-work item: "the ability to weight different fields
+  // and subfields based on some measure of importance"). 1 reproduces the
+  // unweighted Algorithm 1; 0 makes a field's absence free; larger values
+  // make losing the field costlier. Travels with the out-of-band meta-data.
+  uint32_t importance = 1;
+
+  bool has_element_format() const { return element_format != nullptr; }
+
+  /// Byte stride between consecutive array elements.
+  uint32_t element_stride() const;
+};
+
+/// An immutable record format. Build with FormatBuilder.
+class FormatDescriptor : public std::enable_shared_from_this<FormatDescriptor> {
+ public:
+  static constexpr size_t kMaxFields = 4096;
+  static constexpr size_t kMaxNesting = 32;
+
+  const std::string& name() const { return name_; }
+  uint32_t struct_size() const { return struct_size_; }
+  uint32_t alignment() const { return alignment_; }
+  const std::vector<FieldDescriptor>& fields() const { return fields_; }
+
+  /// Weight W_f: total number of basic fields, counting the basic fields
+  /// inside complex fields as well (paper §3.2). An array — static or
+  /// dynamic — contributes its element type's weight once.
+  uint32_t weight() const { return weight_; }
+
+  /// Layout-sensitive identity hash: two formats with equal fingerprints
+  /// have identical names, field names/kinds/sizes/offsets, and nested
+  /// structure — a record can be interpreted in place, no conversion.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Layout-insensitive shape hash: ignores offsets and field order, so it
+  /// identifies formats that are perfect matches (diff == 0 both ways)
+  /// modulo layout.
+  uint64_t shape_fingerprint() const { return shape_fingerprint_; }
+
+  /// True if any field is a string or dynamic array (directly or nested),
+  /// i.e. encoding needs pointer flattening.
+  bool has_pointers() const { return has_pointers_; }
+
+  const FieldDescriptor* find_field(std::string_view field_name) const;
+  const FieldDescriptor& field_at(size_t i) const { return fields_.at(i); }
+  size_t field_count() const { return fields_.size(); }
+
+  /// Index of a field by name, or npos.
+  size_t field_index(std::string_view field_name) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Structural equality: same name, same fields (names, kinds, sizes,
+  /// offsets), recursively. Equivalent to fingerprint equality except it
+  /// does not rely on the absence of hash collisions.
+  bool identical_to(const FormatDescriptor& other) const;
+
+  /// Human-readable multi-line dump, for diagnostics and examples.
+  std::string to_string() const;
+
+  /// Serialize this descriptor (recursively) for out-of-band transmission.
+  void serialize(ByteBuffer& out) const;
+  static FormatPtr deserialize(ByteReader& in);
+
+ private:
+  friend class FormatBuilder;
+  FormatDescriptor() = default;
+
+  void to_string_rec(std::string& out, int indent) const;
+  void serialize_rec(ByteBuffer& out, int depth) const;
+  static FormatPtr deserialize_rec(ByteReader& in, int depth);
+
+  std::string name_;
+  uint32_t struct_size_ = 0;
+  uint32_t alignment_ = 1;
+  std::vector<FieldDescriptor> fields_;
+  uint32_t weight_ = 0;
+  uint64_t fingerprint_ = 0;
+  uint64_t shape_fingerprint_ = 0;
+  bool has_pointers_ = false;
+};
+
+/// Builder for FormatDescriptor. Two usage modes:
+///
+///  * Bound mode — pass real offsetof() values and sizeof(struct), binding
+///    the format to an existing C++ struct (the paper's Figure 2 style).
+///  * Auto mode — pass kAutoOffset everywhere (or use the offset-less
+///    helpers) and the builder lays the struct out with natural C rules;
+///    records are then allocated from an arena at runtime.
+class FormatBuilder {
+ public:
+  explicit FormatBuilder(std::string format_name, uint32_t struct_size = 0);
+
+  FormatBuilder& add_int(std::string name, uint32_t size = 4, uint32_t offset = kAutoOffset);
+  FormatBuilder& add_uint(std::string name, uint32_t size = 4, uint32_t offset = kAutoOffset);
+  FormatBuilder& add_float(std::string name, uint32_t size = 8, uint32_t offset = kAutoOffset);
+  FormatBuilder& add_char(std::string name, uint32_t offset = kAutoOffset);
+  FormatBuilder& add_enum(std::string name, std::vector<EnumValue> values,
+                          uint32_t offset = kAutoOffset);
+  FormatBuilder& add_string(std::string name, uint32_t offset = kAutoOffset);
+  FormatBuilder& add_struct(std::string name, FormatPtr format, uint32_t offset = kAutoOffset);
+
+  /// Fixed-count array of basic elements.
+  FormatBuilder& add_static_array(std::string name, FieldKind element_kind,
+                                  uint32_t element_size, uint32_t count,
+                                  uint32_t offset = kAutoOffset);
+  /// Fixed-count array of structs.
+  FormatBuilder& add_static_array(std::string name, FormatPtr element_format, uint32_t count,
+                                  uint32_t offset = kAutoOffset);
+
+  /// Dynamically sized array of basic elements; `length_field` names an
+  /// integer field already added to this builder.
+  FormatBuilder& add_dyn_array(std::string name, FieldKind element_kind, uint32_t element_size,
+                               std::string length_field, uint32_t offset = kAutoOffset);
+  /// Dynamically sized array of structs.
+  FormatBuilder& add_dyn_array(std::string name, FormatPtr element_format,
+                               std::string length_field, uint32_t offset = kAutoOffset);
+
+  /// Attach a default value to the most recently added field (used when the
+  /// morph layer must synthesize the field; Algorithm 2 line 27).
+  FormatBuilder& with_default(int64_t v);
+  FormatBuilder& with_default(double v);
+  FormatBuilder& with_default(std::string v);
+
+  /// Set the importance weight of the most recently added field (weighted
+  /// MaxMatch; 1 = the paper's unweighted semantics).
+  FormatBuilder& with_importance(uint32_t importance);
+
+  /// Validate and freeze. Throws FormatError on inconsistency.
+  FormatPtr build();
+
+ private:
+  FieldDescriptor& push(FieldDescriptor fd);
+  FieldDescriptor& last();
+
+  std::string name_;
+  uint32_t declared_size_;
+  std::vector<FieldDescriptor> fields_;
+  bool built_ = false;
+};
+
+/// Recompute a format against natural C layout (auto offsets), preserving
+/// names/kinds/sizes. Used when a receiver learns a foreign format and needs
+/// a host-side layout to materialize records into.
+FormatPtr relayout(const FormatDescriptor& fmt);
+
+}  // namespace morph::pbio

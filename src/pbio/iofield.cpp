@@ -1,0 +1,153 @@
+#include "pbio/iofield.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace morph::pbio {
+
+namespace {
+
+struct ParsedType {
+  std::string base;      // "integer", "string", subformat name, ...
+  std::string bracket;   // contents of [...] if present ("" = none)
+  bool has_bracket = false;
+};
+
+ParsedType parse_type(const std::string& t) {
+  ParsedType p;
+  size_t open = t.find('[');
+  if (open == std::string::npos) {
+    p.base = t;
+    return p;
+  }
+  size_t close = t.find(']', open);
+  if (close == std::string::npos || close != t.size() - 1) {
+    throw FormatError("IOField: malformed type '" + t + "'");
+  }
+  p.base = t.substr(0, open);
+  p.bracket = t.substr(open + 1, close - open - 1);
+  p.has_bracket = true;
+  // Trim trailing spaces of base.
+  while (!p.base.empty() && p.base.back() == ' ') p.base.pop_back();
+  return p;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+FieldKind basic_kind(const std::string& base, bool* known) {
+  *known = true;
+  if (base == "integer" || base == "int") return FieldKind::kInt;
+  if (base == "unsigned integer" || base == "unsigned") return FieldKind::kUInt;
+  if (base == "float" || base == "double") return FieldKind::kFloat;
+  if (base == "char") return FieldKind::kChar;
+  if (base == "string") return FieldKind::kString;
+  if (base == "enumeration" || base == "enum") return FieldKind::kEnum;
+  *known = false;
+  return FieldKind::kInt;
+}
+
+const FormatPtr* find_sub(const std::vector<IOSubFormat>& subs, const std::string& name) {
+  for (const auto& s : subs) {
+    if (s.name == name) return &s.format;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FormatPtr build_format(const std::string& format_name, size_t struct_size,
+                       const IOField* fields, size_t field_count,
+                       const std::vector<IOSubFormat>& subformats) {
+  FormatBuilder b(format_name, static_cast<uint32_t>(struct_size));
+  for (size_t i = 0; i < field_count; ++i) {
+    const IOField& f = fields[i];
+    if (f.field_name == nullptr || f.field_type == nullptr) {
+      throw FormatError("IOField: null name or type at index " + std::to_string(i));
+    }
+    ParsedType t = parse_type(f.field_type);
+    auto size = static_cast<uint32_t>(f.field_size);
+    auto offset = static_cast<uint32_t>(f.field_offset);
+
+    bool known = false;
+    FieldKind kind = basic_kind(t.base, &known);
+
+    if (!t.has_bracket) {
+      if (known) {
+        switch (kind) {
+          case FieldKind::kInt:
+            b.add_int(f.field_name, size, offset);
+            break;
+          case FieldKind::kUInt:
+            b.add_uint(f.field_name, size, offset);
+            break;
+          case FieldKind::kFloat:
+            b.add_float(f.field_name, size, offset);
+            break;
+          case FieldKind::kChar:
+            b.add_char(f.field_name, offset);
+            break;
+          case FieldKind::kString:
+            b.add_string(f.field_name, offset);
+            break;
+          case FieldKind::kEnum:
+            b.add_enum(f.field_name, {}, offset);
+            break;
+          default:
+            break;
+        }
+      } else {
+        const FormatPtr* sub = find_sub(subformats, t.base);
+        if (sub == nullptr) {
+          throw FormatError("IOField: unknown type '" + t.base + "' for field '" +
+                            f.field_name + "' (missing subformat?)");
+        }
+        b.add_struct(f.field_name, *sub, offset);
+      }
+      continue;
+    }
+
+    // Bracketed: static array (numeric) or dynamic array (count field name).
+    if (is_number(t.bracket)) {
+      auto count = static_cast<uint32_t>(std::stoul(t.bracket));
+      if (known) {
+        if (kind == FieldKind::kString) {
+          b.add_static_array(f.field_name, FieldKind::kString, 0, count, offset);
+        } else {
+          b.add_static_array(f.field_name, kind, size, count, offset);
+        }
+      } else {
+        const FormatPtr* sub = find_sub(subformats, t.base);
+        if (sub == nullptr) {
+          throw FormatError("IOField: unknown element type '" + t.base + "'");
+        }
+        b.add_static_array(f.field_name, *sub, count, offset);
+      }
+    } else {
+      if (known) {
+        b.add_dyn_array(f.field_name, kind, size, t.bracket, offset);
+      } else {
+        const FormatPtr* sub = find_sub(subformats, t.base);
+        if (sub == nullptr) {
+          throw FormatError("IOField: unknown element type '" + t.base + "'");
+        }
+        b.add_dyn_array(f.field_name, *sub, t.bracket, offset);
+      }
+    }
+  }
+  return b.build();
+}
+
+FormatPtr build_format(const std::string& format_name, size_t struct_size,
+                       std::initializer_list<IOField> fields,
+                       const std::vector<IOSubFormat>& subformats) {
+  return build_format(format_name, struct_size, fields.begin(), fields.size(), subformats);
+}
+
+}  // namespace morph::pbio

@@ -1,0 +1,56 @@
+// Paper-compatible format declaration API (Figure 2).
+//
+// The paper declares formats as arrays of IOField entries:
+//
+//   IOField Msg_field[] = {
+//     {"load", "integer", sizeof(int), IOOffset(MsgP, load)},
+//     {"mem",  "integer", sizeof(int), IOOffset(MsgP, memory)},
+//     {"net",  "integer", sizeof(int), IOOffset(MsgP, network)}};
+//
+// This header reproduces that style on top of FormatBuilder. Type strings:
+//   "integer"            signed integer of the given size
+//   "unsigned integer"   unsigned integer
+//   "float"              IEEE float of the given size
+//   "char"               single character
+//   "string"             char*
+//   "F"                  nested record named F (declared via subformats)
+//   "F[count_field]"     dynamic array of F, count in `count_field`
+//   "type[N]"            static array of N elements (basic element types)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::pbio {
+
+struct IOField {
+  const char* field_name;
+  const char* field_type;
+  size_t field_size;   // element size for arrays
+  size_t field_offset;
+};
+
+#define IOOffset(ptr_type, member) offsetof(std::remove_pointer_t<ptr_type>, member)
+
+/// A named subformat binding for complex IOField types.
+struct IOSubFormat {
+  std::string name;
+  FormatPtr format;
+};
+
+/// Build a format from a paper-style IOField table. `fields` may be a
+/// brace-terminated array; pass the element count explicitly or use the
+/// initializer-list overload.
+FormatPtr build_format(const std::string& format_name, size_t struct_size,
+                       const IOField* fields, size_t field_count,
+                       const std::vector<IOSubFormat>& subformats = {});
+
+FormatPtr build_format(const std::string& format_name, size_t struct_size,
+                       std::initializer_list<IOField> fields,
+                       const std::vector<IOSubFormat>& subformats = {});
+
+}  // namespace morph::pbio

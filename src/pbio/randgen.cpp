@@ -1,0 +1,321 @@
+#include "pbio/randgen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace morph::pbio {
+
+namespace {
+
+FormatPtr random_format_rec(Rng& rng, const std::string& name, const RandFormatOptions& opt,
+                            uint32_t depth) {
+  FormatBuilder b(name);
+  auto nfields = static_cast<uint32_t>(
+      rng.next_range(opt.min_fields, std::max(opt.min_fields, opt.max_fields)));
+  uint32_t field_no = 0;
+  std::vector<std::string> int_fields;  // candidates for dyn-array lengths
+
+  auto fresh_name = [&] { return "f" + std::to_string(field_no++) + "_" + rng.next_ident(4); };
+
+  for (uint32_t i = 0; i < nfields; ++i) {
+    // Pick a field kind; deeper levels get simpler.
+    uint32_t roll = static_cast<uint32_t>(rng.next_below(100));
+    std::string fname = fresh_name();
+    if (roll < 35) {
+      uint32_t sizes[] = {1, 2, 4, 8};
+      b.add_int(fname, sizes[rng.next_below(4)]);
+      int_fields.push_back(fname);
+    } else if (roll < 45) {
+      uint32_t sizes[] = {1, 2, 4, 8};
+      b.add_uint(fname, sizes[rng.next_below(4)]);
+      int_fields.push_back(fname);
+    } else if (roll < 60) {
+      b.add_float(fname, rng.next_bool() ? 4 : 8);
+    } else if (roll < 65) {
+      b.add_char(fname);
+    } else if (roll < 72 && opt.allow_strings) {
+      b.add_string(fname);
+    } else if (roll < 80 && depth < opt.max_depth) {
+      b.add_struct(fname, random_format_rec(rng, name + "_s" + std::to_string(field_no), opt,
+                                            depth + 1));
+    } else if (roll < 88 && opt.allow_static_arrays) {
+      uint32_t count = 1 + static_cast<uint32_t>(rng.next_below(opt.max_static_count));
+      if (depth < opt.max_depth && rng.next_bool()) {
+        b.add_static_array(
+            fname, random_format_rec(rng, name + "_e" + std::to_string(field_no), opt, depth + 1),
+            count);
+      } else {
+        b.add_static_array(fname, FieldKind::kInt, 4, count);
+      }
+    } else if (opt.allow_dyn_arrays && !int_fields.empty()) {
+      const std::string& len = int_fields[rng.next_below(int_fields.size())];
+      if (depth < opt.max_depth && rng.next_bool()) {
+        b.add_dyn_array(
+            fname, random_format_rec(rng, name + "_d" + std::to_string(field_no), opt, depth + 1),
+            len);
+      } else if (opt.allow_strings && rng.next_bool()) {
+        b.add_dyn_array(fname, FieldKind::kString, 0, len);
+      } else {
+        b.add_dyn_array(fname, FieldKind::kFloat, 8, len);
+      }
+    } else {
+      b.add_int(fname, 4);
+      int_fields.push_back(fname);
+    }
+  }
+  return b.build();
+}
+
+DynValue random_basic(Rng& rng, FieldKind kind, uint32_t size, const RandRecordOptions& opt) {
+  switch (kind) {
+    case FieldKind::kFloat:
+      return DynValue(rng.next_double() * 1000.0 - 500.0);
+    case FieldKind::kString:
+      return DynValue(rng.next_ident(1 + rng.next_below(std::max(1u, opt.max_string_len))));
+    case FieldKind::kChar:
+      return DynValue(static_cast<int64_t>('a' + rng.next_below(26)));
+    case FieldKind::kEnum:
+      return DynValue(static_cast<int64_t>(rng.next_below(4)));
+    case FieldKind::kUInt: {
+      uint64_t mask = size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+      return DynValue(static_cast<int64_t>(rng.next_u64() & mask & 0x7FFFFFFFFFFFFFFFull));
+    }
+    default: {  // signed int
+      int64_t lo = size == 1 ? -100 : size == 2 ? -30000 : -1000000;
+      int64_t hi = -lo;
+      return DynValue(rng.next_range(lo, hi));
+    }
+  }
+}
+
+}  // namespace
+
+FormatPtr random_format(Rng& rng, const std::string& name, const RandFormatOptions& opt) {
+  return random_format_rec(rng, name, opt, 0);
+}
+
+DynValue random_dyn(Rng& rng, const FormatPtr& fmt, const RandRecordOptions& opt) {
+  DynStruct s;
+  s.format = fmt;
+  // Several dynamic arrays may share one count field, so choose each count
+  // up front and size every array from its assigned count.
+  std::vector<std::pair<std::string, int64_t>> counts;
+  for (const auto& fd : fmt->fields()) {
+    if (fd.kind != FieldKind::kDynArray) continue;
+    bool seen = false;
+    for (const auto& [name, n] : counts) {
+      if (name == fd.length_field) seen = true;
+    }
+    if (!seen) {
+      counts.emplace_back(fd.length_field,
+                          static_cast<int64_t>(rng.next_below(opt.max_array_len + 1)));
+    }
+  }
+  auto count_of = [&](const std::string& len_name) {
+    for (const auto& [name, n] : counts) {
+      if (name == len_name) return n;
+    }
+    return int64_t{0};
+  };
+  for (const auto& fd : fmt->fields()) {
+    switch (fd.kind) {
+      case FieldKind::kStruct:
+        s.fields.push_back(random_dyn(rng, fd.element_format, opt));
+        break;
+      case FieldKind::kStaticArray: {
+        DynList list;
+        for (uint32_t i = 0; i < fd.static_count; ++i) {
+          if (fd.element_format) {
+            list.push_back(random_dyn(rng, fd.element_format, opt));
+          } else {
+            list.push_back(random_basic(rng, fd.element_kind, fd.element_size, opt));
+          }
+        }
+        s.fields.emplace_back(std::move(list));
+        break;
+      }
+      case FieldKind::kDynArray: {
+        DynList list;
+        auto n = static_cast<uint32_t>(count_of(fd.length_field));
+        for (uint32_t i = 0; i < n; ++i) {
+          if (fd.element_format) {
+            list.push_back(random_dyn(rng, fd.element_format, opt));
+          } else {
+            list.push_back(random_basic(rng, fd.element_kind, fd.element_size, opt));
+          }
+        }
+        s.fields.emplace_back(std::move(list));
+        break;
+      }
+      case FieldKind::kFloat:
+        s.fields.push_back(random_basic(rng, fd.kind, fd.size, opt));
+        break;
+      case FieldKind::kString:
+        s.fields.push_back(random_basic(rng, fd.kind, fd.size, opt));
+        break;
+      default:
+        s.fields.push_back(random_basic(rng, fd.kind, fd.size, opt));
+        break;
+    }
+  }
+  for (const auto& [len_name, n] : counts) {
+    size_t idx = fmt->field_index(len_name);
+    if (idx != FormatDescriptor::npos) s.fields[idx] = DynValue(n);
+  }
+  return DynValue(std::move(s));
+}
+
+void* random_record(Rng& rng, const FormatPtr& fmt, RecordArena& arena,
+                    const RandRecordOptions& opt) {
+  return from_dyn(random_dyn(rng, fmt, opt), arena);
+}
+
+FormatPtr mutate_format(Rng& rng, const FormatDescriptor& fmt, const MutateOptions& opt) {
+  // Collect which count fields are referenced so removal never breaks a
+  // dynamic array.
+  std::vector<std::string> referenced;
+  for (const auto& fd : fmt.fields()) {
+    if (fd.kind == FieldKind::kDynArray) referenced.push_back(fd.length_field);
+  }
+  auto is_referenced = [&](const std::string& n) {
+    return std::find(referenced.begin(), referenced.end(), n) != referenced.end();
+  };
+
+  // Copy the field list in a mutable form.
+  std::vector<FieldDescriptor> fields(fmt.fields().begin(), fmt.fields().end());
+
+  enum class Mut { kAdd, kRemove, kReorder, kWiden, kRetype, kNone };
+  std::vector<Mut> choices;
+  if (opt.allow_add) choices.push_back(Mut::kAdd);
+  if (opt.allow_remove && fields.size() > 1) choices.push_back(Mut::kRemove);
+  if (opt.allow_reorder && fields.size() > 1) choices.push_back(Mut::kReorder);
+  if (opt.allow_widen) choices.push_back(Mut::kWiden);
+  if (opt.allow_retype) choices.push_back(Mut::kRetype);
+  Mut pick = choices.empty() ? Mut::kNone : choices[rng.next_below(choices.size())];
+
+  switch (pick) {
+    case Mut::kAdd: {
+      FieldDescriptor fd;
+      fd.name = "added_" + rng.next_ident(5);
+      uint32_t roll = static_cast<uint32_t>(rng.next_below(3));
+      fd.kind = roll == 0 ? FieldKind::kInt : roll == 1 ? FieldKind::kFloat : FieldKind::kString;
+      fd.size = fd.kind == FieldKind::kFloat ? 8 : fd.kind == FieldKind::kString ? 8 : 4;
+      fields.insert(fields.begin() + static_cast<long>(rng.next_below(fields.size() + 1)),
+                    std::move(fd));
+      break;
+    }
+    case Mut::kRemove: {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        size_t i = rng.next_below(fields.size());
+        if (!is_referenced(fields[i].name)) {
+          // Removing a dyn array is fine; removing its count is not.
+          fields.erase(fields.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+      break;
+    }
+    case Mut::kReorder: {
+      // Fisher-Yates, then stable-fix: count fields must precede their
+      // arrays, so bubble arrays after their lengths.
+      for (size_t i = fields.size(); i > 1; --i) {
+        std::swap(fields[i - 1], fields[rng.next_below(i)]);
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (fields[i].kind != FieldKind::kDynArray) continue;
+          for (size_t j = i + 1; j < fields.size(); ++j) {
+            if (fields[j].name == fields[i].length_field) {
+              std::swap(fields[i], fields[j]);
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Mut::kWiden: {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        size_t i = rng.next_below(fields.size());
+        auto& fd = fields[i];
+        if ((fd.kind == FieldKind::kInt || fd.kind == FieldKind::kUInt) && fd.size < 8) {
+          fd.size *= 2;
+          break;
+        }
+        if (fd.kind == FieldKind::kFloat && fd.size == 4) {
+          fd.size = 8;
+          break;
+        }
+      }
+      break;
+    }
+    case Mut::kRetype: {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        size_t i = rng.next_below(fields.size());
+        auto& fd = fields[i];
+        if (fd.kind == FieldKind::kInt && !is_referenced(fd.name)) {
+          fd.kind = FieldKind::kFloat;
+          fd.size = 8;
+          break;
+        }
+        if (fd.kind == FieldKind::kFloat) {
+          fd.kind = FieldKind::kInt;
+          fd.size = 8;
+          break;
+        }
+      }
+      break;
+    }
+    case Mut::kNone:
+      break;
+  }
+
+  // Rebuild with auto layout through the builder (which re-validates).
+  FormatBuilder b(fmt.name());
+  for (const auto& fd : fields) {
+    switch (fd.kind) {
+      case FieldKind::kInt:
+        b.add_int(fd.name, fd.size);
+        break;
+      case FieldKind::kUInt:
+        b.add_uint(fd.name, fd.size);
+        break;
+      case FieldKind::kFloat:
+        b.add_float(fd.name, fd.size);
+        break;
+      case FieldKind::kChar:
+        b.add_char(fd.name);
+        break;
+      case FieldKind::kEnum:
+        b.add_enum(fd.name, fd.enumerators);
+        break;
+      case FieldKind::kString:
+        b.add_string(fd.name);
+        break;
+      case FieldKind::kStruct:
+        b.add_struct(fd.name, fd.element_format);
+        break;
+      case FieldKind::kStaticArray:
+        if (fd.element_format) {
+          b.add_static_array(fd.name, fd.element_format, fd.static_count);
+        } else {
+          b.add_static_array(fd.name, fd.element_kind, fd.element_size, fd.static_count);
+        }
+        break;
+      case FieldKind::kDynArray:
+        if (fd.element_format) {
+          b.add_dyn_array(fd.name, fd.element_format, fd.length_field);
+        } else {
+          b.add_dyn_array(fd.name, fd.element_kind, fd.element_size, fd.length_field);
+        }
+        break;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace morph::pbio

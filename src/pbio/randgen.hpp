@@ -1,0 +1,57 @@
+// Random format and record generation.
+//
+// Powers the property-based tests (random formats round-trip through
+// encode/decode; random evolutions still convert losslessly on the matched
+// fields) and the synthetic workloads in the benchmark harness. All
+// generation is driven by the deterministic Rng, so failures reproduce.
+#pragma once
+
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::pbio {
+
+struct RandFormatOptions {
+  uint32_t min_fields = 1;
+  uint32_t max_fields = 8;
+  uint32_t max_depth = 3;       // nesting depth for structs/arrays of structs
+  bool allow_strings = true;
+  bool allow_dyn_arrays = true;
+  bool allow_static_arrays = true;
+  uint32_t max_static_count = 4;
+};
+
+/// Generate a random format (auto layout). Field names are deterministic
+/// from the Rng; the format name is `name`.
+FormatPtr random_format(Rng& rng, const std::string& name, const RandFormatOptions& opt = {});
+
+struct RandRecordOptions {
+  uint32_t max_array_len = 6;
+  uint32_t max_string_len = 12;
+};
+
+/// Generate a random boxed value conforming to `fmt`.
+DynValue random_dyn(Rng& rng, const FormatPtr& fmt, const RandRecordOptions& opt = {});
+
+/// Generate a random native record conforming to `fmt` in `arena`.
+void* random_record(Rng& rng, const FormatPtr& fmt, RecordArena& arena,
+                    const RandRecordOptions& opt = {});
+
+/// What mutate_format may do to a format.
+struct MutateOptions {
+  bool allow_add = true;       // append a new field
+  bool allow_remove = true;    // drop a field (never a referenced count field)
+  bool allow_reorder = true;   // shuffle field order (relayouts)
+  bool allow_widen = true;     // grow an int field's size
+  bool allow_retype = true;    // int <-> float swaps
+};
+
+/// Produce an "evolved" variant of `fmt`: a random structural mutation with
+/// a fresh auto layout. The result models a new protocol revision of the
+/// same message. Always returns a valid format (falls back to a pure
+/// relayout when no mutation applies).
+FormatPtr mutate_format(Rng& rng, const FormatDescriptor& fmt, const MutateOptions& opt = {});
+
+}  // namespace morph::pbio

@@ -1,0 +1,39 @@
+#include "pbio/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace morph::pbio {
+
+FormatPtr FormatRegistry::register_format(FormatPtr fmt) {
+  if (!fmt) throw FormatError("cannot register null format");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_fp_.try_emplace(fmt->fingerprint(), fmt);
+  if (!inserted) {
+    if (!it->second->identical_to(*fmt)) {
+      throw FormatError("fingerprint collision between distinct formats named '" +
+                        it->second->name() + "' and '" + fmt->name() + "'");
+    }
+    return it->second;
+  }
+  by_name_[fmt->name()].push_back(fmt);
+  return fmt;
+}
+
+FormatPtr FormatRegistry::by_fingerprint(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_fp_.find(fingerprint);
+  return it == by_fp_.end() ? nullptr : it->second;
+}
+
+std::vector<FormatPtr> FormatRegistry::by_name(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? std::vector<FormatPtr>{} : it->second;
+}
+
+size_t FormatRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_fp_.size();
+}
+
+}  // namespace morph::pbio

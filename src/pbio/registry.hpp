@@ -1,0 +1,39 @@
+// Format registry: the receiver-side catalog of formats.
+//
+// Readers register the formats (and handlers, one level up) they can
+// interpret; the wire layer registers formats learned out-of-band from
+// peers. Lookup is either by identity fingerprint (exact wire format) or by
+// name (the candidate set `Fr` that Algorithm 2 feeds to MaxMatch).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::pbio {
+
+class FormatRegistry {
+ public:
+  /// Register a format; idempotent for identical formats. Returns the
+  /// registered (possibly pre-existing, deduplicated) instance.
+  FormatPtr register_format(FormatPtr fmt);
+
+  /// Find by identity fingerprint; nullptr if unknown.
+  FormatPtr by_fingerprint(uint64_t fingerprint) const;
+
+  /// All registered formats sharing `name` (the paper's same-name candidate
+  /// set), in registration order.
+  std::vector<FormatPtr> by_name(const std::string& name) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, FormatPtr> by_fp_;
+  std::unordered_map<std::string, std::vector<FormatPtr>> by_name_;
+};
+
+}  // namespace morph::pbio

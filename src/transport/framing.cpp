@@ -1,0 +1,39 @@
+#include "transport/framing.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace morph::transport {
+
+void write_frame(ByteBuffer& out, FrameType type, const void* payload, size_t size) {
+  if (size + 1 > kMaxFrameBytes) throw TransportError("frame too large");
+  out.append_u32(static_cast<uint32_t>(size + 1));
+  out.append_u8(static_cast<uint8_t>(type));
+  if (size > 0) out.append(payload, size);
+}
+
+void FrameAssembler::feed(const void* data, size_t size,
+                          const std::function<void(Frame&)>& sink) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+
+  size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    uint32_t len;
+    std::memcpy(&len, buffer_.data() + pos, 4);
+    if (len == 0 || len > kMaxFrameBytes) throw TransportError("bad frame length");
+    if (buffer_.size() - pos - 4 < len) break;
+    uint8_t type = buffer_[pos + 4];
+    if (type < 1 || type > 4) throw TransportError("bad frame type");
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(buffer_.begin() + static_cast<long>(pos + 5),
+                         buffer_.begin() + static_cast<long>(pos + 4 + len));
+    pos += 4 + len;
+    sink(frame);
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(pos));
+}
+
+}  // namespace morph::transport

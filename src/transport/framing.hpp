@@ -1,0 +1,49 @@
+// Frame protocol shared by every transport.
+//
+// A connection carries length-prefixed frames:
+//   [u32 length][u8 type][payload ...]
+// where length counts type + payload. Frame types implement the paper's
+// out-of-band meta-data channel: format definitions and transform
+// definitions travel once, data messages reference formats by the
+// fingerprint in their PBIO header.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace morph::transport {
+
+enum class FrameType : uint8_t {
+  kFormatDef = 1,     // serialized FormatDescriptor
+  kTransformDef = 2,  // serialized TransformSpec
+  kData = 3,          // PBIO-encoded message
+  kControl = 4,       // application-level control payload
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::vector<uint8_t> payload;
+};
+
+constexpr size_t kMaxFrameBytes = 64u << 20;  // hostile-peer allocation cap
+
+/// Append a frame to `out`.
+void write_frame(ByteBuffer& out, FrameType type, const void* payload, size_t size);
+
+/// Incremental frame decoder: feed raw bytes, pop complete frames.
+class FrameAssembler {
+ public:
+  /// Feed `size` bytes; invokes `sink` for every completed frame.
+  /// Throws TransportError on malformed frames (oversized, bad type).
+  void feed(const void* data, size_t size, const std::function<void(Frame&)>& sink);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace morph::transport

@@ -1,0 +1,53 @@
+#include "transport/link.hpp"
+
+namespace morph::transport {
+
+class InprocLink : public Link {
+ public:
+  void send(const void* data, size_t size) override {
+    const auto* p = static_cast<const uint8_t*>(data);
+    outbox_.emplace_back(p, p + size);
+  }
+
+  bool connected() const override { return peer_ != nullptr; }
+
+  InprocLink* peer_ = nullptr;
+  std::deque<std::vector<uint8_t>> outbox_;
+
+  /// Move one queued chunk to the peer. Returns false when idle.
+  bool deliver_one() {
+    if (outbox_.empty() || peer_ == nullptr) return false;
+    std::vector<uint8_t> chunk = std::move(outbox_.front());
+    outbox_.pop_front();
+    if (peer_->on_data_) peer_->on_data_(chunk.data(), chunk.size());
+    return true;
+  }
+};
+
+InprocPair::InprocPair() : a_(std::make_unique<InprocLink>()), b_(std::make_unique<InprocLink>()) {
+  a_->peer_ = b_.get();
+  b_->peer_ = a_.get();
+}
+
+InprocPair::~InprocPair() = default;
+
+Link& InprocPair::a() { return *a_; }
+Link& InprocPair::b() { return *b_; }
+
+size_t InprocPair::pump() {
+  size_t deliveries = 0;
+  for (;;) {
+    bool moved = false;
+    if (a_->deliver_one()) {
+      moved = true;
+      ++deliveries;
+    }
+    if (b_->deliver_one()) {
+      moved = true;
+      ++deliveries;
+    }
+    if (!moved) return deliveries;
+  }
+}
+
+}  // namespace morph::transport

@@ -1,0 +1,61 @@
+// Transport abstraction and the in-process implementation.
+//
+// A Link is one end of a bidirectional byte-stream connection. The
+// in-process pair delivers deterministically through explicit pump() calls,
+// which keeps middleware tests single-threaded and reproducible; the TCP
+// implementation (tcp.hpp) provides the distributed equivalent.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace morph::transport {
+
+class Link {
+ public:
+  using DataCallback = std::function<void(const uint8_t* data, size_t size)>;
+
+  virtual ~Link() = default;
+
+  /// Queue bytes toward the peer.
+  virtual void send(const void* data, size_t size) = 0;
+  void send(const ByteBuffer& buf) { send(buf.data(), buf.size()); }
+
+  /// Callback invoked with received bytes during pumping.
+  void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
+
+  virtual bool connected() const = 0;
+
+ protected:
+  DataCallback on_data_;
+};
+
+class InprocLink;
+
+/// A connected pair of in-process links plus the pump that moves queued
+/// bytes. Delivery only happens inside pump(), never inside send(), so
+/// re-entrant protocols (request triggers response triggers ...) unwind
+/// iteratively.
+class InprocPair {
+ public:
+  InprocPair();
+  ~InprocPair();
+
+  Link& a();
+  Link& b();
+
+  /// Deliver queued bytes in both directions until quiescent. Returns the
+  /// number of deliveries performed.
+  size_t pump();
+
+ private:
+  std::unique_ptr<InprocLink> a_;
+  std::unique_ptr<InprocLink> b_;
+};
+
+}  // namespace morph::transport

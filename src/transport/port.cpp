@@ -1,0 +1,109 @@
+#include "transport/port.hpp"
+
+#include "common/error.hpp"
+
+namespace morph::transport {
+
+MessagePort::MessagePort(Link& link, core::Receiver* receiver)
+    : link_(link), receiver_(receiver) {
+  link_.set_on_data([this](const uint8_t* data, size_t size) { on_bytes(data, size); });
+}
+
+void MessagePort::declare_transform(core::TransformSpec spec) {
+  declared_transforms_.push_back(std::move(spec));
+  // If the source format already went out, ship the transform immediately
+  // so existing peers can use it.
+  const auto& s = declared_transforms_.back();
+  if (sent_formats_.count(s.src->fingerprint()) != 0) {
+    ByteBuffer payload;
+    s.serialize(payload);
+    ByteBuffer frame;
+    write_frame(frame, FrameType::kTransformDef, payload.data(), payload.size());
+    link_.send(frame);
+    ++stats_.meta_frames_sent;
+    stats_.bytes_sent += frame.size();
+  }
+}
+
+void MessagePort::send_meta_for(const pbio::FormatPtr& fmt) {
+  if (!sent_formats_.insert(fmt->fingerprint()).second) return;
+
+  ByteBuffer payload;
+  fmt->serialize(payload);
+  ByteBuffer frame;
+  write_frame(frame, FrameType::kFormatDef, payload.data(), payload.size());
+  link_.send(frame);
+  ++stats_.meta_frames_sent;
+  stats_.bytes_sent += frame.size();
+
+  // Ship every declared transform reachable from this format, walking the
+  // retro-transformation chain (Figure 1).
+  for (const auto& spec : declared_transforms_) {
+    if (spec.src->fingerprint() != fmt->fingerprint()) continue;
+    ByteBuffer tp;
+    spec.serialize(tp);
+    ByteBuffer tf;
+    write_frame(tf, FrameType::kTransformDef, tp.data(), tp.size());
+    link_.send(tf);
+    ++stats_.meta_frames_sent;
+    stats_.bytes_sent += tf.size();
+    send_meta_for(spec.dst);  // recurse down the chain
+  }
+}
+
+void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
+  send_meta_for(fmt);
+  auto it = encoders_.find(fmt->fingerprint());
+  if (it == encoders_.end()) {
+    it = encoders_.emplace(fmt->fingerprint(), std::make_unique<pbio::Encoder>(fmt)).first;
+  }
+  ByteBuffer msg;
+  it->second->encode(record, msg);
+  ByteBuffer frame;
+  write_frame(frame, FrameType::kData, msg.data(), msg.size());
+  link_.send(frame);
+  ++stats_.data_sent;
+  stats_.bytes_sent += frame.size();
+}
+
+void MessagePort::send_control(const void* data, size_t size) {
+  ByteBuffer frame;
+  write_frame(frame, FrameType::kControl, data, size);
+  link_.send(frame);
+  stats_.bytes_sent += frame.size();
+}
+
+void MessagePort::on_bytes(const uint8_t* data, size_t size) {
+  assembler_.feed(data, size, [this](Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kFormatDef: {
+        ++stats_.meta_frames_received;
+        if (receiver_ == nullptr) return;
+        ByteReader r(frame.payload.data(), frame.payload.size());
+        receiver_->learn_format(pbio::FormatDescriptor::deserialize(r));
+        break;
+      }
+      case FrameType::kTransformDef: {
+        ++stats_.meta_frames_received;
+        if (receiver_ == nullptr) return;
+        ByteReader r(frame.payload.data(), frame.payload.size());
+        receiver_->learn_transform(core::TransformSpec::deserialize(r));
+        break;
+      }
+      case FrameType::kData: {
+        ++stats_.data_received;
+        if (receiver_ == nullptr) return;
+        // Records are valid for the duration of the handler; the arena is
+        // recycled per message.
+        rx_arena_.reset();
+        receiver_->process(frame.payload.data(), frame.payload.size(), rx_arena_);
+        break;
+      }
+      case FrameType::kControl:
+        if (on_control_) on_control_(frame.payload.data(), frame.payload.size());
+        break;
+    }
+  });
+}
+
+}  // namespace morph::transport

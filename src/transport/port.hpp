@@ -1,0 +1,70 @@
+// MessagePort: the morphing middleware endpoint over a Link.
+//
+// A port implements the paper's out-of-band meta-data discipline:
+//   * the first time a format is sent, its FormatDescriptor — and every
+//     transform spec reachable from it — travels as meta-data frames;
+//   * subsequent messages of that format cost only the 16-byte PBIO header;
+//   * the receiving port feeds learned formats/transforms into its
+//     core::Receiver and pushes every data frame through Algorithm 2.
+//
+// Control frames bypass morphing and deliver raw bytes (ECho uses them for
+// its own bootstrap before formats are established).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/receiver.hpp"
+#include "pbio/encode.hpp"
+#include "transport/framing.hpp"
+#include "transport/link.hpp"
+
+namespace morph::transport {
+
+class MessagePort {
+ public:
+  /// `receiver` may be null for a send-only port. Both must outlive the
+  /// port.
+  MessagePort(Link& link, core::Receiver* receiver);
+
+  /// Declare a transform to ship alongside its source format (the sender
+  /// side of "the writer may also specify a set of transformations").
+  void declare_transform(core::TransformSpec spec);
+
+  /// Encode and send a record; lazily sends format + transform meta-data.
+  void send_record(const pbio::FormatPtr& fmt, const void* record);
+
+  /// Raw control payload.
+  void send_control(const void* data, size_t size);
+  void set_on_control(std::function<void(const uint8_t*, size_t)> cb) {
+    on_control_ = std::move(cb);
+  }
+
+  struct PortStats {
+    uint64_t data_sent = 0;
+    uint64_t data_received = 0;
+    uint64_t meta_frames_sent = 0;
+    uint64_t meta_frames_received = 0;
+    uint64_t bytes_sent = 0;
+  };
+  const PortStats& stats() const { return stats_; }
+
+ private:
+  void on_bytes(const uint8_t* data, size_t size);
+  void send_meta_for(const pbio::FormatPtr& fmt);
+
+  Link& link_;
+  core::Receiver* receiver_;
+  FrameAssembler assembler_;
+  std::unordered_set<uint64_t> sent_formats_;
+  std::vector<core::TransformSpec> declared_transforms_;
+  std::unordered_map<uint64_t, std::unique_ptr<pbio::Encoder>> encoders_;
+  std::function<void(const uint8_t*, size_t)> on_control_;
+  RecordArena rx_arena_;
+  PortStats stats_;
+};
+
+}  // namespace morph::transport

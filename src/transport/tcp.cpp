@@ -1,0 +1,120 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace morph::transport {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+std::unique_ptr<TcpLink> TcpLink::connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    fail("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<TcpLink>(new TcpLink(fd));
+}
+
+TcpLink::~TcpLink() { close(); }
+
+void TcpLink::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpLink::send(const void* data, size_t size) {
+  if (fd_ < 0) throw TransportError("send on closed link");
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+bool TcpLink::pump(int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) {
+    if (errno == EINTR) return true;
+    fail("poll");
+  }
+  if (r == 0) return true;  // timeout, still connected
+  uint8_t buf[64 * 1024];
+  ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+  if (n < 0) {
+    if (errno == EINTR) return true;
+    fail("recv");
+  }
+  if (n == 0) {
+    close();
+    return false;
+  }
+  if (on_data_) on_data_(buf, static_cast<size_t>(n));
+  return true;
+}
+
+TcpListener::TcpListener(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) fail("bind");
+  if (::listen(fd_, 16) != 0) fail("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpLink> TcpListener::accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) fail("poll");
+  if (r == 0) return nullptr;
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) fail("accept");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<TcpLink>(new TcpLink(fd));
+}
+
+}  // namespace morph::transport

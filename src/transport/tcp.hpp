@@ -1,0 +1,53 @@
+// TCP transport: a Link over a socket, for genuinely distributed peers.
+//
+// Blocking sends (records are small relative to socket buffers) and
+// poll-driven receives through pump(). Single owner per link; no internal
+// threads — callers decide the threading model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "transport/link.hpp"
+
+namespace morph::transport {
+
+class TcpLink : public Link {
+ public:
+  /// Connect to host:port. Throws TransportError.
+  static std::unique_ptr<TcpLink> connect(const std::string& host, uint16_t port);
+
+  ~TcpLink() override;
+  void send(const void* data, size_t size) override;
+  bool connected() const override { return fd_ >= 0; }
+
+  /// Wait up to `timeout_ms` for readable data, deliver it via the data
+  /// callback. Returns false once the peer has closed.
+  bool pump(int timeout_ms);
+
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  friend class TcpListener;
+  explicit TcpLink(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  /// Bind and listen on 127.0.0.1:`port` (0 picks an ephemeral port).
+  explicit TcpListener(uint16_t port = 0);
+  ~TcpListener();
+
+  uint16_t port() const { return port_; }
+
+  /// Accept one connection, waiting up to `timeout_ms`. nullptr on timeout.
+  std::unique_ptr<TcpLink> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace morph::transport

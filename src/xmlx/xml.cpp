@@ -1,0 +1,344 @@
+#include "xmlx/xml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace morph::xmlx {
+
+const XmlNode* XmlNode::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->is_element() && c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->is_element() && c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const std::string* XmlNode::attr(std::string_view attr_name) const {
+  for (const auto& a : attrs) {
+    if (a.name == attr_name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::text_content() const {
+  if (is_text()) return text;
+  std::string out;
+  for (const auto& c : children) out += c->text_content();
+  return out;
+}
+
+XmlNode& XmlNode::append_element(std::string element_name) {
+  auto node = std::make_unique<XmlNode>();
+  node->kind = Kind::kElement;
+  node->name = std::move(element_name);
+  node->parent = this;
+  children.push_back(std::move(node));
+  return *children.back();
+}
+
+XmlNode& XmlNode::append_text(std::string value) {
+  auto node = std::make_unique<XmlNode>();
+  node->kind = Kind::kText;
+  node->text = std::move(value);
+  node->parent = this;
+  children.push_back(std::move(node));
+  return *children.back();
+}
+
+void XmlNode::set_attr(std::string attr_name, std::string value) {
+  for (auto& a : attrs) {
+    if (a.name == attr_name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs.push_back({std::move(attr_name), std::move(value)});
+}
+
+XmlNodePtr make_element(std::string name) {
+  auto node = std::make_unique<XmlNode>();
+  node->kind = XmlNode::Kind::kElement;
+  node->name = std::move(name);
+  return node;
+}
+
+void xml_escape_into(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view in, const XmlParseOptions& options) : in_(in), opt_(options) {}
+
+  XmlNodePtr run() {
+    skip_prolog_and_misc();
+    if (pos_ >= in_.size() || in_[pos_] != '<') fail("expected root element");
+    XmlNodePtr root = element();
+    skip_misc();
+    if (pos_ != in_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw XmlError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  bool starts_with(std::string_view s) const { return in_.substr(pos_, s.size()) == s; }
+  void skip_ws() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+
+  void skip_comment_or_pi() {
+    if (starts_with("<!--")) {
+      size_t end = in_.find("-->", pos_ + 4);
+      if (end == std::string_view::npos) fail("unterminated comment");
+      pos_ = end + 3;
+    } else if (starts_with("<?")) {
+      size_t end = in_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) fail("unterminated processing instruction");
+      pos_ = end + 2;
+    } else if (starts_with("<!DOCTYPE")) {
+      // Skip to the matching '>' (no internal-subset support).
+      size_t end = in_.find('>', pos_);
+      if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+      pos_ = end + 1;
+    }
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      size_t before = pos_;
+      skip_comment_or_pi();
+      if (pos_ == before) return;
+    }
+  }
+
+  void skip_prolog_and_misc() { skip_misc(); }
+
+  std::string name() {
+    size_t start = pos_;
+    auto is_name_char = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+             c == ':';
+    };
+    if (pos_ >= in_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_' ||
+          in_[pos_] == ':')) {
+      fail("expected name");
+    }
+    while (pos_ < in_.size() && is_name_char(in_[pos_])) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  void decode_entity(std::string& out) {
+    // pos_ is at '&'.
+    size_t semi = in_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) fail("bad entity reference");
+    std::string_view ent = in_.substr(pos_ + 1, semi - pos_ - 1);
+    if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = ent[1] == 'x' || ent[1] == 'X'
+                      ? std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16)
+                      : std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      if (code <= 0 || code > 0x10FFFF) fail("bad character reference");
+      // Encode as UTF-8.
+      auto c = static_cast<uint32_t>(code);
+      if (c < 0x80) {
+        out.push_back(static_cast<char>(c));
+      } else if (c < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (c >> 6)));
+        out.push_back(static_cast<char>(0x80 | (c & 0x3F)));
+      } else if (c < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (c >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((c >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (c & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (c >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((c >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((c >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (c & 0x3F)));
+      }
+    } else {
+      fail("unknown entity '&" + std::string(ent) + ";'");
+    }
+    pos_ = semi + 1;
+  }
+
+  std::string attr_value() {
+    char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    ++pos_;
+    std::string out;
+    while (pos_ < in_.size() && in_[pos_] != quote) {
+      if (in_[pos_] == '&') {
+        decode_entity(out);
+      } else if (in_[pos_] == '<') {
+        fail("'<' in attribute value");
+      } else {
+        out.push_back(in_[pos_++]);
+      }
+    }
+    if (pos_ >= in_.size()) fail("unterminated attribute value");
+    ++pos_;
+    return out;
+  }
+
+  XmlNodePtr element() {
+    ++pos_;  // '<'
+    XmlNodePtr node = make_element(name());
+    for (;;) {
+      skip_ws();
+      if (peek() == '/') {
+        if (peek(1) != '>') fail("malformed empty-element tag");
+        pos_ += 2;
+        return node;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      std::string attr_name = name();
+      skip_ws();
+      if (peek() != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      node->set_attr(std::move(attr_name), attr_value());
+    }
+
+    // Content until the matching end tag.
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (pending_text.empty()) return;
+      bool all_ws = true;
+      for (char c : pending_text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_ws = false;
+          break;
+        }
+      }
+      if (!(opt_.strip_whitespace_text && all_ws)) node->append_text(std::move(pending_text));
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (pos_ >= in_.size()) fail("unterminated element <" + node->name + ">");
+      char c = in_[pos_];
+      if (c == '<') {
+        if (starts_with("</")) {
+          flush_text();
+          pos_ += 2;
+          std::string end = name();
+          if (end != node->name) {
+            fail("mismatched end tag </" + end + "> for <" + node->name + ">");
+          }
+          skip_ws();
+          if (peek() != '>') fail("malformed end tag");
+          ++pos_;
+          return node;
+        }
+        if (starts_with("<!--") || starts_with("<?")) {
+          skip_comment_or_pi();
+          continue;
+        }
+        if (starts_with("<![CDATA[")) {
+          size_t end = in_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) fail("unterminated CDATA");
+          pending_text += std::string(in_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        flush_text();
+        XmlNodePtr kid = element();
+        kid->parent = node.get();
+        node->children.push_back(std::move(kid));
+        continue;
+      }
+      if (c == '&') {
+        decode_entity(pending_text);
+        continue;
+      }
+      pending_text.push_back(c);
+      ++pos_;
+    }
+  }
+
+  std::string_view in_;
+  XmlParseOptions opt_;
+  size_t pos_ = 0;
+};
+
+void serialize_rec(const XmlNode& node, std::string& out, int indent, int depth) {
+  if (node.is_text()) {
+    xml_escape_into(out, node.text);
+    return;
+  }
+  if (indent >= 0 && depth > 0) out += "\n" + std::string(static_cast<size_t>(indent * depth), ' ');
+  out += "<" + node.name;
+  for (const auto& a : node.attrs) {
+    out += " " + a.name + "=\"";
+    xml_escape_into(out, a.value);
+    out += "\"";
+  }
+  if (node.children.empty()) {
+    out += "/>";
+    return;
+  }
+  out += ">";
+  bool only_text = true;
+  for (const auto& c : node.children) {
+    if (!c->is_text()) only_text = false;
+  }
+  for (const auto& c : node.children) serialize_rec(*c, out, indent, depth + 1);
+  if (indent >= 0 && !only_text) out += "\n" + std::string(static_cast<size_t>(indent * depth), ' ');
+  out += "</" + node.name + ">";
+}
+
+}  // namespace
+
+XmlNodePtr xml_parse(std::string_view input, const XmlParseOptions& options) {
+  return Parser(input, options).run();
+}
+
+std::string xml_serialize(const XmlNode& root, int indent) {
+  std::string out;
+  serialize_rec(root, out, indent, 0);
+  return out;
+}
+
+}  // namespace morph::xmlx

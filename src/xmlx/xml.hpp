@@ -1,0 +1,77 @@
+// Minimal XML substrate: document model, parser, and serializer.
+//
+// This is the comparison baseline of the paper's evaluation (§5): messages
+// encoded as text XML, parsed into a DOM, transformed with XSLT, and walked
+// back into native structs. It implements exactly what those experiments
+// need — elements, attributes, text, comments, CDATA, the five predefined
+// entities and numeric character references — not a general XML stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace morph::xmlx {
+
+struct XmlNode;
+using XmlNodePtr = std::unique_ptr<XmlNode>;
+
+struct XmlAttr {
+  std::string name;
+  std::string value;
+};
+
+struct XmlNode {
+  enum class Kind : uint8_t { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  std::string name;   // element name (kElement)
+  std::string text;   // character data (kText)
+  std::vector<XmlAttr> attrs;
+  std::vector<XmlNodePtr> children;
+  XmlNode* parent = nullptr;
+
+  bool is_element() const { return kind == Kind::kElement; }
+  bool is_text() const { return kind == Kind::kText; }
+
+  /// First child element with the given name, or nullptr.
+  const XmlNode* child(std::string_view child_name) const;
+
+  /// All child elements with the given name.
+  std::vector<const XmlNode*> children_named(std::string_view child_name) const;
+
+  /// Attribute value, or nullptr.
+  const std::string* attr(std::string_view attr_name) const;
+
+  /// Concatenated text of all descendant text nodes.
+  std::string text_content() const;
+
+  /// Append helpers used by builders and the XSLT engine.
+  XmlNode& append_element(std::string element_name);
+  XmlNode& append_text(std::string value);
+  void set_attr(std::string attr_name, std::string value);
+};
+
+/// Create a detached element node.
+XmlNodePtr make_element(std::string name);
+
+struct XmlParseOptions {
+  /// Drop text nodes that are pure whitespace (insignificant between
+  /// elements in data-oriented XML). Default on.
+  bool strip_whitespace_text = true;
+};
+
+/// Parse a document; returns the root element. Throws XmlError.
+XmlNodePtr xml_parse(std::string_view input, const XmlParseOptions& options = {});
+
+/// Serialize a tree. `indent` < 0 produces compact output (no added
+/// whitespace), which is what the size measurements use.
+std::string xml_serialize(const XmlNode& root, int indent = -1);
+
+/// Escape character data / attribute values.
+void xml_escape_into(std::string& out, std::string_view text);
+
+}  // namespace morph::xmlx

@@ -1,0 +1,241 @@
+#include "xmlx/xml_bind.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pbio/record.hpp"
+
+namespace morph::xmlx {
+
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatDescriptor;
+
+namespace {
+
+void append_i64(std::string& out, int64_t v) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out.append(buf, static_cast<size_t>(n));
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out.append(buf, static_cast<size_t>(n));
+}
+
+void encode_struct(const FormatDescriptor& fmt, const uint8_t* rec, std::string& out);
+
+void encode_scalar_element(const std::string& name, const FieldDescriptor& fd,
+                           const uint8_t* valp, std::string& out) {
+  out += '<';
+  out += name;
+  out += '>';
+  FieldDescriptor tmp = fd;
+  tmp.offset = 0;
+  if (fd.kind == FieldKind::kFloat) {
+    append_f64(out, pbio::read_scalar_f64(valp, tmp));
+  } else if (fd.kind == FieldKind::kChar) {
+    char c = static_cast<char>(pbio::read_scalar_i64(valp, tmp));
+    xml_escape_into(out, std::string_view(&c, 1));
+  } else {
+    append_i64(out, pbio::read_scalar_i64(valp, tmp));
+  }
+  out += "</";
+  out += name;
+  out += '>';
+}
+
+void encode_string_element(const std::string& name, const char* s, std::string& out) {
+  out += '<';
+  out += name;
+  out += '>';
+  if (s != nullptr) xml_escape_into(out, s);
+  out += "</";
+  out += name;
+  out += '>';
+}
+
+void encode_element_value(const FieldDescriptor& fd, const uint8_t* elem, std::string& out) {
+  if (fd.element_format) {
+    out += '<';
+    out += fd.name;
+    out += '>';
+    encode_struct(*fd.element_format, elem, out);
+    out += "</";
+    out += fd.name;
+    out += '>';
+    return;
+  }
+  if (fd.element_kind == FieldKind::kString) {
+    const char* s;
+    std::memcpy(&s, elem, sizeof(char*));
+    encode_string_element(fd.name, s, out);
+    return;
+  }
+  FieldDescriptor tmp;
+  tmp.kind = fd.element_kind;
+  tmp.size = fd.element_size;
+  tmp.offset = 0;
+  encode_scalar_element(fd.name, tmp, elem, out);
+}
+
+void encode_struct(const FormatDescriptor& fmt, const uint8_t* rec, std::string& out) {
+  for (const auto& fd : fmt.fields()) {
+    switch (fd.kind) {
+      case FieldKind::kString: {
+        const char* s;
+        std::memcpy(&s, rec + fd.offset, sizeof(char*));
+        encode_string_element(fd.name, s, out);
+        break;
+      }
+      case FieldKind::kStruct:
+        out += '<';
+        out += fd.name;
+        out += '>';
+        encode_struct(*fd.element_format, rec + fd.offset, out);
+        out += "</";
+        out += fd.name;
+        out += '>';
+        break;
+      case FieldKind::kStaticArray: {
+        uint32_t stride = fd.element_stride();
+        for (uint32_t i = 0; i < fd.static_count; ++i) {
+          encode_element_value(fd, rec + fd.offset + i * stride, out);
+        }
+        break;
+      }
+      case FieldKind::kDynArray: {
+        const FieldDescriptor* len = fmt.find_field(fd.length_field);
+        int64_t count = len ? pbio::read_scalar_i64(rec, *len) : 0;
+        const auto* elems = static_cast<const uint8_t*>(pbio::read_pointer(rec, fd));
+        uint32_t stride = fd.element_stride();
+        if (elems != nullptr) {
+          for (int64_t i = 0; i < count; ++i) {
+            encode_element_value(fd, elems + static_cast<size_t>(i) * stride, out);
+          }
+        }
+        break;
+      }
+      default:
+        encode_scalar_element(fd.name, fd, rec + fd.offset, out);
+        break;
+    }
+  }
+}
+
+void decode_struct(const FormatDescriptor& fmt, const XmlNode& elem, uint8_t* rec,
+                   RecordArena& arena);
+
+void decode_scalar_text(const FieldDescriptor& fd, const std::string& text, uint8_t* valp) {
+  FieldDescriptor tmp = fd;
+  tmp.offset = 0;
+  if (fd.kind == FieldKind::kFloat) {
+    pbio::write_scalar_f64(valp, tmp, std::strtod(text.c_str(), nullptr));
+  } else if (fd.kind == FieldKind::kChar) {
+    pbio::write_scalar_i64(valp, tmp, text.empty() ? 0 : static_cast<unsigned char>(text[0]));
+  } else {
+    pbio::write_scalar_i64(valp, tmp, std::strtoll(text.c_str(), nullptr, 10));
+  }
+}
+
+void decode_element_value(const FieldDescriptor& fd, const XmlNode& node, uint8_t* elem,
+                          RecordArena& arena) {
+  if (fd.element_format) {
+    decode_struct(*fd.element_format, node, elem, arena);
+    return;
+  }
+  if (fd.element_kind == FieldKind::kString) {
+    char* s = arena.copy_string(node.text_content());
+    std::memcpy(elem, &s, sizeof(char*));
+    return;
+  }
+  FieldDescriptor tmp;
+  tmp.kind = fd.element_kind;
+  tmp.size = fd.element_size;
+  tmp.offset = 0;
+  decode_scalar_text(tmp, node.text_content(), elem);
+}
+
+void decode_struct(const FormatDescriptor& fmt, const XmlNode& elem, uint8_t* rec,
+                   RecordArena& arena) {
+  for (const auto& fd : fmt.fields()) {
+    switch (fd.kind) {
+      case FieldKind::kString: {
+        const XmlNode* c = elem.child(fd.name);
+        if (c != nullptr) {
+          pbio::write_string_field(rec, fd, c->text_content(), arena);
+        }
+        break;
+      }
+      case FieldKind::kStruct: {
+        const XmlNode* c = elem.child(fd.name);
+        if (c != nullptr) decode_struct(*fd.element_format, *c, rec + fd.offset, arena);
+        break;
+      }
+      case FieldKind::kStaticArray: {
+        auto nodes = elem.children_named(fd.name);
+        uint32_t stride = fd.element_stride();
+        uint32_t n = std::min<uint32_t>(fd.static_count, static_cast<uint32_t>(nodes.size()));
+        for (uint32_t i = 0; i < n; ++i) {
+          decode_element_value(fd, *nodes[i], rec + fd.offset + i * stride, arena);
+        }
+        break;
+      }
+      case FieldKind::kDynArray: {
+        auto nodes = elem.children_named(fd.name);
+        uint32_t stride = fd.element_stride();
+        if (!nodes.empty()) {
+          auto* elems =
+              static_cast<uint8_t*>(pbio::alloc_dyn_array(arena, stride, nodes.size()));
+          for (size_t i = 0; i < nodes.size(); ++i) {
+            decode_element_value(fd, *nodes[i], elems + i * stride, arena);
+          }
+          pbio::write_pointer(rec, fd, elems);
+        }
+        // The actual element count wins over any stale count element.
+        const FieldDescriptor* len = fmt.find_field(fd.length_field);
+        if (len != nullptr) {
+          pbio::write_scalar_i64(rec, *len, static_cast<int64_t>(nodes.size()));
+        }
+        break;
+      }
+      default: {
+        const XmlNode* c = elem.child(fd.name);
+        if (c != nullptr) decode_scalar_text(fd, c->text_content(), rec + fd.offset);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void xml_encode_record(const FormatDescriptor& fmt, const void* record, std::string& out) {
+  out.clear();
+  out += '<';
+  out += fmt.name();
+  out += '>';
+  encode_struct(fmt, static_cast<const uint8_t*>(record), out);
+  out += "</";
+  out += fmt.name();
+  out += '>';
+}
+
+void* xml_decode_record(const FormatDescriptor& fmt, const XmlNode& element, RecordArena& arena) {
+  void* rec = pbio::alloc_record(fmt, arena);
+  decode_struct(fmt, element, static_cast<uint8_t*>(rec), arena);
+  return rec;
+}
+
+void* xml_decode_record(const FormatDescriptor& fmt, std::string_view xml_text,
+                        RecordArena& arena) {
+  XmlNodePtr doc = xml_parse(xml_text);
+  return xml_decode_record(fmt, *doc, arena);
+}
+
+}  // namespace morph::xmlx

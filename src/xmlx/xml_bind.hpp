@@ -1,0 +1,37 @@
+// Record <-> XML binding: encode native PBIO records as XML text and walk
+// parsed XML back into native records.
+//
+// This is the XML leg of the paper's evaluation: "the XML string is created
+// using sprintf() for data-to-string conversions" (we append to one output
+// string, mirroring their optimized strcat) and decoding "parses the
+// encoded message and generates a data structure block similar to the one
+// from which it was formed".
+//
+// Mapping: a record is an element named after its format; scalar fields are
+// child elements containing the value text; strings likewise; nested
+// structs are nested elements; array elements repeat the field's element
+// name. Dynamic-array count fields are emitted like any scalar (as the
+// paper's hand-rolled XML encoding did), and on decode the actual element
+// count wins.
+#pragma once
+
+#include <string>
+
+#include "common/arena.hpp"
+#include "pbio/format.hpp"
+#include "xmlx/xml.hpp"
+
+namespace morph::xmlx {
+
+/// Append the XML encoding of `record` to `out` (cleared first).
+void xml_encode_record(const pbio::FormatDescriptor& fmt, const void* record, std::string& out);
+
+/// Decode a parsed element into a fresh native record in `arena`.
+void* xml_decode_record(const pbio::FormatDescriptor& fmt, const XmlNode& element,
+                        RecordArena& arena);
+
+/// Parse + decode in one step (the full XML receive path of Figure 9).
+void* xml_decode_record(const pbio::FormatDescriptor& fmt, std::string_view xml_text,
+                        RecordArena& arena);
+
+}  // namespace morph::xmlx

@@ -1,0 +1,273 @@
+#include "xmlx/xpath.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace morph::xmlx {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Path Path::parse(std::string_view text) {
+  text = trim(text);
+  Path p;
+  if (text.empty()) throw XmlError("empty path");
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t slash = text.find('/', pos);
+    std::string_view part =
+        slash == std::string_view::npos ? text.substr(pos) : text.substr(pos, slash - pos);
+    pos = slash == std::string_view::npos ? text.size() : slash + 1;
+    part = trim(part);
+    if (part.empty()) throw XmlError("empty path step in '" + std::string(text) + "'");
+
+    Step step;
+    if (part == ".") {
+      step.kind = Step::Kind::kSelf;
+    } else if (part == "..") {
+      step.kind = Step::Kind::kParent;
+    } else if (part == "text()") {
+      step.kind = Step::Kind::kText;
+    } else if (part[0] == '@') {
+      step.kind = Step::Kind::kAttr;
+      step.name = std::string(part.substr(1));
+      if (step.name.empty()) throw XmlError("empty attribute name in path");
+    } else {
+      step.kind = Step::Kind::kChild;
+      size_t bracket = part.find('[');
+      if (bracket == std::string_view::npos) {
+        step.name = std::string(part);
+      } else {
+        step.name = std::string(trim(part.substr(0, bracket)));
+        if (part.back() != ']') throw XmlError("unterminated predicate in path");
+        std::string_view pred = trim(part.substr(bracket + 1, part.size() - bracket - 2));
+        // [child], [child='v'], [child!='v']
+        size_t eq = pred.find('=');
+        if (eq == std::string_view::npos) {
+          step.pred_child = std::string(pred);
+        } else {
+          bool ne = eq > 0 && pred[eq - 1] == '!';
+          std::string_view lhs = trim(pred.substr(0, ne ? eq - 1 : eq));
+          std::string_view rhs = trim(pred.substr(eq + 1));
+          if (rhs.size() < 2 || (rhs.front() != '\'' && rhs.front() != '"') ||
+              rhs.back() != rhs.front()) {
+            throw XmlError("predicate value must be quoted in '" + std::string(part) + "'");
+          }
+          step.pred_child = std::string(lhs);
+          step.pred_value = std::string(rhs.substr(1, rhs.size() - 2));
+          step.pred_has_value = true;
+          step.pred_negated = ne;
+        }
+        if (step.pred_child.empty()) throw XmlError("empty predicate in path");
+      }
+      if (step.name.empty()) throw XmlError("empty element name in path");
+    }
+    p.steps_.push_back(std::move(step));
+  }
+  return p;
+}
+
+void Path::select_into(const XmlNode& ctx, size_t step_index,
+                       std::vector<const XmlNode*>& out) const {
+  if (step_index == steps_.size()) {
+    out.push_back(&ctx);
+    return;
+  }
+  const Step& s = steps_[step_index];
+  switch (s.kind) {
+    case Step::Kind::kSelf:
+      select_into(ctx, step_index + 1, out);
+      return;
+    case Step::Kind::kParent:
+      if (ctx.parent != nullptr) select_into(*ctx.parent, step_index + 1, out);
+      return;
+    case Step::Kind::kText:
+      for (const auto& c : ctx.children) {
+        if (c->is_text()) out.push_back(c.get());
+      }
+      return;
+    case Step::Kind::kAttr:
+      return;  // attributes are not nodes here; string_value handles them
+    case Step::Kind::kChild: {
+      for (const auto& c : ctx.children) {
+        if (!c->is_element()) continue;
+        if (s.name != "*" && c->name != s.name) continue;
+        if (!s.pred_child.empty()) {
+          const XmlNode* pc = c->child(s.pred_child);
+          bool holds;
+          if (!s.pred_has_value) {
+            holds = pc != nullptr;
+          } else {
+            std::string v = pc == nullptr ? "" : pc->text_content();
+            holds = s.pred_negated ? v != s.pred_value : v == s.pred_value;
+          }
+          if (!holds) continue;
+        }
+        select_into(*c, step_index + 1, out);
+      }
+      return;
+    }
+  }
+}
+
+std::vector<const XmlNode*> Path::select(const XmlNode& ctx) const {
+  std::vector<const XmlNode*> out;
+  select_into(ctx, 0, out);
+  return out;
+}
+
+std::string Path::string_value(const XmlNode& ctx) const {
+  if (!steps_.empty() && steps_.back().kind == Step::Kind::kAttr) {
+    // Walk to the parent of the attribute step, then read the attribute.
+    Path prefix;
+    prefix.steps_.assign(steps_.begin(), steps_.end() - 1);
+    std::vector<const XmlNode*> nodes;
+    if (prefix.steps_.empty()) {
+      nodes.push_back(&ctx);
+    } else {
+      nodes = prefix.select(ctx);
+    }
+    for (const XmlNode* n : nodes) {
+      const std::string* v = n->attr(steps_.back().name);
+      if (v != nullptr) return *v;
+    }
+    return "";
+  }
+  auto nodes = select(ctx);
+  return nodes.empty() ? std::string() : nodes.front()->text_content();
+}
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+Expr Expr::parse(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) throw XmlError("empty expression");
+
+  // Comparison at the top level (outside quotes/parens).
+  int depth = 0;
+  bool in_quote = false;
+  char quote = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quote) {
+      if (c == quote) in_quote = false;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      in_quote = true;
+      quote = c;
+    } else if (c == '(' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == ']') {
+      --depth;
+    } else if (depth == 0 && c == '=' ) {
+      bool ne = i > 0 && text[i - 1] == '!';
+      Expr e;
+      e.kind_ = ne ? Kind::kNe : Kind::kEq;
+      e.lhs_ = std::make_shared<Expr>(parse(text.substr(0, ne ? i - 1 : i)));
+      e.rhs_ = std::make_shared<Expr>(parse(text.substr(i + 1)));
+      return e;
+    }
+  }
+
+  if (text.front() == '\'' || text.front() == '"') {
+    if (text.size() < 2 || text.back() != text.front()) throw XmlError("unterminated literal");
+    Expr e;
+    e.kind_ = Kind::kLiteral;
+    e.literal_ = std::string(text.substr(1, text.size() - 2));
+    return e;
+  }
+  if (std::isdigit(static_cast<unsigned char>(text.front())) ||
+      (text.front() == '-' && text.size() > 1)) {
+    Expr e;
+    e.kind_ = Kind::kNumber;
+    e.number_ = std::strtod(std::string(text).c_str(), nullptr);
+    return e;
+  }
+  if (text.substr(0, 6) == "count(" && text.back() == ')') {
+    Expr e;
+    e.kind_ = Kind::kCount;
+    e.path_ = Path::parse(text.substr(6, text.size() - 7));
+    return e;
+  }
+  if (text.substr(0, 4) == "not(" && text.back() == ')') {
+    Expr e;
+    e.kind_ = Kind::kNot;
+    e.lhs_ = std::make_shared<Expr>(parse(text.substr(4, text.size() - 5)));
+    return e;
+  }
+  Expr e;
+  e.kind_ = Kind::kPath;
+  e.path_ = Path::parse(text);
+  return e;
+}
+
+std::string Expr::string_value(const XmlNode& ctx) const {
+  switch (kind_) {
+    case Kind::kPath:
+      return path_.string_value(ctx);
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kNumber:
+    case Kind::kCount: {
+      double v = number(ctx);
+      if (v == static_cast<long long>(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", v);
+      return buf;
+    }
+    case Kind::kNot:
+      return boolean(ctx) ? "true" : "false";
+    case Kind::kEq:
+    case Kind::kNe:
+      return boolean(ctx) ? "true" : "false";
+  }
+  return "";
+}
+
+double Expr::number(const XmlNode& ctx) const {
+  switch (kind_) {
+    case Kind::kNumber:
+      return number_;
+    case Kind::kCount:
+      return static_cast<double>(path_.select(ctx).size());
+    default:
+      return std::strtod(string_value(ctx).c_str(), nullptr);
+  }
+}
+
+bool Expr::boolean(const XmlNode& ctx) const {
+  switch (kind_) {
+    case Kind::kPath:
+      return !path_.select(ctx).empty() || !path_.string_value(ctx).empty();
+    case Kind::kLiteral:
+      return !literal_.empty();
+    case Kind::kNumber:
+      return number_ != 0.0;
+    case Kind::kCount:
+      return number(ctx) != 0.0;
+    case Kind::kNot:
+      return !lhs_->boolean(ctx);
+    case Kind::kEq:
+      return lhs_->string_value(ctx) == rhs_->string_value(ctx);
+    case Kind::kNe:
+      return lhs_->string_value(ctx) != rhs_->string_value(ctx);
+  }
+  return false;
+}
+
+}  // namespace morph::xmlx

@@ -1,0 +1,73 @@
+// XPath-lite: the path and expression subset the XSLT-lite engine needs.
+//
+// Paths:   a/b/c    ./x    ../y    @attr    a/text()    *    a[b='1']/c
+// Steps walk the child axis; '.' and '..' adjust context; '@name' (final
+// step) selects an attribute; a predicate [child='value'] or [child]
+// filters element steps.
+//
+// Expressions (for value-of / if-test / attribute templates):
+//   path                         -> node-set (string value = first node)
+//   'literal'                    -> string
+//   count(path)                  -> number
+//   not(expr)                    -> boolean
+//   expr = expr, expr != expr    -> boolean (string comparison)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlx/xml.hpp"
+
+namespace morph::xmlx {
+
+class Path {
+ public:
+  static Path parse(std::string_view text);
+
+  /// Nodes selected relative to `ctx`. Attribute steps yield no nodes (use
+  /// string_value, which understands them).
+  std::vector<const XmlNode*> select(const XmlNode& ctx) const;
+
+  /// XPath string value: the text content of the first selected node, the
+  /// attribute value for @attr paths, "" when nothing matches.
+  std::string string_value(const XmlNode& ctx) const;
+
+  bool empty() const { return steps_.empty(); }
+
+ private:
+  struct Step {
+    enum class Kind : uint8_t { kChild, kSelf, kParent, kText, kAttr } kind = Kind::kChild;
+    std::string name;        // element or attribute name; "*" wildcard
+    std::string pred_child;  // predicate [pred_child ...]; empty = none
+    std::string pred_value;  // predicate comparison value
+    bool pred_has_value = false;
+    bool pred_negated = false;  // [child!='v']
+  };
+  std::vector<Step> steps_;
+
+  void select_into(const XmlNode& ctx, size_t step_index,
+                   std::vector<const XmlNode*>& out) const;
+  friend class PathParserAccess;
+};
+
+class Expr {
+ public:
+  static Expr parse(std::string_view text);
+
+  std::string string_value(const XmlNode& ctx) const;
+  bool boolean(const XmlNode& ctx) const;
+  double number(const XmlNode& ctx) const;
+
+ private:
+  enum class Kind : uint8_t { kPath, kLiteral, kNumber, kCount, kNot, kEq, kNe };
+  Kind kind_ = Kind::kLiteral;
+  Path path_;
+  std::string literal_;
+  double number_ = 0.0;
+  std::shared_ptr<Expr> lhs_;
+  std::shared_ptr<Expr> rhs_;
+};
+
+}  // namespace morph::xmlx

@@ -1,0 +1,220 @@
+#include "xmlx/xslt.hpp"
+
+#include <algorithm>
+
+namespace morph::xmlx {
+
+namespace {
+
+/// Evaluate an attribute value template: literal text with {expr} holes.
+std::string eval_avt(const std::string& tmpl, const XmlNode& ctx) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < tmpl.size()) {
+    size_t open = tmpl.find('{', pos);
+    if (open == std::string::npos) {
+      out += tmpl.substr(pos);
+      break;
+    }
+    out += tmpl.substr(pos, open - pos);
+    size_t close = tmpl.find('}', open);
+    if (close == std::string::npos) throw XmlError("unterminated '{' in attribute template");
+    out += Expr::parse(tmpl.substr(open + 1, close - open - 1)).string_value(ctx);
+    pos = close + 1;
+  }
+  return out;
+}
+
+const std::string& required_attr(const XmlNode& n, const char* name) {
+  const std::string* v = n.attr(name);
+  if (v == nullptr) {
+    throw XmlError("<" + n.name + "> requires a '" + name + "' attribute");
+  }
+  return *v;
+}
+
+}  // namespace
+
+Stylesheet Stylesheet::parse(std::string_view xml_text) {
+  Stylesheet sheet;
+  sheet.doc_ = xml_parse(xml_text);
+  const XmlNode& root = *sheet.doc_;
+  if (root.name != "xsl:stylesheet" && root.name != "xsl:transform") {
+    throw XmlError("stylesheet root must be xsl:stylesheet, got <" + root.name + ">");
+  }
+  for (const auto& child : root.children) {
+    if (!child->is_element()) continue;
+    if (child->name != "xsl:template") {
+      throw XmlError("unsupported top-level element <" + child->name + ">");
+    }
+    Template t;
+    t.match = required_attr(*child, "match");
+    t.body = child.get();
+    std::string_view pat = t.match;
+    if (!pat.empty() && pat.front() == '/') {
+      t.anchored = true;
+      pat.remove_prefix(1);
+    }
+    // Split remaining steps on '/'.
+    size_t pos = 0;
+    while (pos < pat.size()) {
+      size_t slash = pat.find('/', pos);
+      std::string step(slash == std::string_view::npos ? pat.substr(pos)
+                                                       : pat.substr(pos, slash - pos));
+      if (step.empty()) throw XmlError("bad match pattern '" + t.match + "'");
+      t.steps.push_back(std::move(step));
+      pos = slash == std::string_view::npos ? pat.size() : slash + 1;
+    }
+    t.specificity = static_cast<int>(t.steps.size()) * 2 + (t.anchored ? 1 : 0);
+    for (const auto& s : t.steps) {
+      if (s == "*") t.specificity -= 1;  // wildcards are less specific
+    }
+    sheet.templates_.push_back(std::move(t));
+  }
+  if (sheet.templates_.empty()) throw XmlError("stylesheet has no templates");
+  return sheet;
+}
+
+bool Stylesheet::pattern_matches(const Template& t, const XmlNode& node) {
+  // "/" alone (no steps, anchored) matches the document root element.
+  if (t.steps.empty()) return t.anchored && node.parent == nullptr;
+  // Last step must match the node, previous steps its ancestors.
+  const XmlNode* cur = &node;
+  for (size_t i = t.steps.size(); i-- > 0;) {
+    if (cur == nullptr || !cur->is_element()) return false;
+    const std::string& step = t.steps[i];
+    if (step != "*" && cur->name != step) return false;
+    cur = cur->parent;
+  }
+  if (t.anchored && cur != nullptr) return false;  // must have consumed to root
+  return true;
+}
+
+const Stylesheet::Template* Stylesheet::find_template(const XmlNode& node) const {
+  const Template* best = nullptr;
+  for (const auto& t : templates_) {
+    if (!pattern_matches(t, node)) continue;
+    if (best == nullptr || t.specificity > best->specificity) best = &t;
+  }
+  return best;
+}
+
+void Stylesheet::apply_templates(const XmlNode& ctx, XmlNode& out) const {
+  if (ctx.is_text()) {
+    out.append_text(ctx.text);  // built-in rule for text
+    return;
+  }
+  const Template* t = find_template(ctx);
+  if (t != nullptr) {
+    instantiate_children(*t->body, ctx, out);
+    return;
+  }
+  // Built-in rule for elements: recurse into children.
+  for (const auto& child : ctx.children) apply_templates(*child, out);
+}
+
+void Stylesheet::instantiate_children(const XmlNode& body, const XmlNode& ctx,
+                                      XmlNode& out) const {
+  for (const auto& child : body.children) instantiate(*child, ctx, out);
+}
+
+void Stylesheet::instantiate(const XmlNode& n, const XmlNode& ctx, XmlNode& out) const {
+  if (n.is_text()) {
+    out.append_text(n.text);
+    return;
+  }
+  const std::string& name = n.name;
+  if (name.rfind("xsl:", 0) != 0) {
+    // Literal result element.
+    XmlNode& elem = out.append_element(name);
+    for (const auto& a : n.attrs) elem.set_attr(a.name, eval_avt(a.value, ctx));
+    instantiate_children(n, ctx, elem);
+    return;
+  }
+
+  if (name == "xsl:value-of") {
+    std::string v = Expr::parse(required_attr(n, "select")).string_value(ctx);
+    if (!v.empty()) out.append_text(std::move(v));
+    return;
+  }
+  if (name == "xsl:text") {
+    out.append_text(n.text_content());
+    return;
+  }
+  if (name == "xsl:for-each") {
+    Path p = Path::parse(required_attr(n, "select"));
+    for (const XmlNode* node : p.select(ctx)) instantiate_children(n, *node, out);
+    return;
+  }
+  if (name == "xsl:if") {
+    if (Expr::parse(required_attr(n, "test")).boolean(ctx)) instantiate_children(n, ctx, out);
+    return;
+  }
+  if (name == "xsl:choose") {
+    for (const auto& branch : n.children) {
+      if (!branch->is_element()) continue;
+      if (branch->name == "xsl:when") {
+        if (Expr::parse(required_attr(*branch, "test")).boolean(ctx)) {
+          instantiate_children(*branch, ctx, out);
+          return;
+        }
+      } else if (branch->name == "xsl:otherwise") {
+        instantiate_children(*branch, ctx, out);
+        return;
+      } else {
+        throw XmlError("unexpected <" + branch->name + "> inside xsl:choose");
+      }
+    }
+    return;
+  }
+  if (name == "xsl:apply-templates") {
+    const std::string* select = n.attr("select");
+    if (select != nullptr) {
+      Path p = Path::parse(*select);
+      for (const XmlNode* node : p.select(ctx)) apply_templates(*node, out);
+    } else {
+      for (const auto& child : ctx.children) apply_templates(*child, out);
+    }
+    return;
+  }
+  if (name == "xsl:element") {
+    XmlNode& elem = out.append_element(eval_avt(required_attr(n, "name"), ctx));
+    instantiate_children(n, ctx, elem);
+    return;
+  }
+  if (name == "xsl:attribute") {
+    // Evaluate the body into a scratch element, take its text.
+    XmlNodePtr scratch = make_element("scratch");
+    instantiate_children(n, ctx, *scratch);
+    out.set_attr(eval_avt(required_attr(n, "name"), ctx), scratch->text_content());
+    return;
+  }
+  throw XmlError("unsupported XSLT instruction <" + name + ">");
+}
+
+XmlNodePtr Stylesheet::apply(const XmlNode& source_root) const {
+  XmlNodePtr holder = make_element("#result");
+  apply_templates(source_root, *holder);
+  // The result must be a single element.
+  XmlNode* found = nullptr;
+  for (auto& c : holder->children) {
+    if (c->is_element()) {
+      if (found != nullptr) throw XmlError("transformation produced multiple root elements");
+      found = c.get();
+    } else if (c->is_text()) {
+      bool ws_only = c->text.find_first_not_of(" \t\r\n") == std::string::npos;
+      if (!ws_only) throw XmlError("transformation produced top-level text");
+    }
+  }
+  if (found == nullptr) throw XmlError("transformation produced no root element");
+  for (auto& c : holder->children) {
+    if (c.get() == found) {
+      XmlNodePtr result = std::move(c);
+      result->parent = nullptr;
+      return result;
+    }
+  }
+  throw XmlError("internal: result extraction failed");
+}
+
+}  // namespace morph::xmlx

@@ -1,0 +1,62 @@
+// XSLT-lite: the stylesheet subset used by the paper's B2B and decoding
+// experiments (§4.2, §5).
+//
+// Supported instructions (element names are matched literally with the
+// conventional "xsl:" prefix):
+//   xsl:stylesheet / xsl:transform      root container
+//   xsl:template match="pattern"        pattern: "/", "/Name", "Name",
+//                                       "a/b", "*"
+//   xsl:apply-templates [select=path]
+//   xsl:value-of select=expr
+//   xsl:for-each select=path
+//   xsl:if test=expr
+//   xsl:choose > xsl:when test / xsl:otherwise
+//   xsl:text
+//   xsl:element name= / xsl:attribute name=
+// Literal result elements are copied; their attribute values support the
+// usual {expr} templates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlx/xml.hpp"
+#include "xmlx/xpath.hpp"
+
+namespace morph::xmlx {
+
+class Stylesheet {
+ public:
+  /// Parse a stylesheet from XML text. Throws XmlError.
+  static Stylesheet parse(std::string_view xml_text);
+
+  /// Apply to a source document; returns the result tree's root element.
+  /// Throws XmlError when the transformation produces no root element or
+  /// more than one.
+  XmlNodePtr apply(const XmlNode& source_root) const;
+
+  size_t template_count() const { return templates_.size(); }
+
+ private:
+  struct Template {
+    std::string match;
+    std::vector<std::string> steps;  // parsed pattern steps (last = leaf)
+    bool anchored = false;           // pattern started with '/'
+    int specificity = 0;
+    const XmlNode* body = nullptr;
+  };
+
+  const Template* find_template(const XmlNode& node) const;
+  static bool pattern_matches(const Template& t, const XmlNode& node);
+
+  void instantiate(const XmlNode& body_node, const XmlNode& ctx, XmlNode& out) const;
+  void instantiate_children(const XmlNode& body, const XmlNode& ctx, XmlNode& out) const;
+  void apply_templates(const XmlNode& ctx, XmlNode& out) const;
+
+  XmlNodePtr doc_;  // owns the stylesheet tree the templates point into
+  std::vector<Template> templates_;
+};
+
+}  // namespace morph::xmlx

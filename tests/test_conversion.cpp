@@ -1,0 +1,358 @@
+// ConversionPlan behaviour across *different* wire and host formats:
+// reordering, widening, kind conversion, defaults for missing fields,
+// dropping of unknown fields, nested and array conversions, enum remapping.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::pbio {
+namespace {
+
+/// Encode a DynValue under `wire_fmt` and decode it under `host_fmt`.
+DynValue convert(const DynValue& value, const FormatPtr& wire_fmt, const FormatPtr& host_fmt) {
+  RecordArena arena;
+  void* rec = from_dyn(value, arena);
+  ByteBuffer wire;
+  Encoder(wire_fmt).encode(rec, wire);
+  RecordArena arena2;
+  Decoder dec(host_fmt);
+  void* out = dec.decode(wire.data(), wire.size(), wire_fmt, arena2);
+  return to_dyn(*host_fmt, out);
+}
+
+DynValue make(const FormatPtr& fmt) { return make_dyn(fmt); }
+
+TEST(Conversion, FieldReorderingByName) {
+  auto wire = FormatBuilder("T").add_int("a", 4).add_int("b", 4).build();
+  auto host = FormatBuilder("T").add_int("b", 4).add_int("a", 4).build();
+  auto v = make(wire);
+  v.field("a") = int64_t{1};
+  v.field("b") = int64_t{2};
+  v.as_struct().format = wire;
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("a").as_int(), 1);
+  EXPECT_EQ(out.field("b").as_int(), 2);
+}
+
+TEST(Conversion, IntWideningAndNarrowing) {
+  auto wire = FormatBuilder("T").add_int("x", 4).add_int("y", 8).build();
+  auto host = FormatBuilder("T").add_int("x", 8).add_int("y", 2).build();
+  auto v = make(wire);
+  v.field("x") = int64_t{-123456};
+  v.field("y") = int64_t{300};  // fits in i16
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("x").as_int(), -123456);  // widened, sign preserved
+  EXPECT_EQ(out.field("y").as_int(), 300);
+}
+
+TEST(Conversion, SignExtensionOnWidening) {
+  auto wire = FormatBuilder("T").add_int("x", 1).add_uint("u", 1).build();
+  auto host = FormatBuilder("T").add_int("x", 8).add_uint("u", 8).build();
+  auto v = make(wire);
+  v.field("x") = int64_t{-5};
+  v.field("u") = int64_t{200};
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("x").as_int(), -5);    // sign extended
+  EXPECT_EQ(out.field("u").as_int(), 200);   // zero extended
+}
+
+TEST(Conversion, IntFloatCrossConversion) {
+  auto wire = FormatBuilder("T").add_int("i", 4).add_float("f", 8).build();
+  auto host = FormatBuilder("T").add_float("i", 8).add_int("f", 4).build();
+  auto v = make(wire);
+  v.field("i") = int64_t{7};
+  v.field("f") = 3.75;
+  auto out = convert(v, wire, host);
+  EXPECT_DOUBLE_EQ(out.field("i").as_float(), 7.0);
+  EXPECT_EQ(out.field("f").as_int(), 3);  // truncation toward zero
+}
+
+TEST(Conversion, FloatWidthConversion) {
+  auto wire = FormatBuilder("T").add_float("a", 4).add_float("b", 8).build();
+  auto host = FormatBuilder("T").add_float("a", 8).add_float("b", 4).build();
+  auto v = make(wire);
+  v.field("a") = 1.5;
+  v.field("b") = 2.25;
+  auto out = convert(v, wire, host);
+  EXPECT_DOUBLE_EQ(out.field("a").as_float(), 1.5);
+  EXPECT_DOUBLE_EQ(out.field("b").as_float(), 2.25);
+}
+
+TEST(Conversion, MissingFieldGetsDeclaredDefault) {
+  auto wire = FormatBuilder("T").add_int("keep", 4).build();
+  auto host = FormatBuilder("T")
+                  .add_int("keep", 4)
+                  .add_int("added", 4)
+                  .with_default(int64_t{99})
+                  .add_string("note")
+                  .with_default(std::string("default-note"))
+                  .add_float("r", 8)
+                  .with_default(0.5)
+                  .build();
+  auto v = make(wire);
+  v.field("keep") = int64_t{1};
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("keep").as_int(), 1);
+  EXPECT_EQ(out.field("added").as_int(), 99);
+  EXPECT_EQ(out.field("note").as_string(), "default-note");
+  EXPECT_DOUBLE_EQ(out.field("r").as_float(), 0.5);
+}
+
+TEST(Conversion, MissingFieldWithoutDefaultIsZero) {
+  auto wire = FormatBuilder("T").add_int("keep", 4).build();
+  auto host =
+      FormatBuilder("T").add_int("keep", 4).add_int("z", 4).add_string("s").build();
+  auto v = make(wire);
+  v.field("keep") = int64_t{5};
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("z").as_int(), 0);
+  EXPECT_EQ(out.field("s").as_string(), "");
+}
+
+TEST(Conversion, ExtraWireFieldsAreDropped) {
+  auto wire = FormatBuilder("T")
+                  .add_int("keep", 4)
+                  .add_int("extra1", 4)
+                  .add_string("extra2")
+                  .build();
+  auto host = FormatBuilder("T").add_int("keep", 4).build();
+  auto v = make(wire);
+  v.field("keep") = int64_t{77};
+  v.field("extra1") = int64_t{1};
+  v.field("extra2") = std::string("gone");
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("keep").as_int(), 77);
+  EXPECT_EQ(out.as_struct().fields.size(), 1u);
+}
+
+TEST(Conversion, KindMismatchTreatedAsMissing) {
+  auto wire = FormatBuilder("T").add_string("x").build();
+  auto host = FormatBuilder("T").add_int("x", 4).with_default(int64_t{-1}).build();
+  auto v = make(wire);
+  v.field("x") = std::string("not-an-int");
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("x").as_int(), -1);
+
+  Decoder dec(host);
+  const auto& plan = dec.plan_for(wire);
+  EXPECT_TRUE(plan.lossy());
+  EXPECT_EQ(plan.defaulted_fields(), 1u);
+}
+
+TEST(Conversion, LossyFlagFalseForPerfectShape) {
+  auto wire = FormatBuilder("T").add_int("a", 4).add_int("b", 4).build();
+  auto host = FormatBuilder("T").add_int("b", 8).add_int("a", 2).build();
+  Decoder dec(host);
+  EXPECT_FALSE(dec.plan_for(wire).lossy());
+}
+
+TEST(Conversion, EnumRemapsByName) {
+  auto wire = FormatBuilder("T").add_enum("e", {{"RED", 0}, {"GREEN", 1}}).build();
+  auto host = FormatBuilder("T").add_enum("e", {{"GREEN", 10}, {"RED", 20}}).build();
+  auto v = make(wire);
+  v.field("e") = int64_t{1};  // GREEN in the wire numbering
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("e").as_int(), 10);  // GREEN in the host numbering
+}
+
+TEST(Conversion, EnumUnknownValuePassesThrough) {
+  auto wire = FormatBuilder("T").add_enum("e", {{"A", 0}}).build();
+  auto host = FormatBuilder("T").add_enum("e", {{"A", 5}}).build();
+  auto v = make(wire);
+  v.field("e") = int64_t{42};  // not a named enumerator
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("e").as_int(), 42);
+}
+
+TEST(Conversion, NestedStructConversion) {
+  auto wire_sub = FormatBuilder("Sub").add_int("a", 4).add_int("gone", 4).build();
+  auto host_sub = FormatBuilder("Sub")
+                      .add_int("a", 8)
+                      .add_int("fresh", 4)
+                      .with_default(int64_t{3})
+                      .build();
+  auto wire = FormatBuilder("T").add_struct("s", wire_sub).add_int("top", 4).build();
+  auto host = FormatBuilder("T").add_int("top", 4).add_struct("s", host_sub).build();
+
+  auto v = make(wire);
+  v.field("s").field("a") = int64_t{11};
+  v.field("s").field("gone") = int64_t{1};
+  v.field("top") = int64_t{5};
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("top").as_int(), 5);
+  EXPECT_EQ(out.field("s").field("a").as_int(), 11);
+  EXPECT_EQ(out.field("s").field("fresh").as_int(), 3);
+}
+
+TEST(Conversion, DynArrayOfStructsWithElementEvolution) {
+  auto wire_e = FormatBuilder("E").add_string("name").add_int("v", 4).build();
+  auto host_e = FormatBuilder("E")
+                    .add_int("v", 8)
+                    .add_string("name")
+                    .add_int("w", 4)
+                    .with_default(int64_t{-2})
+                    .build();
+  auto wire = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("es", wire_e, "n")
+                  .build();
+  auto host = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("es", host_e, "n")
+                  .build();
+
+  auto v = make(wire);
+  DynList list;
+  for (int i = 0; i < 4; ++i) {
+    auto e = make_dyn(wire_e);
+    e.field("name") = std::string("e" + std::to_string(i));
+    e.field("v") = int64_t{i * 10};
+    list.push_back(std::move(e));
+  }
+  v.field("n") = int64_t{4};
+  v.field("es") = std::move(list);
+
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("n").as_int(), 4);
+  const auto& es = out.field("es").as_list();
+  ASSERT_EQ(es.size(), 4u);
+  EXPECT_EQ(es[2].field("name").as_string(), "e2");
+  EXPECT_EQ(es[2].field("v").as_int(), 20);
+  EXPECT_EQ(es[2].field("w").as_int(), -2);
+}
+
+TEST(Conversion, DynArrayRenamedLengthField) {
+  // The count field's *name* changed between revisions; the array still
+  // converts and the host count field is fixed up from the actual count.
+  auto wire = FormatBuilder("T")
+                  .add_int("num", 4)
+                  .add_dyn_array("xs", FieldKind::kInt, 4, "num")
+                  .build();
+  auto host = FormatBuilder("T")
+                  .add_int("count", 4)
+                  .add_dyn_array("xs", FieldKind::kInt, 4, "count")
+                  .build();
+  auto v = make(wire);
+  v.field("num") = int64_t{3};
+  v.field("xs") = DynList{int64_t{1}, int64_t{2}, int64_t{3}};
+  auto out = convert(v, wire, host);
+  EXPECT_EQ(out.field("count").as_int(), 3);  // fixed up despite the rename
+  ASSERT_EQ(out.field("xs").as_list().size(), 3u);
+  EXPECT_EQ(out.field("xs").as_list()[2].as_int(), 3);
+}
+
+TEST(Conversion, StaticToDynAndBack) {
+  auto wire = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_static_array("xs", FieldKind::kInt, 4, 3)
+                  .build();
+  auto host = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("xs", FieldKind::kInt, 4, "n")
+                  .build();
+  auto v = make(wire);
+  v.field("xs") = DynList{int64_t{9}, int64_t{8}, int64_t{7}};
+  auto out = convert(v, wire, host);
+  ASSERT_EQ(out.field("xs").as_list().size(), 3u);
+  EXPECT_EQ(out.field("xs").as_list()[0].as_int(), 9);
+  EXPECT_EQ(out.field("n").as_int(), 3);  // count synthesized from static size
+
+  // And dyn -> static: excess elements clipped, short arrays zero-padded.
+  auto host2 = FormatBuilder("T")
+                   .add_int("n", 4)
+                   .add_static_array("xs", FieldKind::kInt, 4, 2)
+                   .build();
+  auto v2 = make(host);
+  v2.field("n") = int64_t{3};
+  v2.field("xs") = DynList{int64_t{4}, int64_t{5}, int64_t{6}};
+  auto out2 = convert(v2, host, host2);
+  const auto& xs2 = out2.field("xs").as_list();
+  ASSERT_EQ(xs2.size(), 2u);
+  EXPECT_EQ(xs2[0].as_int(), 4);
+  EXPECT_EQ(xs2[1].as_int(), 5);
+}
+
+TEST(Conversion, DynArrayOfStrings) {
+  auto wire = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("names", FieldKind::kString, 0, "n")
+                  .build();
+  auto v = make(wire);
+  v.field("n") = int64_t{2};
+  v.field("names") = DynList{std::string("alpha"), std::string("beta")};
+  auto out = convert(v, wire, wire);
+  ASSERT_EQ(out.field("names").as_list().size(), 2u);
+  EXPECT_EQ(out.field("names").as_list()[1].as_string(), "beta");
+}
+
+TEST(Conversion, ArrayElementScalarConversion) {
+  auto wire = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("xs", FieldKind::kInt, 2, "n")
+                  .build();
+  auto host = FormatBuilder("T")
+                  .add_int("n", 4)
+                  .add_dyn_array("xs", FieldKind::kFloat, 8, "n")
+                  .build();
+  auto v = make(wire);
+  v.field("n") = int64_t{2};
+  v.field("xs") = DynList{int64_t{-7}, int64_t{30000}};
+  auto out = convert(v, wire, host);
+  EXPECT_DOUBLE_EQ(out.field("xs").as_list()[0].as_float(), -7.0);
+  EXPECT_DOUBLE_EQ(out.field("xs").as_list()[1].as_float(), 30000.0);
+}
+
+// --- Property: evolution never corrupts matched fields ----------------------
+
+TEST(ConversionProperty, MutatedFormatsPreserveSharedFields) {
+  Rng rng(99);
+  int checked = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    auto wire = random_format(rng, "Evo" + std::to_string(iter));
+    auto host = mutate_format(rng, *wire);
+
+    RecordArena arena;
+    DynValue value = random_dyn(rng, wire);
+    void* rec = from_dyn(value, arena);
+    DynValue sent = to_dyn(*wire, rec);
+
+    ByteBuffer buf;
+    Encoder(wire).encode(rec, buf);
+    RecordArena arena2;
+    Decoder dec(host);
+    void* out = dec.decode(buf.data(), buf.size(), wire, arena2);
+    DynValue got = to_dyn(*host, out);
+
+    // Every top-level basic field present in both formats with the same
+    // kind and not involved in array-count fix-ups must survive.
+    for (const auto& hf : host->fields()) {
+      const FieldDescriptor* wf = wire->find_field(hf.name);
+      if (wf == nullptr || wf->kind != hf.kind || !is_basic(hf.kind)) continue;
+      if (hf.kind == FieldKind::kFloat || wf->size != hf.size) continue;
+      bool is_count = false;
+      for (const auto& other : host->fields()) {
+        if (other.kind == FieldKind::kDynArray && other.length_field == hf.name) is_count = true;
+      }
+      for (const auto& other : wire->fields()) {
+        if (other.kind == FieldKind::kDynArray && other.length_field == hf.name) is_count = true;
+      }
+      if (is_count) continue;
+      size_t wi = wire->field_index(hf.name);
+      size_t hi = host->field_index(hf.name);
+      EXPECT_EQ(sent.as_struct().fields[wi], got.as_struct().fields[hi])
+          << "iter " << iter << " field " << hf.name;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);  // the property must have real coverage
+}
+
+}  // namespace
+}  // namespace morph::pbio

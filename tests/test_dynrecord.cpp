@@ -1,0 +1,154 @@
+// DynRecord (boxed values): round trips, name-based equality, field access,
+// and the random generators that power the property tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::pbio {
+namespace {
+
+FormatPtr point_format() {
+  return FormatBuilder("Point").add_int("x", 4).add_float("y", 8).add_string("label").build();
+}
+
+TEST(DynRecord, MakeDynProducesZeros) {
+  auto v = make_dyn(point_format());
+  EXPECT_EQ(v.field("x").as_int(), 0);
+  EXPECT_DOUBLE_EQ(v.field("y").as_float(), 0.0);
+  EXPECT_EQ(v.field("label").as_string(), "");
+}
+
+TEST(DynRecord, FromToDynRoundTrip) {
+  auto fmt = point_format();
+  auto v = make_dyn(fmt);
+  v.field("x") = int64_t{-3};
+  v.field("y") = 6.25;
+  v.field("label") = std::string("origin");
+
+  RecordArena arena;
+  void* rec = from_dyn(v, arena);
+  EXPECT_EQ(to_dyn(*fmt, rec), v);
+
+  RecordRef ref(rec, fmt);
+  EXPECT_EQ(ref.get_int("x"), -3);
+  EXPECT_DOUBLE_EQ(ref.get_float("y"), 6.25);
+  EXPECT_EQ(ref.get_string("label"), "origin");
+}
+
+TEST(DynRecord, UnknownFieldThrows) {
+  auto v = make_dyn(point_format());
+  EXPECT_THROW(v.field("nope"), FormatError);
+}
+
+TEST(DynRecord, DynArrayCountFieldIsFixedUp) {
+  auto fmt = FormatBuilder("T")
+                 .add_int("n", 4)
+                 .add_dyn_array("xs", FieldKind::kInt, 4, "n")
+                 .build();
+  auto v = make_dyn(fmt);
+  v.field("n") = int64_t{999};  // wrong on purpose
+  v.field("xs") = DynList{int64_t{1}, int64_t{2}};
+  RecordArena arena;
+  void* rec = from_dyn(v, arena);
+  RecordRef ref(rec, fmt);
+  EXPECT_EQ(ref.get_int("n"), 2);  // from_dyn repaired the count
+}
+
+TEST(DynRecord, EqualityIsNameBasedAcrossLayouts) {
+  auto a = FormatBuilder("T").add_int("x", 4).add_int("y", 4).build();
+  auto b = FormatBuilder("T").add_int("y", 4).add_int("x", 4).build();
+  auto va = make_dyn(a);
+  va.field("x") = int64_t{1};
+  va.field("y") = int64_t{2};
+  auto vb = make_dyn(b);
+  vb.field("x") = int64_t{1};
+  vb.field("y") = int64_t{2};
+  EXPECT_EQ(va, vb);
+  vb.field("y") = int64_t{3};
+  EXPECT_NE(va, vb);
+}
+
+TEST(DynRecord, NestedStructAndArrays) {
+  auto sub = FormatBuilder("Sub").add_int("v", 4).build();
+  auto fmt = FormatBuilder("T")
+                 .add_int("n", 4)
+                 .add_dyn_array("subs", sub, "n")
+                 .add_static_array("fixed", FieldKind::kFloat, 8, 2)
+                 .add_struct("one", sub)
+                 .build();
+  auto v = make_dyn(fmt);
+  ASSERT_TRUE(v.field("subs").is_list());
+  ASSERT_EQ(v.field("fixed").as_list().size(), 2u);
+  auto e = make_dyn(sub);
+  e.field("v") = int64_t{5};
+  v.field("subs").as_list().push_back(e);
+  v.field("n") = int64_t{1};
+  v.field("fixed").as_list()[1] = 2.5;
+  v.field("one").field("v") = int64_t{-9};
+
+  RecordArena arena;
+  void* rec = from_dyn(v, arena);
+  DynValue back = to_dyn(*fmt, rec);
+  EXPECT_EQ(back.field("subs").as_list()[0].field("v").as_int(), 5);
+  EXPECT_DOUBLE_EQ(back.field("fixed").as_list()[1].as_float(), 2.5);
+  EXPECT_EQ(back.field("one").field("v").as_int(), -9);
+}
+
+TEST(DynRecord, DebugStringShowsStructure) {
+  auto v = make_dyn(point_format());
+  v.field("label") = std::string("hi");
+  std::string s = to_debug_string(v);
+  EXPECT_NE(s.find("label"), std::string::npos);
+  EXPECT_NE(s.find("\"hi\""), std::string::npos);
+}
+
+TEST(RandGen, FormatsAreValidAndDiverse) {
+  Rng rng(7);
+  size_t with_arrays = 0, with_strings = 0, with_structs = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto fmt = random_format(rng, "F" + std::to_string(i));
+    EXPECT_GE(fmt->field_count(), 1u);
+    for (const auto& fd : fmt->fields()) {
+      if (is_array(fd.kind)) ++with_arrays;
+      if (fd.kind == FieldKind::kString) ++with_strings;
+      if (fd.kind == FieldKind::kStruct) ++with_structs;
+    }
+  }
+  EXPECT_GT(with_arrays, 0u);
+  EXPECT_GT(with_strings, 0u);
+  EXPECT_GT(with_structs, 0u);
+}
+
+TEST(RandGen, RecordsConformToFormat) {
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    auto fmt = random_format(rng, "F" + std::to_string(i));
+    RecordArena arena;
+    void* rec = random_record(rng, fmt, arena);
+    // to_dyn must walk the whole record without tripping bounds checks, and
+    // the result must round-trip.
+    DynValue v = to_dyn(*fmt, rec);
+    RecordArena arena2;
+    void* rec2 = from_dyn(v, arena2);
+    EXPECT_EQ(to_dyn(*fmt, rec2), v);
+  }
+}
+
+TEST(RandGen, MutationsAlwaysProduceValidFormats) {
+  Rng rng(13);
+  for (int i = 0; i < 80; ++i) {
+    auto fmt = random_format(rng, "F" + std::to_string(i));
+    auto mut = mutate_format(rng, *fmt);
+    EXPECT_EQ(mut->name(), fmt->name());
+    // A mutated format must still build records successfully.
+    RecordArena arena;
+    void* rec = random_record(rng, mut, arena);
+    (void)to_dyn(*mut, rec);
+  }
+}
+
+}  // namespace
+}  // namespace morph::pbio

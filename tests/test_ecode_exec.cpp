@@ -1,0 +1,722 @@
+// Ecode execution semantics, run against BOTH backends (bytecode VM and
+// x86-64 JIT) through a parameterized suite — every test is a differential
+// check that the two implementations of "dynamic code generation" agree.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "ecode/ecode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::ecode {
+namespace {
+
+using pbio::DynList;
+using pbio::DynValue;
+using pbio::FieldKind;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+using pbio::make_dyn;
+using pbio::RecordRef;
+
+/// Scratch format used by most tests: a grab-bag of scalar widths, floats,
+/// strings, and arrays.
+FormatPtr scratch_format() {
+  static FormatPtr fmt = [] {
+    auto sub = FormatBuilder("Sub").add_int("v", 4).add_string("name").build();
+    return FormatBuilder("Scratch")
+        .add_int("i8", 1)
+        .add_int("i16", 2)
+        .add_int("i32", 4)
+        .add_int("i64", 8)
+        .add_uint("u8", 1)
+        .add_uint("u16", 2)
+        .add_uint("u32", 4)
+        .add_float("f32", 4)
+        .add_float("f64", 8)
+        .add_char("ch")
+        .add_string("s")
+        .add_int("count", 4)
+        .add_dyn_array("items", sub, "count")
+        .add_static_array("fixed", FieldKind::kInt, 4, 4)
+        .add_struct("one", sub)
+        .build();
+  }();
+  return fmt;
+}
+
+class ExecTest : public ::testing::TestWithParam<ExecBackend> {
+ protected:
+  /// Compile a transform with (dst, src) parameters over the scratch format
+  /// and run it on fresh records. Returns the dst record.
+  RecordRef run(const std::string& src_code, const DynValue* src_value = nullptr) {
+    auto fmt = scratch_format();
+    transform_ = std::make_unique<Transform>(
+        Transform::compile(src_code, {{"dst", fmt}, {"src", fmt}}, GetParam()));
+    void* dst = pbio::alloc_record(*fmt, arena_);
+    void* src = src_value != nullptr ? pbio::from_dyn(*src_value, arena_)
+                                     : pbio::alloc_record(*fmt, arena_);
+    transform_->run2(dst, src, arena_);
+    return RecordRef(dst, fmt);
+  }
+
+  RecordArena arena_;
+  std::unique_ptr<Transform> transform_;
+};
+
+TEST_P(ExecTest, BackendMatchesRequest) {
+  run("dst.i32 = 1;");
+  if (GetParam() == ExecBackend::kJit) {
+    EXPECT_TRUE(transform_->jitted());
+    EXPECT_GT(transform_->native_code_size(), 0u);
+  } else {
+    EXPECT_FALSE(transform_->jitted());
+    EXPECT_EQ(transform_->native_code_size(), 0u);
+  }
+}
+
+TEST_P(ExecTest, IntArithmetic) {
+  auto d = run(R"(
+    dst.i64 = 7 + 3 * 4 - 10 / 2;   // 14
+    dst.i32 = (7 + 3) * (4 - 10) / 2;  // -30
+    dst.i16 = 17 % 5;
+    dst.i8 = -7;
+  )");
+  EXPECT_EQ(d.get_int("i64"), 14);
+  EXPECT_EQ(d.get_int("i32"), -30);
+  EXPECT_EQ(d.get_int("i16"), 2);
+  EXPECT_EQ(d.get_int("i8"), -7);
+}
+
+TEST_P(ExecTest, DivisionEdgeCases) {
+  auto d = run(R"(
+    int zero = 0;
+    dst.i64 = 5 / zero;          // defined as 0
+    dst.i32 = 5 % zero;          // defined as 0
+    int m = -9223372036854775807 - 1;  // INT64_MIN
+    int negone = -1;
+    dst.i16 = (m / negone) == m;      // wraps
+    dst.i8 = m % negone;              // 0
+  )");
+  EXPECT_EQ(d.get_int("i64"), 0);
+  EXPECT_EQ(d.get_int("i32"), 0);
+  EXPECT_EQ(d.get_int("i16"), 1);
+  EXPECT_EQ(d.get_int("i8"), 0);
+}
+
+TEST_P(ExecTest, SignedDivisionTruncatesTowardZero) {
+  auto d = run("dst.i32 = -7 / 2; dst.i16 = -7 % 2; dst.i64 = 7 / -2;");
+  EXPECT_EQ(d.get_int("i32"), -3);
+  EXPECT_EQ(d.get_int("i16"), -1);
+  EXPECT_EQ(d.get_int("i64"), -3);
+}
+
+TEST_P(ExecTest, BitOperations) {
+  auto d = run(R"(
+    dst.i64 = (0xF0 & 0x3C) | (1 << 10) | (0x0F ^ 0x05);
+    dst.i32 = ~0;
+    dst.i16 = (-16) >> 2;   // arithmetic shift
+    dst.i8 = !5;
+    dst.u8 = !0;
+  )");
+  EXPECT_EQ(d.get_int("i64"), (0xF0 & 0x3C) | (1 << 10) | (0x0F ^ 0x05));
+  EXPECT_EQ(d.get_int("i32"), -1);
+  EXPECT_EQ(d.get_int("i16"), -4);
+  EXPECT_EQ(d.get_int("i8"), 0);
+  EXPECT_EQ(d.get_int("u8"), 1);
+}
+
+TEST_P(ExecTest, Comparisons) {
+  auto d = run(R"(
+    dst.i8 = (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1);
+    dst.i16 = (-1 < 1);   // signed comparison
+    dst.f64 = 1.5;
+    dst.i32 = (dst.f64 > 1.0) + (dst.f64 <= 1.5) + (dst.f64 == 1.5) + (dst.f64 != 2.0);
+  )");
+  EXPECT_EQ(d.get_int("i8"), 4);
+  EXPECT_EQ(d.get_int("i16"), 1);
+  EXPECT_EQ(d.get_int("i32"), 4);
+}
+
+TEST_P(ExecTest, FloatArithmetic) {
+  auto d = run(R"(
+    dst.f64 = 1.5 * 4.0 - 2.0 / 8.0;   // 5.75
+    dst.f32 = 0.5 + 0.25;
+    float neg = -2.5;
+    dst.i32 = neg < 0.0;
+    dst.i64 = 7 / 2.0 * 2;  // promoted: 7.0
+  )");
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 5.75);
+  EXPECT_FLOAT_EQ(static_cast<float>(d.get_float("f32")), 0.75f);
+  EXPECT_EQ(d.get_int("i32"), 1);
+  EXPECT_EQ(d.get_int("i64"), 7);
+}
+
+TEST_P(ExecTest, IntFloatConversions) {
+  auto d = run(R"(
+    dst.f64 = 3;          // int -> float store
+    dst.i32 = 3.99;       // float -> int store truncates
+    dst.i16 = -3.99;
+    float f = 10;
+    int i = f / 4;        // 2.5 -> 2
+    dst.i8 = i;
+  )");
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 3.0);
+  EXPECT_EQ(d.get_int("i32"), 3);
+  EXPECT_EQ(d.get_int("i16"), -3);
+  EXPECT_EQ(d.get_int("i8"), 2);
+}
+
+TEST_P(ExecTest, FieldWidthsTruncateAndExtend) {
+  auto d = run(R"(
+    dst.i8 = 300;        // truncates to 44
+    dst.u8 = 300;        // truncates to 44 (same bits)
+    dst.i16 = 70000;     // truncates
+    dst.u16 = 65535;
+    dst.u32 = 4294967295;
+    dst.i64 = dst.u32;   // zero-extended reload
+    dst.i32 = dst.i8;    // sign-extended reload
+  )");
+  EXPECT_EQ(d.get_int("i8"), 44);
+  EXPECT_EQ(d.get_int("u8"), 44);
+  EXPECT_EQ(d.get_int("i16"), static_cast<int16_t>(70000));
+  EXPECT_EQ(d.get_int("u16"), 65535);
+  EXPECT_EQ(d.get_int("u32"), 4294967295);
+  EXPECT_EQ(d.get_int("i64"), 4294967295);
+  EXPECT_EQ(d.get_int("i32"), 44);
+}
+
+TEST_P(ExecTest, ShortCircuitEvaluation) {
+  // The right side of && / || must not execute when short-circuited: here
+  // the right side would index items[0] of an empty array... but since
+  // reads of unallocated arrays are undefined, we instead prove semantics
+  // through division (defined as 0) and counters.
+  auto d = run(R"(
+    int calls = 0;
+    int t = 1;
+    int f = 0;
+    if (f && (5 / f)) calls = 100;
+    dst.i32 = t || (5 / f);
+    dst.i16 = f && 1;
+    dst.i8 = f || 0;
+    dst.i64 = calls;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 1);
+  EXPECT_EQ(d.get_int("i16"), 0);
+  EXPECT_EQ(d.get_int("i8"), 0);
+  EXPECT_EQ(d.get_int("i64"), 0);
+}
+
+TEST_P(ExecTest, ConditionalExpression) {
+  auto d = run(R"(
+    dst.i32 = 1 ? 10 : 20;
+    dst.i16 = 0 ? 10 : 20;
+    dst.f64 = 1 ? 2 : 3.5;     // unified to float
+    dst.i64 = (5 > 3) ? (1 ? 7 : 8) : 9;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 10);
+  EXPECT_EQ(d.get_int("i16"), 20);
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 2.0);
+  EXPECT_EQ(d.get_int("i64"), 7);
+}
+
+TEST_P(ExecTest, ControlFlow) {
+  auto d = run(R"(
+    int sum = 0;
+    for (int i = 1; i <= 10; i++) sum += i;
+    dst.i32 = sum;
+
+    int n = 0;
+    while (n < 5) { n++; }
+    dst.i16 = n;
+
+    int k = 0;
+    for (int i = 0; i < 10; i++) {
+      if (i % 2 == 0) k += i;
+      else k -= 1;
+    }
+    dst.i64 = k;  // 0+2+4+6+8 - 5 = 15
+  )");
+  EXPECT_EQ(d.get_int("i32"), 55);
+  EXPECT_EQ(d.get_int("i16"), 5);
+  EXPECT_EQ(d.get_int("i64"), 15);
+}
+
+TEST_P(ExecTest, DoWhileLoops) {
+  auto d = run(R"(
+    int n = 0;
+    do { n++; } while (n < 5);
+    dst.i32 = n;
+
+    // Body runs at least once even when the condition is false.
+    int ran = 0;
+    do { ran = 1; } while (0);
+    dst.i16 = ran;
+
+    // break / continue inside do/while.
+    int sum = 0;
+    int i = 0;
+    do {
+      i++;
+      if (i % 2 == 0) continue;
+      if (i > 7) break;
+      sum += i;          // 1+3+5+7 = 16
+    } while (i < 100);
+    dst.i64 = sum;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 5);
+  EXPECT_EQ(d.get_int("i16"), 1);
+  EXPECT_EQ(d.get_int("i64"), 16);
+}
+
+TEST_P(ExecTest, BreakAndContinue) {
+  auto d = run(R"(
+    int sum = 0;
+    for (int i = 0; i < 100; i++) {
+      if (i == 10) break;
+      if (i % 2 == 1) continue;
+      sum += i;             // 0+2+4+6+8 = 20
+    }
+    dst.i32 = sum;
+
+    int n = 0;
+    int hits = 0;
+    while (1) {
+      n++;
+      if (n > 50) break;
+      if (n % 10 != 0) continue;
+      hits++;               // 10, 20, 30, 40, 50 -> 5
+    }
+    dst.i16 = hits;
+
+    int outer = 0;
+    for (int a = 0; a < 5; a++) {
+      for (int b = 0; b < 5; b++) {
+        if (b == 2) break;  // inner break only
+        outer++;
+      }
+    }
+    dst.i64 = outer;        // 5 * 2 = 10
+  )");
+  EXPECT_EQ(d.get_int("i32"), 20);
+  EXPECT_EQ(d.get_int("i16"), 5);
+  EXPECT_EQ(d.get_int("i64"), 10);
+}
+
+TEST_P(ExecTest, BreakOutsideLoopRejected) {
+  auto fmt = scratch_format();
+  EXPECT_THROW(Transform::compile("break;", {{"p", fmt}}), EcodeError);
+  EXPECT_THROW(Transform::compile("if (1) continue;", {{"p", fmt}}), EcodeError);
+}
+
+TEST_P(ExecTest, ContinueSkipsToForStep) {
+  // If continue failed to run the step, this would loop forever.
+  auto d = run(R"(
+    int count = 0;
+    for (int i = 0; i < 10; i++) {
+      if (i >= 0) continue;
+      count = 999;
+    }
+    dst.i32 = count;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 0);
+}
+
+TEST_P(ExecTest, ReturnStopsExecution) {
+  auto d = run(R"(
+    dst.i32 = 1;
+    return;
+    dst.i32 = 2;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 1);
+}
+
+TEST_P(ExecTest, CompoundAssignOnFields) {
+  auto d = run(R"(
+    dst.i32 = 10;
+    dst.i32 += 5;
+    dst.i32 -= 3;
+    dst.i32 *= 4;
+    dst.i32 /= 6;   // 48/6 = 8
+    dst.i32 %= 5;   // 3
+    dst.f64 = 2.0;
+    dst.f64 *= 3;
+    dst.f64 += 0.5;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 3);
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 6.5);
+}
+
+TEST_P(ExecTest, IncDecOnFieldsAndLocals) {
+  auto d = run(R"(
+    int i = 5;
+    i++; i++; --i;
+    dst.i32 = i;
+    dst.i16 = 0;
+    dst.i16++;
+    dst.i16++;
+  )");
+  EXPECT_EQ(d.get_int("i32"), 6);
+  EXPECT_EQ(d.get_int("i16"), 2);
+}
+
+TEST_P(ExecTest, Builtins) {
+  auto d = run(R"(
+    dst.i32 = abs(-42) + abs(17);
+    dst.i16 = min(3, -5);
+    dst.i8 = max(3, -5);
+    dst.f64 = abs(-2.5) + min(1.0, 2.0) + max(0.5, 0.25);
+    dst.i64 = min(2, 3.5) == 2.0;   // mixed promotes to float
+  )");
+  EXPECT_EQ(d.get_int("i32"), 59);
+  EXPECT_EQ(d.get_int("i16"), -5);
+  EXPECT_EQ(d.get_int("i8"), 3);
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 4.0);
+  EXPECT_EQ(d.get_int("i64"), 1);
+}
+
+TEST_P(ExecTest, MathBuiltins) {
+  auto d = run(R"(
+    dst.f64 = sqrt(2.25);
+    dst.f32 = floor(3.7) + ceil(3.2);   // 3 + 4
+    dst.i32 = sqrt(16);                 // int arg promotes, result truncates
+    dst.i64 = floor(-1.5);
+    dst.i16 = ceil(-1.5);
+  )");
+  EXPECT_DOUBLE_EQ(d.get_float("f64"), 1.5);
+  EXPECT_FLOAT_EQ(static_cast<float>(d.get_float("f32")), 7.0f);
+  EXPECT_EQ(d.get_int("i32"), 4);
+  EXPECT_EQ(d.get_int("i64"), -2);
+  EXPECT_EQ(d.get_int("i16"), -1);
+}
+
+TEST_P(ExecTest, MathBuiltinArityChecked) {
+  auto fmt = scratch_format();
+  EXPECT_THROW(Transform::compile("p.i32 = sqrt(1, 2);", {{"p", fmt}}), EcodeError);
+  EXPECT_THROW(Transform::compile("p.i32 = floor(p.s);", {{"p", fmt}}), EcodeError);
+}
+
+TEST_P(ExecTest, CharFieldsAndLiterals) {
+  auto d = run(R"(
+    dst.ch = 'A';
+    dst.i32 = 'z' - 'a';
+  )");
+  EXPECT_EQ(d.get_int("ch"), 'A');
+  EXPECT_EQ(d.get_int("i32"), 25);
+}
+
+TEST_P(ExecTest, EnumFieldsActAsIntegers) {
+  auto fmt = pbio::FormatBuilder("E")
+                 .add_enum("mode", {{"OFF", 0}, {"ON", 1}, {"AUTO", 2}})
+                 .add_int("out", 4)
+                 .build();
+  auto t = Transform::compile(R"(
+    dst.mode = 2;
+    if (src.mode == 1) dst.out = 10; else dst.out = 20;
+  )",
+                              {{"dst", fmt}, {"src", fmt}}, GetParam());
+  RecordArena arena;
+  void* dst = pbio::alloc_record(*fmt, arena);
+  void* src = pbio::alloc_record(*fmt, arena);
+  pbio::RecordRef(src, fmt).set_int("mode", 1);
+  t.run2(dst, src, arena);
+  pbio::RecordRef d(dst, fmt);
+  EXPECT_EQ(d.get_int("mode"), 2);
+  EXPECT_EQ(d.get_int("out"), 10);
+}
+
+TEST_P(ExecTest, StringOperations) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("s") = std::string("hello");
+  auto d = run(R"(
+    dst.s = src.s;
+    dst.i32 = strlen(src.s);
+    dst.i16 = streq(src.s, "hello");
+    dst.i8 = streq(src.s, "world");
+    dst.one.name = "literal";
+    dst.i64 = strlen(dst.one.name);
+  )",
+               &v);
+  EXPECT_EQ(d.get_string("s"), "hello");
+  EXPECT_EQ(d.get_int("i32"), 5);
+  EXPECT_EQ(d.get_int("i16"), 1);
+  EXPECT_EQ(d.get_int("i8"), 0);
+  EXPECT_EQ(d.get_struct("one").get_string("name"), "literal");
+  EXPECT_EQ(d.get_int("i64"), 7);
+}
+
+TEST_P(ExecTest, NullStringSemantics) {
+  // src.s was never set: reads as null; strlen -> 0; streq(null, "") -> 1.
+  auto d = run(R"(
+    dst.i32 = strlen(src.s);
+    dst.i16 = streq(src.s, "");
+    dst.s = src.s;   // copying a null string stays null
+  )");
+  EXPECT_EQ(d.get_int("i32"), 0);
+  EXPECT_EQ(d.get_int("i16"), 1);
+  EXPECT_EQ(d.get_string("s"), "");
+}
+
+TEST_P(ExecTest, StaticArrayReadWrite) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("fixed") = DynList{int64_t{10}, int64_t{20}, int64_t{30}, int64_t{40}};
+  auto d = run(R"(
+    for (int i = 0; i < 4; i++) dst.fixed[i] = src.fixed[3 - i] * 2;
+  )",
+               &v);
+  RecordArena tmp;
+  DynValue out = pbio::to_dyn(*fmt, d.data());
+  const auto& fixed = out.field("fixed").as_list();
+  EXPECT_EQ(fixed[0].as_int(), 80);
+  EXPECT_EQ(fixed[1].as_int(), 60);
+  EXPECT_EQ(fixed[2].as_int(), 40);
+  EXPECT_EQ(fixed[3].as_int(), 20);
+}
+
+TEST_P(ExecTest, DynArrayWriteGrowsAutomatically) {
+  auto d = run(R"(
+    int n = 100;
+    for (int i = 0; i < n; i++) {
+      dst.items[i].v = i * i;
+    }
+    dst.count = n;
+  )");
+  EXPECT_EQ(d.get_int("count"), 100);
+  for (uint64_t i = 0; i < 100; i += 17) {
+    EXPECT_EQ(d.element("items", i).get_int("v"), static_cast<int64_t>(i * i));
+  }
+}
+
+TEST_P(ExecTest, DynArrayElementStrings) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  auto sub = fmt->find_field("items")->element_format;
+  DynList items;
+  for (int i = 0; i < 3; ++i) {
+    auto e = make_dyn(sub);
+    e.field("v") = int64_t{i};
+    e.field("name") = std::string("n" + std::to_string(i));
+    items.push_back(std::move(e));
+  }
+  v.field("count") = int64_t{3};
+  v.field("items") = std::move(items);
+
+  auto d = run(R"(
+    int j = 0;
+    for (int i = src.count - 1; i >= 0; i = i - 1) {
+      dst.items[j].v = src.items[i].v;
+      dst.items[j].name = src.items[i].name;
+      j++;
+    }
+    dst.count = j;
+  )",
+               &v);
+  EXPECT_EQ(d.get_int("count"), 3);
+  EXPECT_EQ(d.element("items", 0).get_int("v"), 2);
+  EXPECT_EQ(d.element("items", 0).get_string("name"), "n2");
+  EXPECT_EQ(d.element("items", 2).get_string("name"), "n0");
+}
+
+TEST_P(ExecTest, NestedStructAccess) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("one").field("v") = int64_t{33};
+  v.field("one").field("name") = std::string("deep");
+  auto d = run(R"(
+    dst.one.v = src.one.v + 1;
+    dst.one.name = src.one.name;
+  )",
+               &v);
+  EXPECT_EQ(d.get_struct("one").get_int("v"), 34);
+  EXPECT_EQ(d.get_struct("one").get_string("name"), "deep");
+}
+
+TEST_P(ExecTest, StructCopyAssignment) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("one").field("v") = int64_t{42};
+  v.field("one").field("name") = std::string("deep-copied");
+  auto d = run("dst.one = src.one;", &v);
+  EXPECT_EQ(d.get_struct("one").get_int("v"), 42);
+  EXPECT_EQ(d.get_struct("one").get_string("name"), "deep-copied");
+}
+
+TEST_P(ExecTest, WholeRecordCopy) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("i32") = int64_t{7};
+  v.field("s") = std::string("whole");
+  v.field("count") = int64_t{2};
+  auto sub = fmt->find_field("items")->element_format;
+  DynList items;
+  for (int i = 0; i < 2; ++i) {
+    auto e = make_dyn(sub);
+    e.field("v") = int64_t{i + 10};
+    e.field("name") = std::string("it" + std::to_string(i));
+    items.push_back(std::move(e));
+  }
+  v.field("items") = std::move(items);
+
+  auto d = run("dst = src;", &v);
+  EXPECT_EQ(d.get_int("i32"), 7);
+  EXPECT_EQ(d.get_string("s"), "whole");
+  EXPECT_EQ(d.get_int("count"), 2);
+  EXPECT_EQ(d.element("items", 1).get_string("name"), "it1");
+}
+
+TEST_P(ExecTest, StructCopyIntoDynArrayElements) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("one").field("v") = int64_t{5};
+  v.field("one").field("name") = std::string("proto");
+  auto d = run(R"(
+    for (int i = 0; i < 3; i++) {
+      dst.items[i] = src.one;
+      dst.items[i].v = i;     // then specialize one field
+    }
+    dst.count = 3;
+  )",
+               &v);
+  EXPECT_EQ(d.get_int("count"), 3);
+  EXPECT_EQ(d.element("items", 2).get_int("v"), 2);
+  EXPECT_EQ(d.element("items", 2).get_string("name"), "proto");
+}
+
+TEST_P(ExecTest, StructCopyRequiresIdenticalFormats) {
+  auto fmt = scratch_format();
+  auto other = pbio::FormatBuilder("Other").add_int("x", 4).build();
+  auto with_other = pbio::FormatBuilder("W").add_struct("o", other).build();
+  EXPECT_THROW(Transform::compile("a.one = b.o;", {{"a", fmt}, {"b", with_other}}),
+               EcodeError);
+  EXPECT_THROW(Transform::compile("a.one += b.one;", {{"a", fmt}, {"b", fmt}}), EcodeError);
+  EXPECT_THROW(Transform::compile("a.one = 3;", {{"a", fmt}, {"b", fmt}}), EcodeError);
+}
+
+TEST_P(ExecTest, UnsignedFieldZeroExtends) {
+  auto fmt = scratch_format();
+  auto v = make_dyn(fmt);
+  v.field("u8") = int64_t{0xFF};
+  v.field("u16") = int64_t{0xFFFF};
+  v.field("u32") = int64_t{0xFFFFFFFF};
+  auto d = run(R"(
+    dst.i64 = src.u8 + src.u16 + src.u32;
+  )",
+               &v);
+  EXPECT_EQ(d.get_int("i64"), 0xFFll + 0xFFFFll + 0xFFFFFFFFll);
+}
+
+TEST_P(ExecTest, DeepLoopNesting) {
+  auto d = run(R"(
+    int total = 0;
+    for (int a = 0; a < 3; a++)
+      for (int b = 0; b < 4; b++)
+        for (int c = 0; c < 5; c++)
+          if ((a + b + c) % 2 == 0) total++;
+    dst.i32 = total;
+  )");
+  int expect = 0;
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 4; ++b)
+      for (int c = 0; c < 5; ++c)
+        if ((a + b + c) % 2 == 0) ++expect;
+  EXPECT_EQ(d.get_int("i32"), expect);
+}
+
+TEST_P(ExecTest, LargeLocalCount) {
+  // Forces the heap-allocated locals path in the JIT wrapper (> 64 slots).
+  std::string code;
+  for (int i = 0; i < 70; ++i) {
+    code += "int v" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  code += "dst.i64 = ";
+  for (int i = 0; i < 70; ++i) {
+    if (i > 0) code += " + ";
+    code += "v" + std::to_string(i);
+  }
+  code += ";";
+  auto d = run(code);
+  EXPECT_EQ(d.get_int("i64"), 69 * 70 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ExecTest,
+                         ::testing::Values(ExecBackend::kInterpreter, ExecBackend::kJit),
+                         [](const ::testing::TestParamInfo<ExecBackend>& info) {
+                           return info.param == ExecBackend::kJit ? "Jit" : "Vm";
+                         });
+
+TEST(TransformApi, CompiledTransformIsShareableAcrossThreads) {
+  // A compiled Transform is immutable; concurrent run() calls with private
+  // arenas must not interfere (the JIT code and chunk are shared).
+  auto fmt = scratch_format();
+  auto t = Transform::compile(R"(
+    int acc = 0;
+    for (int i = 0; i < 10000; i++) acc += i % 7;
+    dst.i64 = acc + src.i32;
+  )",
+                              {{"dst", fmt}, {"src", fmt}});
+  int64_t expect_base = 0;
+  for (int i = 0; i < 10000; ++i) expect_base += i % 7;
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (int iter = 0; iter < 50; ++iter) {
+        RecordArena arena;
+        void* dst = pbio::alloc_record(*fmt, arena);
+        void* src = pbio::alloc_record(*fmt, arena);
+        pbio::RecordRef(src, fmt).set_int("i32", ti * 1000 + iter);
+        t.run2(dst, src, arena);
+        if (pbio::RecordRef(dst, fmt).get_int("i64") != expect_base + ti * 1000 + iter) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TransformApi, Run2RequiresTwoParams) {
+  auto fmt = scratch_format();
+  auto t = Transform::compile("p.i32 = 1;", {{"p", fmt}});
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*fmt, arena);
+  EXPECT_THROW(t.run2(rec, rec, arena), Error);
+  void* records[1] = {rec};
+  t.run(records, arena);
+  EXPECT_EQ(RecordRef(rec, fmt).get_int("i32"), 1);
+}
+
+TEST(TransformApi, DisassembleShowsOps) {
+  auto fmt = scratch_format();
+  auto t = Transform::compile("p.i32 = 1 + 2;", {{"p", fmt}});
+  std::string dis = t.disassemble();
+  EXPECT_NE(dis.find("const.i"), std::string::npos);
+  EXPECT_NE(dis.find("store.i32"), std::string::npos);
+}
+
+TEST(TransformApi, ThreeParamTransform) {
+  auto fmt = scratch_format();
+  auto t = Transform::compile("a.i32 = b.i32 + c.i32;",
+                              {{"a", fmt}, {"b", fmt}, {"c", fmt}});
+  RecordArena arena;
+  void* ra = pbio::alloc_record(*fmt, arena);
+  void* rb = pbio::alloc_record(*fmt, arena);
+  void* rc = pbio::alloc_record(*fmt, arena);
+  RecordRef(rb, fmt).set_int("i32", 30);
+  RecordRef(rc, fmt).set_int("i32", 12);
+  void* records[3] = {ra, rb, rc};
+  t.run(records, arena);
+  EXPECT_EQ(RecordRef(ra, fmt).get_int("i32"), 42);
+}
+
+}  // namespace
+}  // namespace morph::ecode

@@ -1,0 +1,374 @@
+// End-to-end evolution scenarios and hostile-input fuzzing over the whole
+// stack: ports, out-of-band meta-data, Algorithm 2, Ecode DCG.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "echo/messages.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+#include "transport/link.hpp"
+#include "transport/port.hpp"
+
+namespace morph {
+namespace {
+
+using core::Delivery;
+using core::Outcome;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+/// Revision k of a telemetry format: fields f0..fk.
+FormatPtr rev(int k) {
+  FormatBuilder b("Telemetry");
+  for (int i = 0; i <= k; ++i) b.add_int("f" + std::to_string(i), 4);
+  return b.build();
+}
+
+core::TransformSpec down(int k) {
+  core::TransformSpec s;
+  s.src = rev(k);
+  s.dst = rev(k - 1);
+  for (int i = 0; i <= k - 1; ++i) {
+    s.code += "old.f" + std::to_string(i) + " = new.f" + std::to_string(i) + ";";
+  }
+  return s;
+}
+
+TEST(EvolutionE2E, ThreeHopChainOverPorts) {
+  // Sender speaks rev3 and declares the whole retro chain; the receiver
+  // understands only rev0 under perfect-match-only thresholds.
+  transport::InprocPair pair;
+  core::ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  core::Receiver rx(opt);
+  int value = -1;
+  rx.register_handler(rev(0), [&](const Delivery& d) {
+    EXPECT_EQ(d.outcome, Outcome::kMorphed);
+    value = static_cast<int>(pbio::RecordRef(d.record, d.format).get_int("f0"));
+  });
+  transport::MessagePort rx_port(pair.b(), &rx);
+
+  transport::MessagePort tx(pair.a(), nullptr);
+  tx.declare_transform(down(3));
+  tx.declare_transform(down(2));
+  tx.declare_transform(down(1));
+
+  RecordArena arena;
+  auto fmt3 = rev(3);
+  void* msg = pbio::alloc_record(*fmt3, arena);
+  pbio::RecordRef(msg, fmt3).set_int("f0", 777);
+  tx.send_record(fmt3, msg);
+  pair.pump();
+
+  EXPECT_EQ(value, 777);
+  EXPECT_EQ(rx.stats().transforms_compiled, 3u);
+  // All three formats plus three transform defs traveled out-of-band.
+  EXPECT_EQ(tx.stats().meta_frames_sent, 7u);  // 4 formats + 3 transforms
+}
+
+TEST(EvolutionE2E, MixedRevisionSendersOneReceiver) {
+  // Three senders at different protocol revisions, one reader connection
+  // each; every message must land in rev0 shape.
+  core::ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  for (int sender_rev : {0, 1, 2}) {
+    transport::InprocPair pair;
+    core::Receiver rx(opt);
+    int got = 0;
+    rx.register_handler(rev(0), [&](const Delivery& d) {
+      got = static_cast<int>(pbio::RecordRef(d.record, d.format).get_int("f0"));
+    });
+    transport::MessagePort rx_port(pair.b(), &rx);
+    transport::MessagePort tx(pair.a(), nullptr);
+    for (int k = sender_rev; k >= 1; --k) tx.declare_transform(down(k));
+
+    RecordArena arena;
+    auto fmt = rev(sender_rev);
+    void* msg = pbio::alloc_record(*fmt, arena);
+    pbio::RecordRef(msg, fmt).set_int("f0", 100 + sender_rev);
+    tx.send_record(fmt, msg);
+    pair.pump();
+    EXPECT_EQ(got, 100 + sender_rev) << "sender rev " << sender_rev;
+  }
+}
+
+TEST(EvolutionE2E, RandomEvolutionsDeliverSharedFields) {
+  // Random format + random mutation chain; transforms copy the shared
+  // top-level scalar fields. The receiver should accept every revision via
+  // the chain and preserve those fields.
+  Rng rng(77);
+  int scenarios = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    pbio::RandFormatOptions fopt;
+    fopt.min_fields = 3;
+    fopt.max_fields = 6;
+    fopt.max_depth = 1;
+    fopt.allow_dyn_arrays = false;  // keep transforms simple: scalars+strings
+    fopt.allow_static_arrays = false;
+    auto base = pbio::random_format(rng, "Evo" + std::to_string(iter), fopt);
+    pbio::MutateOptions mopt;
+    mopt.allow_reorder = false;  // reorders do not change the shared-field set
+    auto next = pbio::mutate_format(rng, *base, mopt);
+
+    // Build the retro-transform new->old over shared scalar/string fields.
+    core::TransformSpec spec;
+    spec.src = next;
+    spec.dst = base;
+    std::vector<std::string> shared;
+    for (const auto& fd : base->fields()) {
+      const auto* other = next->find_field(fd.name);
+      if (other == nullptr || other->kind != fd.kind) continue;
+      if (!pbio::is_basic(fd.kind)) continue;
+      // Width changes legitimately quantize floats / truncate ints on the
+      // way back to the old revision; assert only width-preserving fields.
+      if (other->size != fd.size) continue;
+      spec.code += "old." + fd.name + " = new." + fd.name + ";";
+      shared.push_back(fd.name);
+    }
+    if (shared.empty()) continue;
+    ++scenarios;
+
+    core::ReceiverOptions opt;
+    opt.thresholds = {0, 0.0};
+    core::Receiver rx(opt);
+    pbio::DynValue delivered;
+    rx.register_handler(base, [&](const Delivery& d) {
+      delivered = pbio::to_dyn(*d.format, d.record);
+    });
+    rx.learn_format(next);
+    rx.learn_transform(spec);
+
+    RecordArena arena;
+    auto value = pbio::random_dyn(rng, next);
+    void* msg = pbio::from_dyn(value, arena);
+    pbio::DynValue sent = pbio::to_dyn(*next, msg);
+    ByteBuffer wire;
+    pbio::Encoder(next).encode(msg, wire);
+    RecordArena rx_arena;
+    Outcome out = rx.process(wire.data(), wire.size(), rx_arena);
+    if (core::perfect_match(*next, *base)) {
+      // Width-only or scalar-retype mutations still match perfectly (diff
+      // works on scalar classes); the direct path wins then.
+      EXPECT_TRUE(out == Outcome::kPerfect || out == Outcome::kExact) << outcome_name(out);
+    } else {
+      EXPECT_EQ(out, Outcome::kMorphed) << "iter " << iter;
+    }
+    ASSERT_TRUE(delivered.is_struct()) << "iter " << iter;
+    for (const auto& name : shared) {
+      EXPECT_EQ(delivered.field(name), sent.field(name)) << "iter " << iter << " " << name;
+    }
+  }
+  EXPECT_GE(scenarios, 10);
+}
+
+TEST(EvolutionE2E, TenRevisionLadder) {
+  // A decade of protocol history: revision k has fields f0..fk plus a
+  // string that accretes per revision. A rev-0 reader must accept every
+  // revision through chains of up to 9 compiled hops, preserving f0 and
+  // the note.
+  auto mk = [](int k) {
+    FormatBuilder b("Ledger");
+    b.add_string("note");
+    for (int i = 0; i <= k; ++i) b.add_int("f" + std::to_string(i), 4);
+    return b.build();
+  };
+  auto spec = [&](int k) {
+    core::TransformSpec s;
+    s.src = mk(k);
+    s.dst = mk(k - 1);
+    s.code = "old.note = new.note;";
+    for (int i = 0; i <= k - 1; ++i) {
+      s.code += "old.f" + std::to_string(i) + " = new.f" + std::to_string(i) + ";";
+    }
+    return s;
+  };
+
+  core::ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  core::Receiver rx(opt);
+  int delivered = 0;
+  int64_t last_f0 = -1;
+  std::string last_note;
+  rx.register_handler(mk(0), [&](const Delivery& d) {
+    ++delivered;
+    pbio::RecordRef r(d.record, d.format);
+    last_f0 = r.get_int("f0");
+    last_note = r.get_string("note");
+  });
+  for (int k = 9; k >= 1; --k) rx.learn_transform(spec(k));
+
+  for (int rev = 0; rev <= 9; ++rev) {
+    auto fmt = mk(rev);
+    rx.learn_format(fmt);
+    RecordArena arena;
+    void* rec = pbio::alloc_record(*fmt, arena);
+    pbio::RecordRef r(rec, fmt);
+    r.set_int("f0", 1000 + rev);
+    r.set_string("note", "rev-" + std::to_string(rev), arena);
+    ByteBuffer wire;
+    pbio::Encoder(fmt).encode(rec, wire);
+    RecordArena scratch;
+    Outcome out = rx.process(wire.data(), wire.size(), scratch);
+    EXPECT_TRUE(out == Outcome::kExact || out == Outcome::kMorphed)
+        << "rev " << rev << ": " << outcome_name(out);
+    EXPECT_EQ(last_f0, 1000 + rev) << "rev " << rev;
+    EXPECT_EQ(last_note, "rev-" + std::to_string(rev));
+  }
+  EXPECT_EQ(delivered, 10);
+  // 1+2+...+9 = 45 transform hops compiled across the ten decisions.
+  EXPECT_EQ(rx.stats().transforms_compiled, 45u);
+
+  // Replaying every revision hits only caches.
+  uint64_t compiled = rx.stats().transforms_compiled;
+  for (int rev = 0; rev <= 9; ++rev) {
+    auto fmt = mk(rev);
+    RecordArena arena;
+    void* rec = pbio::alloc_record(*fmt, arena);
+    pbio::RecordRef(rec, fmt).set_int("f0", 7);
+    ByteBuffer wire;
+    pbio::Encoder(fmt).encode(rec, wire);
+    RecordArena scratch;
+    rx.process(wire.data(), wire.size(), scratch);
+  }
+  EXPECT_EQ(rx.stats().transforms_compiled, compiled);
+  EXPECT_EQ(delivered, 20);
+}
+
+TEST(EvolutionE2E, ArenaRecyclingAcrossMessages) {
+  // The port recycles its arena per message; handlers must see each
+  // message's data intact during delivery.
+  transport::InprocPair pair;
+  core::Receiver rx;
+  auto fmt = FormatBuilder("S").add_int("n", 4).add_string("text").build();
+  std::vector<std::string> seen;
+  rx.register_handler(fmt, [&](const Delivery& d) {
+    seen.emplace_back(pbio::RecordRef(d.record, d.format).get_string("text"));
+  });
+  transport::MessagePort rx_port(pair.b(), &rx);
+  transport::MessagePort tx(pair.a(), nullptr);
+
+  RecordArena arena;
+  for (int i = 0; i < 10; ++i) {
+    void* msg = pbio::alloc_record(*fmt, arena);
+    pbio::RecordRef r(msg, fmt);
+    r.set_int("n", i);
+    r.set_string("text", "message-" + std::to_string(i), arena);
+    tx.send_record(fmt, msg);
+  }
+  pair.pump();
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen[0], "message-0");
+  EXPECT_EQ(seen[9], "message-9");
+}
+
+// --- Hostile input fuzzing ----------------------------------------------------
+
+TEST(WireFuzz, CorruptedMessagesNeverCrashTheReceiver) {
+  Rng rng(2025);
+  core::Receiver rx;
+  auto v1 = echo::channel_open_response_v1_format();
+  rx.register_handler(v1, [](const Delivery&) {});
+  rx.learn_format(echo::channel_open_response_v2_format());
+  rx.learn_transform(echo::response_v2_to_v1_spec());
+
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 6;
+  auto* msg = echo::make_response_v2(w, rng, arena);
+  ByteBuffer base;
+  pbio::Encoder(echo::channel_open_response_v2_format()).encode(msg, base);
+
+  size_t ok = 0, rejected = 0, decode_errors = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> fuzzed(base.data(), base.data() + base.size());
+    int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t at = rng.next_below(fuzzed.size());
+      fuzzed[at] ^= static_cast<uint8_t>(1 + rng.next_below(255));
+    }
+    RecordArena scratch;
+    try {
+      Outcome out = rx.process(fuzzed.data(), fuzzed.size(), scratch);
+      if (out == Outcome::kRejected) {
+        ++rejected;
+      } else {
+        ++ok;
+      }
+    } catch (const DecodeError&) {
+      ++decode_errors;
+    }
+  }
+  // The distribution is input-dependent; the invariant is: we got here.
+  EXPECT_EQ(ok + rejected + decode_errors, 500u);
+  EXPECT_GT(rejected + decode_errors, 0u);
+}
+
+TEST(WireFuzz, TruncatedMessagesAlwaysThrowOrReject) {
+  Rng rng(31337);
+  core::Receiver rx;
+  auto v2 = echo::channel_open_response_v2_format();
+  rx.register_handler(v2, [](const Delivery&) {});
+  rx.learn_format(v2);
+
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 4;
+  auto* msg = echo::make_response_v2(w, rng, arena);
+  ByteBuffer base;
+  pbio::Encoder(v2).encode(msg, base);
+
+  for (size_t cut = 0; cut < base.size(); cut += 7) {
+    RecordArena scratch;
+    try {
+      rx.process(base.data(), cut, scratch);
+      // Anything that returned must have decoded within bounds; with a
+      // truncated total_size check this can only be rejection.
+      FAIL() << "truncated message at " << cut << " was accepted";
+    } catch (const DecodeError&) {
+      // expected
+    }
+  }
+}
+
+TEST(WireFuzz, CorruptedMetaFramesNeverCrashThePort) {
+  Rng rng(9001);
+  // Serialize a format def + transform def, corrupt them, feed through a
+  // port; every outcome must be an exception or a clean ignore.
+  auto spec = echo::response_v2_to_v1_spec();
+  ByteBuffer fdef;
+  spec.src->serialize(fdef);
+  ByteBuffer tdef;
+  spec.serialize(tdef);
+
+  size_t survived = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const ByteBuffer& which = rng.next_bool() ? fdef : tdef;
+    std::vector<uint8_t> payload(which.data(), which.data() + which.size());
+    for (int f = 0; f < 4; ++f) {
+      payload[rng.next_below(payload.size())] ^= static_cast<uint8_t>(rng.next_below(256));
+    }
+    ByteBuffer frame;
+    transport::write_frame(frame,
+                           rng.next_bool() ? transport::FrameType::kFormatDef
+                                           : transport::FrameType::kTransformDef,
+                           payload.data(), payload.size());
+    transport::InprocPair pair;
+    core::Receiver rx;
+    transport::MessagePort port(pair.b(), &rx);
+    pair.a().send(frame.data(), frame.size());
+    try {
+      pair.pump();
+      ++survived;
+    } catch (const Error&) {
+      // DecodeError / FormatError / TransportError are all acceptable.
+    }
+  }
+  EXPECT_GT(survived, 0u);
+}
+
+}  // namespace
+}  // namespace morph

@@ -1,0 +1,284 @@
+// Unit tests for FormatDescriptor / FormatBuilder: layout, weight,
+// fingerprints, validation, serialization.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "pbio/format.hpp"
+#include "pbio/iofield.hpp"
+#include "pbio/randgen.hpp"
+
+namespace morph::pbio {
+namespace {
+
+FormatPtr contact_format() {
+  return FormatBuilder("CMcontact")
+      .add_string("info")
+      .add_int("ID", 4)
+      .build();
+}
+
+TEST(FormatBuilder, AutoLayoutFollowsCAlignment) {
+  auto fmt = FormatBuilder("T")
+                 .add_char("c")
+                 .add_int("i", 4)
+                 .add_int("l", 8)
+                 .add_char("c2")
+                 .build();
+  EXPECT_EQ(fmt->find_field("c")->offset, 0u);
+  EXPECT_EQ(fmt->find_field("i")->offset, 4u);
+  EXPECT_EQ(fmt->find_field("l")->offset, 8u);
+  EXPECT_EQ(fmt->find_field("c2")->offset, 16u);
+  EXPECT_EQ(fmt->struct_size(), 24u);  // padded to 8
+  EXPECT_EQ(fmt->alignment(), 8u);
+}
+
+TEST(FormatBuilder, BoundModeMatchesRealStruct) {
+  struct Msg {
+    int cpu;
+    int memory;
+    int network;
+  };
+  auto fmt = FormatBuilder("Msg", sizeof(Msg))
+                 .add_int("load", 4, offsetof(Msg, cpu))
+                 .add_int("mem", 4, offsetof(Msg, memory))
+                 .add_int("net", 4, offsetof(Msg, network))
+                 .build();
+  EXPECT_EQ(fmt->struct_size(), sizeof(Msg));
+  EXPECT_EQ(fmt->weight(), 3u);
+  EXPECT_FALSE(fmt->has_pointers());
+}
+
+TEST(FormatBuilder, RejectsDuplicateFieldNames) {
+  FormatBuilder b("T");
+  b.add_int("x", 4);
+  EXPECT_THROW(b.add_int("x", 8), FormatError);
+}
+
+TEST(FormatBuilder, RejectsBadScalarSizes) {
+  EXPECT_THROW(FormatBuilder("T").add_int("x", 3), FormatError);
+  EXPECT_THROW(FormatBuilder("T").add_float("x", 2), FormatError);
+}
+
+TEST(FormatBuilder, RejectsDynArrayWithoutPriorLengthField) {
+  FormatBuilder b("T");
+  b.add_dyn_array("items", FieldKind::kInt, 4, "count");
+  EXPECT_THROW(b.build(), FormatError);
+
+  // Length field declared after the array is also rejected.
+  FormatBuilder b2("T");
+  b2.add_dyn_array("items", FieldKind::kInt, 4, "count");
+  b2.add_int("count", 4);
+  EXPECT_THROW(b2.build(), FormatError);
+}
+
+TEST(FormatBuilder, RejectsNonIntegerLengthField) {
+  FormatBuilder b("T");
+  b.add_float("count", 8);
+  b.add_dyn_array("items", FieldKind::kInt, 4, "count");
+  EXPECT_THROW(b.build(), FormatError);
+}
+
+TEST(FormatBuilder, RejectsMixedAutoAndBoundOffsets) {
+  EXPECT_THROW(FormatBuilder("T", 16).add_int("x", 4).build(), FormatError);
+  EXPECT_THROW(FormatBuilder("T").add_int("x", 4, 0).build(), FormatError);
+}
+
+TEST(FormatBuilder, RejectsFieldPastDeclaredSize) {
+  EXPECT_THROW(FormatBuilder("T", 4).add_int("x", 8, 0).build(), FormatError);
+}
+
+TEST(FormatWeight, CountsBasicFieldsRecursively) {
+  auto contact = contact_format();  // weight 2
+  auto fmt = FormatBuilder("Resp")
+                 .add_int("member_count", 4)
+                 .add_dyn_array("member_list", contact, "member_count")
+                 .add_struct("one", contact)
+                 .add_static_array("pair", contact, 2)
+                 .add_float("x", 8)
+                 .build();
+  // member_count(1) + member_list(2) + one(2) + pair(2) + x(1)
+  EXPECT_EQ(fmt->weight(), 8u);
+}
+
+TEST(FormatFingerprint, SensitiveToLayoutAndShape) {
+  auto a = FormatBuilder("T").add_int("x", 4).add_int("y", 4).build();
+  auto b = FormatBuilder("T").add_int("y", 4).add_int("x", 4).build();
+  auto c = FormatBuilder("T").add_int("x", 4).add_int("y", 8).build();
+  EXPECT_NE(a->fingerprint(), b->fingerprint());        // layout differs
+  EXPECT_EQ(a->shape_fingerprint(), b->shape_fingerprint());  // same shape
+  EXPECT_EQ(a->shape_fingerprint(), c->shape_fingerprint());  // width-insensitive
+  EXPECT_NE(a->fingerprint(), c->fingerprint());
+
+  auto d = FormatBuilder("T").add_int("x", 4).add_float("y", 4).build();
+  EXPECT_NE(a->shape_fingerprint(), d->shape_fingerprint());  // kind-sensitive
+}
+
+TEST(FormatFingerprint, NameSensitive) {
+  auto a = FormatBuilder("A").add_int("x", 4).build();
+  auto b = FormatBuilder("B").add_int("x", 4).build();
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(a->shape_fingerprint(), b->shape_fingerprint());
+}
+
+TEST(FormatIdentity, IdenticalToDetectsDeepDifferences) {
+  auto a = FormatBuilder("R").add_struct("c", contact_format()).build();
+  auto b = FormatBuilder("R").add_struct("c", contact_format()).build();
+  EXPECT_TRUE(a->identical_to(*b));
+
+  auto other = FormatBuilder("CMcontact").add_string("info").add_int("ID", 8).build();
+  auto c = FormatBuilder("R").add_struct("c", other).build();
+  EXPECT_FALSE(a->identical_to(*c));
+}
+
+TEST(FormatSerialize, RoundTripsEverything) {
+  auto contact = contact_format();
+  auto fmt = FormatBuilder("Resp")
+                 .add_int("member_count", 4)
+                 .with_default(int64_t{7})
+                 .add_dyn_array("member_list", contact, "member_count")
+                 .add_enum("kind", {{"A", 0}, {"B", 5}})
+                 .add_string("note")
+                 .with_default(std::string("n/a"))
+                 .add_float("ratio", 8)
+                 .with_default(1.5)
+                 .add_static_array("tags", FieldKind::kInt, 4, 3)
+                 .build();
+
+  ByteBuffer buf;
+  fmt->serialize(buf);
+  ByteReader r(buf.data(), buf.size());
+  FormatPtr back = FormatDescriptor::deserialize(r);
+  ASSERT_TRUE(back != nullptr);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(fmt->identical_to(*back));
+  EXPECT_EQ(fmt->fingerprint(), back->fingerprint());
+  EXPECT_EQ(fmt->weight(), back->weight());
+  EXPECT_EQ(back->find_field("member_count")->default_int, 7);
+  EXPECT_EQ(back->find_field("note")->default_string, "n/a");
+  EXPECT_EQ(back->find_field("ratio")->default_float, 1.5);
+  ASSERT_EQ(back->find_field("kind")->enumerators.size(), 2u);
+  EXPECT_EQ(back->find_field("kind")->enumerators[1].name, "B");
+}
+
+TEST(FormatSerialize, RejectsTruncatedDescriptor) {
+  auto fmt = contact_format();
+  ByteBuffer buf;
+  fmt->serialize(buf);
+  for (size_t cut : {1ul, buf.size() / 2, buf.size() - 1}) {
+    ByteReader r(buf.data(), cut);
+    EXPECT_THROW(FormatDescriptor::deserialize(r), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(FormatSerialize, RandomFormatsRoundTrip) {
+  Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    auto fmt = random_format(rng, "R" + std::to_string(i));
+    ByteBuffer buf;
+    fmt->serialize(buf);
+    ByteReader r(buf.data(), buf.size());
+    auto back = FormatDescriptor::deserialize(r);
+    EXPECT_TRUE(fmt->identical_to(*back)) << fmt->to_string();
+    EXPECT_EQ(fmt->fingerprint(), back->fingerprint());
+    EXPECT_EQ(fmt->shape_fingerprint(), back->shape_fingerprint());
+  }
+}
+
+TEST(Relayout, PreservesShapeNotLayout) {
+  struct Padded {
+    char c;
+    int64_t v;
+  };
+  auto bound = FormatBuilder("P", sizeof(Padded))
+                   .add_char("c", offsetof(Padded, c))
+                   .add_int("v", 8, offsetof(Padded, v))
+                   .build();
+  auto re = relayout(*bound);
+  EXPECT_EQ(re->shape_fingerprint(), bound->shape_fingerprint());
+  EXPECT_EQ(re->struct_size(), bound->struct_size());  // same natural layout here
+  EXPECT_EQ(re->find_field("v")->offset, 8u);
+}
+
+TEST(FieldStride, StructElementsIncludePadding) {
+  auto elem = FormatBuilder("E").add_int("a", 8).add_char("b").build();
+  EXPECT_EQ(elem->struct_size(), 16u);
+  auto fmt = FormatBuilder("T")
+                 .add_int("n", 4)
+                 .add_dyn_array("es", elem, "n")
+                 .build();
+  EXPECT_EQ(fmt->find_field("es")->element_stride(), 16u);
+}
+
+// --- Paper-style IOField declarations (Figure 2) ----------------------------
+
+TEST(IOFieldApi, Figure2Style) {
+  struct Msg {
+    int cpu;
+    int memory;
+    int network;
+  };
+  using MsgP = Msg*;
+  IOField msg_fields[] = {
+      {"load", "integer", sizeof(int), IOOffset(MsgP, cpu)},
+      {"mem", "integer", sizeof(int), IOOffset(MsgP, memory)},
+      {"net", "integer", sizeof(int), IOOffset(MsgP, network)},
+  };
+  auto fmt = build_format("Msg", sizeof(Msg), msg_fields, 3);
+  EXPECT_EQ(fmt->field_count(), 3u);
+  EXPECT_EQ(fmt->find_field("mem")->offset, offsetof(Msg, memory));
+
+  // Equivalent to the builder-made format.
+  auto builder_fmt = FormatBuilder("Msg", sizeof(Msg))
+                         .add_int("load", 4, offsetof(Msg, cpu))
+                         .add_int("mem", 4, offsetof(Msg, memory))
+                         .add_int("net", 4, offsetof(Msg, network))
+                         .build();
+  EXPECT_TRUE(fmt->identical_to(*builder_fmt));
+}
+
+TEST(IOFieldApi, ComplexTypes) {
+  struct Entry {
+    const char* info;
+    int id;
+  };
+  struct Roster {
+    int member_count;
+    Entry* members;
+    double scores[4];
+    const char* title;
+  };
+  using EntryP = Entry*;
+  using RosterP = Roster*;
+  auto entry = build_format("Entry", sizeof(Entry),
+                            {{"info", "string", sizeof(char*), IOOffset(EntryP, info)},
+                             {"id", "integer", sizeof(int), IOOffset(EntryP, id)}});
+  auto roster = build_format(
+      "Roster", sizeof(Roster),
+      {{"member_count", "integer", sizeof(int), IOOffset(RosterP, member_count)},
+       {"members", "Entry[member_count]", sizeof(Entry), IOOffset(RosterP, members)},
+       {"scores", "float[4]", sizeof(double), IOOffset(RosterP, scores)},
+       {"title", "string", sizeof(char*), IOOffset(RosterP, title)}},
+      {{"Entry", entry}});
+  EXPECT_EQ(roster->find_field("members")->kind, FieldKind::kDynArray);
+  EXPECT_EQ(roster->find_field("members")->length_field, "member_count");
+  EXPECT_EQ(roster->find_field("scores")->static_count, 4u);
+  EXPECT_EQ(roster->weight(), 5u);  // count + entry(2) + scores + title
+}
+
+TEST(IOFieldApi, Errors) {
+  EXPECT_THROW(build_format("T", 8, {{"x", "mystery", 4, 0}}), FormatError);
+  EXPECT_THROW(build_format("T", 8, {{"x", "integer[", 4, 0}}), FormatError);
+  EXPECT_THROW(build_format("T", 8, {{"x", "Nope[n]", 8, 0}}), FormatError);
+}
+
+TEST(FormatToString, MentionsFieldsAndSizes) {
+  auto fmt = contact_format();
+  std::string s = fmt->to_string();
+  EXPECT_NE(s.find("CMcontact"), std::string::npos);
+  EXPECT_NE(s.find("info"), std::string::npos);
+  EXPECT_NE(s.find("string"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace morph::pbio

@@ -1,0 +1,100 @@
+// Ecode lexer tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ecode/lexer.hpp"
+
+namespace morph::ecode {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, BasicTokens) {
+  auto ts = lex("int i = 0;");
+  ASSERT_EQ(ts.size(), 6u);
+  EXPECT_EQ(ts[0].kind, Tok::kKwInt);
+  EXPECT_EQ(ts[1].kind, Tok::kIdent);
+  EXPECT_EQ(ts[1].text, "i");
+  EXPECT_EQ(ts[2].kind, Tok::kAssign);
+  EXPECT_EQ(ts[3].kind, Tok::kIntLit);
+  EXPECT_EQ(ts[3].int_value, 0);
+  EXPECT_EQ(ts[4].kind, Tok::kSemi);
+  EXPECT_EQ(ts[5].kind, Tok::kEnd);
+}
+
+TEST(Lexer, OperatorsGreedy) {
+  EXPECT_EQ(kinds("++ += + -- -= - == = != ! <= << < >= >> > && & || |"),
+            (std::vector<Tok>{Tok::kPlusPlus, Tok::kPlusAssign, Tok::kPlus, Tok::kMinusMinus,
+                              Tok::kMinusAssign, Tok::kMinus, Tok::kEq, Tok::kAssign, Tok::kNe,
+                              Tok::kBang, Tok::kLe, Tok::kShl, Tok::kLt, Tok::kGe, Tok::kShr,
+                              Tok::kGt, Tok::kAndAnd, Tok::kAmp, Tok::kOrOr, Tok::kPipe,
+                              Tok::kEnd}));
+}
+
+TEST(Lexer, NumbersAndFloats) {
+  auto ts = lex("42 0x1F 3.25 1e3 7e 2.5e-2");
+  EXPECT_EQ(ts[0].int_value, 42);
+  EXPECT_EQ(ts[1].int_value, 0x1F);
+  EXPECT_DOUBLE_EQ(ts[2].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(ts[3].float_value, 1000.0);
+  // "7e" is an int followed by identifier 'e'
+  EXPECT_EQ(ts[4].kind, Tok::kIntLit);
+  EXPECT_EQ(ts[4].int_value, 7);
+  EXPECT_EQ(ts[5].kind, Tok::kIdent);
+  EXPECT_DOUBLE_EQ(ts[6].float_value, 0.025);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  auto ts = lex(R"("hello\nworld" "a\"b")");
+  EXPECT_EQ(ts[0].text, "hello\nworld");
+  EXPECT_EQ(ts[1].text, "a\"b");
+}
+
+TEST(Lexer, CharLiterals) {
+  auto ts = lex(R"('a' '\n' '\'')");
+  EXPECT_EQ(ts[0].int_value, 'a');
+  EXPECT_EQ(ts[1].int_value, '\n');
+  EXPECT_EQ(ts[2].int_value, '\'');
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto ts = kinds("a // line comment\n b /* block\n comment */ c");
+  EXPECT_EQ(ts, (std::vector<Tok>{Tok::kIdent, Tok::kIdent, Tok::kIdent, Tok::kEnd}));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto ts = lex("a\nb\n\nc");
+  EXPECT_EQ(ts[0].line, 1);
+  EXPECT_EQ(ts[1].line, 2);
+  EXPECT_EQ(ts[2].line, 4);
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("if else for while return unsigned double"),
+            (std::vector<Tok>{Tok::kKwIf, Tok::kKwElse, Tok::kKwFor, Tok::kKwWhile,
+                              Tok::kKwReturn, Tok::kKwUnsigned, Tok::kKwDouble, Tok::kEnd}));
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(lex("\"unterminated"), EcodeError);
+  EXPECT_THROW(lex("/* unterminated"), EcodeError);
+  EXPECT_THROW(lex("'x"), EcodeError);
+  EXPECT_THROW(lex("@"), EcodeError);
+  EXPECT_THROW(lex("\"bad \\q escape\""), EcodeError);
+}
+
+TEST(Lexer, ErrorCarriesLine) {
+  try {
+    lex("a\nb\n@");
+    FAIL() << "expected EcodeError";
+  } catch (const EcodeError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace morph::ecode

@@ -1,0 +1,271 @@
+// diff / Mismatch Ratio / MaxMatch (Algorithm 1 and the MaxMatch
+// definition of §3.2), including the paper's own worked examples.
+#include <gtest/gtest.h>
+
+#include "core/match.hpp"
+#include "echo/messages.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+namespace {
+
+using pbio::FieldKind;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+FormatPtr flat(const std::string& name, std::initializer_list<const char*> fields) {
+  FormatBuilder b(name);
+  for (const char* f : fields) b.add_int(f, 4);
+  return b.build();
+}
+
+TEST(Diff, IdenticalFormatsAreZero) {
+  auto a = flat("T", {"x", "y", "z"});
+  auto b = flat("T", {"z", "x", "y"});  // order does not matter
+  EXPECT_EQ(diff(*a, *b), 0u);
+  EXPECT_EQ(diff(*b, *a), 0u);
+  EXPECT_TRUE(perfect_match(*a, *b));
+}
+
+TEST(Diff, CountsMissingBasicFields) {
+  auto a = flat("T", {"x", "y", "z"});
+  auto b = flat("T", {"x"});
+  EXPECT_EQ(diff(*a, *b), 2u);
+  EXPECT_EQ(diff(*b, *a), 0u);
+  EXPECT_FALSE(perfect_match(*a, *b));
+}
+
+TEST(Diff, ScalarWidthAndKindDoNotBreakMembership) {
+  auto a = FormatBuilder("T").add_int("x", 4).add_float("y", 4).build();
+  auto b = FormatBuilder("T").add_int("x", 8).add_int("y", 4).build();
+  // int4 vs int8 and float vs int are convertible scalar classes.
+  EXPECT_EQ(diff(*a, *b), 0u);
+}
+
+TEST(Diff, StringOnlyMatchesString) {
+  auto a = FormatBuilder("T").add_string("x").build();
+  auto b = FormatBuilder("T").add_int("x", 4).build();
+  EXPECT_EQ(diff(*a, *b), 1u);
+  EXPECT_EQ(diff(*b, *a), 1u);
+}
+
+TEST(Diff, MissingComplexFieldCountsItsWeight) {
+  auto sub = flat("Sub", {"a", "b", "c"});
+  auto a = FormatBuilder("T").add_int("x", 4).add_struct("s", sub).build();
+  auto b = flat("T", {"x"});
+  EXPECT_EQ(diff(*a, *b), 3u);  // W_s = 3
+}
+
+TEST(Diff, RecursesIntoMatchingComplexFields) {
+  auto sub1 = flat("Sub", {"a", "b", "c"});
+  auto sub2 = flat("Sub", {"a"});
+  auto a = FormatBuilder("T").add_struct("s", sub1).build();
+  auto b = FormatBuilder("T").add_struct("s", sub2).build();
+  EXPECT_EQ(diff(*a, *b), 2u);  // b and c missing inside s
+  EXPECT_EQ(diff(*b, *a), 0u);
+}
+
+TEST(Diff, ArraysOfStructsRecurse) {
+  auto e1 = flat("E", {"u", "v"});
+  auto e2 = flat("E", {"u"});
+  auto a = FormatBuilder("T").add_int("n", 4).add_dyn_array("xs", e1, "n").build();
+  auto b = FormatBuilder("T").add_int("n", 4).add_dyn_array("xs", e2, "n").build();
+  EXPECT_EQ(diff(*a, *b), 1u);
+}
+
+TEST(Diff, EChoFormatsMatchHandAnalysis) {
+  // v2: member_count + member_list{info, ID, is_source, is_sink}
+  // v1: member_count + member_list{info, ID} + src_count + src_list +
+  //     sink_count + sink_list
+  auto v1 = echo::channel_open_response_v1_format();
+  auto v2 = echo::channel_open_response_v2_format();
+  EXPECT_EQ(v1->weight(), 10u);  // incl. the channel routing field
+  EXPECT_EQ(v2->weight(), 6u);
+  EXPECT_EQ(diff(*v2, *v1), 2u);  // is_source, is_sink
+  EXPECT_EQ(diff(*v1, *v2), 6u);  // src_count + src_list(2) + sink_count + sink_list(2)
+  EXPECT_DOUBLE_EQ(mismatch_ratio(*v2, *v1), 6.0 / 10.0);
+}
+
+TEST(MismatchRatio, NormalizesByTargetWeight) {
+  auto small = flat("T", {"a"});
+  auto big = flat("T", {"a", "b", "c", "d"});
+  // Mr(small, big) = diff(big, small) / W_big = 3/4.
+  EXPECT_DOUBLE_EQ(mismatch_ratio(*small, *big), 0.75);
+  // Mr(big, small) = diff(small, big) / W_small = 0.
+  EXPECT_DOUBLE_EQ(mismatch_ratio(*big, *small), 0.0);
+}
+
+TEST(MaxMatch, PrefersLeastMismatchRatioOverLeastDiff) {
+  // The paper's example: a pair with diff 2 out of 1 matching field is a
+  // worse match than a pair with diff 4 out of a hundred matching fields.
+  auto f1 = flat("T", {"only"});
+  auto f1p = flat("T", {"different"});
+
+  FormatBuilder big1("T"), big2("T");
+  for (int i = 0; i < 100; ++i) {
+    big1.add_int("common" + std::to_string(i), 4);
+    big2.add_int("common" + std::to_string(i), 4);
+  }
+  big1.add_int("b1a", 4).add_int("b1b", 4);
+  big2.add_int("b2a", 4).add_int("b2b", 4);
+  auto f2 = big1.build();
+  auto f2p = big2.build();
+
+  MatchThresholds loose{10, 1.0};
+  auto m = max_match({f1, f2}, {f1p, f2p}, loose);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->f1->fingerprint(), f2->fingerprint());
+  EXPECT_EQ(m->f2->fingerprint(), f2p->fingerprint());
+  EXPECT_NEAR(m->mr, 2.0 / 102.0, 1e-9);
+}
+
+TEST(MaxMatch, DiffThresholdZeroAdmitsOnlyPerfectForward) {
+  auto a = flat("T", {"x", "y"});
+  auto b = flat("T", {"x", "y", "z"});  // superset: diff(a,b)=0, diff(b,a)=1
+  MatchThresholds strict{0, 1.0};
+  auto m = max_match({a}, {b}, strict);
+  ASSERT_TRUE(m.has_value());  // forward diff is 0
+  EXPECT_FALSE(m->perfect());
+
+  auto m2 = max_match({b}, {a}, strict);
+  EXPECT_FALSE(m2.has_value());  // diff(b,a)=1 > 0
+}
+
+TEST(MaxMatch, MismatchThresholdRejects) {
+  auto small = flat("T", {"a"});
+  auto big = flat("T", {"a", "b", "c", "d"});
+  MatchThresholds t{10, 0.5};
+  EXPECT_FALSE(max_match({small}, {big}, t).has_value());  // Mr = 0.75
+  t.mismatch_threshold = 0.8;
+  EXPECT_TRUE(max_match({small}, {big}, t).has_value());
+}
+
+TEST(MaxMatch, RequiresSameNameByDefault) {
+  auto a = flat("A", {"x"});
+  auto b = flat("B", {"x"});
+  EXPECT_FALSE(max_match({a}, {b}).has_value());
+  EXPECT_TRUE(max_match({a}, {b}, {}, /*require_same_name=*/false).has_value());
+}
+
+TEST(MaxMatch, TieBreaksOnForwardDiff) {
+  // Equal Mr (both 0): prefer the candidate with smaller diff(f1, f2).
+  auto target = flat("T", {"x", "y"});
+  auto exact = flat("T", {"x", "y"});
+  auto superset = flat("T", {"x", "y", "extra"});
+  MatchThresholds t{4, 1.0};
+  auto m = max_match({superset, exact}, {target}, t);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->f1->fingerprint(), exact->fingerprint());
+  EXPECT_TRUE(m->perfect());
+}
+
+TEST(MaxMatch, EmptySetsYieldNothing) {
+  auto a = flat("T", {"x"});
+  EXPECT_FALSE(max_match({}, {a}).has_value());
+  EXPECT_FALSE(max_match({a}, {}).has_value());
+}
+
+TEST(MaxMatch, EChoDirectMatchFailsUnderDefaultThresholds) {
+  // The motivating case: v2 -> v1 directly has Mr = 2/3 > 0.5, so without
+  // the transform the old client cannot accept the new message...
+  auto v1 = echo::channel_open_response_v1_format();
+  auto v2 = echo::channel_open_response_v2_format();
+  EXPECT_FALSE(max_match({v2}, {v1}).has_value());
+  // ...while v1 -> v1 (after morphing) is perfect.
+  auto m = max_match({v2, v1}, {v1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->perfect());
+  EXPECT_EQ(m->f1->fingerprint(), v1->fingerprint());
+}
+
+// --- Importance weighting (the paper's §6 future-work extension) -----------
+
+TEST(WeightedDiff, ReducesToUnweightedAtImportanceOne) {
+  auto a = flat("T", {"x", "y", "z"});
+  auto b = flat("T", {"x"});
+  EXPECT_EQ(weighted_diff(*a, *b), diff(*a, *b));
+  EXPECT_EQ(weighted_weight(*a), a->weight());
+  EXPECT_DOUBLE_EQ(weighted_mismatch_ratio(*b, *a), mismatch_ratio(*b, *a));
+}
+
+TEST(WeightedDiff, ImportanceScalesMissingFieldCost) {
+  auto a = FormatBuilder("T")
+               .add_int("critical", 4)
+               .with_importance(10)
+               .add_int("minor", 4)
+               .with_importance(0)
+               .build();
+  auto only_minor = FormatBuilder("T").add_int("minor", 4).build();
+  auto only_critical = FormatBuilder("T").add_int("critical", 4).build();
+  EXPECT_EQ(weighted_diff(*a, *only_minor), 10u);    // critical is missing
+  EXPECT_EQ(weighted_diff(*a, *only_critical), 0u);  // minor is free to lose
+  EXPECT_EQ(weighted_weight(*a), 10u);
+}
+
+TEST(WeightedDiff, NestedImportanceMultiplies) {
+  auto sub = FormatBuilder("Sub").add_int("a", 4).with_importance(3).add_int("b", 4).build();
+  auto holder = FormatBuilder("T").add_struct("s", sub).with_importance(2).build();
+  // W = 2 * (3 + 1) = 8; losing the whole struct costs 8.
+  EXPECT_EQ(weighted_weight(*holder), 8u);
+  auto empty = FormatBuilder("T").add_int("unrelated", 4).build();
+  EXPECT_EQ(weighted_diff(*holder, *empty), 8u);
+  // Losing only sub-field "a" costs importance(s) * importance(a) = 6.
+  auto partial_sub = FormatBuilder("Sub").add_int("b", 4).build();
+  auto partial = FormatBuilder("T").add_struct("s", partial_sub).build();
+  EXPECT_EQ(weighted_diff(*holder, *partial), 6u);
+}
+
+TEST(WeightedMaxMatch, ImportanceFlipsTheDecision) {
+  // The reader needs "critical"; candidate A lacks it but has everything
+  // else, candidate B has it but lacks two minor fields. Unweighted, A
+  // looks better (diff 1 vs 2); weighted, B wins.
+  auto reader = FormatBuilder("T")
+                    .add_int("critical", 4)
+                    .with_importance(10)
+                    .add_int("m1", 4)
+                    .add_int("m2", 4)
+                    .build();
+  auto cand_a = flat("T", {"m1", "m2"});
+  auto cand_b = flat("T", {"critical"});
+
+  MatchThresholds unweighted{100, 1.0, false};
+  auto m1 = max_match({cand_a, cand_b}, {reader}, unweighted);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->f1->fingerprint(), cand_a->fingerprint());  // fewer missing fields
+
+  MatchThresholds weighted{100, 1.0, true};
+  auto m2 = max_match({cand_a, cand_b}, {reader}, weighted);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->f1->fingerprint(), cand_b->fingerprint());  // critical dominates
+}
+
+TEST(WeightedDiff, ImportanceSurvivesSerialization) {
+  auto fmt = FormatBuilder("T").add_int("x", 4).with_importance(7).build();
+  ByteBuffer buf;
+  fmt->serialize(buf);
+  ByteReader r(buf.data(), buf.size());
+  auto back = pbio::FormatDescriptor::deserialize(r);
+  EXPECT_EQ(back->find_field("x")->importance, 7u);
+  EXPECT_TRUE(back->identical_to(*fmt));
+}
+
+TEST(FieldWeight, PerKindRules) {
+  auto sub = flat("Sub", {"a", "b"});
+  auto fmt = FormatBuilder("T")
+                 .add_int("i", 4)
+                 .add_string("s")
+                 .add_struct("st", sub)
+                 .add_int("n", 4)
+                 .add_dyn_array("ds", sub, "n")
+                 .add_static_array("ba", FieldKind::kInt, 4, 7)
+                 .build();
+  EXPECT_EQ(field_weight(*fmt->find_field("i")), 1u);
+  EXPECT_EQ(field_weight(*fmt->find_field("s")), 1u);
+  EXPECT_EQ(field_weight(*fmt->find_field("st")), 2u);
+  EXPECT_EQ(field_weight(*fmt->find_field("ds")), 2u);
+  EXPECT_EQ(field_weight(*fmt->find_field("ba")), 1u);
+  EXPECT_EQ(fmt->weight(), 8u);
+}
+
+}  // namespace
+}  // namespace morph::core

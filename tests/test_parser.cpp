@@ -1,0 +1,132 @@
+// Ecode parser tests: statement/expression structure and syntax errors.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ecode/parser.hpp"
+
+namespace morph::ecode {
+namespace {
+
+TEST(Parser, DeclarationForms) {
+  auto p = parse("int a; int b = 3, c = b; float x = 1.5;");
+  ASSERT_EQ(p->stmts.size(), 3u);
+  EXPECT_EQ(p->stmts[0]->kind, StmtKind::kDecl);
+  EXPECT_EQ(p->stmts[1]->decls.size(), 2u);
+  EXPECT_EQ(p->stmts[1]->decls[1].name, "c");
+  EXPECT_EQ(p->stmts[2]->decl_type, TyKind::kFloat);
+}
+
+TEST(Parser, UnsignedAndLongSpellings) {
+  auto p = parse("unsigned u; unsigned int v; unsigned long w; long long x; long int y;");
+  for (const auto& s : p->stmts) EXPECT_EQ(s->decl_type, TyKind::kInt);
+}
+
+TEST(Parser, PrecedenceShape) {
+  // a + b * c parses as a + (b * c)
+  auto p = parse("x = a + b * c;");
+  const Stmt& s = *p->stmts[0];
+  ASSERT_EQ(s.kind, StmtKind::kAssign);
+  const Expr& e = *s.expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.b->kind, ExprKind::kBinary);
+  EXPECT_EQ(e.b->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, ComparisonBindsLooserThanArithmetic) {
+  auto p = parse("x = a + 1 < b * 2;");
+  const Expr& e = *p->stmts[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::kLt);
+  EXPECT_EQ(e.a->bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.b->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, PostfixChains) {
+  auto p = parse("x = rec.list[i + 1].field;");
+  const Expr& e = *p->stmts[0]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kFieldAccess);
+  EXPECT_EQ(e.str_value, "field");
+  ASSERT_EQ(e.a->kind, ExprKind::kIndex);
+  EXPECT_EQ(e.a->a->kind, ExprKind::kFieldAccess);
+  EXPECT_EQ(e.a->a->str_value, "list");
+}
+
+TEST(Parser, IncrementForms) {
+  auto p = parse("i++; --j; k.count++;");
+  EXPECT_EQ(p->stmts[0]->kind, StmtKind::kIncDec);
+  EXPECT_EQ(p->stmts[0]->inc_delta, 1);
+  EXPECT_EQ(p->stmts[1]->inc_delta, -1);
+  EXPECT_EQ(p->stmts[2]->lvalue->kind, ExprKind::kFieldAccess);
+}
+
+TEST(Parser, CompoundAssignments) {
+  auto p = parse("a += 1; b -= 2; c *= 3; d /= 4; e %= 5;");
+  EXPECT_EQ(p->stmts[0]->assign_op, AssignOp::kAdd);
+  EXPECT_EQ(p->stmts[4]->assign_op, AssignOp::kMod);
+}
+
+TEST(Parser, ControlFlow) {
+  auto p = parse(R"(
+    if (a) b = 1; else { b = 2; }
+    while (i < 10) i++;
+    for (i = 0; i < n; i++) { sum += i; }
+    for (;;) { return; }
+  )");
+  ASSERT_EQ(p->stmts.size(), 4u);
+  EXPECT_EQ(p->stmts[0]->kind, StmtKind::kIf);
+  EXPECT_NE(p->stmts[0]->else_branch, nullptr);
+  EXPECT_EQ(p->stmts[1]->kind, StmtKind::kWhile);
+  const Stmt& f = *p->stmts[2];
+  EXPECT_NE(f.for_init, nullptr);
+  EXPECT_NE(f.expr, nullptr);
+  EXPECT_NE(f.for_step, nullptr);
+  const Stmt& inf = *p->stmts[3];
+  EXPECT_EQ(inf.for_init, nullptr);
+  EXPECT_EQ(inf.expr, nullptr);
+  EXPECT_EQ(inf.for_step, nullptr);
+}
+
+TEST(Parser, ForWithDeclaration) {
+  auto p = parse("for (int i = 0; i < 3; i++) { }");
+  EXPECT_EQ(p->stmts[0]->for_init->kind, StmtKind::kDecl);
+}
+
+TEST(Parser, ConditionalExpression) {
+  auto p = parse("x = a ? b : c ? d : e;");
+  const Expr& e = *p->stmts[0]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kCond);
+  EXPECT_EQ(e.c->kind, ExprKind::kCond);  // right-associative
+}
+
+TEST(Parser, Calls) {
+  auto p = parse("x = min(a, max(b, 3));");
+  const Expr& e = *p->stmts[0]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kCall);
+  EXPECT_EQ(e.str_value, "min");
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[1]->kind, ExprKind::kCall);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse("int ;"), EcodeError);
+  EXPECT_THROW(parse("x = ;"), EcodeError);
+  EXPECT_THROW(parse("if a) x = 1;"), EcodeError);
+  EXPECT_THROW(parse("x = (1;"), EcodeError);
+  EXPECT_THROW(parse("{ x = 1;"), EcodeError);
+  EXPECT_THROW(parse("x = a[1;"), EcodeError);
+  EXPECT_THROW(parse("x = f(1,;"), EcodeError);
+  EXPECT_THROW(parse("x = a ? b;"), EcodeError);
+  EXPECT_THROW(parse("x = rec.;"), EcodeError);
+}
+
+TEST(Parser, MissingSemicolonReportsLine) {
+  try {
+    parse("x = 1;\ny = 2");
+    FAIL();
+  } catch (const EcodeError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace morph::ecode

@@ -1,0 +1,188 @@
+// Ecode semantic analysis tests: name resolution, field resolution against
+// PBIO formats, type checking.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ecode/parser.hpp"
+#include "ecode/sema.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::ecode {
+namespace {
+
+using pbio::FieldKind;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+FormatPtr rec_format() {
+  auto sub = FormatBuilder("Sub").add_int("v", 4).add_string("name").build();
+  return FormatBuilder("Rec")
+      .add_int("count", 4)
+      .add_dyn_array("items", sub, "count")
+      .add_float("ratio", 8)
+      .add_string("label")
+      .add_struct("one", sub)
+      .add_static_array("fixed", FieldKind::kInt, 4, 3)
+      .build();
+}
+
+std::vector<RecordParam> params() {
+  return {{"dst", rec_format()}, {"src", rec_format()}};
+}
+
+void check(const std::string& src) {
+  auto p = parse(src);
+  analyze(*p, params());
+}
+
+void check_fails(const std::string& src, const std::string& needle) {
+  auto p = parse(src);
+  try {
+    analyze(*p, params());
+    FAIL() << "expected sema error containing '" << needle << "' for: " << src;
+  } catch (const EcodeError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(Sema, ResolvesLocalsAndParams) {
+  // The annotated AST borrows the formats, so the params must stay alive
+  // while annotations are inspected (Transform guarantees this in real use).
+  auto ps = params();
+  auto p = parse("int i = 1; dst.count = i + src.count;");
+  analyze(*p, ps);
+  EXPECT_EQ(p->local_slot_count, 1);
+  const Stmt& assign = *p->stmts[1];
+  EXPECT_EQ(assign.lvalue->field->name, "count");
+  EXPECT_EQ(assign.lvalue->a->param_index, 0);
+}
+
+TEST(Sema, FieldChainTypes) {
+  auto ps = params();
+  auto p = parse("dst.items[0].v = src.items[src.count - 1].v;");
+  analyze(*p, ps);
+  EXPECT_EQ(p->stmts[0]->lvalue->type.kind, TyKind::kInt);
+}
+
+TEST(Sema, StringFieldAssignments) {
+  check("dst.label = src.label;");
+  check("dst.items[0].name = src.one.name;");
+  check("dst.label = \"literal\";");
+}
+
+TEST(Sema, FloatIntMixing) {
+  check("float f = 1; dst.ratio = f + src.count;");
+  check("int i; i = src.ratio > 0.5;");
+}
+
+TEST(Sema, Builtins) {
+  check("int l = strlen(src.label);");
+  check("int e = streq(src.label, \"x\");");
+  check("dst.count = min(src.count, 10) + max(1, 2);");
+  check("dst.ratio = abs(src.ratio);");
+}
+
+TEST(Sema, UnknownIdentifier) { check_fails("x = 1;", "unknown identifier"); }
+
+TEST(Sema, UnknownField) { check_fails("dst.nope = 1;", "no field 'nope'"); }
+
+TEST(Sema, UnknownFieldInNestedStruct) {
+  check_fails("dst.one.missing = 1;", "no field 'missing'");
+}
+
+TEST(Sema, IndexOnNonArray) { check_fails("dst.count[0] = 1;", "not an array"); }
+
+TEST(Sema, MemberOnNonRecord) { check_fails("int i; i.x = 1;", "not a record"); }
+
+TEST(Sema, WholeRecordAssignment) {
+  // Identical formats: allowed (deep copy). Mismatched formats: rejected.
+  check("dst = src;");
+  auto p = parse("dst = other;");
+  auto other = FormatBuilder("Other").add_int("x", 4).build();
+  std::vector<RecordParam> ps = {{"dst", rec_format()}, {"other", other}};
+  EXPECT_THROW(analyze(*p, ps), EcodeError);
+}
+
+TEST(Sema, AssignStringToInt) {
+  check_fails("dst.count = src.label;", "non-numeric");
+}
+
+TEST(Sema, AssignIntToString) {
+  check_fails("dst.label = 3;", "non-string");
+}
+
+TEST(Sema, CompoundAssignOnString) {
+  check_fails("dst.label += \"x\";", "compound assignment");
+}
+
+TEST(Sema, StringComparisonRequiresStreq) {
+  check_fails("int i = src.label == dst.label;", "streq");
+}
+
+TEST(Sema, ConditionMustBeInteger) {
+  check_fails("if (src.ratio) dst.count = 1;", "condition must be an integer");
+  check_fails("while (src.label) dst.count = 1;", "condition must be an integer");
+}
+
+TEST(Sema, ModRequiresIntegers) {
+  check_fails("dst.ratio %= 2.0;", "'%=' requires integer");
+  check_fails("int i = 5 % 2.0;", "integer operation requires integer operands");
+}
+
+TEST(Sema, IncDecIntegerOnly) {
+  check_fails("dst.ratio++;", "integer target");
+  check("dst.count++;");
+}
+
+TEST(Sema, RedeclarationRejected) {
+  check_fails("int i; int i;", "redeclaration");
+}
+
+TEST(Sema, ShadowingParamRejected) {
+  check_fails("int dst;", "shadows a record parameter");
+}
+
+TEST(Sema, BlockScoping) {
+  check("{ int i = 1; dst.count = i; } { int i = 2; dst.count = i; }");
+  check_fails("{ int i = 1; } dst.count = i;", "unknown identifier");
+}
+
+TEST(Sema, ForScopesItsDeclaration) {
+  check("for (int i = 0; i < 3; i++) dst.count = i;");
+  check_fails("for (int i = 0; i < 3; i++) { } dst.count = i;", "unknown identifier");
+}
+
+TEST(Sema, ArrayIndexMustBeInt) {
+  check_fails("dst.items[1.5].v = 0;", "index must be an integer");
+}
+
+TEST(Sema, BuiltinArity) {
+  check_fails("dst.count = min(1);", "expects 2");
+  check_fails("dst.count = strlen(src.label, 2);", "expects 1");
+  check_fails("dst.count = nosuch(1);", "unknown function");
+}
+
+TEST(Sema, BuiltinArgTypes) {
+  check_fails("dst.count = strlen(3);", "requires a string");
+  check_fails("dst.count = streq(src.label, 3);", "requires two strings");
+  check_fails("dst.count = abs(src.label);", "numeric");
+}
+
+TEST(Sema, RecordUsedAsValue) {
+  check_fails("dst.count = src.one;", "non-numeric");
+}
+
+TEST(Sema, DuplicateParamNamesRejected) {
+  auto p = parse("dst.count = 1;");
+  auto fmt = rec_format();
+  std::vector<RecordParam> dup = {{"dst", fmt}, {"dst", fmt}};
+  EXPECT_THROW(analyze(*p, dup), EcodeError);
+}
+
+TEST(Sema, StaticArrayElementAccess) {
+  check("dst.fixed[2] = src.fixed[0] + 1;");
+}
+
+}  // namespace
+}  // namespace morph::ecode

@@ -1,0 +1,169 @@
+// System soak: a mixed-version ECho deployment with dynamic membership,
+// several channels, and continuous event traffic — everything the library
+// does, exercised together, with deterministic expectations.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "echo/process.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::echo {
+namespace {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+FormatPtr tick_v1() {
+  static FormatPtr f = FormatBuilder("Tick").add_int("seq", 4).add_float("v", 8).build();
+  return f;
+}
+
+FormatPtr tick_v2() {
+  static FormatPtr f = FormatBuilder("Tick")
+                           .add_int("seq", 8)
+                           .add_float("v", 8)
+                           .add_string("unit")
+                           .build();
+  return f;
+}
+
+core::TransformSpec tick_spec() {
+  core::TransformSpec s;
+  s.src = tick_v2();
+  s.dst = tick_v1();
+  s.code = "old.seq = new.seq; old.v = new.v;";
+  return s;
+}
+
+TEST(Soak, MixedFleetWithChurnAndTraffic) {
+  Rng rng(4242);
+  EchoDomain dom;
+  auto& creator = dom.spawn("creator", EchoVersion::kV2);
+
+  constexpr int kProcs = 12;
+  std::vector<EchoProcess*> procs;
+  for (int i = 0; i < kProcs; ++i) {
+    auto version = i % 3 == 0 ? EchoVersion::kV2 : EchoVersion::kV1;  // 1/3 upgraded
+    auto& p = dom.spawn("p" + std::to_string(i), version);
+    dom.connect(creator, p);
+    procs.push_back(&p);
+  }
+  // Full mesh between processes so sources reach sinks directly.
+  for (int i = 0; i < kProcs; ++i) {
+    for (int j = i + 1; j < kProcs; ++j) dom.connect(*procs[i], *procs[j]);
+  }
+  dom.pump();
+
+  const char* kChannels[] = {"alpha", "beta", "gamma"};
+  for (const char* ch : kChannels) creator.create_channel(ch);
+
+  // Everyone subscribes to a random subset; v2 processes will publish v2
+  // events, old sinks registered the v1 event format.
+  std::vector<uint64_t> deliveries(kProcs, 0);
+  for (int i = 0; i < kProcs; ++i) {
+    EchoProcess* p = procs[static_cast<size_t>(i)];
+    bool is_new = p->version() == EchoVersion::kV2;
+    auto sink_fmt = is_new ? tick_v2() : tick_v1();
+    for (const char* ch : kChannels) {
+      p->on_event(std::string(ch) + ":Tick",
+                  // Channel-scoped copies keep the one-format-per-channel rule.
+                  pbio::FormatBuilder(std::string(ch) + ":Tick")
+                      .add_int("seq", is_new ? 8 : 4)
+                      .add_float("v", 8)
+                      .build(),
+                  [&deliveries, i](const Event&) { ++deliveries[static_cast<size_t>(i)]; });
+    }
+    (void)sink_fmt;
+  }
+
+  // Subscribe: every process joins every channel as a sink; every v2
+  // process additionally as a source.
+  for (int i = 0; i < kProcs; ++i) {
+    for (const char* ch : kChannels) {
+      procs[static_cast<size_t>(i)]->open_channel(
+          ch, "creator", procs[static_cast<size_t>(i)]->version() == EchoVersion::kV2, true);
+    }
+  }
+  dom.pump();
+
+  for (const char* ch : kChannels) {
+    EXPECT_EQ(creator.members(ch).size(), static_cast<size_t>(kProcs)) << ch;
+  }
+
+  // Traffic: each v2 process publishes rounds of channel-scoped events;
+  // v1 sinks need the per-channel retro transform.
+  std::vector<FormatPtr> scoped_v2;
+  for (const char* ch : kChannels) {
+    auto fmt_v2 = pbio::FormatBuilder(std::string(ch) + ":Tick")
+                      .add_int("seq", 8)
+                      .add_float("v", 8)
+                      .add_string("unit")
+                      .build();
+    scoped_v2.push_back(fmt_v2);
+  }
+  for (int i = 0; i < kProcs; ++i) {
+    EchoProcess* p = procs[static_cast<size_t>(i)];
+    if (p->version() != EchoVersion::kV2) continue;
+    for (size_t c = 0; c < 3; ++c) {
+      core::TransformSpec spec;
+      spec.src = scoped_v2[c];
+      spec.dst = pbio::FormatBuilder(scoped_v2[c]->name())
+                     .add_int("seq", 4)
+                     .add_float("v", 8)
+                     .build();
+      spec.code = "old.seq = new.seq; old.v = new.v;";
+      p->declare_event_transform(spec);
+    }
+  }
+  dom.pump();
+
+  uint64_t published = 0;
+  RecordArena arena;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < kProcs; ++i) {
+      EchoProcess* p = procs[static_cast<size_t>(i)];
+      if (p->version() != EchoVersion::kV2) continue;
+      size_t c = rng.next_below(3);
+      void* rec = pbio::alloc_record(*scoped_v2[c], arena);
+      pbio::RecordRef r(rec, scoped_v2[c]);
+      r.set_int("seq", round * 100 + i);
+      r.set_float("v", 0.5 * round);
+      r.set_string("unit", "ms", arena);
+      published += p->publish(kChannels[c], scoped_v2[c], rec);
+      dom.pump();
+    }
+  }
+
+  uint64_t total_delivered = 0;
+  uint64_t morphed = 0;
+  for (int i = 0; i < kProcs; ++i) {
+    total_delivered += deliveries[static_cast<size_t>(i)];
+    morphed += procs[static_cast<size_t>(i)]->stats().events_morphed;
+  }
+  EXPECT_EQ(total_delivered, published);
+  EXPECT_GT(morphed, 0u);  // old sinks really did morph the new event format
+
+  // Churn: half the fleet leaves one channel; membership shrinks everywhere.
+  for (int i = 0; i < kProcs; i += 2) {
+    procs[static_cast<size_t>(i)]->leave_channel("alpha", "creator");
+  }
+  dom.pump();
+  EXPECT_EQ(creator.members("alpha").size(), static_cast<size_t>(kProcs / 2));
+  EXPECT_EQ(creator.members("beta").size(), static_cast<size_t>(kProcs));
+
+  // Every v1 member saw only v1-format responses (morphed); every v2 member
+  // saw exact v2 responses.
+  for (int i = 0; i < kProcs; ++i) {
+    EchoProcess* p = procs[static_cast<size_t>(i)];
+    auto totals = p->receiver_totals();
+    if (p->version() == EchoVersion::kV1) {
+      EXPECT_EQ(totals.rejected, 0u) << p->contact();
+      EXPECT_GT(p->stats().responses_morphed, 0u) << p->contact();
+    } else {
+      EXPECT_EQ(p->stats().responses_morphed, 0u) << p->contact();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace morph::echo

@@ -1,0 +1,266 @@
+// Transport tests: framing, in-process links, TCP links, and the
+// MessagePort out-of-band meta-data protocol.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/receiver.hpp"
+#include "echo/messages.hpp"
+#include "pbio/record.hpp"
+#include "transport/framing.hpp"
+#include "transport/link.hpp"
+#include "transport/port.hpp"
+#include "transport/tcp.hpp"
+
+namespace morph::transport {
+namespace {
+
+TEST(Framing, RoundTripsFrames) {
+  ByteBuffer out;
+  write_frame(out, FrameType::kFormatDef, "abc", 3);
+  write_frame(out, FrameType::kData, "defg", 4);
+  write_frame(out, FrameType::kControl, nullptr, 0);
+
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(out.data(), out.size(), [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kFormatDef);
+  EXPECT_EQ(std::string(frames[0].payload.begin(), frames[0].payload.end()), "abc");
+  EXPECT_EQ(frames[1].payload.size(), 4u);
+  EXPECT_TRUE(frames[2].payload.empty());
+  EXPECT_EQ(asm_.buffered_bytes(), 0u);
+}
+
+TEST(Framing, HandlesBytewiseDelivery) {
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "payload", 7);
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < out.size(); ++i) {
+    asm_.feed(out.data() + i, 1, [&](Frame& f) { frames.push_back(std::move(f)); });
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), 7u);
+}
+
+TEST(Framing, RejectsGarbage) {
+  FrameAssembler asm_;
+  uint8_t bad_len[8] = {0, 0, 0, 0};  // length 0
+  EXPECT_THROW(asm_.feed(bad_len, 8, [](Frame&) {}), TransportError);
+
+  FrameAssembler asm2;
+  uint8_t bad_type[6] = {2, 0, 0, 0, 99, 0};  // type 99
+  EXPECT_THROW(asm2.feed(bad_type, 6, [](Frame&) {}), TransportError);
+
+  FrameAssembler asm3;
+  uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(asm3.feed(huge, 4, [](Frame&) {}), TransportError);
+}
+
+TEST(InprocPair, DeliversOnPumpOnly) {
+  InprocPair pair;
+  std::string got;
+  pair.b().set_on_data([&](const uint8_t* d, size_t n) {
+    got.assign(reinterpret_cast<const char*>(d), n);
+  });
+  pair.a().send("hi", 2);
+  EXPECT_EQ(got, "");  // nothing until pump
+  pair.pump();
+  EXPECT_EQ(got, "hi");
+}
+
+TEST(InprocPair, PumpDrainsChains) {
+  // b replies whenever it receives — pump must settle the whole exchange.
+  InprocPair pair;
+  int a_received = 0;
+  pair.a().set_on_data([&](const uint8_t*, size_t) { ++a_received; });
+  pair.b().set_on_data([&](const uint8_t* d, size_t n) {
+    if (n == 4) pair.b().send("pong", 4);
+    (void)d;
+  });
+  pair.a().send("ping", 4);
+  pair.pump();
+  EXPECT_EQ(a_received, 1);
+}
+
+TEST(MessagePort, MetaTravelsOnceDataRepeats) {
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  int delivered = 0;
+  rx.register_handler(fmt, [&](const core::Delivery&) { ++delivered; });
+
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "me";
+  for (int i = 0; i < 3; ++i) sender.send_record(fmt, req);
+  pair.pump();
+
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(sender.stats().meta_frames_sent, 1u);  // one FormatDef
+  EXPECT_EQ(sender.stats().data_sent, 3u);
+  EXPECT_EQ(receiver_port.stats().data_received, 3u);
+}
+
+TEST(MessagePort, TransformsRideWithFormats) {
+  InprocPair pair;
+  core::Receiver rx;
+  auto v1 = echo::channel_open_response_v1_format();
+  int morphed = 0;
+  rx.register_handler(v1, [&](const core::Delivery& d) {
+    if (d.outcome == core::Outcome::kMorphed) ++morphed;
+  });
+
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+  sender.declare_transform(echo::response_v2_to_v1_spec());
+
+  Rng rng(3);
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 4;
+  auto* msg = echo::make_response_v2(w, rng, arena);
+  sender.send_record(echo::channel_open_response_v2_format(), msg);
+  pair.pump();
+
+  EXPECT_EQ(morphed, 1);
+  // FormatDef(v2) + TransformDef + FormatDef(v1, the chain target).
+  EXPECT_EQ(sender.stats().meta_frames_sent, 3u);
+  (void)receiver_port;
+}
+
+TEST(MessagePort, TransformDeclaredAfterFormatAlreadySent) {
+  // The format went out before the transform existed; a late declaration
+  // must reach peers immediately so the rejected format starts morphing.
+  InprocPair pair;
+  core::Receiver rx;
+  auto v1 = echo::channel_open_response_v1_format();
+  int morphed = 0, rejected = 0;
+  rx.register_handler(v1, [&](const core::Delivery& d) {
+    if (d.outcome == core::Outcome::kMorphed) ++morphed;
+  });
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+  (void)receiver_port;
+
+  Rng rng(8);
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 2;
+  auto* msg = echo::make_response_v2(w, rng, arena);
+  sender.send_record(echo::channel_open_response_v2_format(), msg);
+  pair.pump();
+  rejected = static_cast<int>(rx.stats().rejected);
+  EXPECT_EQ(rejected, 1);  // no transform yet: nothing matches the v1 reader
+
+  sender.declare_transform(echo::response_v2_to_v1_spec());
+  sender.send_record(echo::channel_open_response_v2_format(), msg);
+  pair.pump();
+  EXPECT_EQ(morphed, 1);
+}
+
+TEST(MessagePort, StatsCountTraffic) {
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  rx.register_handler(fmt, [](const core::Delivery&) {});
+  MessagePort tx(pair.a(), nullptr);
+  MessagePort rx_port(pair.b(), &rx);
+
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "x";
+  tx.send_record(fmt, req);
+  tx.send_record(fmt, req);
+  pair.pump();
+
+  EXPECT_EQ(tx.stats().data_sent, 2u);
+  EXPECT_EQ(tx.stats().meta_frames_sent, 1u);
+  EXPECT_GT(tx.stats().bytes_sent, 0u);
+  EXPECT_EQ(rx_port.stats().data_received, 2u);
+  EXPECT_EQ(rx_port.stats().meta_frames_received, 1u);
+}
+
+TEST(MessagePort, ControlFramesBypassMorphing) {
+  InprocPair pair;
+  MessagePort a(pair.a(), nullptr);
+  MessagePort b(pair.b(), nullptr);
+  std::string got;
+  b.set_on_control([&](const uint8_t* d, size_t n) {
+    got.assign(reinterpret_cast<const char*>(d), n);
+  });
+  a.send_control("raw-bytes", 9);
+  pair.pump();
+  EXPECT_EQ(got, "raw-bytes");
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  auto client = TcpLink::connect("127.0.0.1", listener.port());
+  auto server = listener.accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  std::string got;
+  server->set_on_data([&](const uint8_t* d, size_t n) {
+    got.append(reinterpret_cast<const char*>(d), n);
+  });
+  client->send("over tcp", 8);
+  while (got.size() < 8) ASSERT_TRUE(server->pump(2000));
+  EXPECT_EQ(got, "over tcp");
+
+  // Close the client; the server pump must report disconnect.
+  client->close();
+  while (server->pump(2000)) {
+  }
+  EXPECT_FALSE(server->connected());
+}
+
+TEST(Tcp, MorphingAcrossRealSockets) {
+  // Full stack: v2 response sent over TCP to a v1-only receiver.
+  TcpListener listener(0);
+  auto client = TcpLink::connect("127.0.0.1", listener.port());
+  auto server = listener.accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  core::Receiver rx;
+  int morphed = 0;
+  rx.register_handler(echo::channel_open_response_v1_format(), [&](const core::Delivery& d) {
+    auto* rec = static_cast<echo::ChannelOpenResponseV1*>(d.record);
+    EXPECT_EQ(rec->member_count, 5);
+    if (d.outcome == core::Outcome::kMorphed) ++morphed;
+  });
+  MessagePort rx_port(*server, &rx);
+  MessagePort tx_port(*client, nullptr);
+  tx_port.declare_transform(echo::response_v2_to_v1_spec());
+
+  Rng rng(9);
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 5;
+  auto* msg = echo::make_response_v2(w, rng, arena);
+  tx_port.send_record(echo::channel_open_response_v2_format(), msg);
+
+  while (morphed == 0) ASSERT_TRUE(server->pump(2000));
+  EXPECT_EQ(morphed, 1);
+}
+
+TEST(Tcp, AcceptTimesOutCleanly) {
+  TcpListener listener(0);
+  EXPECT_EQ(listener.accept(10), nullptr);  // nobody connects
+}
+
+TEST(Tcp, ConnectFailureThrows) {
+  EXPECT_THROW(TcpLink::connect("127.0.0.1", 1), TransportError);
+  EXPECT_THROW(TcpLink::connect("not an ip", 80), TransportError);
+}
+
+}  // namespace
+}  // namespace morph::transport

@@ -1,0 +1,168 @@
+// Hostile meta-data and JIT stress tests.
+//
+// Format descriptors arrive from the network; a corrupted or malicious
+// descriptor must never crash the receiver, drive huge allocations, or
+// produce a descriptor that later makes the decoder read out of bounds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecode/ecode.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::pbio {
+namespace {
+
+TEST(DescriptorFuzz, CorruptedDescriptorsNeverCrash) {
+  Rng rng(606);
+  size_t parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    auto fmt = random_format(rng, "F" + std::to_string(iter % 7));
+    ByteBuffer buf;
+    fmt->serialize(buf);
+    std::vector<uint8_t> fuzzed(buf.data(), buf.data() + buf.size());
+    int flips = 1 + static_cast<int>(rng.next_below(6));
+    for (int f = 0; f < flips; ++f) {
+      fuzzed[rng.next_below(fuzzed.size())] ^= static_cast<uint8_t>(1 + rng.next_below(255));
+    }
+    try {
+      ByteReader r(fuzzed.data(), fuzzed.size());
+      FormatPtr back = FormatDescriptor::deserialize(r);
+      ASSERT_NE(back, nullptr);
+      // A descriptor that parsed must be safe to USE: build a conversion
+      // plan against a compatible host layout and decode a message with it.
+      ++parsed;
+      try {
+        FormatPtr host = relayout(*back);
+        Decoder dec(host);
+        (void)dec.plan_for(back);
+      } catch (const Error&) {
+        // Structurally valid but semantically unusable is fine.
+      }
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 400u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(DescriptorFuzz, TruncatedDescriptorsAlwaysThrow) {
+  Rng rng(19);
+  auto fmt = random_format(rng, "T");
+  ByteBuffer buf;
+  fmt->serialize(buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader r(buf.data(), cut);
+    EXPECT_THROW(FormatDescriptor::deserialize(r), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(DescriptorFuzz, ReorderTwiceIsIdentity) {
+  Rng rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto fmt = random_format(rng, "R" + std::to_string(iter));
+    RecordArena arena;
+    void* rec = random_record(rng, fmt, arena);
+    ByteBuffer wire;
+    Encoder(fmt).encode(rec, wire);
+    std::vector<uint8_t> original(wire.data(), wire.data() + wire.size());
+    reorder_encoded(wire, *fmt);
+    reorder_encoded(wire, *fmt);
+    EXPECT_EQ(std::vector<uint8_t>(wire.data(), wire.data() + wire.size()), original)
+        << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace morph::pbio
+
+namespace morph::ecode {
+namespace {
+
+using pbio::FormatBuilder;
+
+class JitStress : public ::testing::TestWithParam<ExecBackend> {};
+
+TEST_P(JitStress, DeepExpressionNesting) {
+  // 200-deep parenthesized expression: exercises evaluation-stack depth on
+  // both backends (hardware stack in the JIT, sized vector in the VM).
+  auto fmt = FormatBuilder("T").add_int("out", 8).build();
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto t = Transform::compile("p.out = " + expr + ";", {{"p", fmt}}, GetParam());
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*fmt, arena);
+  void* params[1] = {rec};
+  t.run(params, arena);
+  EXPECT_EQ(pbio::RecordRef(rec, fmt).get_int("out"), 201);
+}
+
+TEST_P(JitStress, LongStraightLineProgram) {
+  // Thousands of instructions force rel32 jump distances and large code
+  // buffers in the JIT.
+  auto fmt = FormatBuilder("T").add_int("out", 8).build();
+  std::string code = "int acc = 0;\n";
+  for (int i = 0; i < 2000; ++i) {
+    code += "acc += " + std::to_string(i % 17) + ";\n";
+  }
+  code += "if (acc > 0) { p.out = acc; } else { p.out = -1; }\n";
+  auto t = Transform::compile(code, {{"p", fmt}}, GetParam());
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*fmt, arena);
+  void* params[1] = {rec};
+  t.run(params, arena);
+  int64_t expect = 0;
+  for (int i = 0; i < 2000; ++i) expect += i % 17;
+  EXPECT_EQ(pbio::RecordRef(rec, fmt).get_int("out"), expect);
+  if (GetParam() == ExecBackend::kJit) EXPECT_GT(t.native_code_size(), 10000u);
+}
+
+TEST_P(JitStress, ManyIterationsLoop) {
+  auto fmt = FormatBuilder("T").add_int("out", 8).build();
+  auto t = Transform::compile(R"(
+    int acc = 0;
+    for (int i = 0; i < 1000000; i++) acc += i & 7;
+    p.out = acc;
+  )",
+                              {{"p", fmt}}, GetParam());
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*fmt, arena);
+  void* params[1] = {rec};
+  t.run(params, arena);
+  int64_t expect = 0;
+  for (int i = 0; i < 1000000; ++i) expect += i & 7;
+  EXPECT_EQ(pbio::RecordRef(rec, fmt).get_int("out"), expect);
+}
+
+TEST_P(JitStress, HugeDynArrayGrowth) {
+  auto fmt = FormatBuilder("T")
+                 .add_int("n", 4)
+                 .add_dyn_array("xs", pbio::FieldKind::kInt, 8, "n")
+                 .build();
+  auto t = Transform::compile(R"(
+    for (int i = 0; i < 50000; i++) dst.xs[i] = i;
+    dst.n = 50000;
+  )",
+                              {{"dst", fmt}}, GetParam());
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*fmt, arena);
+  void* params[1] = {rec};
+  t.run(params, arena);
+  pbio::RecordRef r(rec, fmt);
+  EXPECT_EQ(r.get_int("n"), 50000);
+  auto dynv = pbio::to_dyn(*fmt, rec);
+  EXPECT_EQ(dynv.field("xs").as_list()[49999].as_int(), 49999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, JitStress,
+                         ::testing::Values(ExecBackend::kInterpreter, ExecBackend::kJit),
+                         [](const ::testing::TestParamInfo<ExecBackend>& info) {
+                           return info.param == ExecBackend::kJit ? "Jit" : "Vm";
+                         });
+
+}  // namespace
+}  // namespace morph::ecode

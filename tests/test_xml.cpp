@@ -1,0 +1,163 @@
+// XML substrate tests: parser, serializer, escaping, XPath-lite.
+#include <gtest/gtest.h>
+
+#include "xmlx/xml.hpp"
+#include "xmlx/xpath.hpp"
+
+namespace morph::xmlx {
+namespace {
+
+TEST(XmlParse, SimpleDocument) {
+  auto doc = xml_parse("<root a=\"1\" b='two'><child>text</child><empty/></root>");
+  EXPECT_EQ(doc->name, "root");
+  EXPECT_EQ(*doc->attr("a"), "1");
+  EXPECT_EQ(*doc->attr("b"), "two");
+  ASSERT_EQ(doc->children.size(), 2u);
+  EXPECT_EQ(doc->children[0]->name, "child");
+  EXPECT_EQ(doc->children[0]->text_content(), "text");
+  EXPECT_EQ(doc->children[1]->name, "empty");
+  EXPECT_TRUE(doc->children[1]->children.empty());
+}
+
+TEST(XmlParse, PrologCommentsCdata) {
+  auto doc = xml_parse(R"(<?xml version="1.0"?>
+    <!-- header comment -->
+    <r><!-- inner --><a><![CDATA[<raw&stuff>]]></a></r>)");
+  EXPECT_EQ(doc->name, "r");
+  EXPECT_EQ(doc->child("a")->text_content(), "<raw&stuff>");
+}
+
+TEST(XmlParse, Entities) {
+  auto doc = xml_parse("<r>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</r>");
+  EXPECT_EQ(doc->text_content(), "<>&\"'AB");
+}
+
+TEST(XmlParse, WhitespaceStripping) {
+  auto doc = xml_parse("<r>\n  <a>x</a>\n  <b> y </b>\n</r>");
+  ASSERT_EQ(doc->children.size(), 2u);  // whitespace-only text dropped
+  EXPECT_EQ(doc->child("b")->text_content(), " y ");
+
+  XmlParseOptions keep;
+  keep.strip_whitespace_text = false;
+  auto doc2 = xml_parse("<r>\n<a>x</a>\n</r>", keep);
+  EXPECT_EQ(doc2->children.size(), 3u);
+}
+
+TEST(XmlParse, NestedDeep) {
+  auto doc = xml_parse("<a><b><c><d>deep</d></c></b></a>");
+  EXPECT_EQ(doc->child("b")->child("c")->child("d")->text_content(), "deep");
+  EXPECT_EQ(doc->child("b")->parent, doc.get());
+}
+
+TEST(XmlParse, Errors) {
+  EXPECT_THROW(xml_parse(""), XmlError);
+  EXPECT_THROW(xml_parse("<a>"), XmlError);
+  EXPECT_THROW(xml_parse("<a></b>"), XmlError);
+  EXPECT_THROW(xml_parse("<a attr></a>"), XmlError);
+  EXPECT_THROW(xml_parse("<a x=unquoted></a>"), XmlError);
+  EXPECT_THROW(xml_parse("<a>&nope;</a>"), XmlError);
+  EXPECT_THROW(xml_parse("<a/><b/>"), XmlError);
+  EXPECT_THROW(xml_parse("<a><!-- unterminated </a>"), XmlError);
+  EXPECT_THROW(xml_parse("text only"), XmlError);
+}
+
+TEST(XmlSerialize, RoundTrip) {
+  const char* src = "<r a=\"x&amp;y\"><k>v&lt;1</k><e/></r>";
+  auto doc = xml_parse(src);
+  EXPECT_EQ(xml_serialize(*doc), src);
+}
+
+TEST(XmlSerialize, IndentedOutput) {
+  auto doc = xml_parse("<r><a>1</a></r>");
+  std::string pretty = xml_serialize(*doc, 2);
+  EXPECT_NE(pretty.find("\n  <a>"), std::string::npos);
+}
+
+TEST(XmlBuild, AppendHelpers) {
+  auto root = make_element("root");
+  auto& child = root->append_element("c");
+  child.append_text("hello");
+  child.set_attr("k", "v");
+  child.set_attr("k", "v2");  // overwrite
+  EXPECT_EQ(xml_serialize(*root), "<root><c k=\"v2\">hello</c></root>");
+}
+
+// --- XPath-lite -------------------------------------------------------------
+
+const char* kDoc = R"(
+<shop>
+  <item kind="fruit"><name>apple</name><price>3</price></item>
+  <item kind="fruit"><name>pear</name><price>5</price></item>
+  <item kind="tool"><name>hammer</name><price>20</price></item>
+  <meta><count>3</count></meta>
+</shop>)";
+
+TEST(XPath, ChildPaths) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_EQ(Path::parse("item").select(*doc).size(), 3u);
+  EXPECT_EQ(Path::parse("item/name").select(*doc).size(), 3u);
+  EXPECT_EQ(Path::parse("meta/count").string_value(*doc), "3");
+  EXPECT_EQ(Path::parse("item/name").string_value(*doc), "apple");  // first
+  EXPECT_EQ(Path::parse("nothing").select(*doc).size(), 0u);
+}
+
+TEST(XPath, Wildcards) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_EQ(Path::parse("*").select(*doc).size(), 4u);
+  EXPECT_EQ(Path::parse("item/*").select(*doc).size(), 6u);
+}
+
+TEST(XPath, SelfAndParent) {
+  auto doc = xml_parse(kDoc);
+  auto items = Path::parse("item").select(*doc);
+  EXPECT_EQ(Path::parse(".").select(*items[0])[0], items[0]);
+  EXPECT_EQ(Path::parse("../meta/count").string_value(*items[0]), "3");
+}
+
+TEST(XPath, Predicates) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_EQ(Path::parse("item[name='pear']/price").string_value(*doc), "5");
+  EXPECT_EQ(Path::parse("item[name]").select(*doc).size(), 3u);
+  EXPECT_EQ(Path::parse("item[name!='pear']").select(*doc).size(), 2u);
+}
+
+TEST(XPath, Attributes) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_EQ(Path::parse("item/@kind").string_value(*doc), "fruit");
+  EXPECT_EQ(Path::parse("item[name='hammer']/@kind").string_value(*doc), "tool");
+  EXPECT_EQ(Path::parse("item/@missing").string_value(*doc), "");
+}
+
+TEST(XPath, TextSteps) {
+  auto doc = xml_parse("<r><a>one</a></r>");
+  EXPECT_EQ(Path::parse("a/text()").select(*doc).size(), 1u);
+}
+
+TEST(XPath, ParseErrors) {
+  EXPECT_THROW(Path::parse(""), XmlError);
+  EXPECT_THROW(Path::parse("a//b"), XmlError);
+  EXPECT_THROW(Path::parse("a[unclosed"), XmlError);
+  EXPECT_THROW(Path::parse("a[x=unquoted]"), XmlError);
+}
+
+TEST(XPathExpr, Values) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_EQ(Expr::parse("count(item)").string_value(*doc), "3");
+  EXPECT_EQ(Expr::parse("count(item[kind])").string_value(*doc), "0");  // kind is an attr
+  EXPECT_EQ(Expr::parse("'lit'").string_value(*doc), "lit");
+  EXPECT_EQ(Expr::parse("meta/count").string_value(*doc), "3");
+}
+
+TEST(XPathExpr, Booleans) {
+  auto doc = xml_parse(kDoc);
+  EXPECT_TRUE(Expr::parse("item").boolean(*doc));
+  EXPECT_FALSE(Expr::parse("widget").boolean(*doc));
+  EXPECT_TRUE(Expr::parse("meta/count='3'").boolean(*doc));
+  EXPECT_FALSE(Expr::parse("meta/count='4'").boolean(*doc));
+  EXPECT_TRUE(Expr::parse("meta/count!='4'").boolean(*doc));
+  EXPECT_TRUE(Expr::parse("not(widget)").boolean(*doc));
+  EXPECT_TRUE(Expr::parse("count(item)=3").boolean(*doc));
+}
+
+}  // namespace
+}  // namespace morph::xmlx

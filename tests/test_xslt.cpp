@@ -1,0 +1,172 @@
+// XSLT-lite engine tests, culminating in the paper's v2 -> v1
+// ChannelOpenResponse stylesheet checked against the morphing oracle.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "echo/messages.hpp"
+#include "pbio/dynrecord.hpp"
+#include "xmlx/xml.hpp"
+#include "xmlx/xml_bind.hpp"
+#include "xmlx/xslt.hpp"
+
+namespace morph::xmlx {
+namespace {
+
+std::string transform(const std::string& sheet_text, const std::string& doc_text) {
+  Stylesheet sheet = Stylesheet::parse(sheet_text);
+  auto doc = xml_parse(doc_text);
+  auto result = sheet.apply(*doc);
+  return xml_serialize(*result);
+}
+
+TEST(Xslt, IdentityishTemplate) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/">
+        <out><xsl:value-of select="a"/></out>
+      </xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><a>42</a></r>");
+  EXPECT_EQ(out, "<out>42</out>");
+}
+
+TEST(Xslt, ForEachAndLiterals) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r">
+        <list>
+          <xsl:for-each select="item">
+            <entry><xsl:value-of select="name"/></entry>
+          </xsl:for-each>
+        </list>
+      </xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><item><name>a</name></item><item><name>b</name></item></r>");
+  EXPECT_EQ(out, "<list><entry>a</entry><entry>b</entry></list>");
+}
+
+TEST(Xslt, IfAndChoose) {
+  std::string sheet = R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r">
+        <out>
+          <xsl:if test="flag='1'"><yes/></xsl:if>
+          <xsl:choose>
+            <xsl:when test="kind='a'"><a/></xsl:when>
+            <xsl:when test="kind='b'"><b/></xsl:when>
+            <xsl:otherwise><other/></xsl:otherwise>
+          </xsl:choose>
+        </out>
+      </xsl:template>
+    </xsl:stylesheet>)";
+  EXPECT_EQ(transform(sheet, "<r><flag>1</flag><kind>b</kind></r>"), "<out><yes/><b/></out>");
+  EXPECT_EQ(transform(sheet, "<r><flag>0</flag><kind>z</kind></r>"), "<out><other/></out>");
+}
+
+TEST(Xslt, AttributeConstructionAndTemplates) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r">
+        <out id="pre-{a}">
+          <xsl:attribute name="extra"><xsl:value-of select="b"/></xsl:attribute>
+        </out>
+      </xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><a>1</a><b>2</b></r>");
+  EXPECT_EQ(out, "<out id=\"pre-1\" extra=\"2\"/>");
+}
+
+TEST(Xslt, ApplyTemplatesWithMatchSelection) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/doc">
+        <out><xsl:apply-templates/></out>
+      </xsl:template>
+      <xsl:template match="fruit">
+        <f><xsl:value-of select="."/></f>
+      </xsl:template>
+      <xsl:template match="tool">
+        <t><xsl:value-of select="."/></t>
+      </xsl:template>
+    </xsl:stylesheet>)",
+                              "<doc><fruit>apple</fruit><tool>saw</tool><fruit>fig</fruit></doc>");
+  EXPECT_EQ(out, "<out><f>apple</f><t>saw</t><f>fig</f></out>");
+}
+
+TEST(Xslt, SpecificityPrefersLongerPatterns) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r"><o><xsl:apply-templates select="box/item"/></o></xsl:template>
+      <xsl:template match="item"><generic/></xsl:template>
+      <xsl:template match="box/item"><specific/></xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><box><item/></box></r>");
+  EXPECT_EQ(out, "<o><specific/></o>");
+}
+
+TEST(Xslt, BuiltinRulesCopyTextThrough) {
+  // No template matches <u>: the built-in rules recurse and copy text.
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r"><o><xsl:apply-templates/></o></xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><u>passes<v>through</v></u></r>");
+  EXPECT_EQ(out, "<o>passesthrough</o>");
+}
+
+TEST(Xslt, XslElementAndText) {
+  std::string out = transform(R"(
+    <xsl:stylesheet>
+      <xsl:template match="/r">
+        <xsl:element name="dyn-{tag}">
+          <xsl:text>  spaced  </xsl:text>
+        </xsl:element>
+      </xsl:template>
+    </xsl:stylesheet>)",
+                              "<r><tag>x</tag></r>");
+  EXPECT_EQ(out, "<dyn-x>  spaced  </dyn-x>");
+}
+
+TEST(Xslt, Errors) {
+  EXPECT_THROW(Stylesheet::parse("<not-a-stylesheet/>"), XmlError);
+  EXPECT_THROW(Stylesheet::parse("<xsl:stylesheet/>"), XmlError);  // no templates
+  EXPECT_THROW(Stylesheet::parse(R"(
+    <xsl:stylesheet><xsl:template match="/"><xsl:bogus/></xsl:template></xsl:stylesheet>)")
+                    .apply(*xml_parse("<r/>")),
+                XmlError);
+  // Two root elements in the result.
+  auto sheet = Stylesheet::parse(R"(
+    <xsl:stylesheet><xsl:template match="/"><a/><b/></xsl:template></xsl:stylesheet>)");
+  EXPECT_THROW(sheet.apply(*xml_parse("<r/>")), XmlError);
+}
+
+// --- The paper's transformation, via XML/XSLT -------------------------------
+
+TEST(Xslt, EChoV2ToV1MatchesMorphOracle) {
+  Rng rng(7);
+  RecordArena arena;
+  echo::ResponseWorkload w;
+  w.members = 10;
+  w.source_fraction = 0.6;
+  w.sink_fraction = 0.8;
+  auto* v2 = echo::make_response_v2(w, rng, arena);
+  auto* expect = echo::transform_v2_to_v1_reference(*v2, arena);
+
+  // Encode v2 as XML, apply the stylesheet, walk the result into a native
+  // v1 record (the three phases of the paper's XML decode-with-evolution).
+  std::string xml;
+  xml_encode_record(*echo::channel_open_response_v2_format(), v2, xml);
+  Stylesheet sheet = Stylesheet::parse(echo::response_v2_to_v1_xslt());
+  auto doc = xml_parse(xml);
+  auto v1_doc = sheet.apply(*doc);
+  RecordArena arena2;
+  void* got =
+      xml_decode_record(*echo::channel_open_response_v1_format(), *v1_doc, arena2);
+
+  auto expect_dyn = pbio::to_dyn(*echo::channel_open_response_v1_format(), expect);
+  auto got_dyn = pbio::to_dyn(*echo::channel_open_response_v1_format(), got);
+  EXPECT_EQ(expect_dyn, got_dyn);
+}
+
+}  // namespace
+}  // namespace morph::xmlx

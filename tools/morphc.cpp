@@ -1,0 +1,116 @@
+// morphc — compile and inspect Ecode transforms from the command line.
+//
+// Usage:
+//   morphc --demo                          run the built-in ECho demo
+//   morphc <transform.ec>                  compile against the demo formats
+//   morphc <transform.ec> --disasm         also print the bytecode
+//   morphc <transform.ec> --run [N]        run on N random source records
+//   morphc <transform.ec> --vm             force the interpreter
+//
+// The transform binds two parameters: `old` (destination, ECho
+// ChannelOpenResponse v1.0) and `new` (source, v2.0) — the paper's
+// convention. This is a developer tool for iterating on transform code
+// before shipping it with a format.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/transform.hpp"
+#include "echo/messages.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/record.hpp"
+
+using namespace morph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: morphc (--demo | <transform.ec>) [--disasm] [--run [N]] [--vm]\n");
+  return 2;
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "morphc: cannot open '%s'\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  bool disasm = false;
+  bool run = false;
+  bool demo = false;
+  int run_count = 1;
+  ecode::ExecBackend backend = ecode::ExecBackend::kAuto;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--disasm") == 0) {
+      disasm = true;
+    } else if (std::strcmp(argv[i], "--vm") == 0) {
+      backend = ecode::ExecBackend::kInterpreter;
+    } else if (std::strcmp(argv[i], "--run") == 0) {
+      run = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        run_count = std::atoi(argv[++i]);
+      }
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      source = read_file(argv[i]);
+    }
+  }
+  if (demo) {
+    source = echo::response_v2_to_v1_code();
+    run = true;
+  }
+  if (source.empty()) return usage();
+
+  auto dst_fmt = echo::channel_open_response_v1_format();
+  auto src_fmt = echo::channel_open_response_v2_format();
+
+  try {
+    auto t = ecode::Transform::compile(source, {{"old", dst_fmt}, {"new", src_fmt}}, backend);
+    std::printf("compiled: %zu bytecode instruction(s), %d local slot(s), backend %s",
+                t.chunk().code.size(), t.chunk().local_slots,
+                t.jitted() ? "x86-64 JIT" : "bytecode VM");
+    if (t.jitted()) std::printf(" (%zu bytes of native code)", t.native_code_size());
+    std::printf("\n");
+
+    if (disasm) {
+      std::printf("\n-- bytecode --\n%s", t.disassemble().c_str());
+    }
+
+    if (run) {
+      Rng rng(1);
+      for (int i = 0; i < run_count; ++i) {
+        RecordArena arena;
+        echo::ResponseWorkload w;
+        w.members = 3 + static_cast<uint32_t>(rng.next_below(3));
+        w.source_fraction = 0.7;
+        w.sink_fraction = 0.7;
+        auto* src = echo::make_response_v2(w, rng, arena);
+        void* dst = pbio::alloc_record(*dst_fmt, arena);
+        t.run2(dst, src, arena);
+        std::printf("\n-- run %d: source (v2.0) --\n%s\n-- result (v1.0) --\n%s\n", i + 1,
+                    pbio::to_debug_string(pbio::to_dyn(*src_fmt, src)).c_str(),
+                    pbio::to_debug_string(pbio::to_dyn(*dst_fmt, dst)).c_str());
+      }
+    }
+  } catch (const EcodeError& e) {
+    std::fprintf(stderr, "morphc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
