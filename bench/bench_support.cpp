@@ -1,8 +1,15 @@
 #include "bench_support.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
 namespace morph::bench {
+
+namespace {
+size_t g_threads = 1;
+}  // namespace
+
+size_t bench_threads() { return g_threads; }
 
 int bench_main(int argc, char** argv, const std::function<void()>& paper_table) {
   bool gbench = false;
@@ -11,6 +18,9 @@ int bench_main(int argc, char** argv, const std::function<void()>& paper_table) 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gbench") == 0) {
       gbench = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      long n = std::strtol(argv[++i], nullptr, 10);
+      g_threads = n > 0 ? static_cast<size_t>(n) : 1;
     } else {
       args.push_back(argv[i]);
     }

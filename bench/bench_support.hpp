@@ -79,7 +79,12 @@ inline void print_header(const char* first, const std::vector<std::string>& cols
   std::printf("%s\n", std::string(10 + cols.size() * 14, '-').c_str());
 }
 
+/// Worker count requested via `--threads N` (default 1). Benchmarks with a
+/// concurrency section size their ParallelReceiver pool from this.
+size_t bench_threads();
+
 /// Standard main: paper table by default, google-benchmark with --gbench.
+/// `--threads N` is consumed here and exposed through bench_threads().
 int bench_main(int argc, char** argv, const std::function<void()>& paper_table);
 
 }  // namespace morph::bench

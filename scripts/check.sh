@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh            # build + ctest + bench smoke
 #   scripts/check.sh --asan     # also run the ASan/UBSan test sweep
+#   scripts/check.sh --tsan     # also run the concurrency suite under TSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,19 +16,28 @@ ctest --test-dir build --output-on-failure
 
 echo "== bench smoke (paper tables) =="
 for b in build/bench/*; do
-  [ -x "$b" ] || continue
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "--- $b"
   "$b"
 done
 
 if [[ "${1:-}" == "--asan" ]]; then
-  echo "== sanitizer sweep =="
-  cmake -B build-asan -G Ninja \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  echo "== ASan/UBSan sweep =="
+  cmake -B build-asan -G Ninja -DMORPH_SANITIZE=address \
     -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== TSan concurrency sweep =="
+  cmake -B build-tsan -G Ninja -DMORPH_SANITIZE=thread \
+    -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan
+  # The dedicated concurrency suite plus the multi-threaded soak: these are
+  # the tests whose whole point is to race, so they get the TSan referee.
+  ./build-tsan/tests/tests_concurrency
+  ./build-tsan/tests/tests_middleware --gtest_filter='Soak.*'
 fi
 
 echo "ALL GREEN"

@@ -2,13 +2,12 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <vector>
 
 namespace morph {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -32,8 +31,23 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& component, const std::string& text) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), text.c_str());
+  // Format the whole line into a local buffer first, then emit it with a
+  // single stdio call. stdio locks the stream per call, so lines never
+  // interleave — and concurrent workers never serialize on a logger mutex
+  // while formatting.
+  char line[512];
+  int n = std::snprintf(line, sizeof line, "[%s] %s: %s\n", level_name(level),
+                        component.c_str(), text.c_str());
+  if (n < 0) return;
+  if (static_cast<size_t>(n) < sizeof line) {
+    std::fwrite(line, 1, static_cast<size_t>(n), stderr);
+    return;
+  }
+  // Rare oversized message: fall back to a heap buffer of the exact size.
+  std::vector<char> big(static_cast<size_t>(n) + 1);
+  std::snprintf(big.data(), big.size(), "[%s] %s: %s\n", level_name(level),
+                component.c_str(), text.c_str());
+  std::fwrite(big.data(), 1, static_cast<size_t>(n), stderr);
 }
 
 }  // namespace morph

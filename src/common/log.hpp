@@ -1,6 +1,8 @@
 // Minimal leveled logger. Middleware pieces (transport, echo) log through
 // this so examples can show what the morphing layer is doing; hot paths
-// never log.
+// never log. Thread-safe without a global mutex: each message is formatted
+// into a local buffer and emitted with one stdio call, so concurrent
+// workers never serialize on the logger.
 #pragma once
 
 #include <sstream>

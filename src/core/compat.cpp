@@ -1,0 +1,87 @@
+#include "core/compat.hpp"
+
+#include <algorithm>
+
+namespace morph::core {
+
+const char* compat_route_name(CompatRoute r) {
+  switch (r) {
+    case CompatRoute::kExact: return "exact";
+    case CompatRoute::kPerfect: return "perfect";
+    case CompatRoute::kReconcile: return "reconcile";
+    case CompatRoute::kMorph: return "morph";
+    case CompatRoute::kMorphReconcile: return "morph+reconcile";
+    case CompatRoute::kIncompatible: return "incompatible";
+  }
+  return "?";
+}
+
+std::vector<CompatEntry> analyze_compatibility(const std::vector<pbio::FormatPtr>& incoming,
+                                               const std::vector<pbio::FormatPtr>& readers,
+                                               const TransformCatalog& transforms,
+                                               const MatchThresholds& thresholds) {
+  std::vector<CompatEntry> out;
+  for (const auto& fm : incoming) {
+    CompatEntry entry;
+    entry.incoming = fm;
+
+    std::vector<pbio::FormatPtr> fr;
+    for (const auto& r : readers) {
+      if (r->name() == fm->name()) fr.push_back(r);
+    }
+
+    if (auto direct = max_match({fm}, fr, thresholds); direct && direct->perfect()) {
+      entry.delivered = direct->f2;
+      entry.route = direct->f2->fingerprint() == fm->fingerprint() ? CompatRoute::kExact
+                                                                   : CompatRoute::kPerfect;
+      out.push_back(std::move(entry));
+      continue;
+    }
+
+    auto ft = transforms.closure(fm);
+    auto m = max_match(ft, fr, thresholds);
+    if (!m) {
+      out.push_back(std::move(entry));
+      continue;
+    }
+    entry.delivered = m->f2;
+    entry.via = m->f1;
+    entry.diff12 = m->diff12;
+    entry.mismatch = m->mr;
+    bool morphs = m->f1->fingerprint() != fm->fingerprint();
+    if (morphs) {
+      if (auto chain = transforms.chain(fm->fingerprint(), m->f1->fingerprint())) {
+        entry.chain_hops = chain->size();
+      }
+      entry.route = m->perfect() ? CompatRoute::kMorph : CompatRoute::kMorphReconcile;
+    } else {
+      entry.route = CompatRoute::kReconcile;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string render_compatibility_report(const std::vector<CompatEntry>& entries) {
+  auto fp_tag = [](const pbio::FormatPtr& f) {
+    if (!f) return std::string("-");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s#%04llx", f->name().c_str(),
+                  static_cast<unsigned long long>(f->fingerprint() & 0xFFFF));
+    return std::string(buf);
+  };
+  std::string out;
+  out += "incoming format        route             via               delivered        "
+         "hops  diff  Mr\n";
+  out += std::string(96, '-') + "\n";
+  for (const auto& e : entries) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-22s %-17s %-17s %-16s %4zu  %4u  %.3f\n",
+                  fp_tag(e.incoming).c_str(), compat_route_name(e.route), fp_tag(e.via).c_str(),
+                  fp_tag(e.delivered).c_str(), e.chain_hops, e.diff12, e.mismatch);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace morph::core

@@ -1,0 +1,50 @@
+// Compatibility-space analysis (§3.1).
+//
+// The paper defines an application's *compatibility space* as the set of
+// message formats it can successfully interoperate with, and presents
+// morphing as a technique to expand it. This analyzer answers, without
+// sending a single message: given the reader's formats, a set of incoming
+// formats, and the declared transforms — which incoming formats are
+// accepted, through which route, and at what mismatch cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/match.hpp"
+#include "core/transform.hpp"
+
+namespace morph::core {
+
+enum class CompatRoute : uint8_t {
+  kExact,        // fingerprint-identical
+  kPerfect,      // layout conversion only
+  kReconcile,    // direct imperfect match (defaults / drops)
+  kMorph,        // transform chain to a perfect match
+  kMorphReconcile,  // transform chain to an imperfect match
+  kIncompatible,
+};
+
+const char* compat_route_name(CompatRoute r);
+
+struct CompatEntry {
+  pbio::FormatPtr incoming;
+  CompatRoute route = CompatRoute::kIncompatible;
+  pbio::FormatPtr via;        // f1: the post-transform format (morph routes)
+  pbio::FormatPtr delivered;  // f2: the reader format that handles it
+  size_t chain_hops = 0;
+  uint32_t diff12 = 0;
+  double mismatch = 0.0;
+};
+
+/// Evaluate every incoming format against the reader's formats, with and
+/// without the transform catalog, mirroring Algorithm 2's decision logic.
+std::vector<CompatEntry> analyze_compatibility(const std::vector<pbio::FormatPtr>& incoming,
+                                               const std::vector<pbio::FormatPtr>& readers,
+                                               const TransformCatalog& transforms,
+                                               const MatchThresholds& thresholds = {});
+
+/// Render an analysis as an aligned text table (for examples/tools).
+std::string render_compatibility_report(const std::vector<CompatEntry>& entries);
+
+}  // namespace morph::core

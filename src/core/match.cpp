@@ -1,0 +1,151 @@
+#include "core/match.hpp"
+
+namespace morph::core {
+
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatDescriptor;
+using pbio::FormatPtr;
+
+namespace {
+
+bool both_fixed_scalars(FieldKind a, FieldKind b) {
+  return pbio::is_fixed_scalar(a) && pbio::is_fixed_scalar(b);
+}
+
+/// The element format of a complex field, or nullptr for arrays of basics.
+const FormatDescriptor* element_of(const FieldDescriptor& fd) {
+  return fd.element_format ? fd.element_format.get() : nullptr;
+}
+
+/// Do two basic (or basic-element-array) fields denote the same "type" for
+/// membership purposes?
+bool basicish_compatible(const FieldDescriptor& a, const FieldDescriptor& b) {
+  if (pbio::is_basic(a.kind) && pbio::is_basic(b.kind)) {
+    if (a.kind == FieldKind::kString || b.kind == FieldKind::kString) {
+      return a.kind == b.kind;
+    }
+    return both_fixed_scalars(a.kind, b.kind);
+  }
+  // arrays of basic elements
+  if (pbio::is_array(a.kind) && pbio::is_array(b.kind) && !a.element_format &&
+      !b.element_format) {
+    if (a.element_kind == FieldKind::kString || b.element_kind == FieldKind::kString) {
+      return a.element_kind == b.element_kind;
+    }
+    return both_fixed_scalars(a.element_kind, b.element_kind);
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t field_weight(const FieldDescriptor& fd) {
+  if (pbio::is_basic(fd.kind)) return 1;
+  if (fd.element_format) return fd.element_format->weight();
+  return 1;  // array of basic elements
+}
+
+namespace {
+
+uint32_t weighted_weight_impl(const FormatDescriptor& fmt);
+
+uint32_t weighted_field_weight(const FieldDescriptor& fd) {
+  uint32_t base = 1;
+  if (!pbio::is_basic(fd.kind) && fd.element_format) {
+    base = weighted_weight_impl(*fd.element_format);
+  }
+  return fd.importance * base;
+}
+
+uint32_t weighted_weight_impl(const FormatDescriptor& fmt) {
+  uint32_t w = 0;
+  for (const auto& fd : fmt.fields()) w += weighted_field_weight(fd);
+  return w;
+}
+
+/// Shared Algorithm 1 body; `weighted` switches field costs from 1 to the
+/// declared importance (scaled recursively through complex fields).
+uint32_t diff_impl(const FormatDescriptor& f1, const FormatDescriptor& f2, bool weighted) {
+  uint32_t d12 = 0;
+  for (const auto& f : f1.fields()) {
+    const FieldDescriptor* other = f2.find_field(f.name);
+    bool f_complex = element_of(f) != nullptr;
+    uint32_t unit = weighted ? f.importance : 1;
+    if (!f_complex) {
+      // Basic field (or array of basics): present iff a compatible field of
+      // the same name exists in f2.
+      if (other == nullptr || !basicish_compatible(f, *other)) d12 += unit;
+      continue;
+    }
+    // Complex field: "let f' be the complex field in f2 with the same field
+    // name and type".
+    const FormatDescriptor* mine = element_of(f);
+    bool same_class = other != nullptr && element_of(*other) != nullptr &&
+                      ((f.kind == FieldKind::kStruct) == (other->kind == FieldKind::kStruct));
+    if (!same_class) {
+      // The whole subtree is missing: increment by its (weighted) W_f.
+      d12 += weighted ? weighted_field_weight(f) : mine->weight();
+    } else {
+      d12 += unit * diff_impl(*mine, *element_of(*other), weighted);
+    }
+  }
+  return d12;
+}
+
+}  // namespace
+
+uint32_t diff(const FormatDescriptor& f1, const FormatDescriptor& f2) {
+  return diff_impl(f1, f2, /*weighted=*/false);
+}
+
+uint32_t weighted_weight(const FormatDescriptor& fmt) { return weighted_weight_impl(fmt); }
+
+uint32_t weighted_diff(const FormatDescriptor& f1, const FormatDescriptor& f2) {
+  return diff_impl(f1, f2, /*weighted=*/true);
+}
+
+double weighted_mismatch_ratio(const FormatDescriptor& f1, const FormatDescriptor& f2) {
+  uint32_t w2 = weighted_weight_impl(f2);
+  if (w2 == 0) return 0.0;
+  return static_cast<double>(weighted_diff(f2, f1)) / static_cast<double>(w2);
+}
+
+double mismatch_ratio(const FormatDescriptor& f1, const FormatDescriptor& f2) {
+  uint32_t w2 = f2.weight();
+  if (w2 == 0) return 0.0;
+  return static_cast<double>(diff(f2, f1)) / static_cast<double>(w2);
+}
+
+bool perfect_match(const FormatDescriptor& f1, const FormatDescriptor& f2) {
+  return diff(f1, f2) == 0 && diff(f2, f1) == 0;
+}
+
+std::optional<MatchResult> max_match(const std::vector<FormatPtr>& from,
+                                     const std::vector<FormatPtr>& to,
+                                     const MatchThresholds& thresholds, bool require_same_name) {
+  std::optional<MatchResult> best;
+  for (const auto& f1 : from) {
+    for (const auto& f2 : to) {
+      if (!f1 || !f2) continue;
+      if (require_same_name && f1->name() != f2->name()) continue;
+      MatchResult r;
+      r.f1 = f1;
+      r.f2 = f2;
+      bool wt = thresholds.use_importance;
+      r.diff12 = wt ? weighted_diff(*f1, *f2) : diff(*f1, *f2);
+      if (r.diff12 > thresholds.diff_threshold) continue;
+      r.diff21 = wt ? weighted_diff(*f2, *f1) : diff(*f2, *f1);
+      uint32_t w2 = wt ? weighted_weight(*f2) : f2->weight();
+      r.mr = w2 == 0 ? 0.0 : static_cast<double>(r.diff21) / static_cast<double>(w2);
+      if (r.mr > thresholds.mismatch_threshold) continue;
+      // Condition (v): least Mr, then least diff(f1, f2); first wins ties.
+      if (!best || r.mr < best->mr || (r.mr == best->mr && r.diff12 < best->diff12)) {
+        best = std::move(r);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace morph::core

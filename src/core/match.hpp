@@ -1,0 +1,77 @@
+// MaxMatch: the paper's format-comparison machinery (§3.2).
+//
+//   diff(f1, f2)  — Algorithm 1: the number of basic fields present in f1
+//                   but not in f2, recursing through complex fields.
+//   Mr(f1, f2)    — Mismatch Ratio: diff(f2, f1) / W_f2.
+//   MaxMatch      — best pair across two format sets subject to
+//                   DIFF_THRESHOLD and MISMATCH_THRESHOLD, preferring least
+//                   Mr, then least diff, deterministic tie-break.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::core {
+
+/// Total number of basic fields a single field contributes (the W_f used by
+/// Algorithm 1 when a whole complex field is missing).
+uint32_t field_weight(const pbio::FieldDescriptor& fd);
+
+/// Algorithm 1. Counts the basic fields of f1 that f2 lacks. Membership is
+/// by name plus type class: fixed scalars (int/uint/float/char/enum) match
+/// each other, strings match strings, complex fields match complex fields
+/// of the same field name and shape class (struct/array), recursing into
+/// element formats.
+uint32_t diff(const pbio::FormatDescriptor& f1, const pbio::FormatDescriptor& f2);
+
+/// Mismatch Ratio Mr(f1, f2) = diff(f2, f1) / W_f2.
+double mismatch_ratio(const pbio::FormatDescriptor& f1, const pbio::FormatDescriptor& f2);
+
+/// A format pair is perfect iff diff is zero in both directions.
+bool perfect_match(const pbio::FormatDescriptor& f1, const pbio::FormatDescriptor& f2);
+
+struct MatchThresholds {
+  /// Max tolerated diff(f1, f2). 0 admits only perfect matches (paper §3.2).
+  uint32_t diff_threshold = 4;
+  /// Max tolerated Mr(f1, f2).
+  double mismatch_threshold = 0.5;
+  /// Use the importance-weighted variant of diff / Mr (the paper's §6
+  /// future-work extension): each missing field costs its declared
+  /// FieldDescriptor::importance instead of 1, recursively scaled through
+  /// complex fields. With all importances at 1 the result is identical to
+  /// the unweighted algorithm.
+  bool use_importance = false;
+};
+
+/// Importance-weighted W_f of a whole format.
+uint32_t weighted_weight(const pbio::FormatDescriptor& fmt);
+
+/// Importance-weighted Algorithm 1.
+uint32_t weighted_diff(const pbio::FormatDescriptor& f1, const pbio::FormatDescriptor& f2);
+
+/// Importance-weighted Mismatch Ratio.
+double weighted_mismatch_ratio(const pbio::FormatDescriptor& f1,
+                               const pbio::FormatDescriptor& f2);
+
+struct MatchResult {
+  pbio::FormatPtr f1;  // from the first set (sender side)
+  pbio::FormatPtr f2;  // from the second set (receiver side)
+  uint32_t diff12 = 0;
+  uint32_t diff21 = 0;
+  double mr = 0.0;
+  bool perfect() const { return diff12 == 0 && diff21 == 0; }
+};
+
+/// MaxMatch(F1, F2): the best admissible pair, or nullopt when no pair
+/// satisfies the thresholds. Formats are only compared when their names
+/// match (Algorithm 2 builds the candidate sets by name already; this check
+/// keeps direct calls safe too). Pass `require_same_name = false` to relax
+/// that, e.g. for exploratory tooling.
+std::optional<MatchResult> max_match(const std::vector<pbio::FormatPtr>& from,
+                                     const std::vector<pbio::FormatPtr>& to,
+                                     const MatchThresholds& thresholds = {},
+                                     bool require_same_name = true);
+
+}  // namespace morph::core

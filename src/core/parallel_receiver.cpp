@@ -1,0 +1,89 @@
+#include "core/parallel_receiver.hpp"
+
+#include <algorithm>
+
+namespace morph::core {
+
+namespace {
+// Workers pull up to this many messages per queue lock, so short messages
+// don't pay one lock round-trip each.
+constexpr size_t kGrabBatch = 32;
+}  // namespace
+
+ParallelReceiver::ParallelReceiver(Receiver& rx, size_t threads) : rx_(rx) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelReceiver::~ParallelReceiver() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ParallelReceiver::submit(const void* buf, size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(FramedMessage{buf, size});
+  }
+  work_cv_.notify_one();
+}
+
+void ParallelReceiver::process_batch(const FramedMessage* msgs, size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < count; ++i) queue_.push_back(msgs[i]);
+  }
+  work_cv_.notify_all();
+  drain();
+}
+
+void ParallelReceiver::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ParallelReceiver::worker_loop() {
+  // One arena per worker, reset per message: chunks are retained across
+  // resets, so steady-state processing allocates nothing from the OS.
+  RecordArena arena;
+  std::vector<FramedMessage> local;
+  local.reserve(kGrabBatch);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to do
+      size_t grab = std::min(queue_.size(), kGrabBatch);
+      local.assign(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(grab));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(grab));
+      ++busy_;
+    }
+    for (const FramedMessage& msg : local) {
+      arena.reset();
+      try {
+        rx_.process(msg.data, msg.size, arena);
+      } catch (...) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    local.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_;
+      if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace morph::core

@@ -1,0 +1,81 @@
+// Worker-pool front end for a shared Receiver: fans framed messages out
+// across a fixed set of threads, each with its own RecordArena, so a broker
+// or subscriber endpoint can decode/morph on every core at once.
+//
+// The pool adds no per-message synchronization beyond one queue operation;
+// the Receiver itself is concurrency-safe (sharded decision cache,
+// immutable compiled pipelines — see docs/CONCURRENCY.md). Handlers run on
+// worker threads, possibly several at a time, and must be thread-safe.
+// Delivery order across messages is unspecified; every submitted message is
+// processed exactly once.
+//
+// Submitted buffers are NOT copied: they must stay alive and unchanged
+// until drain() (or process_batch()) returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/receiver.hpp"
+
+namespace morph::core {
+
+/// One length-delimited encoded message, as produced by the transport
+/// framing layer (a full wire message including header).
+struct FramedMessage {
+  const void* data = nullptr;
+  size_t size = 0;
+};
+
+class ParallelReceiver {
+ public:
+  /// Spin up `threads` workers against `rx` (0 = hardware concurrency).
+  /// The receiver must outlive the pool.
+  explicit ParallelReceiver(Receiver& rx, size_t threads = 0);
+  ~ParallelReceiver();
+
+  ParallelReceiver(const ParallelReceiver&) = delete;
+  ParallelReceiver& operator=(const ParallelReceiver&) = delete;
+
+  size_t threads() const { return workers_.size(); }
+
+  /// Enqueue one message for asynchronous processing.
+  void submit(const void* buf, size_t size);
+
+  /// Block until every submitted message has been fully processed and all
+  /// workers are idle.
+  void drain();
+
+  /// submit() them all, then drain(): the batch equivalent of calling
+  /// Receiver::process() in a loop, spread across the pool.
+  void process_batch(const FramedMessage* msgs, size_t count);
+
+  /// Messages fully processed (including rejected/defaulted ones).
+  uint64_t processed() const { return processed_.load(std::memory_order_relaxed); }
+
+  /// Messages whose processing threw (hostile frames, etc.). The exception
+  /// is swallowed after counting: one bad message must not take down the
+  /// pool. Inspect the receiver's own stats/log for details.
+  uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
+
+ private:
+  void worker_loop();
+
+  Receiver& rx_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // queue became non-empty / stopping
+  std::condition_variable idle_cv_;   // queue empty and no worker busy
+  std::deque<FramedMessage> queue_;
+  size_t busy_ = 0;
+  bool stop_ = false;
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace morph::core

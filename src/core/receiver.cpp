@@ -1,0 +1,271 @@
+#include "core/receiver.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::core {
+
+using pbio::FormatPtr;
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kExact: return "exact";
+    case Outcome::kPerfect: return "perfect";
+    case Outcome::kMorphed: return "morphed";
+    case Outcome::kReconciled: return "reconciled";
+    case Outcome::kMorphedReconciled: return "morphed+reconciled";
+    case Outcome::kDefaulted: return "defaulted";
+    case Outcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+Receiver::Receiver(ReceiverOptions options) : options_(options) {}
+
+void Receiver::register_handler(FormatPtr fmt, Handler handler) {
+  fmt = reader_formats_.register_format(std::move(fmt));
+  {
+    std::unique_lock lock(config_mutex_);
+    handlers_[fmt->fingerprint()] = std::make_shared<Handler>(std::move(handler));
+  }
+  flush_cache();  // registrations invalidate cached decisions
+}
+
+void Receiver::set_default_handler(DefaultHandler handler) {
+  {
+    std::unique_lock lock(config_mutex_);
+    default_handler_ = std::make_shared<DefaultHandler>(std::move(handler));
+  }
+  flush_cache();
+}
+
+FormatPtr Receiver::learn_format(FormatPtr fmt) { return learned_.register_format(std::move(fmt)); }
+
+void Receiver::learn_transform(TransformSpec spec) {
+  learned_.register_format(spec.src);
+  learned_.register_format(spec.dst);
+  {
+    std::unique_lock lock(config_mutex_);
+    transforms_.add(std::move(spec));
+  }
+  flush_cache();  // new transforms may unlock previously rejected formats
+}
+
+std::vector<FormatPtr> Receiver::reader_formats(const std::string& name) const {
+  return reader_formats_.by_name(name);
+}
+
+ReceiverStats Receiver::stats() const {
+  ReceiverStats s;
+  s.messages = stats_.messages.load(kRelaxed);
+  s.cache_hits = stats_.cache_hits.load(kRelaxed);
+  s.cache_misses = stats_.cache_misses.load(kRelaxed);
+  s.exact = stats_.exact.load(kRelaxed);
+  s.perfect = stats_.perfect.load(kRelaxed);
+  s.morphed = stats_.morphed.load(kRelaxed);
+  s.reconciled = stats_.reconciled.load(kRelaxed);
+  s.defaulted = stats_.defaulted.load(kRelaxed);
+  s.rejected = stats_.rejected.load(kRelaxed);
+  s.transforms_compiled = stats_.transforms_compiled.load(kRelaxed);
+  s.zero_copy = stats_.zero_copy.load(kRelaxed);
+  s.cache_flushes = stats_.cache_flushes.load(kRelaxed);
+  return s;
+}
+
+void Receiver::flush_cache() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.entries.clear();
+  }
+  cached_count_.store(0, kRelaxed);
+}
+
+Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
+  Shard& shard = shard_for(fingerprint);
+  EntryPtr entry;
+  {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.entries.find(fingerprint);
+    if (it != shard.entries.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    if (cached_count_.load(kRelaxed) >= options_.max_cached_decisions) {
+      // Racy by design: concurrent overflowing threads may each flush, but
+      // a flush only costs recomputation, never correctness.
+      flush_cache();
+      stats_.cache_flushes.fetch_add(1, kRelaxed);
+    }
+    std::unique_lock lock(shard.mutex);
+    auto [it, inserted] = shard.entries.try_emplace(fingerprint);
+    if (inserted) {
+      it->second = std::make_shared<CacheEntry>();
+      cached_count_.fetch_add(1, kRelaxed);
+    }
+    entry = it->second;
+  }
+  // The expensive pipeline build runs exactly once per entry; concurrent
+  // cold arrivals for the same fingerprint serialize here — on this entry
+  // only, never on the shard or the whole cache. No shard lock is held, so
+  // other fingerprints keep flowing while this one compiles.
+  bool built_here = false;
+  std::call_once(entry->build_once, [&] {
+    built_here = true;
+    stats_.cache_misses.fetch_add(1, kRelaxed);
+    std::shared_lock config(config_mutex_);
+    build_decision(entry->decision, fingerprint);
+  });
+  if (!built_here) stats_.cache_hits.fetch_add(1, kRelaxed);
+  return entry;
+}
+
+void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
+  // Capture the default handler into the decision: set_default_handler
+  // flushes the cache, so a cached copy can never go stale.
+  d.default_handler = default_handler_;
+
+  FormatPtr fm = learned_.by_fingerprint(fingerprint);
+  if (fm == nullptr) {
+    // Unknown format: no out-of-band definition arrived. Reject.
+    MORPH_LOG_INFO("receiver") << "no format definition for fingerprint " << fingerprint;
+    d.outcome = Outcome::kRejected;
+    return;
+  }
+
+  std::vector<FormatPtr> fr = reader_formats_.by_name(fm->name());
+  auto handler_for = [&](uint64_t fp) -> std::shared_ptr<Handler> {
+    auto it = handlers_.find(fp);
+    return it == handlers_.end() ? nullptr : it->second;
+  };
+
+  // Lines 11-15: MaxMatch(fm, Fr); a perfect pair needs only a layout
+  // conversion (possibly a pure no-op when fingerprints coincide).
+  if (auto m = max_match({fm}, fr, options_.thresholds); m && m->perfect()) {
+    d.outcome = m->f2->fingerprint() == fm->fingerprint() ? Outcome::kExact : Outcome::kPerfect;
+    d.deliver_fmt = m->f2;
+    d.handler = handler_for(m->f2->fingerprint());
+    d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, m->f2);
+    if (d.outcome == Outcome::kExact) {
+      d.exact_decoder = std::make_unique<pbio::Decoder>(m->f2);
+    }
+    return;
+  }
+
+  // Lines 16-19: MaxMatch over the transform closure Ft.
+  std::vector<FormatPtr> ft = transforms_.closure(fm);
+  auto m = max_match(ft, fr, options_.thresholds);
+  if (!m) {
+    d.outcome = Outcome::kRejected;
+    return;
+  }
+
+  d.deliver_fmt = m->f2;
+  d.handler = handler_for(m->f2->fingerprint());
+
+  bool morphs = m->f1->fingerprint() != fm->fingerprint();
+  FormatPtr native_fmt;  // format of the record after decode (+ chain)
+  if (morphs) {
+    // Lines 21-24: generate and cache the fm -> f1 transformation code.
+    auto specs = transforms_.chain(fm->fingerprint(), m->f1->fingerprint());
+    if (!specs || specs->empty()) {
+      // Closure said reachable; a missing chain would be a logic error.
+      throw Error("receiver: transform chain vanished");
+    }
+    d.chain = std::make_shared<MorphChain>(*specs, options_.backend);
+    stats_.transforms_compiled.fetch_add(d.chain->hops(), kRelaxed);
+    d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, d.chain->src_format());
+    native_fmt = d.chain->dst_format();
+  } else {
+    native_fmt = pbio::relayout(*fm);
+    d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, native_fmt);
+  }
+
+  // Lines 26-28: imperfect pairs get defaults filled and extras dropped.
+  bool needs_reconcile = !native_fmt->identical_to(*m->f2);
+  if (needs_reconcile) {
+    d.reconciler = std::make_unique<Reconciler>(native_fmt, m->f2);
+  }
+  bool imperfect = !m->perfect();
+  if (morphs) {
+    d.outcome = imperfect ? Outcome::kMorphedReconciled : Outcome::kMorphed;
+  } else {
+    d.outcome = Outcome::kReconciled;
+  }
+}
+
+Outcome Receiver::finish_delivery(const Decision& d, void* record) {
+  switch (d.outcome) {
+    case Outcome::kExact:
+      stats_.exact.fetch_add(1, kRelaxed);
+      break;
+    case Outcome::kPerfect:
+      stats_.perfect.fetch_add(1, kRelaxed);
+      break;
+    case Outcome::kMorphed:
+      stats_.morphed.fetch_add(1, kRelaxed);
+      break;
+    case Outcome::kReconciled:
+    case Outcome::kMorphedReconciled:
+      stats_.reconciled.fetch_add(1, kRelaxed);
+      break;
+    default:
+      break;
+  }
+  // The caller holds the cache entry via shared_ptr, so the decision (and
+  // this handler) stay alive even if the handler itself registers formats
+  // and flushes the cache mid-delivery.
+  if (d.handler != nullptr && *d.handler) {
+    Delivery delivery{record, d.deliver_fmt, d.outcome};
+    (*d.handler)(delivery);
+  }
+  return d.outcome;
+}
+
+Outcome Receiver::process(const void* buf, size_t size, RecordArena& arena) {
+  stats_.messages.fetch_add(1, kRelaxed);
+  pbio::WireInfo info = pbio::peek_header(buf, size);
+  EntryPtr entry = decide(info.fingerprint);
+  const Decision& d = entry->decision;
+
+  switch (d.outcome) {
+    case Outcome::kRejected:
+    case Outcome::kDefaulted: {
+      if (d.default_handler != nullptr && *d.default_handler) {
+        (*d.default_handler)(buf, size);
+        stats_.defaulted.fetch_add(1, kRelaxed);
+        return Outcome::kDefaulted;
+      }
+      stats_.rejected.fetch_add(1, kRelaxed);
+      return Outcome::kRejected;
+    }
+    default:
+      break;
+  }
+
+  void* record = d.decode_plan->execute(buf, size, arena);
+  if (d.chain) record = d.chain->apply(record, arena);
+  if (d.reconciler) record = d.reconciler->apply(record, arena);
+  return finish_delivery(d, record);
+}
+
+Outcome Receiver::process_in_place(void* buf, size_t size, RecordArena& arena) {
+  pbio::WireInfo info = pbio::peek_header(buf, size);
+  EntryPtr entry = decide(info.fingerprint);
+  const Decision& d = entry->decision;
+  if (d.outcome == Outcome::kExact && d.exact_decoder != nullptr) {
+    void* record = d.exact_decoder->decode_in_place(buf, size);
+    if (record != nullptr) {
+      stats_.messages.fetch_add(1, kRelaxed);
+      stats_.zero_copy.fetch_add(1, kRelaxed);
+      return finish_delivery(d, record);
+    }
+    // Foreign byte order: fall through to the copying path.
+  }
+  return process(buf, size, arena);
+}
+
+}  // namespace morph::core

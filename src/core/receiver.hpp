@@ -1,0 +1,225 @@
+// Receiver-side message processing: the paper's Algorithm 2.
+//
+// A Receiver owns, per reading endpoint:
+//   * the registered reader formats and their handlers (what this
+//     application understands),
+//   * the learned wire formats and transform specs (what peers have
+//     declared out-of-band),
+//   * a decision cache keyed by incoming format fingerprint — the expensive
+//     steps (MaxMatch, transform chain search, dynamic code generation)
+//     run only for formats never seen before; afterwards every message of
+//     that format replays the compiled pipeline.
+//
+// Pipeline shapes, by decision:
+//   exact     wire == reader format: single conversion plan (layout no-op)
+//   perfect   same shape, different layout/order: one conversion plan
+//   morphed   decode to native -> compiled Ecode chain -> [reconcile]
+//   rejected  no admissible MaxMatch pair: default handler or drop
+//
+// Thread safety (see docs/CONCURRENCY.md for the full model):
+//   * process()/process_in_place() may be called from any number of
+//     threads concurrently, each with its own RecordArena. The decision
+//     cache is sharded; steady-state lookups take only a per-shard reader
+//     lock, and a cold format's expensive pipeline build runs exactly once
+//     per fingerprint — concurrent arrivals block on that entry's
+//     once-flag, not on the cache.
+//   * Compiled pipeline pieces (ConversionPlan, MorphChain/JIT code,
+//     Reconciler) are immutable after publish; per-call mutable state lives
+//     in the caller's arena and the per-call Ecode runtime.
+//   * register_handler / set_default_handler / learn_transform are
+//     exclusive writers: rare, safe to call concurrently with processing.
+//   * Handlers may be invoked concurrently from many threads and must be
+//     thread-safe themselves when the receiver is driven in parallel.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/match.hpp"
+#include "core/reconcile.hpp"
+#include "core/transform.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/registry.hpp"
+
+namespace morph::core {
+
+enum class Outcome : uint8_t {
+  kExact,       // fingerprint-identical format
+  kPerfect,     // perfect match after layout conversion
+  kMorphed,     // Ecode transform chain applied
+  kReconciled,  // imperfect match: defaults filled / extras dropped
+  kMorphedReconciled,  // chain + reconciliation
+  kDefaulted,   // no match; handed to the default handler
+  kRejected,    // no match and no default handler
+};
+
+const char* outcome_name(Outcome o);
+
+/// What a handler receives: a native record in the handler's registered
+/// format. The record lives in the arena passed to process().
+struct Delivery {
+  void* record = nullptr;
+  pbio::FormatPtr format;
+  Outcome outcome = Outcome::kExact;
+};
+
+using Handler = std::function<void(const Delivery&)>;
+using DefaultHandler = std::function<void(const void* buf, size_t size)>;
+
+struct ReceiverOptions {
+  MatchThresholds thresholds;
+  ecode::ExecBackend backend = ecode::ExecBackend::kAuto;
+  /// Upper bound on cached per-format decisions. A hostile peer could
+  /// otherwise stream endless fresh formats and grow the cache without
+  /// limit; on overflow the whole cache is flushed (decisions are
+  /// recomputable, so flushing only costs time).
+  size_t max_cached_decisions = 1024;
+};
+
+/// A point-in-time copy of the receiver's counters (the live counters are
+/// atomics updated with relaxed ordering; the snapshot is plain data).
+struct ReceiverStats {
+  uint64_t messages = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t exact = 0;
+  uint64_t perfect = 0;
+  uint64_t morphed = 0;
+  uint64_t reconciled = 0;
+  uint64_t defaulted = 0;
+  uint64_t rejected = 0;
+  uint64_t transforms_compiled = 0;
+  uint64_t zero_copy = 0;
+  uint64_t cache_flushes = 0;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(ReceiverOptions options = {});
+
+  /// Register a format this reader understands and the handler to invoke
+  /// for it (multiple formats may share a name across protocol revisions).
+  void register_handler(pbio::FormatPtr fmt, Handler handler);
+
+  /// Handler for messages that match nothing (Algorithm 2's rejection path
+  /// delivers the raw buffer here if set).
+  void set_default_handler(DefaultHandler handler);
+
+  /// Out-of-band learning: a peer's format definition, and the transforms
+  /// it associated with its formats.
+  pbio::FormatPtr learn_format(pbio::FormatPtr fmt);
+  void learn_transform(TransformSpec spec);
+
+  /// Process one encoded message. Converted records are allocated from
+  /// `arena` and are valid until the caller resets it. Thread-safe: may be
+  /// called concurrently as long as every thread passes its own arena.
+  Outcome process(const void* buf, size_t size, RecordArena& arena);
+
+  /// Zero-copy variant: when the incoming format is byte-identical to a
+  /// registered reader format and byte orders agree, the record is decoded
+  /// *in place* — the delivered record aliases (and mutates) `buf`, and the
+  /// arena is untouched (PBIO's same-machine fast path). Any other decision
+  /// falls back to process(). The buffer must stay alive through delivery
+  /// and cannot be processed twice after an in-place decode.
+  Outcome process_in_place(void* buf, size_t size, RecordArena& arena);
+
+  ReceiverStats stats() const;
+  const ReceiverOptions& options() const { return options_; }
+  size_t cached_decisions() const {
+    return cached_count_.load(std::memory_order_relaxed);
+  }
+
+  /// All reader formats registered under `name` (the Fr of Algorithm 2).
+  std::vector<pbio::FormatPtr> reader_formats(const std::string& name) const;
+
+  /// Exposed for the compatibility-space analyzer: the transform catalog
+  /// and learned-format registry. Not synchronized against concurrent
+  /// learn_transform — analyze offline or quiesce writers first.
+  const TransformCatalog& transforms() const { return transforms_; }
+  const pbio::FormatRegistry& learned() const { return learned_; }
+
+ private:
+  struct Decision {
+    Outcome outcome = Outcome::kRejected;
+    std::shared_ptr<Handler> handler;                   // null for reject/default
+    std::shared_ptr<DefaultHandler> default_handler;    // captured at build time
+    pbio::FormatPtr deliver_fmt;                        // handler's format
+    std::unique_ptr<pbio::ConversionPlan> decode_plan;  // wire -> native
+    std::unique_ptr<pbio::Decoder> exact_decoder;       // kExact only: in-place path
+    std::shared_ptr<MorphChain> chain;                  // optional
+    std::unique_ptr<Reconciler> reconciler;             // optional
+  };
+
+  /// One cache slot. The once-flag guarantees the expensive build runs
+  /// exactly once per fingerprint even under concurrent cold arrival;
+  /// late threads block here (on this entry only), then read the decision
+  /// with the happens-before edge call_once provides. Entries are handed
+  /// out as shared_ptrs so an in-flight delivery survives a cache flush.
+  struct CacheEntry {
+    std::once_flag build_once;
+    Decision decision;
+  };
+  using EntryPtr = std::shared_ptr<CacheEntry>;
+
+  static constexpr size_t kCacheShards = 16;  // power of two
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<uint64_t, EntryPtr> entries;
+  };
+
+  /// Live counters. Relaxed atomics: each is an independent monotone
+  /// counter, never used to publish other data.
+  struct Counters {
+    std::atomic<uint64_t> messages{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> exact{0};
+    std::atomic<uint64_t> perfect{0};
+    std::atomic<uint64_t> morphed{0};
+    std::atomic<uint64_t> reconciled{0};
+    std::atomic<uint64_t> defaulted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> transforms_compiled{0};
+    std::atomic<uint64_t> zero_copy{0};
+    std::atomic<uint64_t> cache_flushes{0};
+  };
+
+  Shard& shard_for(uint64_t fingerprint) {
+    // Fingerprints are already well-mixed hashes; fold the high bits in so
+    // shard choice never degenerates even if a bit range is biased.
+    return shards_[(fingerprint ^ (fingerprint >> 32)) & (kCacheShards - 1)];
+  }
+
+  EntryPtr decide(uint64_t fingerprint);
+  void build_decision(Decision& d, uint64_t fingerprint);
+  void flush_cache();
+  Outcome finish_delivery(const Decision& d, void* record);
+
+  ReceiverOptions options_;
+
+  /// Guards the reader-side configuration (handlers_, default_handler_,
+  /// transforms_). Decision builds hold it shared; register_* / learn_*
+  /// hold it exclusive. Lock order: never acquire the config lock while
+  /// holding a shard lock (builds run with no shard lock held; writers
+  /// release the config lock before flush_cache touches the shards).
+  mutable std::shared_mutex config_mutex_;
+  pbio::FormatRegistry reader_formats_;  // internally thread-safe
+  std::unordered_map<uint64_t, std::shared_ptr<Handler>> handlers_;
+  std::shared_ptr<DefaultHandler> default_handler_;
+  pbio::FormatRegistry learned_;  // internally thread-safe
+  TransformCatalog transforms_;
+
+  std::array<Shard, kCacheShards> shards_;
+  std::atomic<size_t> cached_count_{0};
+  mutable Counters stats_;
+};
+
+}  // namespace morph::core

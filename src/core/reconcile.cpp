@@ -1,0 +1,203 @@
+#include "core/reconcile.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::core {
+
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatDescriptor;
+
+namespace {
+
+bool scalar_pair(const FieldDescriptor& a, const FieldDescriptor& b) {
+  return pbio::is_fixed_scalar(a.kind) && pbio::is_fixed_scalar(b.kind);
+}
+
+bool compatible(const FieldDescriptor& s, const FieldDescriptor& d) {
+  if (pbio::is_fixed_scalar(d.kind)) return scalar_pair(s, d);
+  if (d.kind == FieldKind::kString) return s.kind == FieldKind::kString;
+  if (d.kind == FieldKind::kStruct) return s.kind == FieldKind::kStruct;
+  if (pbio::is_array(d.kind)) {
+    if (!pbio::is_array(s.kind)) return false;
+    bool s_struct = s.element_format != nullptr;
+    bool d_struct = d.element_format != nullptr;
+    if (s_struct != d_struct) return false;
+    if (s_struct) return true;
+    if (s.element_kind == FieldKind::kString || d.element_kind == FieldKind::kString) {
+      return s.element_kind == d.element_kind;
+    }
+    return pbio::is_fixed_scalar(s.element_kind) && pbio::is_fixed_scalar(d.element_kind);
+  }
+  return false;
+}
+
+size_t count_missing(const FormatDescriptor& src, const FormatDescriptor& dst);
+
+size_t count_missing_field(const FormatDescriptor& src, const FieldDescriptor& df) {
+  const FieldDescriptor* sf = src.find_field(df.name);
+  if (sf == nullptr || !compatible(*sf, df)) return 1;
+  if (df.kind == FieldKind::kStruct || (pbio::is_array(df.kind) && df.element_format)) {
+    return count_missing(*sf->element_format, *df.element_format);
+  }
+  return 0;
+}
+
+size_t count_missing(const FormatDescriptor& src, const FormatDescriptor& dst) {
+  size_t n = 0;
+  for (const auto& df : dst.fields()) n += count_missing_field(src, df);
+  return n;
+}
+
+void copy_struct(const FormatDescriptor& src_fmt, const uint8_t* src, const FormatDescriptor& dst_fmt,
+                 uint8_t* dst, RecordArena& arena);
+
+void default_field(const FieldDescriptor& df, uint8_t* dst, RecordArena& arena) {
+  if (pbio::is_fixed_scalar(df.kind)) {
+    if (df.default_int) pbio::write_scalar_i64(dst, df, *df.default_int);
+    if (df.default_float) pbio::write_scalar_f64(dst, df, *df.default_float);
+  } else if (df.kind == FieldKind::kString) {
+    if (df.default_string) pbio::write_string_field(dst, df, *df.default_string, arena);
+  } else if (df.kind == FieldKind::kStruct) {
+    for (const auto& sub : df.element_format->fields()) {
+      default_field(sub, dst + df.offset, arena);
+    }
+  }
+  // Arrays stay empty.
+}
+
+void copy_element(const FieldDescriptor& sf, const uint8_t* se, const FieldDescriptor& df,
+                  uint8_t* de, RecordArena& arena) {
+  if (df.element_format) {
+    copy_struct(*sf.element_format, se, *df.element_format, de, arena);
+    return;
+  }
+  if (df.element_kind == FieldKind::kString) {
+    const char* s;
+    std::memcpy(&s, se, sizeof(char*));
+    char* copy = s == nullptr ? nullptr : arena.copy_string(s);
+    std::memcpy(de, &copy, sizeof(char*));
+    return;
+  }
+  FieldDescriptor stmp;
+  stmp.kind = sf.element_kind;
+  stmp.size = sf.element_size;
+  stmp.offset = 0;
+  FieldDescriptor dtmp;
+  dtmp.kind = df.element_kind;
+  dtmp.size = df.element_size;
+  dtmp.offset = 0;
+  if (dtmp.kind == FieldKind::kFloat || stmp.kind == FieldKind::kFloat) {
+    pbio::write_scalar_f64(de, dtmp, pbio::read_scalar_f64(se, stmp));
+  } else {
+    pbio::write_scalar_i64(de, dtmp, pbio::read_scalar_i64(se, stmp));
+  }
+}
+
+void copy_array(const FormatDescriptor& src_fmt, const uint8_t* src, const FieldDescriptor& sf,
+                const FormatDescriptor& dst_fmt, uint8_t* dst, const FieldDescriptor& df,
+                RecordArena& arena) {
+  // Source extent.
+  int64_t count;
+  const uint8_t* se;
+  if (sf.kind == FieldKind::kDynArray) {
+    const FieldDescriptor* len = src_fmt.find_field(sf.length_field);
+    count = len ? pbio::read_scalar_i64(src, *len) : 0;
+    se = static_cast<const uint8_t*>(pbio::read_pointer(src, sf));
+    if (se == nullptr) count = 0;
+  } else {
+    count = sf.static_count;
+    se = src + sf.offset;
+  }
+  if (count < 0) count = 0;
+
+  uint32_t s_stride = sf.element_stride();
+  uint32_t d_stride = df.element_stride();
+
+  uint8_t* de;
+  int64_t copy_count = count;
+  if (df.kind == FieldKind::kDynArray) {
+    if (count == 0) {
+      pbio::write_pointer(dst, df, nullptr);
+    } else {
+      de = static_cast<uint8_t*>(
+          pbio::alloc_dyn_array(arena, d_stride, static_cast<uint64_t>(count)));
+      pbio::write_pointer(dst, df, de);
+      for (int64_t i = 0; i < count; ++i) {
+        copy_element(sf, se + static_cast<size_t>(i) * s_stride, df,
+                     de + static_cast<size_t>(i) * d_stride, arena);
+      }
+    }
+    const FieldDescriptor* dlen = dst_fmt.find_field(df.length_field);
+    if (dlen != nullptr) pbio::write_scalar_i64(dst, *dlen, count);
+    return;
+  }
+  // Static destination: clip, leave the zeroed tail.
+  de = dst + df.offset;
+  copy_count = std::min<int64_t>(copy_count, df.static_count);
+  for (int64_t i = 0; i < copy_count; ++i) {
+    copy_element(sf, se + static_cast<size_t>(i) * s_stride, df,
+                 de + static_cast<size_t>(i) * d_stride, arena);
+  }
+}
+
+void copy_struct(const FormatDescriptor& src_fmt, const uint8_t* src, const FormatDescriptor& dst_fmt,
+                 uint8_t* dst, RecordArena& arena) {
+  for (const auto& df : dst_fmt.fields()) {
+    const FieldDescriptor* sf = src_fmt.find_field(df.name);
+    if (sf == nullptr || !compatible(*sf, df)) {
+      default_field(df, dst, arena);
+      continue;
+    }
+    switch (df.kind) {
+      case FieldKind::kString: {
+        std::string_view s = pbio::read_string_field(src, *sf);
+        const char* sp = pbio::read_pointer(src, *sf) == nullptr ? nullptr : s.data();
+        if (sp == nullptr) {
+          pbio::write_pointer(dst, df, nullptr);
+        } else {
+          pbio::write_string_field(dst, df, s, arena);
+        }
+        break;
+      }
+      case FieldKind::kStruct:
+        copy_struct(*sf->element_format, src + sf->offset, *df.element_format, dst + df.offset,
+                    arena);
+        break;
+      case FieldKind::kStaticArray:
+      case FieldKind::kDynArray:
+        copy_array(src_fmt, src, *sf, dst_fmt, dst, df, arena);
+        break;
+      default: {  // fixed scalars
+        if (df.kind == FieldKind::kFloat || sf->kind == FieldKind::kFloat) {
+          pbio::write_scalar_f64(dst, df, pbio::read_scalar_f64(src, *sf));
+        } else {
+          pbio::write_scalar_i64(dst, df, pbio::read_scalar_i64(src, *sf));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Reconciler::Reconciler(pbio::FormatPtr src_fmt, pbio::FormatPtr dst_fmt)
+    : src_(std::move(src_fmt)), dst_(std::move(dst_fmt)) {
+  if (!src_ || !dst_) throw FormatError("Reconciler: null formats");
+  identity_ = src_->identical_to(*dst_);
+  defaulted_ = count_missing(*src_, *dst_);
+}
+
+void* Reconciler::apply(const void* src_record, RecordArena& arena) const {
+  void* dst = pbio::alloc_record(*dst_, arena);
+  copy_struct(*src_, static_cast<const uint8_t*>(src_record), *dst_, static_cast<uint8_t*>(dst),
+              arena);
+  return dst;
+}
+
+}  // namespace morph::core

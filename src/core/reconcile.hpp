@@ -1,0 +1,40 @@
+// Reconciliation of imperfect matches (Algorithm 2, lines 26-28): copy a
+// native record of one format into a native record of another, matching
+// fields by name, filling declared defaults for fields the source lacks,
+// and dropping source fields the destination does not know.
+//
+// This is the native-to-native sibling of pbio::ConversionPlan (which reads
+// encoded wire bytes). It runs only on the imperfect-match tail of the
+// morph pipeline, so it favors clarity over raw speed.
+#pragma once
+
+#include "common/arena.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+
+class Reconciler {
+ public:
+  Reconciler(pbio::FormatPtr src_fmt, pbio::FormatPtr dst_fmt);
+
+  const pbio::FormatPtr& src_format() const { return src_; }
+  const pbio::FormatPtr& dst_format() const { return dst_; }
+
+  /// True when the two formats are layout-identical and reconciliation
+  /// would be a pure copy (callers can skip the call and reuse the record).
+  bool identity() const { return identity_; }
+
+  /// Number of destination fields that had no usable source.
+  size_t defaulted_fields() const { return defaulted_; }
+
+  /// Copy + default + drop into a fresh record allocated from `arena`.
+  void* apply(const void* src_record, RecordArena& arena) const;
+
+ private:
+  pbio::FormatPtr src_;
+  pbio::FormatPtr dst_;
+  bool identity_ = false;
+  size_t defaulted_ = 0;
+};
+
+}  // namespace morph::core

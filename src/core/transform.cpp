@@ -1,0 +1,135 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "pbio/record.hpp"
+
+namespace morph::core {
+
+using pbio::FormatPtr;
+
+void TransformSpec::serialize(ByteBuffer& out) const {
+  if (!src || !dst) throw FormatError("TransformSpec: null formats");
+  src->serialize(out);
+  dst->serialize(out);
+  out.append_string(code);
+  out.append_string(dst_param);
+  out.append_string(src_param);
+}
+
+TransformSpec TransformSpec::deserialize(ByteReader& in) {
+  TransformSpec spec;
+  spec.src = pbio::FormatDescriptor::deserialize(in);
+  spec.dst = pbio::FormatDescriptor::deserialize(in);
+  spec.code = in.read_string();
+  spec.dst_param = in.read_string();
+  spec.src_param = in.read_string();
+  if (spec.dst_param.empty() || spec.src_param.empty()) {
+    throw DecodeError("TransformSpec: empty parameter names");
+  }
+  return spec;
+}
+
+void TransformCatalog::add(TransformSpec spec) {
+  if (!spec.src || !spec.dst) throw FormatError("TransformCatalog: null formats");
+  auto owned = std::make_unique<TransformSpec>(std::move(spec));
+  by_src_[owned->src->fingerprint()].push_back(owned.get());
+  specs_.push_back(std::move(owned));
+}
+
+std::vector<FormatPtr> TransformCatalog::closure(const FormatPtr& from) const {
+  std::vector<FormatPtr> out;
+  std::vector<uint64_t> seen;
+  std::deque<FormatPtr> frontier;
+  auto visit = [&](const FormatPtr& f) {
+    for (uint64_t fp : seen) {
+      if (fp == f->fingerprint()) return;
+    }
+    seen.push_back(f->fingerprint());
+    out.push_back(f);
+    frontier.push_back(f);
+  };
+  visit(from);
+  while (!frontier.empty()) {
+    FormatPtr cur = frontier.front();
+    frontier.pop_front();
+    auto it = by_src_.find(cur->fingerprint());
+    if (it == by_src_.end()) continue;
+    for (const TransformSpec* spec : it->second) visit(spec->dst);
+  }
+  return out;
+}
+
+std::optional<std::vector<const TransformSpec*>> TransformCatalog::chain(uint64_t from_fp,
+                                                                         uint64_t to_fp) const {
+  if (from_fp == to_fp) return std::vector<const TransformSpec*>{};
+  // BFS storing the inbound edge per discovered node.
+  std::unordered_map<uint64_t, const TransformSpec*> via;
+  std::deque<uint64_t> frontier{from_fp};
+  via[from_fp] = nullptr;
+  while (!frontier.empty()) {
+    uint64_t cur = frontier.front();
+    frontier.pop_front();
+    auto it = by_src_.find(cur);
+    if (it == by_src_.end()) continue;
+    for (const TransformSpec* spec : it->second) {
+      uint64_t next = spec->dst->fingerprint();
+      if (via.count(next) != 0) continue;
+      via[next] = spec;
+      if (next == to_fp) {
+        std::vector<const TransformSpec*> path;
+        uint64_t walk = to_fp;
+        while (walk != from_fp) {
+          const TransformSpec* edge = via[walk];
+          path.push_back(edge);
+          walk = edge->src->fingerprint();
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs,
+                       ecode::ExecBackend backend) {
+  if (specs.empty()) throw Error("MorphChain: empty spec list");
+  src_fmt_ = pbio::relayout(*specs.front()->src);
+  FormatPtr cur = src_fmt_;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const TransformSpec* spec = specs[i];
+    if (i > 0 && spec->src->fingerprint() != specs[i - 1]->dst->fingerprint()) {
+      throw Error("MorphChain: specs do not chain");
+    }
+    FormatPtr dst = pbio::relayout(*spec->dst);
+    Step step{ecode::Transform::compile(
+                  spec->code, {{spec->dst_param, dst}, {spec->src_param, cur}}, backend),
+              dst};
+    steps_.push_back(std::move(step));
+    cur = dst;
+  }
+  dst_fmt_ = cur;
+}
+
+bool MorphChain::jitted() const {
+  for (const auto& s : steps_) {
+    if (!s.transform.jitted()) return false;
+  }
+  return true;
+}
+
+void* MorphChain::apply(void* src_record, RecordArena& arena) const {
+  void* cur = src_record;
+  for (const auto& step : steps_) {
+    void* dst = pbio::alloc_record(*step.dst_fmt, arena);
+    step.transform.run2(dst, cur, arena);
+    cur = dst;
+  }
+  return cur;
+}
+
+}  // namespace morph::core

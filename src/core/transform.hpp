@@ -1,0 +1,86 @@
+// Transform specifications and retro-transformation chains (Figure 1).
+//
+// A sender associates each new format revision with Ecode that converts a
+// record of that revision into the previous one. Transform specs travel
+// out-of-band with the format meta-data; the receiver composes chains
+// (Rev2 -> Rev1 -> Rev0) and compiles them with dynamic code generation the
+// first time a message of a given format arrives (Algorithm 2 line 22).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ecode/ecode.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+
+/// One retro-transformation: Ecode converting a `src`-format record into a
+/// `dst`-format record. Inside the code the destination record is named
+/// `dst_param` and the source record `src_param` — "old" and "new" by
+/// default, matching the paper's Figure 5.
+struct TransformSpec {
+  pbio::FormatPtr src;
+  pbio::FormatPtr dst;
+  std::string code;
+  std::string dst_param = "old";
+  std::string src_param = "new";
+
+  void serialize(ByteBuffer& out) const;
+  static TransformSpec deserialize(ByteReader& in);
+};
+
+/// Receiver-side knowledge of available transforms, indexed by source
+/// format fingerprint.
+class TransformCatalog {
+ public:
+  void add(TransformSpec spec);
+  size_t size() const { return specs_.size(); }
+
+  /// Ft: every format reachable from `from` through transforms, including
+  /// `from` itself (Algorithm 2 line 5). Breadth-first, so nearer revisions
+  /// come first.
+  std::vector<pbio::FormatPtr> closure(const pbio::FormatPtr& from) const;
+
+  /// Shortest transform chain from -> to (by fingerprints). Empty vector
+  /// when from == to; nullopt when unreachable.
+  std::optional<std::vector<const TransformSpec*>> chain(uint64_t from_fp, uint64_t to_fp) const;
+
+ private:
+  std::vector<std::unique_ptr<TransformSpec>> specs_;
+  std::unordered_map<uint64_t, std::vector<const TransformSpec*>> by_src_;
+};
+
+/// A compiled retro-transformation chain. Each hop is compiled against
+/// host-native relayouts of the spec formats (the specs themselves may
+/// carry a foreign sender's layouts), so the chain maps a native record of
+/// src_format() into a fresh native record of dst_format().
+class MorphChain {
+ public:
+  MorphChain(const std::vector<const TransformSpec*>& specs,
+             ecode::ExecBackend backend = ecode::ExecBackend::kAuto);
+
+  const pbio::FormatPtr& src_format() const { return src_fmt_; }
+  const pbio::FormatPtr& dst_format() const { return dst_fmt_; }
+  size_t hops() const { return steps_.size(); }
+  bool jitted() const;
+
+  /// Run the chain. The returned record (and everything it points to) is
+  /// allocated from `arena`.
+  void* apply(void* src_record, RecordArena& arena) const;
+
+ private:
+  struct Step {
+    ecode::Transform transform;
+    pbio::FormatPtr dst_fmt;  // host layout
+  };
+  pbio::FormatPtr src_fmt_;  // host layout
+  pbio::FormatPtr dst_fmt_;  // host layout
+  std::vector<Step> steps_;
+};
+
+}  // namespace morph::core

@@ -532,7 +532,10 @@ Decoder::Decoder(FormatPtr host_fmt) : host_(std::move(host_fmt)) {
 }
 
 Decoder::~Decoder() = default;
-Decoder::Decoder(Decoder&&) noexcept = default;
+Decoder::Decoder(Decoder&& other) noexcept
+    : host_(std::move(other.host_)),
+      walk_(std::move(other.walk_)),
+      plans_(std::move(other.plans_)) {}
 
 void* Decoder::decode_in_place(void* buf, size_t size) const {
   WireInfo info = peek_header(buf, size);
@@ -556,6 +559,9 @@ void* Decoder::decode(const void* buf, size_t size, const FormatPtr& wire_fmt,
 
 const ConversionPlan& Decoder::plan_for(const FormatPtr& wire_fmt) {
   if (!wire_fmt) throw FormatError("Decoder: null wire format");
+  // Plans are heap-allocated and never erased, so the reference stays valid
+  // after the lock is released and execution happens lock-free.
+  std::lock_guard<std::mutex> lock(plans_mutex_);
   auto it = plans_.find(wire_fmt->fingerprint());
   if (it == plans_.end()) {
     it = plans_

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/arena.hpp"
@@ -79,6 +80,12 @@ class ConversionPlan {
 /// Receiver-side decoder bound to one host format. Caches conversion plans
 /// per incoming wire format (PBIO: "expensive steps executed only for
 /// formats not seen previously").
+///
+/// Thread safety: decode_in_place() is const and touches no mutable state;
+/// it may run concurrently from any number of threads (on distinct
+/// buffers). decode()/plan_for() take a short internal lock only to find or
+/// build the cached plan — plans themselves are immutable after publish and
+/// execute without any lock.
 class Decoder {
  public:
   explicit Decoder(FormatPtr host_fmt);
@@ -101,11 +108,15 @@ class Decoder {
   /// Access (building if needed) the cached plan for a wire format.
   const ConversionPlan& plan_for(const FormatPtr& wire_fmt);
 
-  size_t cached_plans() const { return plans_.size(); }
+  size_t cached_plans() const {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    return plans_.size();
+  }
 
  private:
   FormatPtr host_;
   std::unique_ptr<VarWalk> walk_;  // for the in-place path
+  mutable std::mutex plans_mutex_;  // guards the map, never plan execution
   std::unordered_map<uint64_t, std::unique_ptr<ConversionPlan>> plans_;
 };
 

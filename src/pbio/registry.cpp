@@ -4,36 +4,48 @@
 
 namespace morph::pbio {
 
+FormatRegistry::FormatRegistry() {
+  history_.push_back(std::make_unique<const Snapshot>());
+  snapshot_.store(history_.back().get(), std::memory_order_release);
+}
+
 FormatPtr FormatRegistry::register_format(FormatPtr fmt) {
   if (!fmt) throw FormatError("cannot register null format");
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = by_fp_.try_emplace(fmt->fingerprint(), fmt);
-  if (!inserted) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const Snapshot* cur = snapshot_.load(std::memory_order_relaxed);
+  auto it = cur->by_fp.find(fmt->fingerprint());
+  if (it != cur->by_fp.end()) {
     if (!it->second->identical_to(*fmt)) {
       throw FormatError("fingerprint collision between distinct formats named '" +
                         it->second->name() + "' and '" + fmt->name() + "'");
     }
     return it->second;
   }
-  by_name_[fmt->name()].push_back(fmt);
+  // Copy-on-write: successors share the FormatDescriptor objects, so every
+  // FormatPtr ever handed out stays valid and pointer-stable. The old
+  // snapshot stays alive in history_ for readers still traversing it.
+  auto next = std::make_unique<Snapshot>(*cur);
+  next->by_fp.emplace(fmt->fingerprint(), fmt);
+  next->by_name[fmt->name()].push_back(fmt);
+  history_.push_back(std::move(next));
+  snapshot_.store(history_.back().get(), std::memory_order_release);
   return fmt;
 }
 
 FormatPtr FormatRegistry::by_fingerprint(uint64_t fingerprint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = by_fp_.find(fingerprint);
-  return it == by_fp_.end() ? nullptr : it->second;
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->by_fp.find(fingerprint);
+  return it == snap->by_fp.end() ? nullptr : it->second;
 }
 
 std::vector<FormatPtr> FormatRegistry::by_name(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = by_name_.find(name);
-  return it == by_name_.end() ? std::vector<FormatPtr>{} : it->second;
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->by_name.find(name);
+  return it == snap->by_name.end() ? std::vector<FormatPtr>{} : it->second;
 }
 
 size_t FormatRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return by_fp_.size();
+  return snapshot_.load(std::memory_order_acquire)->by_fp.size();
 }
 
 }  // namespace morph::pbio

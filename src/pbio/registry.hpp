@@ -4,8 +4,21 @@
 // interpret; the wire layer registers formats learned out-of-band from
 // peers. Lookup is either by identity fingerprint (exact wire format) or by
 // name (the candidate set `Fr` that Algorithm 2 feeds to MaxMatch).
+//
+// Thread safety: reads are lock-free — the maps live in an immutable
+// snapshot published through an atomic pointer, so by_fingerprint /
+// by_name never block, no matter how many threads hammer the hot path.
+// Writers serialize on a mutex, copy the snapshot, and publish the
+// successor (copy-on-write; registration is rare and cold by design).
+// Superseded snapshots are retained until the registry is destroyed so a
+// reader can never be left holding freed maps; the cost is bounded by the
+// number of registrations, and the descriptors themselves are shared, not
+// copied. FormatPtr values are pointer-stable across registrations:
+// successive snapshots share the same FormatDescriptor objects.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -17,23 +30,35 @@ namespace morph::pbio {
 
 class FormatRegistry {
  public:
+  FormatRegistry();
+
   /// Register a format; idempotent for identical formats. Returns the
-  /// registered (possibly pre-existing, deduplicated) instance.
+  /// registered (possibly pre-existing, deduplicated) instance. Safe to
+  /// call concurrently with itself and with any reader.
   FormatPtr register_format(FormatPtr fmt);
 
-  /// Find by identity fingerprint; nullptr if unknown.
+  /// Find by identity fingerprint; nullptr if unknown. Lock-free.
   FormatPtr by_fingerprint(uint64_t fingerprint) const;
 
   /// All registered formats sharing `name` (the paper's same-name candidate
-  /// set), in registration order.
+  /// set), in registration order. Lock-free; returns a consistent snapshot
+  /// (never a torn, partially updated candidate set).
   std::vector<FormatPtr> by_name(const std::string& name) const;
 
   size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, FormatPtr> by_fp_;
-  std::unordered_map<std::string, std::vector<FormatPtr>> by_name_;
+  /// One immutable generation of the catalog. Never mutated after publish.
+  struct Snapshot {
+    std::unordered_map<uint64_t, FormatPtr> by_fp;
+    std::unordered_map<std::string, std::vector<FormatPtr>> by_name;
+  };
+
+  std::mutex write_mutex_;  // serializes writers; guards history_
+  /// Every generation ever published, oldest first; the last entry is the
+  /// current one. Retained so lock-free readers need no reclamation scheme.
+  std::vector<std::unique_ptr<const Snapshot>> history_;
+  std::atomic<const Snapshot*> snapshot_;  // readers load, writers store
 };
 
 }  // namespace morph::pbio

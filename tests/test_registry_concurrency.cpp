@@ -1,0 +1,164 @@
+// FormatRegistry under concurrency: registration must stay idempotent with
+// pointer-stable FormatPtrs, and readers racing with writers must never
+// observe a torn candidate set (by_name) or a half-published format
+// (by_fingerprint). The registry publishes immutable snapshots, so every
+// read sees some complete generation of the catalog.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pbio/registry.hpp"
+
+namespace morph::pbio {
+namespace {
+
+/// Each call builds a fresh descriptor object; identical shapes share a
+/// fingerprint but not an address, which is exactly what concurrent
+/// registration must deduplicate.
+FormatPtr make_same() {
+  return FormatBuilder("Same").add_int("a", 4).add_float("b", 8).build();
+}
+
+/// Distinct formats that collide on the registry name "M".
+FormatPtr make_variant(size_t extra_fields) {
+  FormatBuilder b("M");
+  b.add_int("base", 4);
+  for (size_t i = 0; i < extra_fields; ++i) b.add_int("x" + std::to_string(i), 4);
+  return b.build();
+}
+
+TEST(RegistryConcurrency, IdenticalRegistrationIsIdempotentAndPointerStable) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 200;
+
+  FormatRegistry reg;
+  std::vector<std::vector<FormatPtr>> returned(kThreads);
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      start.arrive_and_wait();
+      for (size_t r = 0; r < kRounds; ++r) {
+        returned[tid].push_back(reg.register_format(make_same()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_EQ(reg.size(), 1u);
+  FormatPtr canonical = reg.by_fingerprint(make_same()->fingerprint());
+  ASSERT_NE(canonical, nullptr);
+  for (const auto& per_thread : returned) {
+    for (const FormatPtr& p : per_thread) {
+      // Same descriptor object every time, not merely an identical one.
+      EXPECT_EQ(p.get(), canonical.get());
+    }
+  }
+  EXPECT_EQ(reg.by_name("Same").size(), 1u);
+}
+
+TEST(RegistryConcurrency, CollidingNamesNeverTearTheCandidateSet) {
+  constexpr size_t kWriters = 6;
+  constexpr size_t kReaders = 2;
+
+  FormatRegistry reg;
+  std::vector<FormatPtr> mine(kWriters);
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> anomalies{0};
+  std::barrier start(kWriters + kReaders);
+
+  std::vector<std::thread> threads;
+  for (size_t tid = 0; tid < kWriters; ++tid) {
+    threads.emplace_back([&, tid] {
+      start.arrive_and_wait();
+      // Register the same variant repeatedly: the first call publishes it,
+      // the rest must all return the identical pointer.
+      FormatPtr first = reg.register_format(make_variant(tid));
+      for (int r = 0; r < 100; ++r) {
+        FormatPtr again = reg.register_format(make_variant(tid));
+        if (again.get() != first.get()) anomalies.fetch_add(1);
+      }
+      mine[tid] = first;
+    });
+  }
+  for (size_t rid = 0; rid < kReaders; ++rid) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      size_t last_size = 0;
+      while (!writers_done.load()) {
+        std::vector<FormatPtr> set = reg.by_name("M");
+        // Never torn: no nulls, no duplicates, only ever growing (reads on
+        // one thread observe snapshot generations in publication order).
+        if (set.size() < last_size) anomalies.fetch_add(1);
+        last_size = set.size();
+        std::set<uint64_t> fps;
+        for (const FormatPtr& f : set) {
+          if (f == nullptr || f->name() != "M") {
+            anomalies.fetch_add(1);
+            continue;
+          }
+          if (!fps.insert(f->fingerprint()).second) anomalies.fetch_add(1);
+          // Anything visible by name is also visible by fingerprint.
+          FormatPtr by_fp = reg.by_fingerprint(f->fingerprint());
+          if (by_fp.get() != f.get()) anomalies.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Join writers (the first kWriters threads), release readers, join them.
+  for (size_t i = 0; i < kWriters; ++i) threads[i].join();
+  writers_done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_EQ(reg.size(), kWriters);
+  auto final_set = reg.by_name("M");
+  ASSERT_EQ(final_set.size(), kWriters);
+  // Every writer's pointer survives, pointer-stable, in the final set.
+  for (size_t tid = 0; tid < kWriters; ++tid) {
+    bool found = false;
+    for (const FormatPtr& f : final_set) found = found || f.get() == mine[tid].get();
+    EXPECT_TRUE(found) << "writer " << tid;
+  }
+}
+
+TEST(RegistryConcurrency, LookupDuringRegistrationSeesAllOrNothing) {
+  constexpr size_t kFormats = 64;
+  FormatRegistry reg;
+  std::vector<FormatPtr> fmts;
+  for (size_t i = 0; i < kFormats; ++i) fmts.push_back(make_variant(i));
+
+  std::atomic<size_t> published{0};
+  std::atomic<uint64_t> anomalies{0};
+  std::thread writer([&] {
+    for (size_t i = 0; i < kFormats; ++i) {
+      reg.register_format(fmts[i]);
+      published.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::thread reader([&] {
+    while (published.load(std::memory_order_acquire) < kFormats) {
+      for (size_t i = 0; i < kFormats; ++i) {
+        // Load the publication watermark BEFORE the lookup: anything the
+        // writer confirmed published by then must already be visible.
+        size_t watermark = published.load(std::memory_order_acquire);
+        FormatPtr p = reg.by_fingerprint(fmts[i]->fingerprint());
+        // Either not yet published, or exactly the registered object.
+        if (p != nullptr && p->fingerprint() != fmts[i]->fingerprint()) anomalies.fetch_add(1);
+        if (p == nullptr && watermark > i) anomalies.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_EQ(reg.size(), kFormats);
+}
+
+}  // namespace
+}  // namespace morph::pbio

@@ -1,10 +1,22 @@
 // System soak: a mixed-version ECho deployment with dynamic membership,
 // several channels, and continuous event traffic — everything the library
-// does, exercised together, with deterministic expectations.
+// does, exercised together, with deterministic expectations. Plus a timed
+// multi-threaded soak hammering one shared Receiver while formats keep
+// evolving mid-run (MORPH_SOAK_SECONDS scales it up for nightly runs).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "core/receiver.hpp"
 #include "echo/process.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/randgen.hpp"
 #include "pbio/record.hpp"
 
 namespace morph::echo {
@@ -163,6 +175,131 @@ TEST(Soak, MixedFleetWithChurnAndTraffic) {
       EXPECT_EQ(p->stats().responses_morphed, 0u) << p->contact();
     }
   }
+}
+
+// Multi-threaded soak: worker threads replay a growing pool of encoded
+// messages against one shared Receiver while an evolver thread keeps
+// minting new format revisions (via pbio/randgen) and registering handlers
+// — which flushes the decision cache — mid-run. Nothing here is allowed to
+// crash, deadlock, drop a message, or trip a sanitizer; accounting must
+// balance exactly. Runs ~1s by default; export MORPH_SOAK_SECONDS=30 for a
+// nightly-length run.
+TEST(Soak, ConcurrentReceiverUnderEvolvingFormats) {
+  double seconds = 1.0;
+  if (const char* env = std::getenv("MORPH_SOAK_SECONDS")) {
+    double v = std::atof(env);
+    if (v > 0) seconds = v;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  constexpr size_t kWorkers = 4;
+  const size_t max_revisions = static_cast<size_t>(40 * seconds) + 10;
+
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> worker_errors{0};
+  std::atomic<uint64_t> processed_total{0};
+
+  core::Receiver rx;
+
+  // Fixed morphing pair processed throughout: old readers keep morphing
+  // v2 ticks while the Evt family evolves around them.
+  rx.register_handler(tick_v1(), [&](const core::Delivery&) { delivered.fetch_add(1); });
+  rx.learn_format(tick_v2());
+  rx.learn_transform(tick_spec());
+
+  // Shared message pool; workers replay random entries. Buffers are only
+  // ever appended and are immutable once published.
+  std::mutex pool_mutex;
+  std::vector<std::shared_ptr<ByteBuffer>> pool;
+  auto push_message = [&](const pbio::FormatPtr& fmt, Rng& rng, RecordArena& arena) {
+    arena.reset();
+    void* rec = pbio::random_record(rng, fmt, arena);
+    auto buf = std::make_shared<ByteBuffer>();
+    pbio::Encoder(fmt).encode(rec, *buf);
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    pool.push_back(std::move(buf));
+  };
+
+  {
+    // Seed the pool before workers start.
+    Rng rng(99);
+    RecordArena arena;
+    RecordArena tick_arena;
+    void* tick = pbio::alloc_record(*tick_v2(), tick_arena);
+    pbio::RecordRef r(tick, tick_v2());
+    r.set_int("seq", 1);
+    r.set_float("v", 2.0);
+    r.set_string("unit", "ms", tick_arena);
+    auto tick_buf = std::make_shared<ByteBuffer>();
+    pbio::Encoder(tick_v2()).encode(tick, *tick_buf);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex);
+      pool.push_back(std::move(tick_buf));
+    }
+    pbio::FormatPtr base = pbio::random_format(rng, "Evt");
+    rx.learn_format(base);
+    rx.register_handler(base, [&](const core::Delivery&) { delivered.fetch_add(1); });
+    push_message(base, rng, arena);
+  }
+
+  // Evolver: keeps mutating the Evt family mid-run. Every revision is
+  // learned; every third also gets a handler (register_handler flushes the
+  // whole decision cache, so workers constantly race rebuilds). Unregistered
+  // revisions exercise the MaxMatch perfect/reconcile/reject paths.
+  std::thread evolver([&] {
+    Rng rng(7);
+    RecordArena arena;
+    pbio::FormatPtr cur = pbio::random_format(rng, "Evt");
+    for (size_t rev = 0; rev < max_revisions && std::chrono::steady_clock::now() < deadline;
+         ++rev) {
+      cur = pbio::mutate_format(rng, *cur);
+      cur = rx.learn_format(cur);
+      if (rev % 3 == 0) {
+        rx.register_handler(cur, [&](const core::Delivery&) { delivered.fetch_add(1); });
+      }
+      push_message(cur, rng, arena);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (size_t tid = 0; tid < kWorkers; ++tid) {
+    workers.emplace_back([&, tid] {
+      Rng rng(1000 + tid);
+      RecordArena arena;
+      uint64_t processed = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::shared_ptr<ByteBuffer> msg;
+        {
+          std::lock_guard<std::mutex> lock(pool_mutex);
+          msg = pool[rng.next_below(static_cast<uint32_t>(pool.size()))];
+        }
+        arena.reset();
+        try {
+          rx.process(msg->data(), msg->size(), arena);
+          ++processed;
+        } catch (...) {
+          worker_errors.fetch_add(1);
+        }
+      }
+      processed_total.fetch_add(processed);
+    });
+  }
+  evolver.join();
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(worker_errors.load(), 0u);
+  EXPECT_GT(processed_total.load(), 0u);
+  core::ReceiverStats s = rx.stats();
+  // Every successful process() call is counted exactly once.
+  EXPECT_EQ(s.messages, processed_total.load());
+  // Accounting balances: each message lands in exactly one outcome bucket.
+  EXPECT_EQ(s.exact + s.perfect + s.morphed + s.reconciled + s.defaulted + s.rejected,
+            s.messages);
+  // Deliveries can't exceed messages; morphing really happened.
+  EXPECT_LE(delivered.load(), s.messages);
+  EXPECT_GT(s.morphed, 0u);
 }
 
 }  // namespace
