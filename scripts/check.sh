@@ -4,6 +4,7 @@
 #   scripts/check.sh            # build + ctest + bench smoke
 #   scripts/check.sh --asan     # also run the ASan/UBSan test sweep
 #   scripts/check.sh --tsan     # also run the concurrency suite under TSan
+#   scripts/check.sh --ubsan    # also run the full suite under UBSan alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,16 @@ if [[ "${1:-}" == "--asan" ]]; then
     -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+  echo "== UBSan sweep =="
+  # UBSan alone is cheap enough to keep benches and examples buildable and
+  # run every test, JIT paths included.
+  cmake -B build-ubsan -G Ninja -DMORPH_SANITIZE=undefined \
+    -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-ubsan
+  ctest --test-dir build-ubsan --output-on-failure
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

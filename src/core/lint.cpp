@@ -1,0 +1,220 @@
+#include "core/lint.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ecode/absint.hpp"
+#include "ecode/compiler.hpp"
+#include "ecode/parser.hpp"
+#include "ecode/verify.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+
+namespace {
+
+using ecode::absint::AbsintResult;
+using ecode::absint::FieldSite;
+using ecode::absint::Layout;
+using ecode::absint::OriginKind;
+using ecode::absint::StoreRec;
+using ecode::absint::ValKind;
+using pbio::FieldKind;
+
+const char* severity_name(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kNote: return "note";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+void add(LintReport& rep, LintCheck check, LintSeverity sev, std::string msg,
+         std::string field = "", int line = 0) {
+  LintFinding f;
+  f.check = check;
+  f.severity = sev;
+  f.message = std::move(msg);
+  f.field = std::move(field);
+  f.line = line;
+  rep.findings.push_back(std::move(f));
+}
+
+bool signed_kind(FieldKind k) { return k == FieldKind::kInt || k == FieldKind::kEnum; }
+bool unsigned_kind(FieldKind k) { return k == FieldKind::kUInt || k == FieldKind::kChar; }
+
+/// Dotted name of the source field a loaded value originated from.
+std::string origin_name(const TransformSpec& spec, const Layout& src_layout,
+                        const ecode::absint::Origin& o) {
+  if (o.param == 1) {
+    const FieldSite* site = src_layout.at(o.offset);
+    if (site != nullptr) return spec.src_param + "." + site->path;
+  }
+  return "a " + std::to_string(o.size) + "-byte field";
+}
+
+}  // namespace
+
+const char* lint_check_name(LintCheck c) {
+  switch (c) {
+    case LintCheck::kVerifyError: return "verify-error";
+    case LintCheck::kUnassignedField: return "unassigned-field";
+    case LintCheck::kLossyNarrowing: return "lossy-narrowing";
+    case LintCheck::kFloatTruncation: return "float-truncation";
+    case LintCheck::kSignChange: return "sign-change";
+    case LintCheck::kDroppedField: return "dropped-field";
+    case LintCheck::kChainGap: return "chain-gap";
+    case LintCheck::kChainCycle: return "chain-cycle";
+  }
+  return "?";
+}
+
+std::string LintFinding::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << ": " << lint_check_name(check) << ": " << message;
+  if (line > 0) os << " (line " << line << ")";
+  return os.str();
+}
+
+bool LintReport::ok(LintSeverity fail_at) const {
+  for (const auto& f : findings) {
+    if (static_cast<int>(f.severity) >= static_cast<int>(fail_at)) return false;
+  }
+  return true;
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+LintReport lint_spec(const TransformSpec& spec) {
+  LintReport rep;
+  if (!spec.src || !spec.dst) {
+    add(rep, LintCheck::kVerifyError, LintSeverity::kError, "spec has null formats");
+    return rep;
+  }
+
+  std::vector<ecode::RecordParam> params = {{spec.dst_param, pbio::relayout(*spec.dst)},
+                                            {spec.src_param, pbio::relayout(*spec.src)}};
+  ecode::Chunk chunk;
+  try {
+    auto prog = ecode::parse(spec.code);
+    ecode::analyze(*prog, params);
+    chunk = ecode::compile(*prog, params);
+  } catch (const EcodeError& e) {
+    add(rep, LintCheck::kVerifyError, LintSeverity::kError,
+        std::string("code does not compile: ") + e.what());
+    return rep;
+  }
+
+  // Safety first: everything the verifier rejects is a lint error; its
+  // definite-assignment warnings become the unassigned-field audit.
+  ecode::VerifyOptions vo;
+  ecode::VerifyResult vr = ecode::verify(chunk, params, vo);
+  for (const auto& f : vr.findings) {
+    if (f.severity == ecode::VerifySeverity::kError) {
+      add(rep, LintCheck::kVerifyError, LintSeverity::kError,
+          std::string(ecode::verify_check_name(f.check)) + ": " + f.message, f.field, f.line);
+    } else if (f.check == ecode::VerifyCheck::kUninitField) {
+      add(rep, LintCheck::kUnassignedField, LintSeverity::kWarning, f.message, f.field, f.line);
+    }
+  }
+  if (!vr.ok()) return rep;  // data-quality audit needs a safe program
+
+  std::vector<ecode::VerifyFinding> scratch;
+  AbsintResult ar = ecode::absint::interpret(chunk, params, vo, scratch);
+  Layout src_layout(params[1].format.get());
+
+  // Destination stores: narrowing, truncation, signedness.
+  for (const StoreRec& st : ar.stores) {
+    if (st.param != 0 || st.width == 0) continue;
+    std::string dst_name = spec.dst_param + "." + st.path;
+    const auto& v = st.value;
+    if ((v.kind == ValKind::kInt || v.kind == ValKind::kFloat) &&
+        v.origin.kind == OriginKind::kFieldLoad && v.origin.size > st.width) {
+      add(rep, LintCheck::kLossyNarrowing, LintSeverity::kWarning,
+          "value of " + std::to_string(v.origin.size) + "-byte '" +
+              origin_name(spec, src_layout, v.origin) + "' narrowed into " +
+              std::to_string(st.width) + "-byte '" + dst_name + "'",
+          dst_name, st.line);
+    }
+    if (v.kind == ValKind::kInt && v.from_f2i) {
+      add(rep, LintCheck::kFloatTruncation, LintSeverity::kNote,
+          "float-valued expression truncated into integer field '" + dst_name + "'", dst_name,
+          st.line);
+    }
+    if (st.scalar && v.origin.kind == OriginKind::kFieldLoad &&
+        ((signed_kind(v.origin.fkind) && unsigned_kind(st.kind)) ||
+         (unsigned_kind(v.origin.fkind) && signed_kind(st.kind)))) {
+      add(rep, LintCheck::kSignChange, LintSeverity::kNote,
+          "'" + origin_name(spec, src_layout, v.origin) + "' and '" + dst_name +
+              "' differ in signedness",
+          dst_name, st.line);
+    }
+  }
+
+  // Source fields the transform never reads: their data does not survive
+  // the morph. Weighted by the descriptor's importance, the same knob the
+  // matcher uses.
+  const auto& src_sum = ar.params[1];
+  for (const FieldSite& site : src_layout.sites()) {
+    bool read = false;
+    for (int64_t b = site.start; b < site.start + static_cast<int64_t>(site.size); ++b) {
+      if (b >= 0 && b < static_cast<int64_t>(src_sum.ever_read.size()) &&
+          src_sum.ever_read[static_cast<size_t>(b)] != 0) {
+        read = true;
+        break;
+      }
+    }
+    if (read) continue;
+    std::string name = spec.src_param + "." + site.path;
+    LintSeverity sev =
+        site.fd != nullptr && site.fd->importance > 1 ? LintSeverity::kWarning : LintSeverity::kNote;
+    add(rep, LintCheck::kDroppedField, sev,
+        "source field '" + name + "' is never read; its data is dropped by the morph", name);
+  }
+
+  return rep;
+}
+
+LintReport lint_chain(const std::vector<const TransformSpec*>& specs) {
+  LintReport rep;
+  if (specs.empty()) {
+    add(rep, LintCheck::kChainGap, LintSeverity::kError, "chain is empty");
+    return rep;
+  }
+  std::vector<uint64_t> fps{specs.front()->src->fingerprint()};
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const TransformSpec* s = specs[i];
+    if (i > 0 && s->src->fingerprint() != specs[i - 1]->dst->fingerprint()) {
+      add(rep, LintCheck::kChainGap, LintSeverity::kError,
+          "hop " + std::to_string(i) + " ('" + s->src->name() +
+              "') does not consume the format hop " + std::to_string(i - 1) + " produces");
+    }
+    uint64_t out_fp = s->dst->fingerprint();
+    for (uint64_t fp : fps) {
+      if (fp == out_fp) {
+        add(rep, LintCheck::kChainCycle, LintSeverity::kWarning,
+            "hop " + std::to_string(i) + " returns to a format already in the chain ('" +
+                s->dst->name() + "')");
+        break;
+      }
+    }
+    fps.push_back(out_fp);
+
+    LintReport hop = lint_spec(*s);
+    for (LintFinding& f : hop.findings) {
+      f.message = "hop " + std::to_string(i) + ": " + f.message;
+      rep.findings.push_back(std::move(f));
+    }
+  }
+  return rep;
+}
+
+}  // namespace morph::core

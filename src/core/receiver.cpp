@@ -72,6 +72,7 @@ ReceiverStats Receiver::stats() const {
   s.defaulted = stats_.defaulted.load(kRelaxed);
   s.rejected = stats_.rejected.load(kRelaxed);
   s.transforms_compiled = stats_.transforms_compiled.load(kRelaxed);
+  s.verify_rejected = stats_.verify_rejected.load(kRelaxed);
   s.zero_copy = stats_.zero_copy.load(kRelaxed);
   s.cache_flushes = stats_.cache_flushes.load(kRelaxed);
   return s;
@@ -175,7 +176,31 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
       // Closure said reachable; a missing chain would be a logic error.
       throw Error("receiver: transform chain vanished");
     }
-    d.chain = std::make_shared<MorphChain>(*specs, options_.backend);
+    ecode::CompileOptions copts;
+    copts.backend = options_.backend;
+    copts.verify = options_.verify;
+    copts.fuel_limit = options_.verify_fuel_limit;
+    try {
+      d.chain = std::make_shared<MorphChain>(*specs, copts);
+    } catch (const ecode::VerifyError& e) {
+      // Peer-supplied code failed static verification: reject the format
+      // before any native code exists. The structured findings name the
+      // check, the field, and the source line for the peer's operator.
+      stats_.verify_rejected.fetch_add(1, kRelaxed);
+      std::ostringstream msg;
+      msg << "transform chain for fingerprint " << fingerprint
+          << " rejected by the static verifier:";
+      for (const auto& f : e.result().findings) msg << "\n  " << f.to_string();
+      MORPH_LOG_WARN("receiver") << msg.str();
+      d.chain = nullptr;
+      d.handler = nullptr;
+      d.deliver_fmt = nullptr;
+      d.outcome = Outcome::kRejected;
+      return;
+    }
+    for (const auto& f : d.chain->verify_findings()) {
+      MORPH_LOG_WARN("receiver") << "transform verifier: " << f.to_string();
+    }
     stats_.transforms_compiled.fetch_add(d.chain->hops(), kRelaxed);
     d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, d.chain->src_format());
     native_fmt = d.chain->dst_format();

@@ -77,6 +77,17 @@ using DefaultHandler = std::function<void(const void* buf, size_t size)>;
 struct ReceiverOptions {
   MatchThresholds thresholds;
   ecode::ExecBackend backend = ecode::ExecBackend::kAuto;
+  /// Static verification of peer-supplied transform code before it is
+  /// compiled to native code (the receiver's trust boundary):
+  ///   kOff      compile as-is (the historical behavior),
+  ///   kWarn     verify and log findings, never reject,
+  ///   kEnforce  reject the format (Outcome::kRejected, counted in
+  ///             stats().verify_rejected) when any hop fails verification.
+  VerifyPolicy verify = VerifyPolicy::kOff;
+  /// In enforce mode, loops without a termination certificate are rewritten
+  /// to stop after this many iterations instead of being rejected outright;
+  /// 0 rejects them.
+  int64_t verify_fuel_limit = 1 << 20;
   /// Upper bound on cached per-format decisions. A hostile peer could
   /// otherwise stream endless fresh formats and grow the cache without
   /// limit; on overflow the whole cache is flushed (decisions are
@@ -97,6 +108,7 @@ struct ReceiverStats {
   uint64_t defaulted = 0;
   uint64_t rejected = 0;
   uint64_t transforms_compiled = 0;
+  uint64_t verify_rejected = 0;
   uint64_t zero_copy = 0;
   uint64_t cache_flushes = 0;
 };
@@ -188,6 +200,7 @@ class Receiver {
     std::atomic<uint64_t> defaulted{0};
     std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> transforms_compiled{0};
+    std::atomic<uint64_t> verify_rejected{0};
     std::atomic<uint64_t> zero_copy{0};
     std::atomic<uint64_t> cache_flushes{0};
   };

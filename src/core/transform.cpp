@@ -95,9 +95,20 @@ std::optional<std::vector<const TransformSpec*>> TransformCatalog::chain(uint64_
   return std::nullopt;
 }
 
+MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs, ecode::ExecBackend backend)
+    : MorphChain(specs, [&] {
+        ecode::CompileOptions o;
+        o.backend = backend;
+        return o;
+      }()) {}
+
 MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs,
-                       ecode::ExecBackend backend) {
+                       const ecode::CompileOptions& options) {
   if (specs.empty()) throw Error("MorphChain: empty spec list");
+  // Every hop writes its destination record (parameter 0) from its source;
+  // the caller's dst_params choice does not apply hop-wise.
+  ecode::CompileOptions hop_options = options;
+  hop_options.dst_params = {0};
   src_fmt_ = pbio::relayout(*specs.front()->src);
   FormatPtr cur = src_fmt_;
   for (size_t i = 0; i < specs.size(); ++i) {
@@ -107,12 +118,28 @@ MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs,
     }
     FormatPtr dst = pbio::relayout(*spec->dst);
     Step step{ecode::Transform::compile(
-                  spec->code, {{spec->dst_param, dst}, {spec->src_param, cur}}, backend),
+                  spec->code, {{spec->dst_param, dst}, {spec->src_param, cur}}, hop_options),
               dst};
     steps_.push_back(std::move(step));
     cur = dst;
   }
   dst_fmt_ = cur;
+}
+
+std::vector<ecode::VerifyFinding> MorphChain::verify_findings() const {
+  std::vector<ecode::VerifyFinding> out;
+  for (const auto& s : steps_) {
+    out.insert(out.end(), s.transform.verify_findings().begin(),
+               s.transform.verify_findings().end());
+  }
+  return out;
+}
+
+bool MorphChain::fuel_instrumented() const {
+  for (const auto& s : steps_) {
+    if (s.transform.fuel_instrumented()) return true;
+  }
+  return false;
 }
 
 bool MorphChain::jitted() const {

@@ -55,6 +55,11 @@ class TransformCatalog {
   std::unordered_map<uint64_t, std::vector<const TransformSpec*>> by_src_;
 };
 
+/// Verification policy for code arriving from peers (see ecode/verify.hpp).
+/// Receivers compile transform specs that traveled over the network, so this
+/// is the trust boundary the static verifier exists for.
+using VerifyPolicy = ecode::VerifyMode;
+
 /// A compiled retro-transformation chain. Each hop is compiled against
 /// host-native relayouts of the spec formats (the specs themselves may
 /// carry a foreign sender's layouts), so the chain maps a native record of
@@ -64,6 +69,13 @@ class MorphChain {
   MorphChain(const std::vector<const TransformSpec*>& specs,
              ecode::ExecBackend backend = ecode::ExecBackend::kAuto);
 
+  /// Compile with full options: each hop is verified per `options.verify`
+  /// (the hop's destination record is always verify parameter 0). In
+  /// enforce mode a hop that fails verification throws ecode::VerifyError
+  /// before any native code for the chain is installed.
+  MorphChain(const std::vector<const TransformSpec*>& specs,
+             const ecode::CompileOptions& options);
+
   const pbio::FormatPtr& src_format() const { return src_fmt_; }
   const pbio::FormatPtr& dst_format() const { return dst_fmt_; }
   size_t hops() const { return steps_.size(); }
@@ -72,6 +84,13 @@ class MorphChain {
   /// Run the chain. The returned record (and everything it points to) is
   /// allocated from `arena`.
   void* apply(void* src_record, RecordArena& arena) const;
+
+  /// Verifier findings across all hops, in hop order (empty when compiled
+  /// with VerifyPolicy kOff).
+  std::vector<ecode::VerifyFinding> verify_findings() const;
+
+  /// True when any hop had an uncertifiable loop rewritten with a fuel guard.
+  bool fuel_instrumented() const;
 
  private:
   struct Step {

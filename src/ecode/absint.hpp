@@ -1,0 +1,243 @@
+// Abstract interpretation engine behind the Ecode verifier (see verify.hpp).
+//
+// The engine runs a joining/widening fixpoint over the bytecode CFG with an
+// abstract value per stack slot and local:
+//
+//   * kind lattice     — int / float-bits / string / pointer / any, catching
+//                        operand confusion the JIT would silently execute;
+//   * interval domain  — int values carry a [lo, hi] range seeded by load
+//                        widths (an i32 field load is born in [-2^31, 2^31));
+//   * symbolic bounds  — comparisons against a record's scalar fields tag
+//                        the refined value "< field(param, offset)", which is
+//                        exactly the certificate a dynamic-array read needs
+//                        against the array's declared length field;
+//   * pointer domain   — provenance (parameter, format descriptor, offset
+//                        interval) so every dereference is checked against
+//                        the descriptor's layout;
+//   * init domain      — a byte-precise must-initialized map per destination
+//                        parameter, intersected at joins, for definite-
+//                        assignment and read-before-assign checks.
+//
+// This header is internal to the ecode library: verify.cpp orchestrates it
+// and core/lint.cpp consumes its store/read summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ecode/bytecode.hpp"
+#include "ecode/sema.hpp"
+#include "ecode/verify.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::ecode::absint {
+
+struct Interval {
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+
+  static Interval exact(int64_t v) { return {v, v}; }
+  static Interval full() { return {}; }
+  bool singleton() const { return lo == hi; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Where an integer/float value came from, for branch refinement, loop
+/// invariance, and the lint layer's narrowing diagnostics.
+enum class OriginKind : uint8_t { kNone, kConst, kLocal, kFieldLoad };
+
+struct Origin {
+  OriginKind kind = OriginKind::kNone;
+  int local = -1;                                  // kLocal
+  int param = -1;                                  // kFieldLoad
+  int64_t offset = 0;                              // kFieldLoad: root offset
+  uint32_t size = 0;                               // kFieldLoad width
+  pbio::FieldKind fkind = pbio::FieldKind::kInt;   // kFieldLoad
+  bool operator==(const Origin&) const = default;
+};
+
+/// "value < (or <=) the runtime value of the scalar field at (param, off)".
+struct SymBound {
+  int param = -1;
+  int64_t off = -1;
+  uint32_t size = 0;
+  bool strict = true;
+  bool valid() const { return param >= 0; }
+  bool operator==(const SymBound&) const = default;
+};
+
+/// How a leaf of a flattened format layout is used.
+enum class SiteUse : uint8_t { kScalar, kStringSlot, kDynSlot, kStaticArray };
+
+/// One leaf of a format's flattened layout: scalars of nested structs are
+/// inlined at absolute offsets; static arrays and dynamic-array slots stay
+/// opaque regions resolved on indexing.
+struct FieldSite {
+  const pbio::FieldDescriptor* fd = nullptr;
+  SiteUse use = SiteUse::kScalar;
+  int64_t start = 0;
+  uint32_t size = 0;       // bytes covered in the struct
+  std::string path;        // dotted path from the struct root
+  int top_field = -1;      // index of the top-level field this leaf is in
+  // kScalar
+  pbio::FieldKind kind = pbio::FieldKind::kInt;
+  // kDynSlot: offset of the governing length field within the same struct
+  int64_t len_off = -1;
+  uint32_t len_size = 0;
+};
+
+/// Flattened layout of one FormatDescriptor (cached per verify run).
+class Layout {
+ public:
+  explicit Layout(const pbio::FormatDescriptor* fmt);
+
+  const pbio::FormatDescriptor* fmt() const { return fmt_; }
+  /// The site covering byte `off`, or null.
+  const FieldSite* at(int64_t off) const;
+  const std::vector<FieldSite>& sites() const { return sites_; }
+
+ private:
+  void flatten(const pbio::FormatDescriptor& f, int64_t base, const std::string& prefix,
+               int top_field);
+  const pbio::FormatDescriptor* fmt_;
+  std::vector<FieldSite> sites_;  // sorted by start
+};
+
+enum class ValKind : uint8_t { kBottom, kInt, kFloat, kStr, kPtr, kAny };
+enum class PtrKind : uint8_t { kNone, kStruct, kScalarSlot, kDynElems };
+
+/// Pointer provenance.
+struct PtrVal {
+  PtrKind kind = PtrKind::kNone;
+  int param = -1;
+  // kStruct: offset interval within `fmt`'s layout.
+  const pbio::FormatDescriptor* fmt = nullptr;
+  Interval off = Interval::exact(0);
+  // kScalarSlot: points directly at one scalar (array element).
+  pbio::FieldKind skind = pbio::FieldKind::kInt;
+  uint32_t ssize = 0;
+  // kDynElems: the element area of a dynamic array.
+  const pbio::FieldDescriptor* dyn = nullptr;
+  SymBound len;  // governing length field, when root-resolvable
+  // Root tracking: absolute byte offset within the parameter's struct while
+  // the pointer still targets the inline region (enables init/read maps).
+  bool root_inline = false;
+  Interval root_off = Interval::exact(0);
+};
+
+/// Predicate attached to a comparison result for branch refinement.
+struct Pred {
+  Op cmp = Op::kNop;  // kLtI..kGeI / kEqI / kNeI; kNop = none
+  bool negated = false;
+  Origin l, r;
+  Interval liv, riv;
+};
+
+struct AbsVal {
+  ValKind kind = ValKind::kAny;
+  Interval iv;          // kInt
+  SymBound ub;          // kInt symbolic upper bound
+  Origin origin;        // kInt / kFloat
+  bool from_f2i = false;  // value passed through kF2I (precision-loss lint)
+  Pred pred;            // kInt 0/1 comparison results
+  PtrVal ptr;           // kPtr
+
+  static AbsVal any() { return {}; }
+  static AbsVal integer(Interval iv) {
+    AbsVal v;
+    v.kind = ValKind::kInt;
+    v.iv = iv;
+    return v;
+  }
+  static AbsVal floating() {
+    AbsVal v;
+    v.kind = ValKind::kFloat;
+    v.iv = Interval::full();
+    return v;
+  }
+};
+
+/// A store summarized for the loop pass and the lint layer. Self-contained
+/// by value: it must stay meaningful after the interpreter (and its cached
+/// layouts) are gone.
+struct StoreRec {
+  int pc = -1;
+  int line = 0;
+  int param = -1;
+  bool root = false;      // true: [lo, hi) are absolute root-struct bytes
+  int64_t lo = 0, hi = 0; // clobbered byte range when root
+  bool scalar = false;    // destination resolved to a single scalar
+  pbio::FieldKind kind = pbio::FieldKind::kInt;  // destination kind, when scalar
+  std::string path;       // dotted destination path ("lines.qty", "<element>")
+  uint32_t width = 0;
+  AbsVal value;           // abstract stored value (origin drives lint)
+};
+
+/// Record of the two integer operands of a comparison, for the loop pass.
+struct CmpRec {
+  AbsVal lhs, rhs;
+};
+
+/// Canonical integer relations shared by branch refinement and the loop pass.
+enum class Rel { kLt, kLe, kGt, kGe, kEq, kNe, kNone };
+
+constexpr Rel rel_negate(Rel r) {
+  switch (r) {
+    case Rel::kLt:
+      return Rel::kGe;
+    case Rel::kLe:
+      return Rel::kGt;
+    case Rel::kGt:
+      return Rel::kLe;
+    case Rel::kGe:
+      return Rel::kLt;
+    case Rel::kEq:
+      return Rel::kNe;
+    case Rel::kNe:
+      return Rel::kEq;
+    default:
+      return Rel::kNone;
+  }
+}
+
+/// l REL r  <=>  r rel_swap(REL) l.
+constexpr Rel rel_swap(Rel r) {
+  switch (r) {
+    case Rel::kLt:
+      return Rel::kGt;
+    case Rel::kLe:
+      return Rel::kGe;
+    case Rel::kGt:
+      return Rel::kLt;
+    case Rel::kGe:
+      return Rel::kLe;
+    default:
+      return r;  // eq/ne are symmetric
+  }
+}
+
+struct ParamSummary {
+  std::vector<uint8_t> must_init;   // at-return intersection (dst params)
+  std::vector<uint8_t> ever_read;   // union over all loads
+  std::vector<uint8_t> ever_stored; // union over all stores
+  bool any_ret = false;             // some kRet/exit reached with state
+};
+
+struct AbsintResult {
+  /// Per-pc evaluation stack depth on entry (-1 = unreachable). Verified
+  /// consistent across all paths — the invariant the JIT's hardware-stack
+  /// mapping relies on.
+  std::vector<int> depth_at;
+  std::map<int, CmpRec> cmps;       // pc of integer comparison -> operands
+  std::vector<StoreRec> stores;
+  std::vector<ParamSummary> params; // one per record parameter
+  bool converged = true;
+};
+
+/// Run the fixpoint. Appends findings to `out` (deduplicated by pc/check).
+AbsintResult interpret(const Chunk& chunk, const std::vector<RecordParam>& params,
+                       const VerifyOptions& options, std::vector<VerifyFinding>& out);
+
+}  // namespace morph::ecode::absint

@@ -80,6 +80,10 @@ struct Instr {
   Op op = Op::kNop;
   int32_t a = 0;    // small operand: slot, param index, jump target
   int64_t imm = 0;  // large operand: constants, offsets, strides
+  int32_t line = 0; // 1-based source line of the statement/expression that
+                    // produced this instruction (0 = synthesized); consumed
+                    // by the static verifier's diagnostics, ignored by both
+                    // execution backends
 };
 
 struct Chunk {

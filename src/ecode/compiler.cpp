@@ -30,7 +30,7 @@ class Compiler {
   // --- emission helpers -----------------------------------------------------
 
   int emit(Op op, int32_t a = 0, int64_t imm = 0) {
-    chunk_.code.push_back({op, a, imm});
+    chunk_.code.push_back({op, a, imm, cur_line_});
     depth_ += stack_delta(op);
     if (depth_ > max_depth_) max_depth_ = depth_;
     return static_cast<int>(chunk_.code.size()) - 1;
@@ -106,6 +106,7 @@ class Compiler {
   // --- statements -------------------------------------------------------------
 
   void stmt(const Stmt& s) {
+    if (s.line > 0) cur_line_ = s.line;
     switch (s.kind) {
       case StmtKind::kBlock:
         for (const auto& child : s.stmts) stmt(*child);
@@ -393,6 +394,7 @@ class Compiler {
 
   /// Compile an expression, leaving its value on the stack.
   void rvalue(const Expr& e) {
+    if (e.line > 0) cur_line_ = e.line;
     switch (e.kind) {
       case ExprKind::kIntLit:
         emit(Op::kConstI, 0, e.int_value);
@@ -584,6 +586,7 @@ class Compiler {
   std::vector<LoopCtx> loops_;
   int depth_ = 0;
   int max_depth_ = 0;
+  int32_t cur_line_ = 0;
 };
 
 }  // namespace

@@ -13,8 +13,14 @@ namespace morph::ecode {
 
 bool jit_supported() {
 #if defined(__x86_64__) && defined(__unix__)
-  const char* disabled = std::getenv("MORPH_DISABLE_JIT");
-  return disabled == nullptr || disabled[0] == '\0' || disabled[0] == '0';
+  // Probed once at first use: getenv is racy only against a concurrent
+  // setenv, which this process never performs after startup.
+  static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* disabled = std::getenv("MORPH_DISABLE_JIT");
+    return disabled == nullptr || disabled[0] == '\0' || disabled[0] == '0';
+  }();
+  return enabled;
 #else
   return false;
 #endif
@@ -22,6 +28,13 @@ bool jit_supported() {
 
 Transform Transform::compile(const std::string& source, std::vector<RecordParam> params,
                              ExecBackend backend) {
+  CompileOptions options;
+  options.backend = backend;
+  return compile(source, std::move(params), options);
+}
+
+Transform Transform::compile(const std::string& source, std::vector<RecordParam> params,
+                             const CompileOptions& options) {
   auto prog = parse(source);
   analyze(*prog, params);
 
@@ -29,6 +42,49 @@ Transform Transform::compile(const std::string& source, std::vector<RecordParam>
   t.chunk_ = ecode::compile(*prog, params);
   t.params_ = std::move(params);
 
+  if (options.verify != VerifyMode::kOff) {
+    VerifyOptions vo;
+    vo.dst_params = options.dst_params;
+    vo.require_full_assignment = options.require_full_assignment;
+    VerifyResult result = verify(t.chunk_, t.params_, vo);
+
+    // In enforce mode an uncertifiable loop is repaired, not rejected: the
+    // offending back-edges are routed through fuel guards and the chunk is
+    // re-verified, which must discharge exactly those findings.
+    if (options.verify == VerifyMode::kEnforce && !result.ok() && options.fuel_limit > 0 &&
+        !result.unbounded_backedges.empty()) {
+      bool only_loops = true;
+      for (const auto& f : result.findings) {
+        if (f.severity == VerifySeverity::kError && f.check != VerifyCheck::kUnboundedLoop) {
+          only_loops = false;
+          break;
+        }
+      }
+      if (only_loops) {
+        size_t loop_errors = 0;
+        for (const auto& f : result.findings) {
+          if (f.severity == VerifySeverity::kError) ++loop_errors;
+        }
+        if (loop_errors == result.unbounded_backedges.size()) {
+          Chunk guarded =
+              instrument_fuel(t.chunk_, options.fuel_limit, result.unbounded_backedges);
+          VerifyResult reverified = verify(guarded, t.params_, vo);
+          if (reverified.ok()) {
+            t.chunk_ = std::move(guarded);
+            t.fuel_instrumented_ = true;
+            result = std::move(reverified);
+          }
+        }
+      }
+    }
+
+    if (options.verify == VerifyMode::kEnforce && !result.ok()) {
+      throw VerifyError(std::move(result));
+    }
+    t.verify_findings_ = std::move(result.findings);
+  }
+
+  ExecBackend backend = options.backend;
   bool want_jit = backend == ExecBackend::kJit || (backend == ExecBackend::kAuto && jit_supported());
   if (want_jit) {
     auto jit = JitCode::build(t.chunk_);

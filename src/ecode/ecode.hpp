@@ -32,6 +32,7 @@
 #include "common/arena.hpp"
 #include "ecode/bytecode.hpp"
 #include "ecode/sema.hpp"
+#include "ecode/verify.hpp"
 
 namespace morph::ecode {
 
@@ -47,6 +48,27 @@ enum class ExecBackend {
 /// not disabled via MORPH_DISABLE_JIT=1).
 bool jit_supported();
 
+/// What to do with the static verifier's findings (see ecode/verify.hpp).
+enum class VerifyMode {
+  kOff,      // skip verification entirely (the pre-verifier behavior)
+  kWarn,     // verify, keep findings for inspection, never reject
+  kEnforce,  // throw VerifyError on any error-severity finding
+};
+
+struct CompileOptions {
+  ExecBackend backend = ExecBackend::kAuto;
+  VerifyMode verify = VerifyMode::kOff;
+  /// In kEnforce mode, loops without a termination certificate are rewritten
+  /// to give up after this many back-edge traversals instead of being
+  /// rejected. 0 disables instrumentation (unbounded loops become errors).
+  int64_t fuel_limit = 1 << 20;
+  /// Escalate never-assigned destination fields from warning to error.
+  bool require_full_assignment = false;
+  /// Parameters verified as transform destinations; by the paper's
+  /// convention the destination is parameter 0 ("old").
+  std::vector<int> dst_params = {0};
+};
+
 /// A compiled Ecode transform.
 class Transform {
  public:
@@ -54,6 +76,13 @@ class Transform {
   /// Throws EcodeError on lexical/syntax/type errors.
   static Transform compile(const std::string& source, std::vector<RecordParam> params,
                            ExecBackend backend = ExecBackend::kAuto);
+
+  /// Compile with explicit options. With options.verify != kOff the static
+  /// verifier runs between bytecode generation and native code emission;
+  /// kEnforce throws VerifyError (carrying structured findings) before any
+  /// executable artifact exists for a rejected program.
+  static Transform compile(const std::string& source, std::vector<RecordParam> params,
+                           const CompileOptions& options);
 
   ~Transform();
   Transform(Transform&&) noexcept;
@@ -73,6 +102,14 @@ class Transform {
   const Chunk& chunk() const { return chunk_; }
   const std::vector<RecordParam>& params() const { return params_; }
 
+  /// Findings from the last verification run (empty when compiled with
+  /// VerifyMode::kOff). In kWarn mode this includes error-severity findings
+  /// that kEnforce would have rejected.
+  const std::vector<VerifyFinding>& verify_findings() const { return verify_findings_; }
+
+  /// True when the verifier rewrote an uncertifiable loop with a fuel guard.
+  bool fuel_instrumented() const { return fuel_instrumented_; }
+
   /// Bytecode listing (diagnostics).
   std::string disassemble() const { return chunk_.disassemble(); }
 
@@ -85,6 +122,8 @@ class Transform {
   Chunk chunk_;
   std::vector<RecordParam> params_;
   std::shared_ptr<const JitCode> jit_;  // null -> VM
+  std::vector<VerifyFinding> verify_findings_;
+  bool fuel_instrumented_ = false;
 };
 
 }  // namespace morph::ecode

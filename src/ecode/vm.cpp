@@ -210,9 +210,18 @@ void vm_run(const Chunk& chunk, void* const* params, EcodeRuntime& rt) {
       case Op::kI2F:
         push(as_i(static_cast<double>(pop())));
         break;
-      case Op::kF2I:
-        push(static_cast<int64_t>(as_f(pop())));
+      case Op::kF2I: {
+        // Match cvttsd2si: NaN and out-of-range inputs produce INT64_MIN
+        // (the "integer indefinite" value), so the VM stays bit-identical
+        // with the JIT and the cast is never UB. 2^63 is exactly
+        // representable as a double; values truncating into [-2^63, 2^63)
+        // are safe to cast directly.
+        double f = as_f(pop());
+        push(f >= -9223372036854775808.0 && f < 9223372036854775808.0
+                 ? static_cast<int64_t>(f)
+                 : INT64_MIN);
         break;
+      }
 
       case Op::kAbsI: {
         int64_t v = pop();

@@ -1,0 +1,153 @@
+// Morph-plan linter (core/lint.hpp): data-quality audit over single specs
+// and transform chains, plus the verify-error passthrough and severity
+// thresholds the morph-lint CLI builds on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/lint.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+namespace {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+bool has(const LintReport& rep, LintCheck check, const std::string& needle = "") {
+  for (const auto& f : rep.findings) {
+    if (f.check == check &&
+        (needle.empty() || f.message.find(needle) != std::string::npos ||
+         f.field.find(needle) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TransformSpec spec_of(FormatPtr src, FormatPtr dst, std::string code) {
+  TransformSpec s;
+  s.src = std::move(src);
+  s.dst = std::move(dst);
+  s.code = std::move(code);
+  return s;
+}
+
+TEST(Lint, LossyNarrowingIsFlagged) {
+  auto wide = FormatBuilder("M").add_int("seq", 8).build();
+  auto narrow = FormatBuilder("M").add_int("seq", 4).build();
+  auto rep = lint_spec(spec_of(wide, narrow, "old.seq = new.seq;"));
+  ASSERT_TRUE(has(rep, LintCheck::kLossyNarrowing, "new.seq"));
+  for (const auto& f : rep.findings) {
+    if (f.check == LintCheck::kLossyNarrowing) {
+      EXPECT_EQ(f.severity, LintSeverity::kWarning);
+      EXPECT_EQ(f.field, "old.seq");
+      EXPECT_EQ(f.line, 1);
+    }
+  }
+  // Warnings fail only the strict threshold.
+  EXPECT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.ok(LintSeverity::kWarning));
+}
+
+TEST(Lint, SameWidthCopyIsClean) {
+  auto fmt = FormatBuilder("M").add_int("seq", 8).build();
+  auto rep = lint_spec(spec_of(fmt, fmt, "old.seq = new.seq;"));
+  EXPECT_TRUE(rep.findings.empty()) << rep.to_string();
+}
+
+TEST(Lint, FloatTruncationIsANote) {
+  auto src = FormatBuilder("M").add_float("load", 8).build();
+  auto dst = FormatBuilder("M").add_int("load", 4).build();
+  auto rep = lint_spec(spec_of(src, dst, "old.load = new.load + 0.5;"));
+  ASSERT_TRUE(has(rep, LintCheck::kFloatTruncation, "old.load"));
+  EXPECT_TRUE(rep.ok(LintSeverity::kWarning));  // notes never fail
+}
+
+TEST(Lint, SignChangeIsANote) {
+  auto src = FormatBuilder("M").add_int("n", 4).build();
+  auto dst = FormatBuilder("M").add_uint("n", 4).build();
+  auto rep = lint_spec(spec_of(src, dst, "old.n = new.n;"));
+  EXPECT_TRUE(has(rep, LintCheck::kSignChange, "old.n")) << rep.to_string();
+}
+
+TEST(Lint, DroppedFieldSeverityFollowsImportance) {
+  auto src = FormatBuilder("M")
+                 .add_int("keep", 4)
+                 .add_int("minor", 4)
+                 .add_int("vital", 4)
+                 .with_importance(3)
+                 .build();
+  auto dst = FormatBuilder("M").add_int("keep", 4).build();
+  auto rep = lint_spec(spec_of(src, dst, "old.keep = new.keep;"));
+  bool minor_note = false, vital_warning = false;
+  for (const auto& f : rep.findings) {
+    if (f.check != LintCheck::kDroppedField) continue;
+    if (f.field == "new.minor") minor_note = f.severity == LintSeverity::kNote;
+    if (f.field == "new.vital") vital_warning = f.severity == LintSeverity::kWarning;
+  }
+  EXPECT_TRUE(minor_note) << rep.to_string();
+  EXPECT_TRUE(vital_warning) << rep.to_string();
+  EXPECT_FALSE(has(rep, LintCheck::kDroppedField, "new.keep"));
+}
+
+TEST(Lint, UnsafeProgramIsAnErrorAndSkipsTheAudit) {
+  auto sub = FormatBuilder("S").add_int("v", 4).build();
+  auto src = FormatBuilder("M")
+                 .add_int("count", 4)
+                 .add_dyn_array("items", sub, "count")
+                 .add_int("extra", 4)
+                 .build();
+  auto dst = FormatBuilder("M").add_int("v", 4).build();
+  // Unguarded dynamic-array read: the verifier rejects it, the lint layer
+  // relays the rejection and must NOT emit data-quality noise on top.
+  auto rep = lint_spec(spec_of(src, dst, "old.v = new.items[0].v;"));
+  EXPECT_TRUE(has(rep, LintCheck::kVerifyError));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(has(rep, LintCheck::kDroppedField));
+}
+
+TEST(Lint, NonCompilingProgramIsAnError) {
+  auto fmt = FormatBuilder("M").add_int("a", 4).build();
+  auto rep = lint_spec(spec_of(fmt, fmt, "old.nonexistent = 1;"));
+  EXPECT_TRUE(has(rep, LintCheck::kVerifyError));
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(LintChain, GapBetweenHopsIsAnError) {
+  auto a = FormatBuilder("A").add_int("x", 4).build();
+  auto b = FormatBuilder("B").add_int("x", 4).build();
+  auto c = FormatBuilder("C").add_int("x", 4).build();
+  auto hop1 = spec_of(a, b, "old.x = new.x;");
+  auto hop2 = spec_of(c, a, "old.x = new.x;");  // consumes C, but hop1 made B
+  std::vector<const TransformSpec*> chain = {&hop1, &hop2};
+  auto rep = lint_chain(chain);
+  EXPECT_TRUE(has(rep, LintCheck::kChainGap, "hop 1"));
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(LintChain, CycleIsAWarning) {
+  auto a = FormatBuilder("A").add_int("x", 4).build();
+  auto b = FormatBuilder("B").add_int("x", 4).build();
+  auto there = spec_of(a, b, "old.x = new.x;");
+  auto back = spec_of(b, a, "old.x = new.x;");
+  std::vector<const TransformSpec*> chain = {&there, &back};
+  auto rep = lint_chain(chain);
+  EXPECT_TRUE(has(rep, LintCheck::kChainCycle)) << rep.to_string();
+  EXPECT_TRUE(rep.ok());  // a round-trip is suspicious, not fatal
+}
+
+TEST(LintChain, HopFindingsArePrefixed) {
+  auto wide = FormatBuilder("A").add_int("seq", 8).build();
+  auto mid = FormatBuilder("B").add_int("seq", 4).build();
+  auto out = FormatBuilder("C").add_int("seq", 4).build();
+  auto hop1 = spec_of(wide, mid, "old.seq = new.seq;");
+  auto hop2 = spec_of(mid, out, "old.seq = new.seq;");
+  std::vector<const TransformSpec*> chain = {&hop1, &hop2};
+  auto rep = lint_chain(chain);
+  ASSERT_TRUE(has(rep, LintCheck::kLossyNarrowing, "hop 0"));
+  EXPECT_FALSE(has(rep, LintCheck::kLossyNarrowing, "hop 1"));
+}
+
+}  // namespace
+}  // namespace morph::core

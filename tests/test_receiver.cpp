@@ -404,6 +404,121 @@ TEST(Receiver, EnumRemappingThroughTheFullPath) {
   EXPECT_EQ(got, 7);  // BUSY in reader numbering
 }
 
+// --- verify policy at the trust boundary ------------------------------------
+
+namespace verify_policy {
+
+pbio::FormatPtr reader_fmt() {
+  static pbio::FormatPtr fmt = FormatBuilder("Report").add_int("sum", 8).build();
+  return fmt;
+}
+
+pbio::FormatPtr sender_fmt() {
+  // Same record name as the reader: the receiver pairs reader and sender
+  // formats by name before considering morph routes.
+  static pbio::FormatPtr fmt = [] {
+    auto sub = FormatBuilder("Sample").add_int("v", 4).build();
+    return FormatBuilder("Report")
+        .add_int("count", 4)
+        .add_dyn_array("samples", sub, "count")
+        .build();
+  }();
+  return fmt;
+}
+
+/// Reads samples[0] without guarding against count: the verifier must
+/// refuse to certify it.
+TransformSpec unverifiable_spec() {
+  TransformSpec s;
+  s.src = sender_fmt();
+  s.dst = reader_fmt();
+  s.code = "old.sum = new.samples[0].v;";
+  return s;
+}
+
+TransformSpec safe_spec() {
+  TransformSpec s;
+  s.src = sender_fmt();
+  s.dst = reader_fmt();
+  s.code = R"(
+    old.sum = 0;
+    for (int i = 0; i < new.count; i++) { old.sum = old.sum + new.samples[i].v; }
+  )";
+  return s;
+}
+
+ByteBuffer encode_batch(int v0) {
+  auto v = pbio::make_dyn(sender_fmt());
+  auto sample = pbio::make_dyn(sender_fmt()->find_field("samples")->element_format);
+  sample.field("v") = int64_t{v0};
+  v.field("count") = int64_t{1};
+  v.field("samples") = pbio::DynList{std::move(sample)};
+  RecordArena arena;
+  void* rec = pbio::from_dyn(v, arena);
+  ByteBuffer buf;
+  pbio::Encoder(sender_fmt()).encode(rec, buf);
+  return buf;
+}
+
+}  // namespace verify_policy
+
+TEST(ReceiverVerify, EnforcePolicyRejectsUnverifiableTransform) {
+  using namespace verify_policy;
+  ReceiverOptions opt;
+  opt.verify = VerifyPolicy::kEnforce;
+  Receiver rx(opt);
+  rx.register_handler(reader_fmt(), [](const Delivery&) { FAIL() << "must not deliver"; });
+  rx.learn_format(sender_fmt());
+  rx.learn_transform(unverifiable_spec());
+
+  auto buf = encode_batch(5);
+  RecordArena arena;
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), arena), Outcome::kRejected);
+  EXPECT_EQ(rx.stats().verify_rejected, 1u);
+  EXPECT_EQ(rx.stats().morphed, 0u);
+
+  // The rejection is a cached decision: reprocessing does not re-verify.
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), arena), Outcome::kRejected);
+  EXPECT_EQ(rx.stats().verify_rejected, 1u);
+}
+
+TEST(ReceiverVerify, EnforcePolicyAdmitsVerifiedTransform) {
+  using namespace verify_policy;
+  ReceiverOptions opt;
+  opt.verify = VerifyPolicy::kEnforce;
+  Receiver rx(opt);
+  int delivered = 0;
+  rx.register_handler(reader_fmt(), [&](const Delivery& d) {
+    EXPECT_EQ(d.outcome, Outcome::kMorphed);
+    ++delivered;
+  });
+  rx.learn_format(sender_fmt());
+  rx.learn_transform(safe_spec());
+
+  auto buf = encode_batch(5);
+  RecordArena arena;
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), arena), Outcome::kMorphed);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rx.stats().verify_rejected, 0u);
+}
+
+TEST(ReceiverVerify, WarnPolicyStillDelivers) {
+  using namespace verify_policy;
+  ReceiverOptions opt;
+  opt.verify = VerifyPolicy::kWarn;
+  Receiver rx(opt);
+  int delivered = 0;
+  rx.register_handler(reader_fmt(), [&](const Delivery&) { ++delivered; });
+  rx.learn_format(sender_fmt());
+  rx.learn_transform(unverifiable_spec());
+
+  auto buf = encode_batch(5);
+  RecordArena arena;
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), arena), Outcome::kMorphed);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rx.stats().verify_rejected, 0u);
+}
+
 TEST(CompatAnalyzer, ReportsRoutes) {
   auto v1 = echo::channel_open_response_v1_format();
   auto v2 = echo::channel_open_response_v2_format();

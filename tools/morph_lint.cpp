@@ -1,0 +1,223 @@
+// morph-lint — audit transform specs and chains before shipping them.
+//
+// Usage:
+//   morph-lint file.eco [...]       lint serialized spec bundles
+//   morph-lint --demo               lint the built-in demo specs
+//   morph-lint --gen-corpus <dir>   write the example .eco corpus into <dir>
+//   morph-lint --werror             warnings (not just errors) fail the run
+//
+// A .eco bundle is: u32 magic "ECO1", u32 spec count, then each
+// TransformSpec in its wire serialization. A bundle whose specs connect
+// end-to-end is linted as a chain (fingerprint gap/cycle checks included);
+// otherwise each spec is linted on its own.
+//
+// Exit status: 0 clean, 1 findings at or above the failure threshold,
+// 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "core/lint.hpp"
+#include "echo/messages.hpp"
+#include "pbio/format.hpp"
+
+using namespace morph;
+using pbio::FormatBuilder;
+
+namespace {
+
+constexpr uint32_t kEcoMagic = 0x314F4345;  // "ECO1" little-endian
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: morph-lint [--werror] (--demo | --gen-corpus <dir> | file.eco ...)\n");
+  return 2;
+}
+
+std::vector<core::TransformSpec> read_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(bytes.data(), bytes.size());
+  if (r.read_u32() != kEcoMagic) throw DecodeError("'" + path + "' is not an ECO1 bundle");
+  uint32_t count = r.read_u32();
+  std::vector<core::TransformSpec> specs;
+  specs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) specs.push_back(core::TransformSpec::deserialize(r));
+  return specs;
+}
+
+void write_bundle(const std::string& path, const std::vector<core::TransformSpec>& specs) {
+  ByteBuffer out;
+  out.append_u32(kEcoMagic);
+  out.append_u32(static_cast<uint32_t>(specs.size()));
+  for (const auto& s : specs) s.serialize(out);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot write '" + path + "'");
+  f.write(reinterpret_cast<const char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  std::printf("wrote %s (%u spec%s, %zu bytes)\n", path.c_str(),
+              static_cast<unsigned>(specs.size()), specs.size() == 1 ? "" : "s", out.size());
+}
+
+// --- the example corpus (mirrors examples/b2b_broker.cpp, quickstart.cpp,
+// --- compat_explorer.cpp) ---------------------------------------------------
+
+core::TransformSpec b2b_supplier_a() {
+  auto item =
+      FormatBuilder("Item").add_string("sku").add_int("qty", 4).add_float("unit_price", 8).build();
+  auto retailer = FormatBuilder("Order")
+                      .add_string("order_id")
+                      .add_string("retailer")
+                      .add_int("item_count", 4)
+                      .add_dyn_array("items", item, "item_count")
+                      .build();
+  auto line =
+      FormatBuilder("Line").add_string("sku").add_int("qty", 4).add_int("total_cents", 8).build();
+  auto supplier = FormatBuilder("Order")
+                      .add_string("reference")
+                      .add_int("line_count", 4)
+                      .add_dyn_array("lines", line, "line_count")
+                      .build();
+  core::TransformSpec s;
+  s.src = retailer;
+  s.dst = supplier;
+  s.code = R"(
+    old.reference = new.order_id;
+    old.line_count = new.item_count;
+    for (int i = 0; i < new.item_count; i++) {
+      old.lines[i].sku = new.items[i].sku;
+      old.lines[i].qty = new.items[i].qty;
+      old.lines[i].total_cents = new.items[i].qty * new.items[i].unit_price * 100.0 + 0.5;
+    }
+  )";
+  return s;
+}
+
+core::TransformSpec quickstart_retro() {
+  auto v1 =
+      FormatBuilder("LoadReport").add_int("cpu", 4).add_int("mem", 4).add_int("net", 4).build();
+  auto v2 = FormatBuilder("LoadReport")
+                .add_string("host")
+                .add_float("cpu", 8)
+                .add_int("mem", 4)
+                .add_int("net", 4)
+                .add_int("gpu", 4)
+                .build();
+  core::TransformSpec s;
+  s.src = v2;
+  s.dst = v1;
+  s.code = R"(
+    old.cpu = new.cpu + 0.5;
+    old.mem = new.mem;
+    old.net = new.net;
+  )";
+  return s;
+}
+
+std::vector<core::TransformSpec> telemetry_chain() {
+  auto r0 = FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).build();
+  auto r1 =
+      FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).add_string("unit").build();
+  auto src = FormatBuilder("SourceInfo").add_string("host").add_int("pid", 4).build();
+  auto r2 = FormatBuilder("Telemetry")
+                .add_int("seq", 8)
+                .add_float("value", 8)
+                .add_string("unit")
+                .add_int("quality", 4)
+                .add_struct("source", src)
+                .build();
+  core::TransformSpec hop1;
+  hop1.src = r2;
+  hop1.dst = r1;
+  hop1.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      old.unit = new.unit;
+  )";
+  core::TransformSpec hop2;
+  hop2.src = r1;
+  hop2.dst = r0;
+  hop2.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+  )";
+  return {std::move(hop1), std::move(hop2)};
+}
+
+bool specs_chain(const std::vector<core::TransformSpec>& specs) {
+  for (size_t i = 1; i < specs.size(); ++i) {
+    if (specs[i].src->fingerprint() != specs[i - 1].dst->fingerprint()) return false;
+  }
+  return specs.size() > 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  bool demo = false;
+  std::string corpus_dir;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--gen-corpus") == 0) {
+      if (i + 1 >= argc) return usage();
+      corpus_dir = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (!demo && corpus_dir.empty() && files.empty()) return usage();
+
+  try {
+    if (!corpus_dir.empty()) {
+      write_bundle(corpus_dir + "/echo_response_v2_v1.eco", {echo::response_v2_to_v1_spec()});
+      write_bundle(corpus_dir + "/b2b_supplier_a.eco", {b2b_supplier_a()});
+      write_bundle(corpus_dir + "/quickstart_retro.eco", {quickstart_retro()});
+      write_bundle(corpus_dir + "/telemetry_chain.eco", telemetry_chain());
+      return 0;
+    }
+
+    core::LintSeverity fail_at =
+        werror ? core::LintSeverity::kWarning : core::LintSeverity::kError;
+    bool failed = false;
+    auto run = [&](const std::string& name, const std::vector<core::TransformSpec>& specs) {
+      core::LintReport rep;
+      if (specs_chain(specs)) {
+        std::vector<const core::TransformSpec*> ptrs;
+        for (const auto& s : specs) ptrs.push_back(&s);
+        rep = core::lint_chain(ptrs);
+      } else {
+        for (const auto& s : specs) {
+          core::LintReport one = core::lint_spec(s);
+          for (auto& f : one.findings) rep.findings.push_back(std::move(f));
+        }
+      }
+      std::printf("== %s: %zu finding(s)\n", name.c_str(), rep.findings.size());
+      if (!rep.findings.empty()) std::printf("%s", rep.to_string().c_str());
+      if (!rep.ok(fail_at)) failed = true;
+    };
+
+    if (demo) {
+      run("echo response v2->v1", {echo::response_v2_to_v1_spec()});
+      run("b2b supplier A", {b2b_supplier_a()});
+      run("quickstart retro", {quickstart_retro()});
+      run("telemetry chain", telemetry_chain());
+    }
+    for (const auto& path : files) run(path, read_bundle(path));
+    return failed ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "morph-lint: %s\n", e.what());
+    return 2;
+  }
+}
