@@ -6,6 +6,18 @@
 //                    size, with the ratio column the paper's claims hinge on;
 //   --gbench [...]   run the same workloads under google-benchmark for
 //                    statistically careful measurements.
+//
+// Observability hooks (paper-table mode):
+//   --json PATH            after the table, dump the global metrics registry
+//                          as JSON (obs::to_json) — every printed cell is
+//                          also recorded as a bench_ms{bench,row,col} gauge,
+//                          so the dump is machine-readable table + pipeline
+//                          internals in one file (morph-stat reads it).
+//   MORPH_STATS_PORT=N     serve live /metrics + JSON on 127.0.0.1:N for the
+//                          duration of the run (0 picks an ephemeral port,
+//                          printed to stderr).
+//   MORPH_BENCH_MAX_BYTES  cap the payload sweep (e.g. 10240 keeps 100B..10KB)
+//                          for brief CI smoke runs.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -23,10 +35,9 @@
 namespace morph::bench {
 
 /// The paper's payload sweep: 100 B, 1 KB, 10 KB, 100 KB, 1 MB.
-inline const std::vector<size_t>& paper_sizes() {
-  static const std::vector<size_t> kSizes = {100, 1 << 10, 10 << 10, 100 << 10, 1 << 20};
-  return kSizes;
-}
+/// MORPH_BENCH_MAX_BYTES caps the sweep (smoke runs keep only the sizes at
+/// or below the cap; the 100 B point always survives).
+const std::vector<size_t>& paper_sizes();
 
 inline const char* size_label(size_t bytes) {
   switch (bytes) {
@@ -66,18 +77,12 @@ inline double time_median_ms(size_t payload_bytes, const std::function<void()>& 
 }
 
 /// Print one table row: label + columns of milliseconds + trailing ratio.
-inline void print_row(const char* label, const std::vector<double>& ms) {
-  std::printf("%-10s", label);
-  for (double v : ms) std::printf("  %12.4f", v);
-  std::printf("\n");
-}
+/// Each cell is also recorded as a `bench_ms{bench=...,row=...,col=...}`
+/// gauge in the global metrics registry (column names come from the last
+/// print_header call), so a --json dump carries the whole table.
+void print_row(const char* label, const std::vector<double>& ms);
 
-inline void print_header(const char* first, const std::vector<std::string>& cols) {
-  std::printf("%-10s", first);
-  for (const auto& c : cols) std::printf("  %12s", c.c_str());
-  std::printf("\n");
-  std::printf("%s\n", std::string(10 + cols.size() * 14, '-').c_str());
-}
+void print_header(const char* first, const std::vector<std::string>& cols);
 
 /// Worker count requested via `--threads N` (default 1). Benchmarks with a
 /// concurrency section size their ParallelReceiver pool from this.

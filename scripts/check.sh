@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full local CI: build, test, sanitize, bench-smoke.
 #
-#   scripts/check.sh            # build + ctest + bench smoke
-#   scripts/check.sh --asan     # also run the ASan/UBSan test sweep
-#   scripts/check.sh --tsan     # also run the concurrency suite under TSan
-#   scripts/check.sh --ubsan    # also run the full suite under UBSan alone
+#   scripts/check.sh               # build + ctest + bench smoke
+#   scripts/check.sh --asan        # also run the ASan/UBSan test sweep
+#   scripts/check.sh --tsan        # also run the concurrency suite under TSan
+#   scripts/check.sh --ubsan       # also run the full suite under UBSan alone
+#   scripts/check.sh --bench-smoke # brief figure benches with JSON metrics
+#                                  # dumps (BENCH_*.json), schema-checked by
+#                                  # morph-stat --check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +18,29 @@ cmake --build build
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
-echo "== bench smoke (paper tables) =="
-for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "--- $b"
-  "$b"
-done
+if [[ "${1:-}" != "--bench-smoke" ]]; then
+  echo "== bench smoke (paper tables) =="
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "--- $b"
+    "$b"
+  done
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  echo "== bench smoke with metrics JSON =="
+  # Cap the payload sweep so each figure bench finishes in seconds; every
+  # run dumps the metrics registry (including its own table as bench_ms
+  # gauges) and morph-stat validates the schema and the histogram/counter
+  # invariants.
+  for b in bench_fig9_decoding bench_fig10_morphing; do
+    out="BENCH_${b#bench_}.json"
+    echo "--- $b -> $out"
+    MORPH_BENCH_MAX_BYTES=10240 "./build/bench/$b" --json "$out"
+    ./build/tools/morph-stat --check "$out" >/dev/null
+  done
+  echo "bench JSON dumps OK"
+fi
 
 if [[ "${1:-}" == "--asan" ]]; then
   echo "== ASan/UBSan sweep =="

@@ -1,13 +1,38 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <vector>
 
 namespace morph {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Initial threshold: MORPH_LOG=debug|info|warn|error|off (case-insensitive),
+/// defaulting to kWarn so tests and benchmarks stay quiet. An unrecognized
+/// value keeps the default rather than failing startup.
+int initial_level() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once before threads start
+  const char* env = std::getenv("MORPH_LOG");
+  if (env == nullptr || env[0] == '\0') return static_cast<int>(LogLevel::kWarn);
+  char buf[8] = {0};
+  for (size_t i = 0; i < sizeof buf - 1 && env[i] != '\0'; ++i) {
+    buf[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(buf, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(buf, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(buf, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(buf, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(buf, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,6 +48,31 @@ const char* level_name(LogLevel level) {
       return "?";
   }
 }
+
+/// Monotonic seconds since process start (well, since the first log line
+/// forced this anchor — close enough for relative timing between lines).
+std::chrono::steady_clock::time_point mono_anchor() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+/// "HH:MM:SS.mmm +123.456s": wall clock (UTC) for correlating across
+/// processes, monotonic offset for intra-process timing that survives wall
+/// clock adjustments.
+void format_timestamp(char* out, size_t cap) {
+  using namespace std::chrono;
+  auto wall = system_clock::now();
+  auto mono = duration_cast<microseconds>(steady_clock::now() - mono_anchor());
+  std::time_t secs = system_clock::to_time_t(wall);
+  auto wall_ms = duration_cast<milliseconds>(wall.time_since_epoch()).count() % 1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  std::snprintf(out, cap, "%02d:%02d:%02d.%03d +%lld.%06llds", tm_utc.tm_hour, tm_utc.tm_min,
+                tm_utc.tm_sec, static_cast<int>(wall_ms),
+                static_cast<long long>(mono.count() / 1000000),
+                static_cast<long long>(mono.count() % 1000000));
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -31,12 +81,14 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& component, const std::string& text) {
   if (static_cast<int>(level) < g_level.load()) return;
+  char stamp[64];
+  format_timestamp(stamp, sizeof stamp);
   // Format the whole line into a local buffer first, then emit it with a
   // single stdio call. stdio locks the stream per call, so lines never
   // interleave — and concurrent workers never serialize on a logger mutex
   // while formatting.
   char line[512];
-  int n = std::snprintf(line, sizeof line, "[%s] %s: %s\n", level_name(level),
+  int n = std::snprintf(line, sizeof line, "[%s %s] %s: %s\n", stamp, level_name(level),
                         component.c_str(), text.c_str());
   if (n < 0) return;
   if (static_cast<size_t>(n) < sizeof line) {
@@ -45,7 +97,7 @@ void log_message(LogLevel level, const std::string& component, const std::string
   }
   // Rare oversized message: fall back to a heap buffer of the exact size.
   std::vector<char> big(static_cast<size_t>(n) + 1);
-  std::snprintf(big.data(), big.size(), "[%s] %s: %s\n", level_name(level),
+  std::snprintf(big.data(), big.size(), "[%s %s] %s: %s\n", stamp, level_name(level),
                 component.c_str(), text.c_str());
   std::fwrite(big.data(), 1, static_cast<size_t>(n), stderr);
 }

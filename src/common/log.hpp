@@ -13,7 +13,10 @@ namespace morph {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global threshold; messages below it are dropped. Default: kWarn, so tests
-/// and benchmarks stay quiet unless something is wrong.
+/// and benchmarks stay quiet unless something is wrong. The MORPH_LOG
+/// environment variable (debug|info|warn|error|off, case-insensitive) sets
+/// the initial threshold; set_log_level overrides it at runtime. Every line
+/// carries a UTC wall timestamp plus a monotonic offset since process start.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

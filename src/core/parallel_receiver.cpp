@@ -2,12 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace morph::core {
 
 namespace {
 // Workers pull up to this many messages per queue lock, so short messages
 // don't pay one lock round-trip each.
 constexpr size_t kGrabBatch = 32;
+
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& processed;
+  obs::Counter& failed;
+  PoolMetrics()
+      : queue_depth(obs::metrics().gauge("morph_rx_pool_queue_depth")),
+        processed(obs::metrics().counter("morph_rx_pool_processed_total")),
+        failed(obs::metrics().counter("morph_rx_pool_failed_total")) {}
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics& m = *new PoolMetrics();  // leaked: outlives static dtors
+  return m;
+}
 }  // namespace
 
 ParallelReceiver::ParallelReceiver(Receiver& rx, size_t threads) : rx_(rx) {
@@ -34,6 +51,10 @@ void ParallelReceiver::submit(const void* buf, size_t size) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(FramedMessage{buf, size});
+    // Already under the queue lock, so the gauge write is ordered with the
+    // push; with several pools in one process the gauge tracks the most
+    // recent writer (a scrape-time approximation, documented as such).
+    pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -42,6 +63,7 @@ void ParallelReceiver::process_batch(const FramedMessage* msgs, size_t count) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < count; ++i) queue_.push_back(msgs[i]);
+    pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_all();
   drain();
@@ -66,6 +88,7 @@ void ParallelReceiver::worker_loop() {
       size_t grab = std::min(queue_.size(), kGrabBatch);
       local.assign(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(grab));
       queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(grab));
+      pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
       ++busy_;
     }
     for (const FramedMessage& msg : local) {
@@ -74,8 +97,10 @@ void ParallelReceiver::worker_loop() {
         rx_.process(msg.data, msg.size, arena);
       } catch (...) {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        pool_metrics().failed.inc();
       }
       processed_.fetch_add(1, std::memory_order_relaxed);
+      pool_metrics().processed.inc();
     }
     local.clear();
     {

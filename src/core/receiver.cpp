@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "pbio/record.hpp"
 
 namespace morph::core {
@@ -10,6 +11,90 @@ using pbio::FormatPtr;
 
 namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Process-wide mirrors of the per-receiver counters, so one scrape covers
+/// every Receiver in the process. The per-instance Counters stay
+/// authoritative for stats(); these are bumped alongside them (same relaxed
+/// adds, so the mirror costs one extra add per event).
+struct RxMetrics {
+  obs::Counter& messages;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_flushes;
+  obs::Counter& exact;
+  obs::Counter& perfect;
+  obs::Counter& morphed;
+  obs::Counter& reconciled;
+  obs::Counter& morphed_reconciled;
+  obs::Counter& defaulted;
+  obs::Counter& rejected;
+  obs::Counter& zero_copy;
+  obs::Counter& verify_rejected;
+  obs::Counter& transforms_compiled;
+  obs::Histogram& decide_hit_ns;
+  obs::Histogram& decide_miss_ns;
+  obs::Histogram& build_ns;
+  obs::Histogram& match_ns;
+
+  RxMetrics()
+      : messages(obs::metrics().counter("morph_rx_messages_total")),
+        cache_hits(obs::metrics().counter("morph_rx_cache_events_total{event=\"hit\"}")),
+        cache_misses(obs::metrics().counter("morph_rx_cache_events_total{event=\"miss\"}")),
+        cache_flushes(obs::metrics().counter("morph_rx_cache_events_total{event=\"flush\"}")),
+        exact(obs::metrics().counter("morph_rx_outcome_total{outcome=\"exact\"}")),
+        perfect(obs::metrics().counter("morph_rx_outcome_total{outcome=\"perfect\"}")),
+        morphed(obs::metrics().counter("morph_rx_outcome_total{outcome=\"morphed\"}")),
+        reconciled(obs::metrics().counter("morph_rx_outcome_total{outcome=\"reconciled\"}")),
+        morphed_reconciled(
+            obs::metrics().counter("morph_rx_outcome_total{outcome=\"morphed+reconciled\"}")),
+        defaulted(obs::metrics().counter("morph_rx_outcome_total{outcome=\"defaulted\"}")),
+        rejected(obs::metrics().counter("morph_rx_outcome_total{outcome=\"rejected\"}")),
+        zero_copy(obs::metrics().counter("morph_rx_zero_copy_total")),
+        verify_rejected(obs::metrics().counter("morph_rx_verify_rejected_total")),
+        transforms_compiled(obs::metrics().counter("morph_rx_transforms_compiled_total")),
+        decide_hit_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"hit\"}")),
+        decide_miss_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"miss\"}")),
+        build_ns(obs::metrics().histogram("morph_rx_decision_build_ns")),
+        match_ns(obs::metrics().histogram("morph_rx_match_ns")) {}
+};
+
+RxMetrics& rx() {
+  static RxMetrics& m = *new RxMetrics();  // leaked: outlives static dtors
+  return m;
+}
+
+/// Escape a format name for use as a Prometheus label value.
+std::string label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+ReceiverStats ReceiverStats::delta(const ReceiverStats& earlier) const {
+  ReceiverStats d;
+  d.messages = messages - earlier.messages;
+  d.cache_hits = cache_hits - earlier.cache_hits;
+  d.cache_misses = cache_misses - earlier.cache_misses;
+  d.exact = exact - earlier.exact;
+  d.perfect = perfect - earlier.perfect;
+  d.morphed = morphed - earlier.morphed;
+  d.reconciled = reconciled - earlier.reconciled;
+  d.defaulted = defaulted - earlier.defaulted;
+  d.rejected = rejected - earlier.rejected;
+  d.transforms_compiled = transforms_compiled - earlier.transforms_compiled;
+  d.verify_rejected = verify_rejected - earlier.verify_rejected;
+  d.zero_copy = zero_copy - earlier.zero_copy;
+  d.cache_flushes = cache_flushes - earlier.cache_flushes;
+  return d;
 }
 
 const char* outcome_name(Outcome o) {
@@ -87,6 +172,7 @@ void Receiver::flush_cache() {
 }
 
 Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
+  uint64_t t0 = obs::monotonic_ns();
   Shard& shard = shard_for(fingerprint);
   EntryPtr entry;
   {
@@ -100,6 +186,7 @@ Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
       // a flush only costs recomputation, never correctness.
       flush_cache();
       stats_.cache_flushes.fetch_add(1, kRelaxed);
+      rx().cache_flushes.inc();
     }
     std::unique_lock lock(shard.mutex);
     auto [it, inserted] = shard.entries.try_emplace(fingerprint);
@@ -117,10 +204,21 @@ Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
   std::call_once(entry->build_once, [&] {
     built_here = true;
     stats_.cache_misses.fetch_add(1, kRelaxed);
-    std::shared_lock config(config_mutex_);
-    build_decision(entry->decision, fingerprint);
+    rx().cache_misses.inc();
+    uint64_t b0 = obs::monotonic_ns();
+    {
+      std::shared_lock config(config_mutex_);
+      build_decision(entry->decision, fingerprint);
+    }
+    rx().build_ns.record(obs::monotonic_ns() - b0);
   });
-  if (!built_here) stats_.cache_hits.fetch_add(1, kRelaxed);
+  if (!built_here) {
+    stats_.cache_hits.fetch_add(1, kRelaxed);
+    rx().cache_hits.inc();
+    rx().decide_hit_ns.record(obs::monotonic_ns() - t0);
+  } else {
+    rx().decide_miss_ns.record(obs::monotonic_ns() - t0);
+  }
   return entry;
 }
 
@@ -143,9 +241,19 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
     return it == handlers_.end() ? nullptr : it->second;
   };
 
+  // Per-format latency series, cached on the decision so the steady-state
+  // cost per message is one clock read + relaxed add. Labeled by format
+  // *name* (bounded by the application's schema count), never fingerprint.
+  std::string fmt_label = "{fmt=\"" + label_escape(fm->name()) + "\"}";
+  d.decode_ns = &obs::metrics().histogram("morph_rx_decode_ns" + fmt_label);
+  d.morph_ns = &obs::metrics().histogram("morph_rx_morph_ns" + fmt_label);
+
   // Lines 11-15: MaxMatch(fm, Fr); a perfect pair needs only a layout
   // conversion (possibly a pure no-op when fingerprints coincide).
-  if (auto m = max_match({fm}, fr, options_.thresholds); m && m->perfect()) {
+  uint64_t m0 = obs::monotonic_ns();
+  auto first = max_match({fm}, fr, options_.thresholds);
+  rx().match_ns.record(obs::monotonic_ns() - m0);
+  if (auto& m = first; m && m->perfect()) {
     d.outcome = m->f2->fingerprint() == fm->fingerprint() ? Outcome::kExact : Outcome::kPerfect;
     d.deliver_fmt = m->f2;
     d.handler = handler_for(m->f2->fingerprint());
@@ -158,7 +266,9 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
 
   // Lines 16-19: MaxMatch over the transform closure Ft.
   std::vector<FormatPtr> ft = transforms_.closure(fm);
+  m0 = obs::monotonic_ns();
   auto m = max_match(ft, fr, options_.thresholds);
+  rx().match_ns.record(obs::monotonic_ns() - m0);
   if (!m) {
     d.outcome = Outcome::kRejected;
     return;
@@ -187,6 +297,7 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
       // before any native code exists. The structured findings name the
       // check, the field, and the source line for the peer's operator.
       stats_.verify_rejected.fetch_add(1, kRelaxed);
+      rx().verify_rejected.inc();
       std::ostringstream msg;
       msg << "transform chain for fingerprint " << fingerprint
           << " rejected by the static verifier:";
@@ -202,6 +313,7 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
       MORPH_LOG_WARN("receiver") << "transform verifier: " << f.to_string();
     }
     stats_.transforms_compiled.fetch_add(d.chain->hops(), kRelaxed);
+    rx().transforms_compiled.add(d.chain->hops());
     d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, d.chain->src_format());
     native_fmt = d.chain->dst_format();
   } else {
@@ -226,16 +338,23 @@ Outcome Receiver::finish_delivery(const Decision& d, void* record) {
   switch (d.outcome) {
     case Outcome::kExact:
       stats_.exact.fetch_add(1, kRelaxed);
+      rx().exact.inc();
       break;
     case Outcome::kPerfect:
       stats_.perfect.fetch_add(1, kRelaxed);
+      rx().perfect.inc();
       break;
     case Outcome::kMorphed:
       stats_.morphed.fetch_add(1, kRelaxed);
+      rx().morphed.inc();
       break;
     case Outcome::kReconciled:
+      stats_.reconciled.fetch_add(1, kRelaxed);
+      rx().reconciled.inc();
+      break;
     case Outcome::kMorphedReconciled:
       stats_.reconciled.fetch_add(1, kRelaxed);
+      rx().morphed_reconciled.inc();
       break;
     default:
       break;
@@ -252,6 +371,7 @@ Outcome Receiver::finish_delivery(const Decision& d, void* record) {
 
 Outcome Receiver::process(const void* buf, size_t size, RecordArena& arena) {
   stats_.messages.fetch_add(1, kRelaxed);
+  rx().messages.inc();
   pbio::WireInfo info = pbio::peek_header(buf, size);
   EntryPtr entry = decide(info.fingerprint);
   const Decision& d = entry->decision;
@@ -262,18 +382,26 @@ Outcome Receiver::process(const void* buf, size_t size, RecordArena& arena) {
       if (d.default_handler != nullptr && *d.default_handler) {
         (*d.default_handler)(buf, size);
         stats_.defaulted.fetch_add(1, kRelaxed);
+        rx().defaulted.inc();
         return Outcome::kDefaulted;
       }
       stats_.rejected.fetch_add(1, kRelaxed);
+      rx().rejected.inc();
       return Outcome::kRejected;
     }
     default:
       break;
   }
 
+  uint64_t t0 = obs::monotonic_ns();
   void* record = d.decode_plan->execute(buf, size, arena);
-  if (d.chain) record = d.chain->apply(record, arena);
-  if (d.reconciler) record = d.reconciler->apply(record, arena);
+  uint64_t t1 = obs::monotonic_ns();
+  if (d.decode_ns != nullptr) d.decode_ns->record(t1 - t0);
+  if (d.chain || d.reconciler) {
+    if (d.chain) record = d.chain->apply(record, arena);
+    if (d.reconciler) record = d.reconciler->apply(record, arena);
+    if (d.morph_ns != nullptr) d.morph_ns->record(obs::monotonic_ns() - t1);
+  }
   return finish_delivery(d, record);
 }
 
@@ -284,8 +412,12 @@ Outcome Receiver::process_in_place(void* buf, size_t size, RecordArena& arena) {
   if (d.outcome == Outcome::kExact && d.exact_decoder != nullptr) {
     void* record = d.exact_decoder->decode_in_place(buf, size);
     if (record != nullptr) {
+      // Zero-copy fast path: counters only, no clock reads (the in-place
+      // decode is tens of ns — a timestamp pair would dominate it).
       stats_.messages.fetch_add(1, kRelaxed);
       stats_.zero_copy.fetch_add(1, kRelaxed);
+      rx().messages.inc();
+      rx().zero_copy.inc();
       return finish_delivery(d, record);
     }
     // Foreign byte order: fall through to the copying path.

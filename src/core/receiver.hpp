@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "obs/metrics.hpp"
 #include "core/match.hpp"
 #include "core/reconcile.hpp"
 #include "core/transform.hpp"
@@ -111,6 +112,24 @@ struct ReceiverStats {
   uint64_t verify_rejected = 0;
   uint64_t zero_copy = 0;
   uint64_t cache_flushes = 0;
+
+  /// Field-wise `*this - earlier`: what happened between two snapshots.
+  /// Counters are monotone, so with snapshots taken in order every delta
+  /// field is well-defined (wraps if you subtract a later snapshot).
+  ReceiverStats delta(const ReceiverStats& earlier) const;
+
+  /// Messages that reached a terminal outcome. Every processed message
+  /// lands in exactly one of these counters.
+  uint64_t outcome_sum() const {
+    return exact + perfect + morphed + reconciled + defaulted + rejected;
+  }
+
+  /// The pipeline's conservation law: every counted message reached exactly
+  /// one outcome. Holds whenever no process() call aborted by exception
+  /// between the message count and its outcome (hostile frames can throw
+  /// mid-decode), and no snapshot raced a message in flight — so quiesce
+  /// first, then assert. Used by tests and `morph-stat --check`.
+  bool consistent() const { return messages == outcome_sum(); }
 };
 
 class Receiver {
@@ -168,6 +187,11 @@ class Receiver {
     std::unique_ptr<pbio::Decoder> exact_decoder;       // kExact only: in-place path
     std::shared_ptr<MorphChain> chain;                  // optional
     std::unique_ptr<Reconciler> reconciler;             // optional
+    // Per-format latency series, resolved once at build time so the
+    // per-message cost is a clock read + relaxed add (registry metrics are
+    // never erased, so the pointers stay valid).
+    obs::Histogram* decode_ns = nullptr;                // plan execute time
+    obs::Histogram* morph_ns = nullptr;                 // chain + reconcile time
   };
 
   /// One cache slot. The once-flag guarantees the expensive build runs

@@ -8,8 +8,33 @@
 #include "ecode/jit_x64.hpp"
 #include "ecode/parser.hpp"
 #include "ecode/vm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace morph::ecode {
+
+namespace {
+struct EcodeMetrics {
+  obs::Histogram& compile_ns;  // parse + analyze + bytecode compile
+  obs::Histogram& verify_ns;   // static verification (incl. fuel repair)
+  obs::Histogram& jit_ns;      // native code emission
+  obs::Counter& jit_dispatch;
+  obs::Counter& vm_dispatch;
+  obs::Gauge& code_bytes;      // native bytes emitted, cumulative
+  EcodeMetrics()
+      : compile_ns(obs::metrics().histogram("morph_ecode_compile_ns")),
+        verify_ns(obs::metrics().histogram("morph_ecode_verify_ns")),
+        jit_ns(obs::metrics().histogram("morph_ecode_jit_ns")),
+        jit_dispatch(obs::metrics().counter("morph_ecode_dispatch_total{backend=\"jit\"}")),
+        vm_dispatch(obs::metrics().counter("morph_ecode_dispatch_total{backend=\"vm\"}")),
+        code_bytes(obs::metrics().gauge("morph_ecode_native_code_bytes")) {}
+};
+
+EcodeMetrics& em() {
+  static EcodeMetrics& m = *new EcodeMetrics();  // leaked: outlives static dtors
+  return m;
+}
+}  // namespace
 
 bool jit_supported() {
 #if defined(__x86_64__) && defined(__unix__)
@@ -35,14 +60,17 @@ Transform Transform::compile(const std::string& source, std::vector<RecordParam>
 
 Transform Transform::compile(const std::string& source, std::vector<RecordParam> params,
                              const CompileOptions& options) {
+  uint64_t t0 = obs::monotonic_ns();
   auto prog = parse(source);
   analyze(*prog, params);
 
   Transform t;
   t.chunk_ = ecode::compile(*prog, params);
   t.params_ = std::move(params);
+  em().compile_ns.record(obs::monotonic_ns() - t0);
 
   if (options.verify != VerifyMode::kOff) {
+    obs::TraceSpan verify_span("ecode.verify", &em().verify_ns);
     VerifyOptions vo;
     vo.dst_params = options.dst_params;
     vo.require_full_assignment = options.require_full_assignment;
@@ -87,10 +115,13 @@ Transform Transform::compile(const std::string& source, std::vector<RecordParam>
   ExecBackend backend = options.backend;
   bool want_jit = backend == ExecBackend::kJit || (backend == ExecBackend::kAuto && jit_supported());
   if (want_jit) {
+    uint64_t j0 = obs::monotonic_ns();
     auto jit = JitCode::build(t.chunk_);
+    em().jit_ns.record(obs::monotonic_ns() - j0);
     if (jit == nullptr && backend == ExecBackend::kJit) {
       throw Error("ecode: JIT requested but not supported on this platform");
     }
+    if (jit != nullptr) em().code_bytes.add(static_cast<double>(jit->code_size()));
     t.jit_ = std::move(jit);
   }
   return t;
@@ -107,6 +138,9 @@ size_t Transform::native_code_size() const { return jit_ ? jit_->code_size() : 0
 void Transform::run(void* const* records, RecordArena& arena) const {
   EcodeRuntime rt;
   rt.arena = &arena;
+  // Dispatch counters only — run() sits inside the per-message morph path,
+  // whose latency the receiver already times per format.
+  (jit_ ? em().jit_dispatch : em().vm_dispatch).inc();
   if (jit_) {
     // Locals live on the caller's stack frame; 64 covers almost every
     // transform without touching the heap.

@@ -1,0 +1,213 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace morph::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// JSON string escape (quotes, backslash, control characters).
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Emit a `# TYPE` header the first time a base name appears.
+void maybe_type_line(std::string& out, std::string& last_base, const std::string& base,
+                     const char* type) {
+  if (base == last_base) return;
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// `base_suffix{labels,extra}` or `base_suffix{extra}` or plain.
+void append_series(std::string& out, const std::string& base, const char* suffix,
+                   const std::string& labels, const std::string& extra) {
+  out += base;
+  out += suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> split_metric_name(const std::string& name) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  size_t end = name.rfind('}');
+  if (end == std::string::npos || end <= brace) return {name.substr(0, brace), ""};
+  return {name.substr(0, brace), name.substr(brace + 1, end - brace - 1)};
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_base;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    auto [base, labels] = split_metric_name(name);
+    maybe_type_line(out, last_base, base, "counter");
+    append_series(out, base, "", labels, "");
+    append_u64(out, value);
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    auto [base, labels] = split_metric_name(name);
+    maybe_type_line(out, last_base, base, "gauge");
+    append_series(out, base, "", labels, "");
+    append_double(out, value);
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, h] : snapshot.histograms) {
+    auto [base, labels] = split_metric_name(name);
+    maybe_type_line(out, last_base, base, "histogram");
+    uint64_t cum = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cum += count;
+      std::string le = "le=\"";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, upper);
+      le += buf;
+      le += '"';
+      append_series(out, base, "_bucket", labels, le);
+      append_u64(out, cum);
+      out += '\n';
+    }
+    append_series(out, base, "_bucket", labels, "le=\"+Inf\"");
+    append_u64(out, h.count);
+    out += '\n';
+    append_series(out, base, "_sum", labels, "");
+    append_u64(out, h.sum);
+    out += '\n';
+    append_series(out, base, "_count", labels, "");
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot, const std::vector<SpanRecord>& spans) {
+  std::string out;
+  out += "{\n  \"schema\": \"morph-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_u64(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_double(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"max\": ";
+    append_u64(out, h.max);
+    out += ", \"p50\": ";
+    append_u64(out, h.percentile(0.50));
+    out += ", \"p90\": ";
+    append_u64(out, h.percentile(0.90));
+    out += ", \"p99\": ";
+    append_u64(out, h.percentile(0.99));
+    out += ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [upper, count] : h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += '[';
+      append_u64(out, upper);
+      out += ", ";
+      append_u64(out, count);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+
+  if (!spans.empty()) {
+    out += ",\n  \"spans\": [";
+    first = true;
+    for (const auto& s : spans) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"name\": ";
+      append_json_string(out, s.name);
+      out += ", \"trace\": ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", s.trace_id);
+      out += buf;
+      out += ", \"start_ns\": ";
+      append_u64(out, s.start_ns);
+      out += ", \"dur_ns\": ";
+      append_u64(out, s.dur_ns);
+      out += ", \"thread\": ";
+      append_u64(out, s.thread);
+      out += '}';
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace morph::obs

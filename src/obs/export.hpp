@@ -1,0 +1,44 @@
+// Exporters: render a MetricsSnapshot (and optionally the span ring) as
+// Prometheus text exposition format or as a stable JSON document.
+//
+// JSON schema ("morph-metrics-v1", consumed by tools/morph-stat and the
+// bench smoke checker):
+//
+//   {
+//     "schema": "morph-metrics-v1",
+//     "counters":   {"name": 123, ...},
+//     "gauges":     {"name": 1.5, ...},
+//     "histograms": {"name": {"count": n, "sum": s, "max": m,
+//                             "p50": a, "p90": b, "p99": c,
+//                             "buckets": [[upper, count], ...]}, ...},
+//     "spans":      [{"name": "...", "trace": "0x...", "start_ns": t,
+//                     "dur_ns": d, "thread": i}, ...]
+//   }
+//
+// Metric names may bake Prometheus labels in (`x{k="v"}`); the Prometheus
+// renderer splits them so histogram series get a merged label set
+// (`x_bucket{k="v",le="..."}`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace morph::obs {
+
+/// Prometheus text exposition (version 0.0.4). Histograms emit only their
+/// non-empty cumulative buckets plus "+Inf".
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Stable JSON document (schema above). Spans are included only when
+/// `spans` is non-empty.
+std::string to_json(const MetricsSnapshot& snapshot,
+                    const std::vector<SpanRecord>& spans = {});
+
+/// Split a metric name into (base, labels-without-braces); labels is empty
+/// when the name carries none.
+std::pair<std::string, std::string> split_metric_name(const std::string& name);
+
+}  // namespace morph::obs

@@ -1,0 +1,175 @@
+// Lock-light metrics for the morphing pipeline.
+//
+// Three metric kinds, all safe to record from any thread with nothing
+// heavier than a relaxed atomic add on the hot path:
+//
+//   Counter    monotone u64, striped across cache lines so concurrent
+//              writers never share a line;
+//   Gauge      a double that can move both ways (queue depth, code bytes);
+//   Histogram  log-linear buckets (exact 0..15, then 16 sub-buckets per
+//              power of two, ~6% worst-case relative error) with p50/p90/
+//              p99/max extraction from a scrape-time snapshot. Recording is
+//              one relaxed add into a per-thread-stripe bucket array.
+//
+// A MetricsRegistry owns metrics by name. Names follow the Prometheus
+// convention and may bake labels in (`morph_rx_decode_ns{fmt="X"}`); the
+// exporters (obs/export.hpp) understand that shape. Metrics are never
+// removed, so a reference obtained once stays valid for the registry's
+// lifetime — hot paths look a metric up once and keep the pointer.
+//
+// Scraping (snapshot()) runs concurrently with recording: it sums the
+// stripes with relaxed loads. A snapshot is a plain-data point-in-time
+// view, exact for quiescent metrics and within one in-flight update
+// otherwise. The TSan suite runs writers against scrapers to keep this
+// honest.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace morph::obs {
+
+/// Stable per-thread stripe index (round-robin at first use per thread).
+inline uint32_t thread_stripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+/// Monotone counter, striped to keep concurrent writers off each other's
+/// cache lines. value() is a relaxed sum over the stripes.
+class Counter {
+ public:
+  void add(uint64_t delta) {
+    stripes_[thread_stripe() & (kStripes - 1)].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  uint64_t value() const {
+    uint64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// A double-valued gauge (atomic<double> is lock-free on every target we
+/// build for; add() is a CAS loop, fine for the rare writers gauges have).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time view of one histogram. `buckets` holds only non-empty
+/// buckets as (inclusive upper bound, count), ascending.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  /// Estimated value at quantile q in [0,1]: the representative (midpoint)
+  /// of the bucket containing the q-th sample. Monotone in q; 0 when empty.
+  uint64_t percentile(double q) const;
+};
+
+/// Log-linear latency histogram. Values are clamped to [0, 2^40) (about
+/// 18 minutes in nanoseconds); buckets 0..15 are exact, after that each
+/// power of two splits into 16 linear sub-buckets.
+class Histogram {
+ public:
+  static constexpr uint64_t kMaxValue = (1ull << 40) - 1;
+  static constexpr size_t kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr size_t kBuckets = (40 - kSubBits + 1) << kSubBits;  // 592
+
+  static size_t bucket_index(uint64_t v) {
+    if (v < (1u << kSubBits)) return static_cast<size_t>(v);
+    if (v > kMaxValue) v = kMaxValue;
+    const int msb = 63 - std::countl_zero(v);
+    return ((static_cast<size_t>(msb) - kSubBits + 1) << kSubBits) +
+           ((v >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+  }
+
+  /// Inclusive upper bound of bucket `idx`.
+  static uint64_t bucket_upper(size_t idx);
+  /// Representative (midpoint) value of bucket `idx`.
+  static uint64_t bucket_mid(size_t idx);
+
+  void record(uint64_t v) {
+    const size_t stripe = thread_stripe() & (kStripes - 1);
+    stripes_[stripe].buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    stripes_[stripe].sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  static constexpr size_t kStripes = 4;
+  struct Stripe {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+  // Heap-allocated so an unrecorded histogram costs pointer-sized registry
+  // space but the stripes are still plain arrays of relaxed atomics.
+  std::unique_ptr<Stripe[]> stripes_ = std::make_unique<Stripe[]>(kStripes);
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Everything the registry knew at one instant, sorted by name (stable
+/// output for exporters and snapshot diffing).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Named metric store. Lookup takes a short lock; returned references stay
+/// valid forever (metrics are never erased). Use `global()` for the
+/// process-wide registry every built-in instrumentation point records to;
+/// tests may instantiate private registries.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+MetricsRegistry& metrics();
+
+}  // namespace morph::obs

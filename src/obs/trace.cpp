@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+namespace morph::obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+std::atomic<int> g_tracing{-1};  // -1 = not yet read from the environment
+
+struct SpanRing {
+  std::mutex mutex;
+  std::deque<SpanRecord> spans;
+};
+
+SpanRing& ring() {
+  static SpanRing* r = new SpanRing();  // leaked: outlives all users
+  return *r;
+}
+
+}  // namespace
+
+uint64_t monotonic_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+}
+
+TraceContext current_trace() { return t_context; }
+
+uint64_t new_trace_id() {
+  // splitmix64 over a process-unique seed: ids are unique within a process
+  // and overwhelmingly unlikely to collide across peers.
+  static std::atomic<uint64_t> state{[] {
+    auto wall = static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    return wall ^ 0x9e3779b97f4a7c15ull;
+  }()};
+  uint64_t z = state.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "untraced"
+}
+
+bool tracing_enabled() {
+  int v = g_tracing.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* env = std::getenv("MORPH_TRACE");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    g_tracing.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_tracing(bool enabled) { g_tracing.store(enabled ? 1 : 0, std::memory_order_relaxed); }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(t_context) { t_context = ctx; }
+TraceScope::~TraceScope() { t_context = prev_; }
+
+TraceSpan::TraceSpan(const char* name, Histogram* hist)
+    : name_(name), hist_(hist), ctx_(t_context), start_ns_(monotonic_ns()),
+      ringed_(tracing_enabled()) {}
+
+TraceSpan::~TraceSpan() {
+  const uint64_t dur = monotonic_ns() - start_ns_;
+  if (hist_ != nullptr) hist_->record(dur);
+  if (!ringed_) return;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.trace_id = ctx_.trace_id;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = dur;
+  rec.thread = thread_stripe();
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.spans.size() >= kSpanRingCapacity) r.spans.pop_front();
+  r.spans.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> recent_spans() {
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return {r.spans.begin(), r.spans.end()};
+}
+
+void clear_spans() {
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.spans.clear();
+}
+
+}  // namespace morph::obs

@@ -1,0 +1,92 @@
+// Trace spans for correlating one message's journey across processes.
+//
+// A TraceContext carries a 64-bit trace id. The transport layer writes the
+// id into an optional framing header (see transport/framing.hpp), so a
+// message relayed sender -> broker -> receiver keeps one id end to end;
+// each hop installs the id on its thread with a TraceScope and wraps its
+// work in TraceSpan RAII timers. Finished spans land in a bounded global
+// ring plus (optionally) a latency histogram named after the span.
+//
+// Tracing is off by default: TraceSpan then costs one relaxed load and
+// records only into its histogram (if given), never the ring. Enable with
+// set_tracing(true) or MORPH_TRACE=1 in the environment.
+//
+// Thread safety: the current context is thread-local; the span ring is a
+// small mutex-guarded buffer touched only when tracing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace morph::obs {
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = not traced
+  explicit operator bool() const { return trace_id != 0; }
+};
+
+/// The calling thread's active context ({0} when none).
+TraceContext current_trace();
+
+/// Fresh non-zero id (splitmix64 over a process-unique seed + counter).
+uint64_t new_trace_id();
+
+/// Global tracing switch. Initialized from MORPH_TRACE (any value other
+/// than empty/"0" enables) at first query; set_tracing overrides.
+bool tracing_enabled();
+void set_tracing(bool enabled);
+
+/// RAII: install `ctx` as the thread's current context, restore the
+/// previous one on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// One finished span.
+struct SpanRecord {
+  std::string name;
+  uint64_t trace_id = 0;
+  uint64_t start_ns = 0;  // monotonic, since process start
+  uint64_t dur_ns = 0;
+  uint32_t thread = 0;  // thread_stripe() of the recording thread
+};
+
+/// RAII span timer. Duration always goes to `hist` when one is given; a
+/// SpanRecord is appended to the ring only when tracing is enabled (the
+/// span adopts the thread's current trace context at construction).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t trace_id() const { return ctx_.trace_id; }
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  TraceContext ctx_;
+  uint64_t start_ns_;
+  bool ringed_;
+};
+
+/// Monotonic nanoseconds since process start (first call).
+uint64_t monotonic_ns();
+
+/// Copy of the span ring, oldest first. Bounded (kSpanRingCapacity).
+constexpr size_t kSpanRingCapacity = 1024;
+std::vector<SpanRecord> recent_spans();
+void clear_spans();
+
+}  // namespace morph::obs

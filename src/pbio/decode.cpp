@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "pbio/record.hpp"
 #include "pbio/varwalk.hpp"
 
@@ -435,6 +436,12 @@ void* ConversionPlan::execute(const void* buf, size_t size, RecordArena& arena) 
   ExecCtx ctx{body, body_size, order_mismatch(info.order), &arena};
   auto* dst = static_cast<uint8_t*>(alloc_record(*host_, arena));
   exec_struct(*impl_, body, dst, ctx);
+  // Hot-path telemetry: relaxed adds only, no clock reads (latency
+  // histograms live one level up, in the receiver pipeline).
+  static obs::Counter& converts = obs::metrics().counter("morph_pbio_convert_decodes_total");
+  static obs::Counter& bytes = obs::metrics().counter("morph_pbio_decoded_bytes_total");
+  converts.inc();
+  bytes.add(info.total_size);
   return dst;
 }
 
@@ -549,6 +556,12 @@ void* Decoder::decode_in_place(void* buf, size_t size) const {
   if (body_size < host_->struct_size()) throw DecodeError("body shorter than record");
   if (host_->has_pointers()) inplace_struct(*walk_, body, body, body_size);
   p[2] = kVersionDecoded;  // guard against double decoding
+  // Zero-copy fast path: telemetry must stay within noise, so this is two
+  // relaxed adds and nothing else.
+  static obs::Counter& zero_copy = obs::metrics().counter("morph_pbio_zero_copy_decodes_total");
+  static obs::Counter& bytes = obs::metrics().counter("morph_pbio_decoded_bytes_total");
+  zero_copy.inc();
+  bytes.add(info.total_size);
   return body;
 }
 

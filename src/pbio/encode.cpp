@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/endian.hpp"
+#include "obs/metrics.hpp"
 #include "pbio/record.hpp"
 #include "pbio/varwalk.hpp"
 
@@ -120,6 +121,11 @@ size_t Encoder::encode(const void* record, ByteBuffer& out) const {
   if (fmt_->has_pointers()) fix_struct(*prepared_->walk, struct_pos, rec, out);
 
   out.patch_u32(12, static_cast<uint32_t>(out.size()));
+  // Hot-path telemetry: two relaxed adds, no clock reads.
+  static obs::Counter& messages = obs::metrics().counter("morph_pbio_encoded_messages_total");
+  static obs::Counter& bytes = obs::metrics().counter("morph_pbio_encoded_bytes_total");
+  messages.inc();
+  bytes.add(out.size());
   return out.size();
 }
 

@@ -1,11 +1,17 @@
 // Frame protocol shared by every transport.
 //
 // A connection carries length-prefixed frames:
-//   [u32 length][u8 type][payload ...]
-// where length counts type + payload. Frame types implement the paper's
-// out-of-band meta-data channel: format definitions and transform
-// definitions travel once, data messages reference formats by the
-// fingerprint in their PBIO header.
+//   [u32 length][u8 type][optional u64 trace id][payload ...]
+// where length counts everything after itself (type byte, optional trace
+// header, payload). Frame types implement the paper's out-of-band meta-data
+// channel: format definitions and transform definitions travel once, data
+// messages reference formats by the fingerprint in their PBIO header.
+//
+// Trace header: when bit 0x80 of the type byte is set, an 8-byte trace id
+// follows the type byte before the payload (obs/trace.hpp). The bit is
+// optional and per-frame, so peers built before the header existed keep
+// interoperating: frames they send parse exactly as they always did, and
+// tracing-aware senders only set the bit when a trace is active.
 #pragma once
 
 #include <cstdint>
@@ -23,15 +29,21 @@ enum class FrameType : uint8_t {
   kControl = 4,       // application-level control payload
 };
 
+/// Type-byte bit marking the presence of the 8-byte trace id header.
+constexpr uint8_t kFrameTraceBit = 0x80;
+
 struct Frame {
   FrameType type = FrameType::kData;
+  uint64_t trace_id = 0;  // 0 when the frame carried no trace header
   std::vector<uint8_t> payload;
 };
 
 constexpr size_t kMaxFrameBytes = 64u << 20;  // hostile-peer allocation cap
 
-/// Append a frame to `out`.
-void write_frame(ByteBuffer& out, FrameType type, const void* payload, size_t size);
+/// Append a frame to `out`. A non-zero `trace_id` is propagated in the
+/// optional trace header (zero sends the legacy headerless shape).
+void write_frame(ByteBuffer& out, FrameType type, const void* payload, size_t size,
+                 uint64_t trace_id = 0);
 
 /// Incremental frame decoder: feed raw bytes, pop complete frames.
 class FrameAssembler {

@@ -1,8 +1,32 @@
 #include "transport/port.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace morph::transport {
+
+namespace {
+/// Process-wide port metrics, resolved once. Every MessagePort shares them
+/// (the registry aggregates across ports; per-port numbers stay available
+/// through MessagePort::stats()).
+struct PortMetrics {
+  obs::Counter& data_sent = obs::metrics().counter("morph_port_frames_sent_total{type=\"data\"}");
+  obs::Counter& meta_sent = obs::metrics().counter("morph_port_frames_sent_total{type=\"meta\"}");
+  obs::Counter& bytes_sent = obs::metrics().counter("morph_port_bytes_sent_total");
+  obs::Counter& data_received =
+      obs::metrics().counter("morph_port_frames_received_total{type=\"data\"}");
+  obs::Counter& meta_received =
+      obs::metrics().counter("morph_port_frames_received_total{type=\"meta\"}");
+  obs::Histogram& send_ns = obs::metrics().histogram("morph_span_ns{span=\"port.send\"}");
+  obs::Histogram& deliver_ns = obs::metrics().histogram("morph_span_ns{span=\"port.deliver\"}");
+};
+
+PortMetrics& port_metrics() {
+  static PortMetrics* m = new PortMetrics();  // leaked: outlives all ports
+  return *m;
+}
+}  // namespace
 
 MessagePort::MessagePort(Link& link, core::Receiver* receiver)
     : link_(link), receiver_(receiver) {
@@ -22,6 +46,8 @@ void MessagePort::declare_transform(core::TransformSpec spec) {
     link_.send(frame);
     ++stats_.meta_frames_sent;
     stats_.bytes_sent += frame.size();
+    port_metrics().meta_sent.inc();
+    port_metrics().bytes_sent.add(frame.size());
   }
 }
 
@@ -35,6 +61,8 @@ void MessagePort::send_meta_for(const pbio::FormatPtr& fmt) {
   link_.send(frame);
   ++stats_.meta_frames_sent;
   stats_.bytes_sent += frame.size();
+  port_metrics().meta_sent.inc();
+  port_metrics().bytes_sent.add(frame.size());
 
   // Ship every declared transform reachable from this format, walking the
   // retro-transformation chain (Figure 1).
@@ -47,11 +75,25 @@ void MessagePort::send_meta_for(const pbio::FormatPtr& fmt) {
     link_.send(tf);
     ++stats_.meta_frames_sent;
     stats_.bytes_sent += tf.size();
+    port_metrics().meta_sent.inc();
+    port_metrics().bytes_sent.add(tf.size());
     send_meta_for(spec.dst);  // recurse down the chain
   }
 }
 
 void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
+  // With tracing enabled every message gets a trace id — the caller's
+  // active one if there is one, else a fresh id — and carries it on the
+  // wire so the receiving port (and any broker in between) can correlate
+  // its spans with ours.
+  uint64_t trace_id = 0;
+  if (obs::tracing_enabled()) {
+    trace_id = obs::current_trace().trace_id;
+    if (trace_id == 0) trace_id = obs::new_trace_id();
+  }
+  obs::TraceScope trace_scope(obs::TraceContext{trace_id});
+  obs::TraceSpan span("port.send", &port_metrics().send_ns);
+
   send_meta_for(fmt);
   auto it = encoders_.find(fmt->fingerprint());
   if (it == encoders_.end()) {
@@ -60,10 +102,12 @@ void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
   ByteBuffer msg;
   it->second->encode(record, msg);
   ByteBuffer frame;
-  write_frame(frame, FrameType::kData, msg.data(), msg.size());
+  write_frame(frame, FrameType::kData, msg.data(), msg.size(), trace_id);
   link_.send(frame);
   ++stats_.data_sent;
   stats_.bytes_sent += frame.size();
+  port_metrics().data_sent.inc();
+  port_metrics().bytes_sent.add(frame.size());
 }
 
 void MessagePort::send_control(const void* data, size_t size) {
@@ -78,6 +122,7 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
     switch (frame.type) {
       case FrameType::kFormatDef: {
         ++stats_.meta_frames_received;
+        port_metrics().meta_received.inc();
         if (receiver_ == nullptr) return;
         ByteReader r(frame.payload.data(), frame.payload.size());
         receiver_->learn_format(pbio::FormatDescriptor::deserialize(r));
@@ -85,6 +130,7 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
       }
       case FrameType::kTransformDef: {
         ++stats_.meta_frames_received;
+        port_metrics().meta_received.inc();
         if (receiver_ == nullptr) return;
         ByteReader r(frame.payload.data(), frame.payload.size());
         receiver_->learn_transform(core::TransformSpec::deserialize(r));
@@ -92,7 +138,13 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
       }
       case FrameType::kData: {
         ++stats_.data_received;
+        port_metrics().data_received.inc();
         if (receiver_ == nullptr) return;
+        // Adopt the sender's trace id (0 when the frame carried none) for
+        // the duration of delivery, so receiver-side spans correlate with
+        // the sender's through the wire-propagated id.
+        obs::TraceScope trace_scope(obs::TraceContext{frame.trace_id});
+        obs::TraceSpan span("port.deliver", &port_metrics().deliver_ns);
         // Records are valid for the duration of the handler; the arena is
         // recycled per message.
         rx_arena_.reset();

@@ -187,6 +187,11 @@ TEST(ConcurrentReceiver, MixedTrafficMatchesSingleThreadedOracle) {
   EXPECT_EQ(cs.cache_misses, os.cache_misses);
   EXPECT_EQ(cs.cache_hits, os.cache_hits);
   EXPECT_EQ(cs.transforms_compiled, os.transforms_compiled);
+  // Conservation after quiescing: every message reached exactly one outcome
+  // even with eight threads racing the counters.
+  EXPECT_TRUE(os.consistent());
+  EXPECT_TRUE(cs.consistent());
+  EXPECT_EQ(cs.delta(os).messages, 0u);  // same log, same totals
 }
 
 TEST(ConcurrentReceiver, ColdStampedeBuildsPipelineExactlyOnce) {
@@ -219,6 +224,7 @@ TEST(ConcurrentReceiver, ColdStampedeBuildsPipelineExactlyOnce) {
   EXPECT_EQ(s.cache_misses, 1u);
   EXPECT_EQ(s.transforms_compiled, 1u);
   EXPECT_EQ(s.morphed, kThreads * kPerThread);
+  EXPECT_TRUE(s.consistent());
   EXPECT_EQ(t.tick.load(), kThreads * kPerThread);
   EXPECT_EQ(t.content_mismatches.load(), 0u);
 }
@@ -328,6 +334,7 @@ TEST(ParallelReceiver, BatchMatchesOracleAndCountsEveryMessage) {
   EXPECT_EQ(t.tick_seq_sum.load(), oracle_t.tick_seq_sum.load());
   EXPECT_EQ(rx.stats().messages, kMessages);
   EXPECT_EQ(rx.stats().cache_misses, oracle.stats().cache_misses);
+  EXPECT_TRUE(rx.stats().consistent());
 }
 
 TEST(ParallelReceiver, SubmitDrainReusableAcrossRounds) {

@@ -48,6 +48,42 @@ TEST(Receiver, ExactMatchInvokesHandler) {
   EXPECT_EQ(rx.process(buf.data(), buf.size(), arena), Outcome::kExact);
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(rx.stats().exact, 1u);
+  EXPECT_TRUE(rx.stats().consistent());
+}
+
+TEST(Receiver, StatsDeltaAndConsistency) {
+  Receiver rx;
+  auto fmt = fmt_v(0);
+  rx.register_handler(fmt, [](const Delivery&) {});
+  rx.learn_format(fmt);
+  auto known = encode_one(fmt, 1);
+  auto stranger = encode_one(fmt_v(2), 2);  // never learned: rejected
+
+  RecordArena arena;
+  rx.process(known.data(), known.size(), arena);
+  ReceiverStats before = rx.stats();
+  EXPECT_TRUE(before.consistent());
+  EXPECT_EQ(before.outcome_sum(), before.messages);
+
+  rx.process(known.data(), known.size(), arena);
+  rx.process(known.data(), known.size(), arena);
+  rx.process(stranger.data(), stranger.size(), arena);
+  ReceiverStats after = rx.stats();
+  EXPECT_TRUE(after.consistent());
+
+  ReceiverStats d = after.delta(before);
+  EXPECT_EQ(d.messages, 3u);
+  EXPECT_EQ(d.exact, 2u);
+  EXPECT_EQ(d.rejected, 1u);
+  EXPECT_EQ(d.cache_hits, 2u);     // the known format was already decided
+  EXPECT_EQ(d.cache_misses, 1u);   // the stranger triggered one build
+  EXPECT_EQ(d.messages, d.outcome_sum());
+  EXPECT_TRUE(d.consistent());
+
+  // delta against itself is all-zero.
+  ReceiverStats zero = after.delta(after);
+  EXPECT_EQ(zero.messages, 0u);
+  EXPECT_EQ(zero.outcome_sum(), 0u);
 }
 
 TEST(Receiver, PerfectMatchAcrossLayouts) {

@@ -2,14 +2,17 @@
 // MessagePort out-of-band meta-data protocol.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
 #include "core/receiver.hpp"
 #include "echo/messages.hpp"
+#include "obs/trace.hpp"
 #include "pbio/record.hpp"
 #include "transport/framing.hpp"
 #include "transport/link.hpp"
 #include "transport/port.hpp"
+#include "transport/stats_endpoint.hpp"
 #include "transport/tcp.hpp"
 
 namespace morph::transport {
@@ -56,6 +59,64 @@ TEST(Framing, RejectsGarbage) {
   FrameAssembler asm3;
   uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
   EXPECT_THROW(asm3.feed(huge, 4, [](Frame&) {}), TransportError);
+}
+
+TEST(Framing, TraceIdRoundTrips) {
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "abc", 3, 0x1122334455667788ull);
+  write_frame(out, FrameType::kData, "de", 2);  // untraced in the same stream
+  write_frame(out, FrameType::kControl, nullptr, 0, 7);
+
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(out.data(), out.size(), [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(std::string(frames[0].payload.begin(), frames[0].payload.end()), "abc");
+  EXPECT_EQ(frames[1].trace_id, 0u);
+  EXPECT_EQ(frames[1].payload.size(), 2u);
+  EXPECT_EQ(frames[2].trace_id, 7u);
+  EXPECT_TRUE(frames[2].payload.empty());
+}
+
+TEST(Framing, TracedFramesSurviveBytewiseDelivery) {
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "payload", 7, 42);
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < out.size(); ++i) {
+    asm_.feed(out.data() + i, 1, [&](Frame& f) { frames.push_back(std::move(f)); });
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 42u);
+  EXPECT_EQ(frames[0].payload.size(), 7u);
+}
+
+TEST(Framing, LegacyPeersWithoutTraceHeaderStillParse) {
+  // A frame exactly as a pre-trace peer would emit it: length counts only
+  // the type byte + payload, the type byte carries no trace bit.
+  uint8_t legacy[4 + 1 + 3] = {4, 0, 0, 0, /*kData*/ 3, 'x', 'y', 'z'};
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(legacy, sizeof legacy, [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kData);
+  EXPECT_EQ(frames[0].trace_id, 0u);
+  EXPECT_EQ(std::string(frames[0].payload.begin(), frames[0].payload.end()), "xyz");
+
+  // And an untraced frame we emit is byte-identical to the legacy layout,
+  // so old peers can parse us when no trace is active.
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "xyz", 3);
+  ASSERT_EQ(out.size(), sizeof legacy);
+  EXPECT_EQ(0, std::memcmp(out.data(), legacy, sizeof legacy));
+}
+
+TEST(Framing, TruncatedTraceHeaderRejected) {
+  // Trace bit set but the frame is too short to hold the 8-byte id.
+  uint8_t bad[4 + 1 + 4] = {5, 0, 0, 0, static_cast<uint8_t>(1 | kFrameTraceBit), 1, 2, 3, 4};
+  FrameAssembler asm_;
+  EXPECT_THROW(asm_.feed(bad, sizeof bad, [](Frame&) {}), TransportError);
 }
 
 TEST(InprocPair, DeliversOnPumpOnly) {
@@ -198,6 +259,99 @@ TEST(MessagePort, ControlFramesBypassMorphing) {
   a.send_control("raw-bytes", 9);
   pair.pump();
   EXPECT_EQ(got, "raw-bytes");
+}
+
+TEST(MessagePort, TraceIdLinksSendToDeliver) {
+  // With tracing on, a send stamps a fresh trace id into the frame header
+  // and the receiving port adopts it — the sender-side port.send span and
+  // the receiver-side port.deliver span share one id.
+  obs::set_tracing(true);
+  obs::clear_spans();
+
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  uint64_t handler_trace = 0;
+  rx.register_handler(fmt, [&](const core::Delivery&) {
+    handler_trace = obs::current_trace().trace_id;  // visible inside delivery
+  });
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+  (void)receiver_port;
+
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "me";
+  sender.send_record(fmt, req);
+  pair.pump();
+  obs::set_tracing(false);
+
+  uint64_t send_trace = 0, deliver_trace = 0;
+  for (const auto& span : obs::recent_spans()) {
+    if (span.name == "port.send") send_trace = span.trace_id;
+    if (span.name == "port.deliver") deliver_trace = span.trace_id;
+  }
+  EXPECT_NE(send_trace, 0u);
+  EXPECT_EQ(send_trace, deliver_trace);
+  EXPECT_EQ(handler_trace, send_trace);
+  obs::clear_spans();
+}
+
+TEST(MessagePort, NoTraceHeaderWhenTracingOff) {
+  obs::set_tracing(false);
+  obs::clear_spans();
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  rx.register_handler(fmt, [](const core::Delivery&) {});
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+  (void)receiver_port;
+
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "me";
+  sender.send_record(fmt, req);
+  pair.pump();
+  // Delivered fine and nothing landed in the span ring.
+  EXPECT_EQ(rx.stats().messages, 1u);
+  EXPECT_TRUE(obs::recent_spans().empty());
+}
+
+namespace {
+/// Blocking HTTP/1.0 GET against a loopback StatsServer.
+std::string http_get(uint16_t port, const std::string& path) {
+  auto link = TcpLink::connect("127.0.0.1", port);
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  link->send(request.data(), request.size());
+  std::string response;
+  link->set_on_data([&](const uint8_t* d, size_t n) {
+    response.append(reinterpret_cast<const char*>(d), n);
+  });
+  while (link->pump(2000)) {
+  }
+  return response;
+}
+}  // namespace
+
+TEST(StatsServer, ServesPrometheusText) {
+  obs::metrics().counter("morph_test_probe_total").inc();
+  StatsServer server(0);
+  ASSERT_GT(server.port(), 0);
+  std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE morph_test_probe_total counter"), std::string::npos);
+  EXPECT_NE(response.find("morph_test_probe_total 1"), std::string::npos);
+}
+
+TEST(StatsServer, ServesJsonSnapshot) {
+  StatsServer server(0);
+  std::string response = http_get(server.port(), "/");
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"schema\": \"morph-metrics-v1\""), std::string::npos);
 }
 
 TEST(Tcp, LoopbackRoundTrip) {

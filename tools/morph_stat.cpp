@@ -1,0 +1,300 @@
+// morph-stat: inspect the middleware's metrics from the command line.
+//
+//   morph-stat DUMP.json                  render one snapshot as tables
+//   morph-stat --scrape HOST:PORT         fetch the JSON snapshot from a
+//                                         live StatsServer, then render it
+//   morph-stat --delta OLD.json NEW.json  what happened between two dumps
+//                                         (counters and histogram volumes
+//                                         subtract; gauges show old -> new)
+//   morph-stat --check DUMP.json          validate the dump: schema tag,
+//                                         percentile ordering, bucket sums,
+//                                         receiver outcome conservation.
+//                                         Exit 1 on any violation.
+//   morph-stat --spans DUMP.json          also print the captured trace
+//                                         spans, grouped by trace id
+//
+// Flags combine: `morph-stat --check --scrape 127.0.0.1:9464` validates a
+// live endpoint. Histogram times are stored in nanoseconds and rendered
+// with auto-scaled units.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using morph::obs::JsonValue;
+
+struct HistRow {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0, p90 = 0, p99 = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (upper, count)
+};
+
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistRow> histograms;
+  const JsonValue* spans = nullptr;  // borrowed from the parsed document
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "morph-stat: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+Snapshot load_snapshot(const JsonValue& doc) {
+  Snapshot s;
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "morph-metrics-v1") {
+    die("not a morph-metrics-v1 document");
+  }
+  if (const JsonValue* c = doc.find("counters")) {
+    for (const auto& [name, v] : c->as_object()) s.counters[name] = v.as_u64();
+  }
+  if (const JsonValue* g = doc.find("gauges")) {
+    for (const auto& [name, v] : g->as_object()) s.gauges[name] = v.as_number();
+  }
+  if (const JsonValue* h = doc.find("histograms")) {
+    for (const auto& [name, v] : h->as_object()) {
+      HistRow row;
+      row.count = v.at("count").as_u64();
+      row.sum = v.at("sum").as_u64();
+      row.max = v.at("max").as_u64();
+      row.p50 = v.at("p50").as_u64();
+      row.p90 = v.at("p90").as_u64();
+      row.p99 = v.at("p99").as_u64();
+      for (const auto& b : v.at("buckets").as_array()) {
+        const auto& pair = b.as_array();
+        if (pair.size() != 2) die("histogram bucket is not an [upper, count] pair");
+        row.buckets.emplace_back(pair[0].as_u64(), pair[1].as_u64());
+      }
+      s.histograms[name] = std::move(row);
+    }
+  }
+  s.spans = doc.find("spans");
+  return s;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Minimal HTTP/1.0 GET against a StatsServer; returns the body.
+std::string scrape(const std::string& target) {
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos) die("--scrape wants HOST:PORT");
+  std::string host = target.substr(0, colon);
+  int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) die("bad port in " + target);
+
+  auto link = morph::transport::TcpLink::connect(host, static_cast<uint16_t>(port));
+  std::string request = "GET / HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  link->send(request.data(), request.size());
+
+  std::string response;
+  link->set_on_data([&](const uint8_t* d, size_t n) {
+    response.append(reinterpret_cast<const char*>(d), n);
+  });
+  while (link->pump(2000)) {
+  }
+  size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) die("malformed HTTP response from " + target);
+  return response.substr(body + 4);
+}
+
+const char* unit_suffix(double& v) {
+  if (v >= 1e9) { v /= 1e9; return "s "; }
+  if (v >= 1e6) { v /= 1e6; return "ms"; }
+  if (v >= 1e3) { v /= 1e3; return "us"; }
+  return "ns";
+}
+
+std::string fmt_ns(uint64_t ns) {
+  double v = static_cast<double>(ns);
+  const char* u = unit_suffix(v);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%8.2f %s", v, u);
+  return buf;
+}
+
+void render(const Snapshot& s, bool with_spans) {
+  if (!s.counters.empty()) {
+    std::printf("== counters ==\n");
+    for (const auto& [name, v] : s.counters) std::printf("  %-56s %12" PRIu64 "\n", name.c_str(), v);
+  }
+  if (!s.gauges.empty()) {
+    std::printf("== gauges ==\n");
+    for (const auto& [name, v] : s.gauges) std::printf("  %-56s %12.4f\n", name.c_str(), v);
+  }
+  if (!s.histograms.empty()) {
+    std::printf("== histograms ==\n");
+    std::printf("  %-44s %10s %11s %11s %11s %11s %11s\n", "name", "count", "mean", "p50", "p90",
+                "p99", "max");
+    for (const auto& [name, h] : s.histograms) {
+      uint64_t mean = h.count > 0 ? h.sum / h.count : 0;
+      std::printf("  %-44s %10" PRIu64 " %s %s %s %s %s\n", name.c_str(), h.count,
+                  fmt_ns(mean).c_str(), fmt_ns(h.p50).c_str(), fmt_ns(h.p90).c_str(),
+                  fmt_ns(h.p99).c_str(), fmt_ns(h.max).c_str());
+    }
+  }
+  if (with_spans && s.spans != nullptr) {
+    std::printf("== spans ==\n");
+    for (const auto& span : s.spans->as_array()) {
+      std::printf("  %-20s trace=%s start=%12" PRIu64 " dur=%s thread=%" PRIu64 "\n",
+                  span.at("name").as_string().c_str(), span.at("trace").as_string().c_str(),
+                  span.at("start_ns").as_u64(), fmt_ns(span.at("dur_ns").as_u64()).c_str(),
+                  span.at("thread").as_u64());
+    }
+  }
+}
+
+void render_delta(const Snapshot& older, const Snapshot& newer) {
+  std::printf("== counter deltas (new - old) ==\n");
+  for (const auto& [name, nv] : newer.counters) {
+    auto it = older.counters.find(name);
+    uint64_t ov = it == older.counters.end() ? 0 : it->second;
+    if (nv != ov) std::printf("  %-56s %+12" PRId64 "\n", name.c_str(), static_cast<int64_t>(nv - ov));
+  }
+  std::printf("== gauge changes (old -> new) ==\n");
+  for (const auto& [name, nv] : newer.gauges) {
+    auto it = older.gauges.find(name);
+    double ov = it == older.gauges.end() ? 0.0 : it->second;
+    if (nv != ov) std::printf("  %-56s %12.4f -> %.4f\n", name.c_str(), ov, nv);
+  }
+  std::printf("== histogram deltas ==\n");
+  std::printf("  %-44s %10s %11s\n", "name", "count", "mean");
+  for (const auto& [name, nh] : newer.histograms) {
+    auto it = older.histograms.find(name);
+    uint64_t oc = it == older.histograms.end() ? 0 : it->second.count;
+    uint64_t os = it == older.histograms.end() ? 0 : it->second.sum;
+    uint64_t dc = nh.count - oc;
+    if (dc == 0) continue;
+    std::printf("  %-44s %10" PRIu64 " %s\n", name.c_str(), dc, fmt_ns((nh.sum - os) / dc).c_str());
+  }
+}
+
+/// Validation used by tests and the CI bench-smoke job.
+int check(const Snapshot& s) {
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", msg.c_str());
+    ++failures;
+  };
+
+  for (const auto& [name, h] : s.histograms) {
+    if (!(h.p50 <= h.p90 && h.p90 <= h.p99)) {
+      fail(name + ": percentiles out of order (p50 " + std::to_string(h.p50) + ", p90 " +
+           std::to_string(h.p90) + ", p99 " + std::to_string(h.p99) + ")");
+    }
+    // Percentiles are bucket midpoints, so they may exceed the exact max by
+    // up to one log-linear sub-bucket (1/16 relative).
+    if (h.count > 0 && h.p99 > h.max + h.max / 16 + 1) {
+      fail(name + ": p99 " + std::to_string(h.p99) + " above max " + std::to_string(h.max));
+    }
+    uint64_t bucket_sum = 0;
+    uint64_t prev_upper = 0;
+    bool ordered = true;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      bucket_sum += h.buckets[i].second;
+      if (i > 0 && h.buckets[i].first <= prev_upper) ordered = false;
+      prev_upper = h.buckets[i].first;
+    }
+    if (!ordered) fail(name + ": bucket upper bounds not strictly increasing");
+    if (bucket_sum != h.count) {
+      fail(name + ": bucket sum " + std::to_string(bucket_sum) + " != count " +
+           std::to_string(h.count));
+    }
+    if (h.count > 0 && h.sum > 0 && h.sum < h.max) {
+      fail(name + ": sum " + std::to_string(h.sum) + " below max " + std::to_string(h.max));
+    }
+  }
+
+  // Receiver conservation: messages >= terminal outcomes (a scrape can race
+  // messages in flight, so >= rather than ==; see ReceiverStats::consistent).
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t messages = counter("morph_rx_messages_total");
+  uint64_t outcomes = 0;
+  for (const auto& [name, v] : s.counters) {
+    if (name.rfind("morph_rx_outcome_total{", 0) == 0) outcomes += v;
+  }
+  if (outcomes > messages) {
+    fail("receiver outcomes " + std::to_string(outcomes) + " exceed messages " +
+         std::to_string(messages));
+  }
+
+  if (failures == 0) std::printf("check OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool do_check = false;
+  bool with_spans = false;
+  std::optional<std::string> scrape_target;
+  std::optional<std::string> delta_old;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      do_check = true;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      with_spans = true;
+    } else if (std::strcmp(argv[i], "--scrape") == 0 && i + 1 < argc) {
+      scrape_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--delta") == 0 && i + 1 < argc) {
+      delta_old = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: morph-stat [--check] [--spans] [--delta OLD.json] "
+                   "(DUMP.json | --scrape HOST:PORT)\n");
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  try {
+    std::string text;
+    if (scrape_target) {
+      text = scrape(*scrape_target);
+    } else if (!files.empty()) {
+      text = read_file(files.front());
+    } else {
+      die("no input: pass a JSON dump or --scrape HOST:PORT");
+    }
+    JsonValue doc = morph::obs::json_parse(text);
+    Snapshot snap = load_snapshot(doc);
+
+    if (delta_old) {
+      JsonValue old_doc = morph::obs::json_parse(read_file(*delta_old));
+      Snapshot old_snap = load_snapshot(old_doc);
+      render_delta(old_snap, snap);
+    } else {
+      render(snap, with_spans);
+    }
+    if (do_check) return check(snap);
+    return 0;
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+}
