@@ -1,0 +1,104 @@
+// Out-of-band format service: loopback round-trip costs.
+//
+// What the paper's third-party format server trades: instead of shipping
+// format meta-data inline on every connection, a receiver pays one fetch
+// RPC per *unseen* format, and the resolver cache amortizes that across
+// connections. This bench pins the loopback costs of each step:
+//   publish   REGISTER round trip (sender's first-contact cost)
+//   cold      FETCH round trip, resolver cache flushed every op
+//   warm      cache hit (the steady-state cost — no socket touched)
+//   miss      FETCH of an unknown fingerprint (not-found round trip)
+//   prefetch  FETCH_MULTI of both demo formats per op
+#include "bench_support.hpp"
+
+#include <memory>
+
+#include "fmtsvc/resolver.hpp"
+#include "fmtsvc/server.hpp"
+#include "fmtsvc/store.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+constexpr uint64_t kUnknownFp = 0xdeadbeefcafef00dull;
+
+struct Loopback {
+  fmtsvc::FormatStore store;
+  std::unique_ptr<fmtsvc::FormatService> service;
+  std::unique_ptr<fmtsvc::FormatResolver> resolver;
+
+  Loopback() {
+    store.put(fmtsvc::FormatEntry{echo::channel_open_response_v1_format(), {}});
+    store.put(fmtsvc::FormatEntry{echo::channel_open_response_v2_format(),
+                                  {echo::response_v2_to_v1_spec()}});
+    service = std::make_unique<fmtsvc::FormatService>(store);
+    fmtsvc::ResolverOptions opts;
+    opts.port = service->port();
+    opts.negative_ttl_ms = 3'600'000;  // misses hit the wire only when flushed
+    resolver = std::make_unique<fmtsvc::FormatResolver>(opts);
+  }
+};
+
+Loopback& loopback() {
+  static Loopback lb;
+  return lb;
+}
+
+void paper_table() {
+  Loopback& lb = loopback();
+  const uint64_t v1 = echo::channel_open_response_v1_format()->fingerprint();
+  const uint64_t v2 = echo::channel_open_response_v2_format()->fingerprint();
+  const auto v2_fmt = echo::channel_open_response_v2_format();
+  const auto v2_spec = echo::response_v2_to_v1_spec();
+
+  std::printf("Format service loopback round trips (port %u)\n\n", lb.service->port());
+  print_header("op", {"ms/op"});
+
+  print_row("publish", {time_median_ms(100, [&] { lb.resolver->publish(v2_fmt, {v2_spec}); })});
+  print_row("cold", {time_median_ms(100, [&] {
+              lb.resolver->flush_cache();
+              lb.resolver->resolve(v2);
+            })});
+  print_row("warm", {time_median_ms(100, [&] { lb.resolver->resolve(v2); })});
+  print_row("miss", {time_median_ms(100, [&] {
+              lb.resolver->flush_cache();
+              lb.resolver->resolve(kUnknownFp);
+            })});
+  print_row("prefetch", {time_median_ms(100, [&] {
+              lb.resolver->flush_cache();
+              lb.resolver->prefetch({v1, v2});
+            })});
+
+  fmtsvc::ResolverStats rs = lb.resolver->stats();
+  std::printf("\nresolver: %llu rpcs, %llu fetched, %llu cache hits, %llu negative hits\n",
+              static_cast<unsigned long long>(rs.rpcs),
+              static_cast<unsigned long long>(rs.fetched),
+              static_cast<unsigned long long>(rs.cache_hits),
+              static_cast<unsigned long long>(rs.negative_hits));
+}
+
+void bm_resolve_cold(benchmark::State& state) {
+  Loopback& lb = loopback();
+  const uint64_t v2 = echo::channel_open_response_v2_format()->fingerprint();
+  for (auto _ : state) {
+    lb.resolver->flush_cache();
+    benchmark::DoNotOptimize(lb.resolver->resolve(v2));
+  }
+}
+BENCHMARK(bm_resolve_cold);
+
+void bm_resolve_warm(benchmark::State& state) {
+  Loopback& lb = loopback();
+  const uint64_t v2 = echo::channel_open_response_v2_format()->fingerprint();
+  lb.resolver->resolve(v2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb.resolver->resolve(v2));
+  }
+}
+BENCHMARK(bm_resolve_warm);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

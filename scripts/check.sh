@@ -33,7 +33,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # run dumps the metrics registry (including its own table as bench_ms
   # gauges) and morph-stat validates the schema and the histogram/counter
   # invariants.
-  for b in bench_fig9_decoding bench_fig10_morphing; do
+  for b in bench_fig9_decoding bench_fig10_morphing bench_fmtsvc; do
     out="BENCH_${b#bench_}.json"
     echo "--- $b -> $out"
     MORPH_BENCH_MAX_BYTES=10240 "./build/bench/$b" --json "$out"

@@ -1,0 +1,59 @@
+// Out-of-band format resolution hook: the receiver side of the paper's
+// third-party format server.
+//
+// core must not depend on any concrete transport, so the receiver talks to
+// an abstract FormatSource. The networked implementation (fmtsvc's
+// FormatResolver, with caching, retries, and single-flight deduplication)
+// lives above the transport layer and is plugged in through
+// ReceiverOptions::format_source.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/transform.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::core {
+
+/// What one fingerprint resolves to: the format itself plus every transform
+/// spec the writer registered alongside it (the paper's "the writer may also
+/// specify a set of transformations" — they travel with the meta-data).
+struct ResolvedFormat {
+  pbio::FormatPtr format;
+  std::vector<TransformSpec> transforms;
+};
+
+/// A source of format meta-data for fingerprints the receiver has never
+/// seen. resolve() may block (network fetch with retries); it is called
+/// outside every receiver lock, from whichever thread first sees the
+/// unknown fingerprint. Implementations must be safe to call concurrently.
+class FormatSource {
+ public:
+  virtual ~FormatSource() = default;
+
+  /// Resolve `fingerprint` to its descriptor (+ transforms), or nullopt if
+  /// the source does not know it / cannot be reached within its deadline.
+  virtual std::optional<ResolvedFormat> resolve(uint64_t fingerprint) = 0;
+};
+
+/// What a receiver does with a data frame whose fingerprint has no learned
+/// format definition:
+///   kFail           never consult the FormatSource — reject immediately and
+///                   cache the rejection (the legacy inline-only behavior);
+///   kFetch          ask the FormatSource once per decision build; a failed
+///                   fetch caches the rejection like any other decision
+///                   (recoverable only by inline meta-data or a transform
+///                   registration, both of which invalidate the cache);
+///   kFetchOrInline  ask the FormatSource, but treat a failed fetch as
+///                   *provisional*: the rejection is not cached, so later
+///                   messages retry the fetch (rate-limited by the source's
+///                   negative cache) and an inline FormatDef arriving in the
+///                   meantime recovers immediately — graceful degradation to
+///                   the legacy path when the service is down.
+enum class ResolvePolicy : uint8_t { kFail, kFetch, kFetchOrInline };
+
+const char* resolve_policy_name(ResolvePolicy p);
+
+}  // namespace morph::core

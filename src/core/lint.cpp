@@ -66,6 +66,19 @@ const char* lint_check_name(LintCheck c) {
     case LintCheck::kDroppedField: return "dropped-field";
     case LintCheck::kChainGap: return "chain-gap";
     case LintCheck::kChainCycle: return "chain-cycle";
+    case LintCheck::kEmptyFormat: return "empty-format";
+    case LintCheck::kDuplicateField: return "duplicate-field";
+    case LintCheck::kFieldOverlap: return "field-overlap";
+    case LintCheck::kMissingDefault: return "missing-default";
+  }
+  return "?";
+}
+
+const char* lint_policy_name(LintPolicy p) {
+  switch (p) {
+    case LintPolicy::kOff: return "off";
+    case LintPolicy::kWarn: return "warn";
+    case LintPolicy::kEnforce: return "enforce";
   }
   return "?";
 }
@@ -211,6 +224,73 @@ LintReport lint_chain(const std::vector<const TransformSpec*>& specs) {
     LintReport hop = lint_spec(*s);
     for (LintFinding& f : hop.findings) {
       f.message = "hop " + std::to_string(i) + ": " + f.message;
+      rep.findings.push_back(std::move(f));
+    }
+  }
+  return rep;
+}
+
+namespace {
+
+void lint_format_rec(LintReport& rep, const pbio::FormatDescriptor& fmt,
+                     const std::string& prefix, int depth) {
+  if (depth > static_cast<int>(pbio::FormatDescriptor::kMaxNesting)) return;
+  const auto& fields = fmt.fields();
+  if (fields.empty()) {
+    add(rep, LintCheck::kEmptyFormat, LintSeverity::kError,
+        "format '" + fmt.name() + "' declares no fields", prefix);
+    return;
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const auto& a = fields[i];
+    std::string path = prefix.empty() ? a.name : prefix + "." + a.name;
+    for (size_t j = i + 1; j < fields.size(); ++j) {
+      const auto& b = fields[j];
+      if (a.name == b.name) {
+        add(rep, LintCheck::kDuplicateField, LintSeverity::kError,
+            "format '" + fmt.name() + "' declares '" + a.name +
+                "' twice; by-name conversion would silently pick one",
+            path);
+      } else if (a.offset < b.offset + b.size && b.offset < a.offset + a.size) {
+        add(rep, LintCheck::kFieldOverlap, LintSeverity::kWarning,
+            "fields '" + a.name + "' and '" + b.name + "' of '" + fmt.name() +
+                "' occupy overlapping bytes",
+            path);
+      }
+    }
+    bool has_default = a.default_int || a.default_float || a.default_string;
+    if (!has_default && (a.kind == FieldKind::kInt || a.kind == FieldKind::kUInt ||
+                         a.kind == FieldKind::kFloat || a.kind == FieldKind::kEnum)) {
+      add(rep, LintCheck::kMissingDefault, LintSeverity::kNote,
+          "field '" + path + "' of '" + fmt.name() +
+              "' has no default; reconciliation can only zero-fill it",
+          path);
+    }
+    if (a.element_format != nullptr) lint_format_rec(rep, *a.element_format, path, depth + 1);
+  }
+}
+
+}  // namespace
+
+LintReport lint_format(const pbio::FormatDescriptor& fmt) {
+  LintReport rep;
+  lint_format_rec(rep, fmt, "", 0);
+  return rep;
+}
+
+LintReport lint_resolved(const pbio::FormatDescriptor& fmt,
+                         const std::vector<TransformSpec>& transforms) {
+  LintReport rep = lint_format(fmt);
+  for (size_t i = 0; i < transforms.size(); ++i) {
+    const TransformSpec& s = transforms[i];
+    if (!s.src || s.src->fingerprint() != fmt.fingerprint()) {
+      add(rep, LintCheck::kChainGap, LintSeverity::kError,
+          "attached transform " + std::to_string(i) + " does not consume '" + fmt.name() + "'");
+      continue;
+    }
+    LintReport spec_rep = lint_spec(s);
+    for (LintFinding& f : spec_rep.findings) {
+      f.message = "transform " + std::to_string(i) + ": " + f.message;
       rep.findings.push_back(std::move(f));
     }
   }

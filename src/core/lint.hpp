@@ -33,6 +33,10 @@ enum class LintCheck : uint8_t {
   kDroppedField,     // source field never read by the transform
   kChainGap,         // adjacent specs do not connect by fingerprint
   kChainCycle,       // a chain revisits a format revision
+  kEmptyFormat,      // format descriptor declares no fields
+  kDuplicateField,   // two sibling fields share a name
+  kFieldOverlap,     // two sibling fields' byte ranges intersect
+  kMissingDefault,   // field has no default for reconciliation to fill
 };
 
 const char* lint_check_name(LintCheck c);
@@ -63,5 +67,27 @@ LintReport lint_spec(const TransformSpec& spec);
 /// Lint a chain: per-hop spec findings (messages prefixed with the hop) plus
 /// fingerprint gap/cycle checks across the sequence.
 LintReport lint_chain(const std::vector<const TransformSpec*>& specs);
+
+/// Lint a format descriptor that arrived from outside the process (the
+/// format service's REGISTER path and the resolver's FETCH path run this
+/// before a foreign descriptor enters a registry). The wire deserializer
+/// already proves memory safety; this audits data quality: duplicate or
+/// overlapping sibling fields (error/warning — a decoder would silently
+/// favor one), empty formats, and fields reconciliation could only
+/// zero-fill. Nested struct formats are audited recursively with dotted
+/// field paths.
+LintReport lint_format(const pbio::FormatDescriptor& fmt);
+
+/// Lint the transforms attached to a fetched format against it.
+LintReport lint_resolved(const pbio::FormatDescriptor& fmt,
+                         const std::vector<TransformSpec>& transforms);
+
+/// What an ingest point does with lint findings, mirroring the receiver's
+/// VerifyPolicy: kOff skips the audit, kWarn logs findings and accepts,
+/// kEnforce rejects descriptors with error-severity findings (counted in a
+/// lint_rejected stat at each ingest point).
+enum class LintPolicy : uint8_t { kOff, kWarn, kEnforce };
+
+const char* lint_policy_name(LintPolicy p);
 
 }  // namespace morph::core

@@ -35,7 +35,11 @@ struct FramedMessage {
 class ParallelReceiver {
  public:
   /// Spin up `threads` workers against `rx` (0 = hardware concurrency).
-  /// The receiver must outlive the pool.
+  /// The receiver must outlive the pool. Out-of-band resolution
+  /// (ReceiverOptions::format_source) needs no special handling here: the
+  /// fetch runs inside the cold fingerprint's once-guarded decision build,
+  /// so one worker fetches while the others block on that entry only —
+  /// other formats keep flowing on the remaining workers.
   explicit ParallelReceiver(Receiver& rx, size_t threads = 0);
   ~ParallelReceiver();
 

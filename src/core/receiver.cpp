@@ -31,6 +31,8 @@ struct RxMetrics {
   obs::Counter& zero_copy;
   obs::Counter& verify_rejected;
   obs::Counter& transforms_compiled;
+  obs::Counter& resolve_fetched;
+  obs::Counter& resolve_degraded;
   obs::Histogram& decide_hit_ns;
   obs::Histogram& decide_miss_ns;
   obs::Histogram& build_ns;
@@ -52,6 +54,8 @@ struct RxMetrics {
         zero_copy(obs::metrics().counter("morph_rx_zero_copy_total")),
         verify_rejected(obs::metrics().counter("morph_rx_verify_rejected_total")),
         transforms_compiled(obs::metrics().counter("morph_rx_transforms_compiled_total")),
+        resolve_fetched(obs::metrics().counter("morph_rx_resolve_total{result=\"fetched\"}")),
+        resolve_degraded(obs::metrics().counter("morph_rx_resolve_total{result=\"degraded\"}")),
         decide_hit_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"hit\"}")),
         decide_miss_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"miss\"}")),
         build_ns(obs::metrics().histogram("morph_rx_decision_build_ns")),
@@ -94,7 +98,18 @@ ReceiverStats ReceiverStats::delta(const ReceiverStats& earlier) const {
   d.verify_rejected = verify_rejected - earlier.verify_rejected;
   d.zero_copy = zero_copy - earlier.zero_copy;
   d.cache_flushes = cache_flushes - earlier.cache_flushes;
+  d.resolve_fetched = resolve_fetched - earlier.resolve_fetched;
+  d.resolve_degraded = resolve_degraded - earlier.resolve_degraded;
   return d;
+}
+
+const char* resolve_policy_name(ResolvePolicy p) {
+  switch (p) {
+    case ResolvePolicy::kFail: return "fail";
+    case ResolvePolicy::kFetch: return "fetch";
+    case ResolvePolicy::kFetchOrInline: return "fetch-or-inline";
+  }
+  return "?";
 }
 
 const char* outcome_name(Outcome o) {
@@ -129,7 +144,21 @@ void Receiver::set_default_handler(DefaultHandler handler) {
   flush_cache();
 }
 
-FormatPtr Receiver::learn_format(FormatPtr fmt) { return learned_.register_format(std::move(fmt)); }
+FormatPtr Receiver::learn_format(FormatPtr fmt) {
+  const uint64_t fp = fmt->fingerprint();
+  const bool known = learned_.by_fingerprint(fp) != nullptr;
+  FormatPtr out = learned_.register_format(std::move(fmt));
+  if (!known) {
+    // A genuinely new definition can only change this fingerprint's own
+    // decision (it was previously rejected as unknown — e.g. built while
+    // the format service was unreachable), so evict exactly that entry
+    // instead of flushing the whole cache.
+    Shard& shard = shard_for(fp);
+    std::unique_lock lock(shard.mutex);
+    if (shard.entries.erase(fp) != 0) cached_count_.fetch_sub(1, kRelaxed);
+  }
+  return out;
+}
 
 void Receiver::learn_transform(TransformSpec spec) {
   learned_.register_format(spec.src);
@@ -160,6 +189,8 @@ ReceiverStats Receiver::stats() const {
   s.verify_rejected = stats_.verify_rejected.load(kRelaxed);
   s.zero_copy = stats_.zero_copy.load(kRelaxed);
   s.cache_flushes = stats_.cache_flushes.load(kRelaxed);
+  s.resolve_fetched = stats_.resolve_fetched.load(kRelaxed);
+  s.resolve_degraded = stats_.resolve_degraded.load(kRelaxed);
   return s;
 }
 
@@ -205,6 +236,10 @@ Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
     built_here = true;
     stats_.cache_misses.fetch_add(1, kRelaxed);
     rx().cache_misses.inc();
+    // Out-of-band resolution happens here, before the shared config lock:
+    // registering the fetched format and transforms takes the config lock
+    // exclusively, which would deadlock from inside the build.
+    maybe_resolve(fingerprint, entry->decision);
     uint64_t b0 = obs::monotonic_ns();
     {
       std::shared_lock config(config_mutex_);
@@ -212,6 +247,18 @@ Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
     }
     rx().build_ns.record(obs::monotonic_ns() - b0);
   });
+  if (built_here && entry->decision.provisional) {
+    // Don't cache a rejection caused by an unreachable format service:
+    // drop the entry (unless a flush already did) so the next message of
+    // this format retries the fetch. In-flight threads holding `entry`
+    // still deliver against the provisional decision safely.
+    std::unique_lock lock(shard.mutex);
+    auto it = shard.entries.find(fingerprint);
+    if (it != shard.entries.end() && it->second == entry) {
+      shard.entries.erase(it);
+      cached_count_.fetch_sub(1, kRelaxed);
+    }
+  }
   if (!built_here) {
     stats_.cache_hits.fetch_add(1, kRelaxed);
     rx().cache_hits.inc();
@@ -220,6 +267,37 @@ Receiver::EntryPtr Receiver::decide(uint64_t fingerprint) {
     rx().decide_miss_ns.record(obs::monotonic_ns() - t0);
   }
   return entry;
+}
+
+void Receiver::maybe_resolve(uint64_t fingerprint, Decision& d) {
+  if (options_.format_source == nullptr || options_.resolve == ResolvePolicy::kFail) return;
+  if (learned_.by_fingerprint(fingerprint) != nullptr) return;  // already known
+  if (auto resolved = options_.format_source->resolve(fingerprint)) {
+    add_resolved(std::move(*resolved));
+    stats_.resolve_fetched.fetch_add(1, kRelaxed);
+    rx().resolve_fetched.inc();
+    return;
+  }
+  stats_.resolve_degraded.fetch_add(1, kRelaxed);
+  rx().resolve_degraded.inc();
+  MORPH_LOG_WARN("receiver") << "out-of-band resolve of fingerprint " << fingerprint
+                             << " failed (policy "
+                             << resolve_policy_name(options_.resolve) << ")";
+  if (options_.resolve == ResolvePolicy::kFetchOrInline) d.provisional = true;
+}
+
+void Receiver::add_resolved(ResolvedFormat resolved) {
+  learned_.register_format(resolved.format);
+  for (const TransformSpec& spec : resolved.transforms) {
+    learned_.register_format(spec.src);
+    learned_.register_format(spec.dst);
+  }
+  std::unique_lock lock(config_mutex_);
+  for (TransformSpec& spec : resolved.transforms) transforms_.add(std::move(spec));
+  // No cache flush, unlike learn_transform: this runs inside the resolving
+  // fingerprint's own first build, so no decision for it can be cached yet.
+  // (Other formats' decisions don't see the fetched transforms until their
+  // next build — the same staleness window inline delivery always had.)
 }
 
 void Receiver::build_decision(Decision& d, uint64_t fingerprint) {

@@ -44,6 +44,7 @@
 
 #include "common/arena.hpp"
 #include "obs/metrics.hpp"
+#include "core/format_source.hpp"
 #include "core/match.hpp"
 #include "core/reconcile.hpp"
 #include "core/transform.hpp"
@@ -94,6 +95,15 @@ struct ReceiverOptions {
   /// limit; on overflow the whole cache is flushed (decisions are
   /// recomputable, so flushing only costs time).
   size_t max_cached_decisions = 1024;
+  /// Out-of-band format resolution (the paper's third-party format server).
+  /// When a data frame references a fingerprint with no learned definition,
+  /// the receiver consults `format_source` (typically a
+  /// fmtsvc::FormatResolver) per `resolve` before deciding. The source must
+  /// outlive the receiver; it is called during cold decision builds only —
+  /// never on the steady-state path — and may block (the resolver bounds
+  /// that with its own deadline).
+  FormatSource* format_source = nullptr;
+  ResolvePolicy resolve = ResolvePolicy::kFail;
 };
 
 /// A point-in-time copy of the receiver's counters (the live counters are
@@ -112,6 +122,8 @@ struct ReceiverStats {
   uint64_t verify_rejected = 0;
   uint64_t zero_copy = 0;
   uint64_t cache_flushes = 0;
+  uint64_t resolve_fetched = 0;   // unknown formats fetched out-of-band
+  uint64_t resolve_degraded = 0;  // resolve attempts that fell back (failed)
 
   /// Field-wise `*this - earlier`: what happened between two snapshots.
   /// Counters are monotone, so with snapshots taken in order every delta
@@ -192,6 +204,12 @@ class Receiver {
     // never erased, so the pointers stay valid).
     obs::Histogram* decode_ns = nullptr;                // plan execute time
     obs::Histogram* morph_ns = nullptr;                 // chain + reconcile time
+    /// Under ResolvePolicy::kFetchOrInline a rejection caused by an
+    /// unreachable format service is provisional: decide() drops the cache
+    /// entry right after the build, so the next message retries (the
+    /// resolver's negative TTL rate-limits the RPCs) and a late inline
+    /// kFormatDef recovers immediately via learn_format's eviction.
+    bool provisional = false;
   };
 
   /// One cache slot. The once-flag guarantees the expensive build runs
@@ -227,6 +245,8 @@ class Receiver {
     std::atomic<uint64_t> verify_rejected{0};
     std::atomic<uint64_t> zero_copy{0};
     std::atomic<uint64_t> cache_flushes{0};
+    std::atomic<uint64_t> resolve_fetched{0};
+    std::atomic<uint64_t> resolve_degraded{0};
   };
 
   Shard& shard_for(uint64_t fingerprint) {
@@ -237,6 +257,8 @@ class Receiver {
 
   EntryPtr decide(uint64_t fingerprint);
   void build_decision(Decision& d, uint64_t fingerprint);
+  void maybe_resolve(uint64_t fingerprint, Decision& d);
+  void add_resolved(ResolvedFormat resolved);
   void flush_cache();
   Outcome finish_delivery(const Decision& d, void* record);
 

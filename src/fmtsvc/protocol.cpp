@@ -1,0 +1,164 @@
+#include "fmtsvc/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace morph::fmtsvc {
+
+namespace {
+
+uint8_t read_op(ByteReader& in, const char* what) {
+  uint8_t op = in.read_u8();
+  if (op < static_cast<uint8_t>(Op::kRegister) || op > static_cast<uint8_t>(Op::kList)) {
+    throw DecodeError(std::string("fmtsvc: bad op in ") + what);
+  }
+  return op;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kRegister: return "register";
+    case Op::kFetch: return "fetch";
+    case Op::kFetchMulti: return "fetch_multi";
+    case Op::kList: return "list";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kRejected: return "rejected";
+    case Status::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+void FormatEntry::serialize(ByteBuffer& out) const {
+  if (!format) throw Error("fmtsvc: cannot serialize null format entry");
+  if (transforms.size() > kMaxTransformsPerEntry) {
+    throw Error("fmtsvc: too many transforms on one entry");
+  }
+  format->serialize(out);
+  out.append_u16(static_cast<uint16_t>(transforms.size()));
+  for (const auto& t : transforms) t.serialize(out);
+}
+
+FormatEntry FormatEntry::deserialize(ByteReader& in) {
+  FormatEntry e;
+  e.format = pbio::FormatDescriptor::deserialize(in);
+  uint16_t n = in.read_u16();
+  if (n > kMaxTransformsPerEntry) throw DecodeError("fmtsvc: too many transforms on one entry");
+  e.transforms.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) e.transforms.push_back(core::TransformSpec::deserialize(in));
+  return e;
+}
+
+void Request::serialize(ByteBuffer& out) const {
+  out.append_u8(static_cast<uint8_t>(op));
+  out.append_u64(request_id);
+  switch (op) {
+    case Op::kRegister: {
+      if (entries.empty() || entries.size() > kMaxEntriesPerRequest) {
+        throw Error("fmtsvc: bad register entry count");
+      }
+      out.append_u16(static_cast<uint16_t>(entries.size()));
+      for (const auto& e : entries) e.serialize(out);
+      break;
+    }
+    case Op::kFetch: {
+      if (fingerprints.size() != 1) throw Error("fmtsvc: fetch wants exactly one fingerprint");
+      out.append_u64(fingerprints.front());
+      break;
+    }
+    case Op::kFetchMulti: {
+      if (fingerprints.empty() || fingerprints.size() > kMaxEntriesPerRequest) {
+        throw Error("fmtsvc: bad fetch_multi fingerprint count");
+      }
+      out.append_u16(static_cast<uint16_t>(fingerprints.size()));
+      for (uint64_t fp : fingerprints) out.append_u64(fp);
+      break;
+    }
+    case Op::kList:
+      break;
+  }
+}
+
+Request Request::deserialize(ByteReader& in) {
+  Request r;
+  r.op = static_cast<Op>(read_op(in, "request"));
+  r.request_id = in.read_u64();
+  switch (r.op) {
+    case Op::kRegister: {
+      uint16_t n = in.read_u16();
+      if (n == 0 || n > kMaxEntriesPerRequest) throw DecodeError("fmtsvc: bad register count");
+      r.entries.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) r.entries.push_back(FormatEntry::deserialize(in));
+      break;
+    }
+    case Op::kFetch:
+      r.fingerprints.push_back(in.read_u64());
+      break;
+    case Op::kFetchMulti: {
+      uint16_t n = in.read_u16();
+      if (n == 0 || n > kMaxEntriesPerRequest) throw DecodeError("fmtsvc: bad fetch_multi count");
+      r.fingerprints.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) r.fingerprints.push_back(in.read_u64());
+      break;
+    }
+    case Op::kList:
+      break;
+  }
+  if (!in.at_end()) throw DecodeError("fmtsvc: trailing bytes after request");
+  return r;
+}
+
+void Reply::serialize(ByteBuffer& out) const {
+  out.append_u8(static_cast<uint8_t>(op));
+  out.append_u64(request_id);
+  out.append_u8(static_cast<uint8_t>(status));
+  if (op == Op::kRegister) {
+    out.append_u32(accepted);
+    return;
+  }
+  if (items.size() > kMaxEntriesPerRequest) throw Error("fmtsvc: too many reply items");
+  out.append_u16(static_cast<uint16_t>(items.size()));
+  for (const auto& item : items) {
+    out.append_u64(item.fingerprint);
+    out.append_u8(item.found ? 1 : 0);
+    if (item.found) item.entry.serialize(out);
+  }
+}
+
+Reply Reply::deserialize(ByteReader& in) {
+  Reply r;
+  r.op = static_cast<Op>(read_op(in, "reply"));
+  r.request_id = in.read_u64();
+  uint8_t status = in.read_u8();
+  if (status > static_cast<uint8_t>(Status::kOverloaded)) {
+    throw DecodeError("fmtsvc: bad reply status");
+  }
+  r.status = static_cast<Status>(status);
+  if (r.op == Op::kRegister) {
+    r.accepted = in.read_u32();
+  } else {
+    uint16_t n = in.read_u16();
+    if (n > kMaxEntriesPerRequest) throw DecodeError("fmtsvc: too many reply items");
+    r.items.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      ReplyItem item;
+      item.fingerprint = in.read_u64();
+      uint8_t found = in.read_u8();
+      if (found > 1) throw DecodeError("fmtsvc: bad reply found flag");
+      item.found = found != 0;
+      if (item.found) item.entry = FormatEntry::deserialize(in);
+      r.items.push_back(std::move(item));
+    }
+  }
+  if (!in.at_end()) throw DecodeError("fmtsvc: trailing bytes after reply");
+  return r;
+}
+
+}  // namespace morph::fmtsvc

@@ -1,0 +1,98 @@
+// Format-service wire protocol: the request/reply payloads carried in
+// FrameType::kFmtsvcRequest / kFmtsvcReply frames.
+//
+// The service implements PBIO's third-party format server: writers REGISTER
+// format descriptors (plus the transform specs they associate with them),
+// readers FETCH them by 64-bit identity fingerprint when a data frame
+// references a format they have never seen. All payloads are little-endian
+// and bounds-checked through ByteReader, so a truncated or hostile frame
+// throws DecodeError before any oversized allocation (entry counts are
+// capped; the frame layer separately caps total size at kMaxFrameBytes).
+//
+// Request payload:
+//   [u8 op][u64 request_id][op-specific body]
+//     kRegister    [u16 count] count x FormatEntry
+//     kFetch       [u64 fingerprint]
+//     kFetchMulti  [u16 count] count x [u64 fingerprint]
+//     kList        (empty)
+// Reply payload:
+//   [u8 op][u64 request_id][u8 status][op-specific body]
+//     kRegister    [u32 accepted]
+//     kFetch/kFetchMulti/kList
+//                  [u16 count] count x [u64 fingerprint][u8 found]
+//                              [FormatEntry if found]
+//
+// FormatEntry: [serialized FormatDescriptor][u16 n] n x serialized
+// TransformSpec. Requests and replies echo the id so a client can pipeline
+// and match replies out of order; the trace id travels in the frame header.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/transform.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::fmtsvc {
+
+enum class Op : uint8_t {
+  kRegister = 1,
+  kFetch = 2,
+  kFetchMulti = 3,
+  kList = 4,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kNotFound = 1,   // kFetch only: the one requested fingerprint is unknown
+  kRejected = 2,   // kRegister under LintPolicy::kEnforce: lint errors
+  kOverloaded = 3, // server refused the request (shedding load)
+};
+
+const char* op_name(Op op);
+const char* status_name(Status s);
+
+/// Caps on repeated elements, enforced by both serializer and parser. Far
+/// above any real use; they exist so a hostile count can never drive an
+/// allocation bigger than the frame that carried it.
+constexpr size_t kMaxEntriesPerRequest = 1024;
+constexpr size_t kMaxTransformsPerEntry = 64;
+
+/// One format plus the transform specs its writer attached to it.
+struct FormatEntry {
+  pbio::FormatPtr format;
+  std::vector<core::TransformSpec> transforms;
+
+  void serialize(ByteBuffer& out) const;
+  static FormatEntry deserialize(ByteReader& in);
+};
+
+struct Request {
+  Op op = Op::kFetch;
+  uint64_t request_id = 0;
+  std::vector<FormatEntry> entries;       // kRegister
+  std::vector<uint64_t> fingerprints;     // kFetch (exactly 1) / kFetchMulti
+
+  void serialize(ByteBuffer& out) const;
+  static Request deserialize(ByteReader& in);
+};
+
+struct ReplyItem {
+  uint64_t fingerprint = 0;
+  bool found = false;
+  FormatEntry entry;  // valid only when found
+};
+
+struct Reply {
+  Op op = Op::kFetch;
+  uint64_t request_id = 0;
+  Status status = Status::kOk;
+  uint32_t accepted = 0;         // kRegister
+  std::vector<ReplyItem> items;  // fetch/list ops
+
+  void serialize(ByteBuffer& out) const;
+  static Reply deserialize(ByteReader& in);
+};
+
+}  // namespace morph::fmtsvc

@@ -1,0 +1,86 @@
+// Networked format-metadata service: the paper's third-party format server.
+//
+// Accepts TCP connections on loopback (TcpListener binds 127.0.0.1) and
+// answers fmtsvc protocol requests against a FormatStore. One acceptor
+// thread plus one thread per live connection: connections are long-lived
+// (a resolver keeps one open and pipelines fetches over it) and few — the
+// per-process resolvers of the attached applications, not the data plane.
+//
+// Failure containment: a malformed frame or request kills only its own
+// connection; the acceptor and every other connection keep serving. Lint
+// policy mirrors the receiver's VerifyPolicy: under kEnforce a REGISTER
+// whose descriptor has error-severity lint findings is answered with
+// Status::kRejected (counted in morph_fmtsvc_server_lint_rejected_total)
+// and nothing enters the store.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/lint.hpp"
+#include "fmtsvc/store.hpp"
+#include "transport/tcp.hpp"
+
+namespace morph::fmtsvc {
+
+struct ServiceOptions {
+  uint16_t port = 0;  // 0 picks an ephemeral port; read back with port()
+  core::LintPolicy lint = core::LintPolicy::kWarn;
+  /// Maximum simultaneous connections; further accepts are closed
+  /// immediately (the client sees EOF and retries per its backoff).
+  size_t max_connections = 64;
+};
+
+struct ServiceStats {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t registered = 0;      // formats accepted into the store
+  uint64_t lint_rejected = 0;   // REGISTER entries refused under kEnforce
+  uint64_t not_found = 0;       // FETCH fingerprints the store lacked
+  uint64_t bad_frames = 0;      // connections killed by malformed input
+};
+
+class FormatService {
+ public:
+  /// Start serving `store` (which must outlive the service) immediately.
+  explicit FormatService(FormatStore& store, ServiceOptions options = {});
+  ~FormatService();
+
+  FormatService(const FormatService&) = delete;
+  FormatService& operator=(const FormatService&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+  ServiceStats stats() const;
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void serve_conn(Conn& conn);
+  Reply handle(const Request& req);
+  void reap_finished();
+
+  FormatStore& store_;
+  ServiceOptions options_;
+  transport::TcpListener listener_;
+  std::atomic<bool> stop_{false};
+
+  struct Counters {
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> registered{0};
+    std::atomic<uint64_t> lint_rejected{0};
+    std::atomic<uint64_t> not_found{0};
+    std::atomic<uint64_t> bad_frames{0};
+  };
+  mutable Counters counters_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::thread acceptor_;  // initialized last: serving starts after members
+};
+
+}  // namespace morph::fmtsvc

@@ -1,0 +1,141 @@
+#include "fmtsvc/store.hpp"
+
+#include <unistd.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace morph::fmtsvc {
+
+FormatStore::~FormatStore() {
+  if (spill_ != nullptr) std::fclose(spill_);
+}
+
+bool FormatStore::put(const FormatEntry& entry) {
+  if (!entry.format) throw Error("fmtsvc: cannot store null format");
+  uint64_t fp = entry.format->fingerprint();
+  Shard& shard = shard_for(fp);
+  if (shard.formats.by_fingerprint(fp) != nullptr) {
+    // Idempotent re-registration; register_format below would dedup too,
+    // but checking first keeps the transform map first-writer-wins.
+    shard.formats.register_format(entry.format);  // throws on a collision
+    return false;
+  }
+  {
+    std::unique_lock lock(shard.tmutex);
+    shard.transforms[fp] = entry.transforms;
+  }
+  // Publish the format last: a concurrent get() that sees the format also
+  // sees its transforms (the registry store is a release, by_fingerprint an
+  // acquire).
+  shard.formats.register_format(entry.format);
+  spill_append(entry);
+  return true;
+}
+
+std::optional<FormatEntry> FormatStore::get(uint64_t fingerprint) const {
+  const Shard& shard = shard_for(fingerprint);
+  pbio::FormatPtr fmt = shard.formats.by_fingerprint(fingerprint);
+  if (fmt == nullptr) return std::nullopt;
+  FormatEntry e;
+  e.format = std::move(fmt);
+  {
+    std::shared_lock lock(shard.tmutex);
+    auto it = shard.transforms.find(fingerprint);
+    if (it != shard.transforms.end()) e.transforms = it->second;
+  }
+  return e;
+}
+
+std::vector<FormatEntry> FormatStore::list() const {
+  std::vector<FormatEntry> out;
+  for (const Shard& shard : shards_) {
+    for (pbio::FormatPtr& fmt : shard.formats.all()) {
+      FormatEntry e;
+      e.format = std::move(fmt);
+      {
+        std::shared_lock lock(shard.tmutex);
+        auto it = shard.transforms.find(e.format->fingerprint());
+        if (it != shard.transforms.end()) e.transforms = it->second;
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+size_t FormatStore::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.formats.size();
+  return n;
+}
+
+size_t FormatStore::attach_spill(const std::string& path) {
+  std::lock_guard<std::mutex> lock(spill_mutex_);
+  if (spill_ != nullptr) throw Error("fmtsvc: spill already attached");
+
+  size_t replayed = 0;
+  long valid_end = 0;   // last whole-record boundary; the file is cut back
+  bool damaged = false; // here so post-crash appends stay replayable
+  if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+    std::vector<uint8_t> blob;
+    for (;;) {
+      uint32_t len = 0;
+      if (std::fread(&len, sizeof len, 1, in) != 1) break;  // clean EOF
+      if (len == 0 || len > (64u << 20)) {
+        MORPH_LOG_WARN("fmtsvc") << "spill '" << path << "': bad record length " << len
+                                 << ", truncating tail";
+        damaged = true;
+        break;
+      }
+      blob.resize(len);
+      if (std::fread(blob.data(), 1, len, in) != len) {
+        MORPH_LOG_WARN("fmtsvc") << "spill '" << path << "': truncated record, truncating tail";
+        damaged = true;
+        break;
+      }
+      valid_end = std::ftell(in);
+      try {
+        ByteReader r(blob.data(), blob.size());
+        FormatEntry e = FormatEntry::deserialize(r);
+        uint64_t fp = e.format->fingerprint();
+        Shard& shard = shard_for(fp);
+        if (shard.formats.by_fingerprint(fp) == nullptr) {
+          {
+            std::unique_lock tl(shard.tmutex);
+            shard.transforms[fp] = std::move(e.transforms);
+          }
+          shard.formats.register_format(e.format);
+          ++replayed;
+        }
+      } catch (const Error& e) {
+        MORPH_LOG_WARN("fmtsvc") << "spill '" << path << "': skipping bad record: " << e.what();
+      }
+    }
+    std::fclose(in);
+    if (damaged && ::truncate(path.c_str(), valid_end) != 0) {
+      throw Error("fmtsvc: cannot truncate damaged spill '" + path + "'");
+    }
+  }
+
+  spill_ = std::fopen(path.c_str(), "ab");
+  if (spill_ == nullptr) throw Error("fmtsvc: cannot open spill '" + path + "' for append");
+  return replayed;
+}
+
+void FormatStore::spill_append(const FormatEntry& entry) {
+  std::lock_guard<std::mutex> lock(spill_mutex_);
+  if (spill_ == nullptr) return;
+  ByteBuffer blob;
+  entry.serialize(blob);
+  uint32_t len = static_cast<uint32_t>(blob.size());
+  if (std::fwrite(&len, sizeof len, 1, spill_) != 1 ||
+      std::fwrite(blob.data(), 1, blob.size(), spill_) != blob.size()) {
+    MORPH_LOG_WARN("fmtsvc") << "spill append failed; durability degraded";
+  }
+  std::fflush(spill_);
+}
+
+}  // namespace morph::fmtsvc

@@ -1,0 +1,82 @@
+// Server-side format store: the catalog a FormatService serves from.
+//
+// Sharded by fingerprint; each shard is a FormatRegistry (reusing its
+// copy-on-write snapshots, so fetches are lock-free no matter how many
+// client threads hammer the store) plus a small shared-mutex-guarded map
+// for the transform specs attached to each format.
+//
+// Restart durability is an optional append-only spill file: every accepted
+// entry is appended as one length-prefixed record, and attach_spill()
+// replays existing records before the service starts answering. The spill
+// is an operational convenience, not a database — a truncated tail (crash
+// mid-append) is detected and cut back to the last whole record, so later
+// appends stay replayable; compaction is simply rewriting the file from a
+// dump.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fmtsvc/protocol.hpp"
+#include "pbio/registry.hpp"
+
+namespace morph::fmtsvc {
+
+class FormatStore {
+ public:
+  FormatStore() = default;
+  ~FormatStore();
+
+  FormatStore(const FormatStore&) = delete;
+  FormatStore& operator=(const FormatStore&) = delete;
+
+  /// Insert one entry. Returns true when the format was new (its transforms
+  /// are adopted), false when the fingerprint was already present (the
+  /// store keeps the first registration; re-registering an identical format
+  /// is the idempotent common case, and FormatRegistry throws on a genuine
+  /// fingerprint collision). New entries are appended to the spill when one
+  /// is attached.
+  bool put(const FormatEntry& entry);
+
+  /// Fetch by fingerprint. Lock-free on the format itself.
+  std::optional<FormatEntry> get(uint64_t fingerprint) const;
+
+  /// Every stored entry, in unspecified order.
+  std::vector<FormatEntry> list() const;
+
+  size_t size() const;
+
+  /// Open (creating if absent) an append-only spill file, replay any
+  /// records already in it, and append every future put(). Throws Error on
+  /// an unopenable path. Call before the store is shared with a service.
+  /// Returns the number of entries replayed.
+  size_t attach_spill(const std::string& path);
+
+ private:
+  static constexpr size_t kShards = 16;  // power of two
+
+  struct Shard {
+    pbio::FormatRegistry formats;
+    mutable std::shared_mutex tmutex;  // guards transforms
+    std::unordered_map<uint64_t, std::vector<core::TransformSpec>> transforms;
+  };
+
+  Shard& shard_for(uint64_t fp) { return shards_[(fp ^ (fp >> 32)) & (kShards - 1)]; }
+  const Shard& shard_for(uint64_t fp) const {
+    return shards_[(fp ^ (fp >> 32)) & (kShards - 1)];
+  }
+
+  void spill_append(const FormatEntry& entry);
+
+  std::array<Shard, kShards> shards_;
+  std::mutex spill_mutex_;        // serializes appends and guards spill_
+  std::FILE* spill_ = nullptr;
+};
+
+}  // namespace morph::fmtsvc

@@ -44,6 +44,14 @@ std::vector<FormatPtr> FormatRegistry::by_name(const std::string& name) const {
   return it == snap->by_name.end() ? std::vector<FormatPtr>{} : it->second;
 }
 
+std::vector<FormatPtr> FormatRegistry::all() const {
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  std::vector<FormatPtr> out;
+  out.reserve(snap->by_fp.size());
+  for (const auto& [fp, fmt] : snap->by_fp) out.push_back(fmt);
+  return out;
+}
+
 size_t FormatRegistry::size() const {
   return snapshot_.load(std::memory_order_acquire)->by_fp.size();
 }

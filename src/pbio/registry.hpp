@@ -47,6 +47,11 @@ class FormatRegistry {
 
   size_t size() const;
 
+  /// Every registered format, in unspecified order. Lock-free; a consistent
+  /// point-in-time view (the snapshot the call happened to observe). Used by
+  /// the format service to enumerate a store shard.
+  std::vector<FormatPtr> all() const;
+
  private:
   /// One immutable generation of the catalog. Never mutated after publish.
   struct Snapshot {

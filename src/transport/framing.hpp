@@ -23,11 +23,15 @@
 namespace morph::transport {
 
 enum class FrameType : uint8_t {
-  kFormatDef = 1,     // serialized FormatDescriptor
-  kTransformDef = 2,  // serialized TransformSpec
-  kData = 3,          // PBIO-encoded message
-  kControl = 4,       // application-level control payload
+  kFormatDef = 1,      // serialized FormatDescriptor
+  kTransformDef = 2,   // serialized TransformSpec
+  kData = 3,           // PBIO-encoded message
+  kControl = 4,        // application-level control payload
+  kFmtsvcRequest = 5,  // format-service request (fmtsvc/protocol.hpp)
+  kFmtsvcReply = 6,    // format-service reply
 };
+
+constexpr uint8_t kMaxFrameType = 6;
 
 /// Type-byte bit marking the presence of the 8-byte trace id header.
 constexpr uint8_t kFrameTraceBit = 0x80;

@@ -18,6 +18,7 @@ struct PortMetrics {
       obs::metrics().counter("morph_port_frames_received_total{type=\"data\"}");
   obs::Counter& meta_received =
       obs::metrics().counter("morph_port_frames_received_total{type=\"meta\"}");
+  obs::Counter& meta_published = obs::metrics().counter("morph_port_meta_published_total");
   obs::Histogram& send_ns = obs::metrics().histogram("morph_span_ns{span=\"port.send\"}");
   obs::Histogram& deliver_ns = obs::metrics().histogram("morph_span_ns{span=\"port.deliver\"}");
 };
@@ -53,6 +54,23 @@ void MessagePort::declare_transform(core::TransformSpec spec) {
 
 void MessagePort::send_meta_for(const pbio::FormatPtr& fmt) {
   if (!sent_formats_.insert(fmt->fingerprint()).second) return;
+
+  if (meta_publisher_) {
+    std::vector<core::TransformSpec> attached;
+    for (const auto& spec : declared_transforms_) {
+      if (spec.src->fingerprint() == fmt->fingerprint()) attached.push_back(spec);
+    }
+    if (meta_publisher_(fmt, attached)) {
+      ++stats_.meta_published;
+      port_metrics().meta_published.inc();
+      // Chain targets go out of band too, so a receiver fetching this
+      // format can resolve the whole retro-transformation chain.
+      for (const auto& spec : attached) send_meta_for(spec.dst);
+      return;
+    }
+    // Publisher declined (service down or entry refused): fall through to
+    // inline meta-data frames so this format still reaches the peer.
+  }
 
   ByteBuffer payload;
   fmt->serialize(payload);
@@ -153,6 +171,11 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
       }
       case FrameType::kControl:
         if (on_control_) on_control_(frame.payload.data(), frame.payload.size());
+        break;
+      case FrameType::kFmtsvcRequest:
+      case FrameType::kFmtsvcReply:
+        // Format-service frames belong on service connections
+        // (fmtsvc/server, fmtsvc/resolver), never on a data-plane port.
         break;
     }
   });

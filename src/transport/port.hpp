@@ -43,11 +43,24 @@ class MessagePort {
     on_control_ = std::move(cb);
   }
 
+  /// Out-of-band meta-data distribution hook. When set, a first-contact
+  /// format (plus the transforms declared for it) is offered to the
+  /// publisher — typically fmtsvc::FormatResolver::publish — instead of
+  /// being framed inline. A false return (service unreachable or entry
+  /// refused) degrades gracefully: the port falls back to inline
+  /// kFormatDef/kTransformDef frames for that format, so peers without
+  /// service access still learn it. Transforms declared after their source
+  /// format already went out always travel inline.
+  using MetaPublisher =
+      std::function<bool(const pbio::FormatPtr&, const std::vector<core::TransformSpec>&)>;
+  void set_meta_publisher(MetaPublisher publisher) { meta_publisher_ = std::move(publisher); }
+
   struct PortStats {
     uint64_t data_sent = 0;
     uint64_t data_received = 0;
     uint64_t meta_frames_sent = 0;
     uint64_t meta_frames_received = 0;
+    uint64_t meta_published = 0;  // formats handed to the meta publisher
     uint64_t bytes_sent = 0;
   };
   const PortStats& stats() const { return stats_; }
@@ -63,6 +76,7 @@ class MessagePort {
   std::vector<core::TransformSpec> declared_transforms_;
   std::unordered_map<uint64_t, std::unique_ptr<pbio::Encoder>> encoders_;
   std::function<void(const uint8_t*, size_t)> on_control_;
+  MetaPublisher meta_publisher_;
   RecordArena rx_arena_;
   PortStats stats_;
 };

@@ -18,6 +18,7 @@ class TcpLink : public Link {
   static std::unique_ptr<TcpLink> connect(const std::string& host, uint16_t port);
 
   ~TcpLink() override;
+  using Link::send;  // keep the ByteBuffer convenience overload visible
   void send(const void* data, size_t size) override;
   bool connected() const override { return fd_ >= 0; }
 

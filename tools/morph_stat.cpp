@@ -133,7 +133,62 @@ std::string fmt_ns(uint64_t ns) {
   return buf;
 }
 
+/// Digest of the out-of-band format service, client and server side. Only
+/// printed when fmtsvc metrics are present in the dump.
+void render_fmtsvc(const Snapshot& s) {
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  bool any = false;
+  for (const auto& [name, v] : s.counters) {
+    if (name.rfind("morph_fmtsvc_", 0) == 0 && v > 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  std::printf("== format service ==\n");
+  uint64_t resolves = counter("morph_fmtsvc_client_resolves_total");
+  uint64_t cached = counter("morph_fmtsvc_client_resolve_total{result=\"cached\"}");
+  uint64_t negative = counter("morph_fmtsvc_client_resolve_total{result=\"negative\"}");
+  uint64_t fetched = counter("morph_fmtsvc_client_resolve_total{result=\"fetched\"}");
+  uint64_t failed = counter("morph_fmtsvc_client_resolve_total{result=\"failed\"}");
+  uint64_t stampede = counter("morph_fmtsvc_client_resolve_total{result=\"stampede\"}");
+  if (resolves > 0) {
+    double hit_rate = 100.0 * static_cast<double>(cached + negative) /
+                      static_cast<double>(resolves);
+    std::printf("  client: %" PRIu64 " resolves (%.1f%% cache), %" PRIu64 " fetched, %" PRIu64
+                " failed, %" PRIu64 " shared flights\n",
+                resolves, hit_rate, fetched, failed, stampede);
+    std::printf("  client: %" PRIu64 " rpcs, %" PRIu64 " retries, %" PRIu64 " published\n",
+                counter("morph_fmtsvc_client_rpcs_total"),
+                counter("morph_fmtsvc_client_retries_total"),
+                counter("morph_fmtsvc_client_published_total"));
+  }
+  uint64_t requests = 0;
+  for (const auto& [name, v] : s.counters) {
+    if (name.rfind("morph_fmtsvc_requests_total{", 0) == 0) requests += v;
+  }
+  if (requests > 0) {
+    std::printf("  server: %" PRIu64 " requests, %" PRIu64 " not-found, %" PRIu64
+                " lint-rejected, %" PRIu64 " bad frames\n",
+                requests, counter("morph_fmtsvc_server_not_found_total"),
+                counter("morph_fmtsvc_server_lint_rejected_total"),
+                counter("morph_fmtsvc_server_bad_frames_total"));
+  }
+  uint64_t rx_fetched = counter("morph_rx_resolve_total{result=\"fetched\"}");
+  uint64_t rx_degraded = counter("morph_rx_resolve_total{result=\"degraded\"}");
+  if (rx_fetched + rx_degraded > 0) {
+    std::printf("  receiver: %" PRIu64 " formats fetched out-of-band, %" PRIu64
+                " degraded to inline\n",
+                rx_fetched, rx_degraded);
+  }
+}
+
 void render(const Snapshot& s, bool with_spans) {
+  render_fmtsvc(s);
   if (!s.counters.empty()) {
     std::printf("== counters ==\n");
     for (const auto& [name, v] : s.counters) std::printf("  %-56s %12" PRIu64 "\n", name.c_str(), v);
@@ -239,6 +294,19 @@ int check(const Snapshot& s) {
   if (outcomes > messages) {
     fail("receiver outcomes " + std::to_string(outcomes) + " exceed messages " +
          std::to_string(messages));
+  }
+
+  // Resolver conservation: every resolve() lands in exactly one result
+  // bucket (cached/negative/fetched/failed/lint_rejected/stampede), so the
+  // bucket sum can never exceed the resolve count (>= for scrape races).
+  uint64_t resolves = counter("morph_fmtsvc_client_resolves_total");
+  uint64_t results = 0;
+  for (const auto& [name, v] : s.counters) {
+    if (name.rfind("morph_fmtsvc_client_resolve_total{", 0) == 0) results += v;
+  }
+  if (results > resolves) {
+    fail("fmtsvc resolve results " + std::to_string(results) + " exceed resolves " +
+         std::to_string(resolves));
   }
 
   if (failures == 0) std::printf("check OK\n");
