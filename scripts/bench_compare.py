@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare bench_ms gauges between two metrics JSON dumps.
+
+Every paper-table bench records each printed cell as a
+``bench_ms{bench="...",row="...",col="..."}`` gauge, so a ``--json`` dump is a
+machine-readable copy of its table. This script diffs those cells between a
+baseline dump and a current dump and flags throughput regressions:
+
+    scripts/bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+        --tolerance 0.10    fail when a timing cell slows down by more than
+                            this fraction (default 10%)
+        --warn-only         report regressions but always exit 0 (for runs
+                            compared against a baseline recorded on different
+                            hardware)
+
+Cells whose column name contains a '/' are ratios (e.g. "XSLT/morph",
+"hop/fused"); for those, *lower* is the regression direction, since every
+ratio in the tables is "slow path over fast path". Cells present in only one
+dump are reported but never fatal (tables legitimately grow).
+
+Exit status: 0 when no regression (or --warn-only), 1 on regression, 2 on
+usage/parse errors.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+CELL_RE = re.compile(
+    r'^bench_ms\{bench="(?P<bench>[^"]*)",row="(?P<row>[^"]*)",col="(?P<col>[^"]*)"\}$'
+)
+
+
+def load_cells(path):
+    """Return {(bench, row, col): value} from one metrics dump."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != "morph-metrics-v1":
+        sys.exit(f"bench_compare: {path} is not a morph-metrics-v1 dump")
+    cells = {}
+    for name, value in doc.get("gauges", {}).items():
+        m = CELL_RE.match(name)
+        if m:
+            cells[(m.group("bench"), m.group("row"), m.group("col"))] = float(value)
+    return cells
+
+
+def is_ratio(col):
+    return "/" in col
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="+")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--warn-only", action="store_true")
+    args = ap.parse_args()
+
+    base = load_cells(args.baseline)
+    cur = {}
+    for path in args.current:
+        cur.update(load_cells(path))
+    if not base:
+        sys.exit(f"bench_compare: no bench_ms cells in {args.baseline}")
+    if not cur:
+        sys.exit("bench_compare: no bench_ms cells in current dump(s)")
+
+    regressions = []
+    compared = 0
+    for key in sorted(base):
+        if key not in cur:
+            print(f"  [gone]    {key[0]} {key[1]}/{key[2]} (baseline only)")
+            continue
+        old, new = base[key], cur[key]
+        if old <= 0.0:
+            continue
+        compared += 1
+        change = (new - old) / old
+        label = f"{key[0]} {key[1]}/{key[2]}"
+        if is_ratio(key[2]):
+            # Ratios are slow-path over fast-path: a drop means the fast path
+            # lost ground.
+            if change < -args.tolerance:
+                regressions.append((label, old, new, change))
+                print(f"  [REGRESS] {label}: ratio {old:.4f} -> {new:.4f} ({change:+.1%})")
+            else:
+                print(f"  [ok]      {label}: ratio {old:.4f} -> {new:.4f} ({change:+.1%})")
+        else:
+            if change > args.tolerance:
+                regressions.append((label, old, new, change))
+                print(f"  [REGRESS] {label}: {old:.4f} -> {new:.4f} ({change:+.1%})")
+            else:
+                print(f"  [ok]      {label}: {old:.4f} -> {new:.4f} ({change:+.1%})")
+    for key in sorted(set(cur) - set(base)):
+        print(f"  [new]     {key[0]} {key[1]}/{key[2]} = {cur[key]:.4f}")
+
+    print(
+        f"bench_compare: {compared} cells compared, {len(regressions)} regression(s) "
+        f"beyond {args.tolerance:.0%}"
+    )
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@
 #   scripts/check.sh --ubsan       # also run the full suite under UBSan alone
 #   scripts/check.sh --bench-smoke # brief figure benches with JSON metrics
 #                                  # dumps (BENCH_*.json), schema-checked by
-#                                  # morph-stat --check
+#                                  # morph-stat --check and diffed against the
+#                                  # committed BENCH_baseline.json (>10% slowdowns
+#                                  # are flagged; MORPH_BENCH_STRICT=1 makes them
+#                                  # fatal for same-machine baselines)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,13 +36,31 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # run dumps the metrics registry (including its own table as bench_ms
   # gauges) and morph-stat validates the schema and the histogram/counter
   # invariants.
-  for b in bench_fig9_decoding bench_fig10_morphing bench_fmtsvc; do
+  for b in bench_fig8_encoding bench_fig9_decoding bench_fig10_morphing bench_fmtsvc; do
     out="BENCH_${b#bench_}.json"
     echo "--- $b -> $out"
     MORPH_BENCH_MAX_BYTES=10240 "./build/bench/$b" --json "$out"
     ./build/tools/morph-stat --check "$out" >/dev/null
   done
   echo "bench JSON dumps OK"
+
+  echo "== fused vs hop-wise A/B dump =="
+  # Same fig10 run with chain fusion disabled, kept as a separate dump so CI
+  # uploads both sides of the A/B. Not fed to the regression gate: its cells
+  # carry the same bench/row/col labels and would shadow the fused run.
+  MORPH_BENCH_MAX_BYTES=10240 ./build/bench/bench_fig10_morphing --fused off \
+    --json BENCH_fig10_morphing_fused_off.json
+  ./build/tools/morph-stat --check BENCH_fig10_morphing_fused_off.json >/dev/null
+
+  echo "== bench regression gate (vs BENCH_baseline.json) =="
+  # The committed baseline was recorded on one machine; absolute timings do
+  # not transfer, so by default regressions only warn. Set
+  # MORPH_BENCH_STRICT=1 when comparing runs from the same machine (e.g.
+  # after refreshing the baseline locally) to make >10% slowdowns fatal.
+  compare_flags=(--tolerance 0.10)
+  [[ "${MORPH_BENCH_STRICT:-0}" != "1" ]] && compare_flags+=(--warn-only)
+  python3 scripts/bench_compare.py "${compare_flags[@]}" BENCH_baseline.json \
+    BENCH_fig8_encoding.json BENCH_fig9_decoding.json BENCH_fig10_morphing.json
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then

@@ -33,6 +33,12 @@ struct RxMetrics {
   obs::Counter& transforms_compiled;
   obs::Counter& resolve_fetched;
   obs::Counter& resolve_degraded;
+  obs::Counter& morph_fused;
+  obs::Counter& morph_hopwise;
+  obs::Counter& morph_inplace;
+  obs::Counter& chain_fused_builds;
+  obs::Counter& chain_fusion_bailouts;
+  obs::Histogram& chain_hops;
   obs::Histogram& decide_hit_ns;
   obs::Histogram& decide_miss_ns;
   obs::Histogram& build_ns;
@@ -56,6 +62,13 @@ struct RxMetrics {
         transforms_compiled(obs::metrics().counter("morph_rx_transforms_compiled_total")),
         resolve_fetched(obs::metrics().counter("morph_rx_resolve_total{result=\"fetched\"}")),
         resolve_degraded(obs::metrics().counter("morph_rx_resolve_total{result=\"degraded\"}")),
+        morph_fused(obs::metrics().counter("morph_rx_fused_total")),
+        morph_hopwise(obs::metrics().counter("morph_rx_hopwise_total")),
+        morph_inplace(obs::metrics().counter("morph_rx_morph_inplace_total")),
+        chain_fused_builds(obs::metrics().counter("morph_rx_chain_fusion_total{result=\"fused\"}")),
+        chain_fusion_bailouts(
+            obs::metrics().counter("morph_rx_chain_fusion_total{result=\"bailout\"}")),
+        chain_hops(obs::metrics().histogram("morph_rx_chain_hops")),
         decide_hit_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"hit\"}")),
         decide_miss_ns(obs::metrics().histogram("morph_rx_decide_ns{result=\"miss\"}")),
         build_ns(obs::metrics().histogram("morph_rx_decision_build_ns")),
@@ -100,6 +113,11 @@ ReceiverStats ReceiverStats::delta(const ReceiverStats& earlier) const {
   d.cache_flushes = cache_flushes - earlier.cache_flushes;
   d.resolve_fetched = resolve_fetched - earlier.resolve_fetched;
   d.resolve_degraded = resolve_degraded - earlier.resolve_degraded;
+  d.morph_fused = morph_fused - earlier.morph_fused;
+  d.morph_hopwise = morph_hopwise - earlier.morph_hopwise;
+  d.morph_inplace = morph_inplace - earlier.morph_inplace;
+  d.chains_fused = chains_fused - earlier.chains_fused;
+  d.fusion_bailouts = fusion_bailouts - earlier.fusion_bailouts;
   return d;
 }
 
@@ -191,6 +209,11 @@ ReceiverStats Receiver::stats() const {
   s.cache_flushes = stats_.cache_flushes.load(kRelaxed);
   s.resolve_fetched = stats_.resolve_fetched.load(kRelaxed);
   s.resolve_degraded = stats_.resolve_degraded.load(kRelaxed);
+  s.morph_fused = stats_.morph_fused.load(kRelaxed);
+  s.morph_hopwise = stats_.morph_hopwise.load(kRelaxed);
+  s.morph_inplace = stats_.morph_inplace.load(kRelaxed);
+  s.chains_fused = stats_.chains_fused.load(kRelaxed);
+  s.fusion_bailouts = stats_.fusion_bailouts.load(kRelaxed);
   return s;
 }
 
@@ -369,7 +392,7 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
     copts.verify = options_.verify;
     copts.fuel_limit = options_.verify_fuel_limit;
     try {
-      d.chain = std::make_shared<MorphChain>(*specs, copts);
+      d.chain = std::make_shared<MorphChain>(*specs, copts, options_.fuse);
     } catch (const ecode::VerifyError& e) {
       // Peer-supplied code failed static verification: reject the format
       // before any native code exists. The structured findings name the
@@ -392,7 +415,25 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
     }
     stats_.transforms_compiled.fetch_add(d.chain->hops(), kRelaxed);
     rx().transforms_compiled.add(d.chain->hops());
+    // Fusion happened (or bailed) inside the chain compile above — i.e.
+    // once per (wire format, chain) under this entry's once-flag.
+    rx().chain_hops.record(static_cast<int64_t>(d.chain->hops()));
+    if (d.chain->fused()) {
+      stats_.chains_fused.fetch_add(1, kRelaxed);
+      rx().chain_fused_builds.inc();
+    } else {
+      stats_.fusion_bailouts.fetch_add(1, kRelaxed);
+      rx().chain_fusion_bailouts.inc();
+      MORPH_LOG_INFO("receiver") << "morph chain for fingerprint " << fingerprint
+                                 << " runs hop-wise: " << d.chain->fusion_bailout();
+    }
+    // Decode-into-morph: the conversion plan targets the chain's source
+    // layout directly, and when the wire layout already *is* that layout
+    // the in-place decoder lets process_in_place skip conversion entirely.
     d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, d.chain->src_format());
+    if (fm->fingerprint() == d.chain->src_format()->fingerprint()) {
+      d.morph_decoder = std::make_unique<pbio::Decoder>(d.chain->src_format());
+    }
     native_fmt = d.chain->dst_format();
   } else {
     native_fmt = pbio::relayout(*fm);
@@ -476,7 +517,16 @@ Outcome Receiver::process(const void* buf, size_t size, RecordArena& arena) {
   uint64_t t1 = obs::monotonic_ns();
   if (d.decode_ns != nullptr) d.decode_ns->record(t1 - t0);
   if (d.chain || d.reconciler) {
-    if (d.chain) record = d.chain->apply(record, arena);
+    if (d.chain) {
+      record = d.chain->apply(record, arena);
+      if (d.chain->fused()) {
+        stats_.morph_fused.fetch_add(1, kRelaxed);
+        rx().morph_fused.inc();
+      } else {
+        stats_.morph_hopwise.fetch_add(1, kRelaxed);
+        rx().morph_hopwise.inc();
+      }
+    }
     if (d.reconciler) record = d.reconciler->apply(record, arena);
     if (d.morph_ns != nullptr) d.morph_ns->record(obs::monotonic_ns() - t1);
   }
@@ -499,6 +549,31 @@ Outcome Receiver::process_in_place(void* buf, size_t size, RecordArena& arena) {
       return finish_delivery(d, record);
     }
     // Foreign byte order: fall through to the copying path.
+  }
+  if (d.chain != nullptr && d.morph_decoder != nullptr) {
+    // Decode-into-morph zero-copy path: the wire layout equals the chain's
+    // source layout, so rewrite pointers in the caller's buffer and feed
+    // the record straight into the (ideally fused) chain — the conversion
+    // plan never runs and no source-side record is materialized.
+    void* record = d.morph_decoder->decode_in_place(buf, size);
+    if (record != nullptr) {
+      stats_.messages.fetch_add(1, kRelaxed);
+      stats_.morph_inplace.fetch_add(1, kRelaxed);
+      rx().messages.inc();
+      rx().morph_inplace.inc();
+      uint64_t t0 = obs::monotonic_ns();
+      record = d.chain->apply(record, arena);
+      if (d.chain->fused()) {
+        stats_.morph_fused.fetch_add(1, kRelaxed);
+        rx().morph_fused.inc();
+      } else {
+        stats_.morph_hopwise.fetch_add(1, kRelaxed);
+        rx().morph_hopwise.inc();
+      }
+      if (d.reconciler) record = d.reconciler->apply(record, arena);
+      if (d.morph_ns != nullptr) d.morph_ns->record(obs::monotonic_ns() - t0);
+      return finish_delivery(d, record);
+    }
   }
   return process(buf, size, arena);
 }

@@ -104,6 +104,12 @@ struct ReceiverOptions {
   /// that with its own deadline).
   FormatSource* format_source = nullptr;
   ResolvePolicy resolve = ResolvePolicy::kFail;
+  /// Fuse multi-hop morph chains into one compiled transform during the
+  /// once-per-format decision build (see ecode/fuse.hpp). Purely an
+  /// execution-strategy switch: a chain that cannot fuse falls back to
+  /// hop-wise execution transparently, visible in stats().fusion_bailouts
+  /// and the morph_rx_chain_fusion_total metrics.
+  bool fuse = true;
 };
 
 /// A point-in-time copy of the receiver's counters (the live counters are
@@ -124,6 +130,11 @@ struct ReceiverStats {
   uint64_t cache_flushes = 0;
   uint64_t resolve_fetched = 0;   // unknown formats fetched out-of-band
   uint64_t resolve_degraded = 0;  // resolve attempts that fell back (failed)
+  uint64_t morph_fused = 0;       // messages morphed by a fused chain
+  uint64_t morph_hopwise = 0;     // messages morphed hop by hop
+  uint64_t morph_inplace = 0;     // morphs fed by an in-place (zero-copy) decode
+  uint64_t chains_fused = 0;      // decision builds that installed a fused chain
+  uint64_t fusion_bailouts = 0;   // decision builds that fell back to hop-wise
 
   /// Field-wise `*this - earlier`: what happened between two snapshots.
   /// Counters are monotone, so with snapshots taken in order every delta
@@ -197,6 +208,10 @@ class Receiver {
     pbio::FormatPtr deliver_fmt;                        // handler's format
     std::unique_ptr<pbio::ConversionPlan> decode_plan;  // wire -> native
     std::unique_ptr<pbio::Decoder> exact_decoder;       // kExact only: in-place path
+    /// Morph decisions whose wire layout already equals the chain's source
+    /// layout: process_in_place() decodes in the caller's buffer and feeds
+    /// the chain directly, skipping the conversion plan entirely.
+    std::unique_ptr<pbio::Decoder> morph_decoder;
     std::shared_ptr<MorphChain> chain;                  // optional
     std::unique_ptr<Reconciler> reconciler;             // optional
     // Per-format latency series, resolved once at build time so the
@@ -247,6 +262,11 @@ class Receiver {
     std::atomic<uint64_t> cache_flushes{0};
     std::atomic<uint64_t> resolve_fetched{0};
     std::atomic<uint64_t> resolve_degraded{0};
+    std::atomic<uint64_t> morph_fused{0};
+    std::atomic<uint64_t> morph_hopwise{0};
+    std::atomic<uint64_t> morph_inplace{0};
+    std::atomic<uint64_t> chains_fused{0};
+    std::atomic<uint64_t> fusion_bailouts{0};
   };
 
   Shard& shard_for(uint64_t fingerprint) {

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/error.hpp"
+#include "ecode/fuse.hpp"
 #include "pbio/record.hpp"
 
 namespace morph::core {
@@ -103,7 +104,7 @@ MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs, ecode::Ex
       }()) {}
 
 MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs,
-                       const ecode::CompileOptions& options) {
+                       const ecode::CompileOptions& options, bool fuse) {
   if (specs.empty()) throw Error("MorphChain: empty spec list");
   // Every hop writes its destination record (parameter 0) from its source;
   // the caller's dst_params choice does not apply hop-wise.
@@ -124,15 +125,59 @@ MorphChain::MorphChain(const std::vector<const TransformSpec*>& specs,
     cur = dst;
   }
   dst_fmt_ = cur;
+  // Findings are immutable once the hops exist; collect them once so
+  // verify_findings() can hand out a reference on the hot inspection paths.
+  for (const auto& s : steps_) {
+    verify_findings_.insert(verify_findings_.end(), s.transform.verify_findings().begin(),
+                            s.transform.verify_findings().end());
+  }
+  if (fuse) {
+    attempt_fusion(specs, hop_options);
+  } else {
+    fusion_bailout_ = "fusion disabled";
+  }
 }
 
-std::vector<ecode::VerifyFinding> MorphChain::verify_findings() const {
-  std::vector<ecode::VerifyFinding> out;
-  for (const auto& s : steps_) {
-    out.insert(out.end(), s.transform.verify_findings().begin(),
-               s.transform.verify_findings().end());
+void MorphChain::attempt_fusion(const std::vector<const TransformSpec*>& specs,
+                                const ecode::CompileOptions& options) {
+  if (specs.size() < 2) {
+    fusion_bailout_ = "single-hop chain";
+    return;
   }
-  return out;
+  if (fuel_instrumented()) {
+    // A fuel-guarded hop has its own per-hop budget; a fused program would
+    // share one budget across all hops and give up at a different point.
+    fusion_bailout_ = "fuel-instrumented hop";
+    return;
+  }
+  std::vector<ecode::FuseHop> hops;
+  hops.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    hops.push_back(ecode::FuseHop{specs[i]->code, specs[i]->dst_param, specs[i]->src_param,
+                                  steps_[i].dst_fmt});
+  }
+  ecode::FuseResult fused = ecode::fuse_chain(hops);
+  if (!fused.ok) {
+    fusion_bailout_ = fused.bailout;
+    return;
+  }
+  try {
+    ecode::Transform t = ecode::Transform::compile(
+        fused.source,
+        {{specs.back()->dst_param, dst_fmt_}, {specs.front()->src_param, src_fmt_}}, options);
+    if (t.fuel_instrumented()) {
+      // The hops all certified but the fused program did not: running it
+      // would introduce a fuel cliff the hop-wise path does not have.
+      fusion_bailout_ = "fused program required fuel instrumentation";
+      return;
+    }
+    fused_ = std::move(t);
+    fused_source_ = std::move(fused.source);
+  } catch (const ecode::VerifyError&) {
+    fusion_bailout_ = "fused program failed verification";
+  } catch (const EcodeError& e) {
+    fusion_bailout_ = std::string("fused program failed to compile: ") + e.what();
+  }
 }
 
 bool MorphChain::fuel_instrumented() const {
@@ -150,6 +195,15 @@ bool MorphChain::jitted() const {
 }
 
 void* MorphChain::apply(void* src_record, RecordArena& arena) const {
+  if (fused_) {
+    void* dst = pbio::alloc_record(*dst_fmt_, arena);
+    fused_->run2(dst, src_record, arena);
+    return dst;
+  }
+  return apply_hopwise(src_record, arena);
+}
+
+void* MorphChain::apply_hopwise(void* src_record, RecordArena& arena) const {
   void* cur = src_record;
   for (const auto& step : steps_) {
     void* dst = pbio::alloc_record(*step.dst_fmt, arena);

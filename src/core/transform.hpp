@@ -64,6 +64,14 @@ using VerifyPolicy = ecode::VerifyMode;
 /// host-native relayouts of the spec formats (the specs themselves may
 /// carry a foreign sender's layouts), so the chain maps a native record of
 /// src_format() into a fresh native record of dst_format().
+///
+/// Chains of two or more hops additionally attempt *fusion* (ecode/fuse.hpp):
+/// the hops are rewritten into one Ecode program with the intermediate
+/// records replaced by locals, compiled under the same options, and used by
+/// apply() so a morph touches no intermediate record at all. Fusion is
+/// strictly an optimization — when it bails (fusion_bailout() says why) the
+/// hop-wise path runs instead, and apply_hopwise() always remains available
+/// as the correctness oracle.
 class MorphChain {
  public:
   MorphChain(const std::vector<const TransformSpec*>& specs,
@@ -72,22 +80,38 @@ class MorphChain {
   /// Compile with full options: each hop is verified per `options.verify`
   /// (the hop's destination record is always verify parameter 0). In
   /// enforce mode a hop that fails verification throws ecode::VerifyError
-  /// before any native code for the chain is installed.
+  /// before any native code for the chain is installed. `fuse` gates the
+  /// fused-execution attempt; a fused program that fails to compile or
+  /// verify silently falls back to hop-wise execution.
   MorphChain(const std::vector<const TransformSpec*>& specs,
-             const ecode::CompileOptions& options);
+             const ecode::CompileOptions& options, bool fuse = true);
 
   const pbio::FormatPtr& src_format() const { return src_fmt_; }
   const pbio::FormatPtr& dst_format() const { return dst_fmt_; }
   size_t hops() const { return steps_.size(); }
   bool jitted() const;
 
-  /// Run the chain. The returned record (and everything it points to) is
-  /// allocated from `arena`.
+  /// Run the chain — single fused pass when available, hop-wise otherwise.
+  /// The returned record (and everything it points to) is allocated from
+  /// `arena`.
   void* apply(void* src_record, RecordArena& arena) const;
 
+  /// Run the chain hop by hop, materializing every intermediate record.
+  /// This is the reference execution fused output is compared against.
+  void* apply_hopwise(void* src_record, RecordArena& arena) const;
+
+  /// True when apply() runs the single fused transform.
+  bool fused() const { return fused_.has_value(); }
+
+  /// Why fusion was not used (empty when fused() is true).
+  const std::string& fusion_bailout() const { return fusion_bailout_; }
+
+  /// The fused Ecode program (empty unless fused()); diagnostics only.
+  const std::string& fused_source() const { return fused_source_; }
+
   /// Verifier findings across all hops, in hop order (empty when compiled
-  /// with VerifyPolicy kOff).
-  std::vector<ecode::VerifyFinding> verify_findings() const;
+  /// with VerifyPolicy kOff). Collected once at compile time.
+  const std::vector<ecode::VerifyFinding>& verify_findings() const { return verify_findings_; }
 
   /// True when any hop had an uncertifiable loop rewritten with a fuel guard.
   bool fuel_instrumented() const;
@@ -97,9 +121,16 @@ class MorphChain {
     ecode::Transform transform;
     pbio::FormatPtr dst_fmt;  // host layout
   };
+  void attempt_fusion(const std::vector<const TransformSpec*>& specs,
+                      const ecode::CompileOptions& options);
+
   pbio::FormatPtr src_fmt_;  // host layout
   pbio::FormatPtr dst_fmt_;  // host layout
   std::vector<Step> steps_;
+  std::optional<ecode::Transform> fused_;
+  std::string fused_source_;
+  std::string fusion_bailout_;
+  std::vector<ecode::VerifyFinding> verify_findings_;
 };
 
 }  // namespace morph::core

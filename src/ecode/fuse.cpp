@@ -1,0 +1,444 @@
+#include "ecode/fuse.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "ecode/ast.hpp"
+#include "ecode/parser.hpp"
+#include "pbio/field_type.hpp"
+
+namespace morph::ecode {
+namespace {
+
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatDescriptor;
+
+/// Internal control flow: thrown wherever the rewriter meets a construct
+/// it cannot prove equivalent, caught once in fuse_chain.
+struct Bail {
+  std::string reason;
+};
+
+/// One intermediate record replaced by locals.
+struct Inter {
+  int index = 0;
+  const FormatDescriptor* fmt = nullptr;
+};
+
+/// Name-resolution context while printing one hop.
+struct HopCtx {
+  int hop = 0;
+  bool final_hop = false;
+  const std::string* dst_param = nullptr;
+  const std::string* src_param = nullptr;
+  const Inter* dst_inter = nullptr;  // null when the hop writes the real dst
+  const Inter* src_inter = nullptr;  // null when the hop reads the real src
+};
+
+bool valid_ident(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return true;
+}
+
+std::string inter_local(const Inter& in, const std::string& field) {
+  return "__m" + std::to_string(in.index) + "_" + field;
+}
+
+const FieldDescriptor* find_field(const FormatDescriptor& fmt, const std::string& name) {
+  for (const auto& fd : fmt.fields()) {
+    if (fd.name == name) return &fd;
+  }
+  return nullptr;
+}
+
+/// Statement that reproduces the store-then-load semantics of `fd` on an
+/// i64 local: stores to narrow record fields truncate and integer reads
+/// sign- or zero-extend (pbio/record.cpp), so the local must be folded to
+/// the same value after every write. Empty when the 8-byte store is exact.
+std::string trunc_fixup(const FieldDescriptor& fd, const std::string& local) {
+  uint32_t width = fd.size;
+  bool sign = false;
+  switch (fd.kind) {
+    case FieldKind::kInt:
+      sign = true;
+      break;
+    case FieldKind::kEnum:
+      sign = true;
+      width = 4;
+      break;
+    case FieldKind::kUInt:
+      break;
+    case FieldKind::kChar:
+      width = 1;  // stored as char, read back as unsigned char
+      break;
+    default:
+      return "";  // f64 round-trips exactly
+  }
+  if (width >= 8) return "";
+  uint64_t mask = (uint64_t{1} << (8 * width)) - 1;
+  if (!sign) return local + " = " + local + " & " + std::to_string(mask) + ";";
+  uint64_t bit = uint64_t{1} << (8 * width - 1);
+  return local + " = ((" + local + " & " + std::to_string(mask) + ") ^ " + std::to_string(bit) +
+         ") - " + std::to_string(bit) + ";";
+}
+
+/// Pretty-printer for one hop's AST with intermediate records replaced by
+/// locals and hop locals renamed into a per-hop namespace.
+class HopPrinter {
+ public:
+  HopPrinter(const HopCtx& ctx, std::string& out) : c_(ctx), out_(out) {}
+
+  void stmt(const Stmt& s, int depth) {
+    switch (s.kind) {
+      case StmtKind::kDecl:
+        line(depth, decl_text(s) + ";");
+        return;
+      case StmtKind::kAssign: {
+        auto [text, fixup] = assign_text(s);
+        line(depth, text + ";");
+        if (!fixup.empty()) line(depth, fixup);
+        return;
+      }
+      case StmtKind::kIncDec: {
+        auto [text, fixup] = incdec_text(s);
+        line(depth, text + ";");
+        if (!fixup.empty()) line(depth, fixup);
+        return;
+      }
+      case StmtKind::kExpr:
+        line(depth, expr(*s.expr) + ";");
+        return;
+      case StmtKind::kIf:
+        line(depth, "if (" + expr(*s.expr) + ")");
+        branch(*s.then_branch, depth);
+        if (s.else_branch) {
+          line(depth, "else");
+          branch(*s.else_branch, depth);
+        }
+        return;
+      case StmtKind::kWhile:
+        line(depth, "while (" + expr(*s.expr) + ")");
+        branch(*s.body, depth);
+        return;
+      case StmtKind::kDoWhile:
+        line(depth, "do");
+        branch(*s.body, depth);
+        line(depth, "while (" + expr(*s.expr) + ");");
+        return;
+      case StmtKind::kFor:
+        print_for(s, depth);
+        return;
+      case StmtKind::kBlock:
+        line(depth, "{");
+        for (const auto& inner : s.stmts) stmt(*inner, depth + 1);
+        line(depth, "}");
+        return;
+      case StmtKind::kReturn:
+        if (!c_.final_hop) throw Bail{"'return' in a non-final hop"};
+        line(depth, "return;");
+        return;
+      case StmtKind::kBreak:
+        line(depth, "break;");
+        return;
+      case StmtKind::kContinue:
+        line(depth, "continue;");
+        return;
+    }
+    throw Bail{"unsupported statement kind"};
+  }
+
+ private:
+  void line(int depth, const std::string& text) {
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+
+  /// Print an if/loop branch as a braced block regardless of the original
+  /// shape — braces never change Ecode semantics and keep fixup statements
+  /// attached to their assignment.
+  void branch(const Stmt& s, int depth) {
+    if (s.kind == StmtKind::kBlock) {
+      stmt(s, depth);
+      return;
+    }
+    line(depth, "{");
+    stmt(s, depth + 1);
+    line(depth, "}");
+  }
+
+  void print_for(const Stmt& s, int depth) {
+    std::string init;
+    if (s.for_init) {
+      switch (s.for_init->kind) {
+        case StmtKind::kDecl:
+          init = decl_text(*s.for_init);
+          break;
+        case StmtKind::kAssign: {
+          auto [text, fixup] = assign_text(*s.for_init);
+          if (fixup.empty()) {
+            init = text;
+          } else {
+            // The init clause runs exactly once before the loop; hoisting
+            // it keeps the fixup adjacent to the truncating write.
+            line(depth, text + ";");
+            line(depth, fixup);
+          }
+          break;
+        }
+        case StmtKind::kExpr:
+          init = expr(*s.for_init->expr);
+          break;
+        default:
+          throw Bail{"unsupported for-init clause"};
+      }
+    }
+    std::string step;
+    if (s.for_step) {
+      switch (s.for_step->kind) {
+        case StmtKind::kAssign: {
+          auto [text, fixup] = assign_text(*s.for_step);
+          if (!fixup.empty()) throw Bail{"for-step writes a truncating intermediate field"};
+          step = text;
+          break;
+        }
+        case StmtKind::kIncDec: {
+          auto [text, fixup] = incdec_text(*s.for_step);
+          if (!fixup.empty()) throw Bail{"for-step writes a truncating intermediate field"};
+          step = text;
+          break;
+        }
+        case StmtKind::kExpr:
+          step = expr(*s.for_step->expr);
+          break;
+        default:
+          throw Bail{"unsupported for-step clause"};
+      }
+    }
+    std::string cond = s.expr ? expr(*s.expr) : std::string();
+    line(depth, "for (" + init + "; " + cond + "; " + step + ")");
+    branch(*s.body, depth);
+  }
+
+  std::string decl_text(const Stmt& s) {
+    std::string out;
+    switch (s.decl_type) {
+      case TyKind::kInt:
+        out = "long ";
+        break;
+      case TyKind::kFloat:
+        out = "double ";
+        break;
+      default:
+        throw Bail{"unsupported declaration type"};
+    }
+    for (size_t i = 0; i < s.decls.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += local_name(s.decls[i].name);
+      if (s.decls[i].init) out += " = " + expr(*s.decls[i].init);
+    }
+    return out;
+  }
+
+  /// (statement text, fixup statement or empty).
+  std::pair<std::string, std::string> assign_text(const Stmt& s) {
+    static const char* kOps[] = {"=", "+=", "-=", "*=", "/=", "%="};
+    const char* op = kOps[static_cast<int>(s.assign_op)];
+    auto [fd, local] = inter_target(*s.lvalue);
+    std::string lhs = fd ? local : expr(*s.lvalue);
+    std::string text = lhs + " " + op + " " + expr(*s.expr);
+    return {text, fd ? trunc_fixup(*fd, local) : std::string()};
+  }
+
+  std::pair<std::string, std::string> incdec_text(const Stmt& s) {
+    auto [fd, local] = inter_target(*s.lvalue);
+    std::string lhs = fd ? local : expr(*s.lvalue);
+    std::string text = lhs + (s.inc_delta > 0 ? "++" : "--");
+    return {text, fd ? trunc_fixup(*fd, local) : std::string()};
+  }
+
+  /// When `lv` is a field of an intermediate record, its descriptor and the
+  /// replacement local; {nullptr, ""} otherwise.
+  std::pair<const FieldDescriptor*, std::string> inter_target(const Expr& lv) {
+    if (lv.kind == ExprKind::kFieldAccess && lv.a && lv.a->kind == ExprKind::kVarRef) {
+      const Inter* in = nullptr;
+      if (lv.a->str_value == *c_.dst_param) {
+        in = c_.dst_inter;
+      } else if (lv.a->str_value == *c_.src_param) {
+        in = c_.src_inter;
+      }
+      if (in) {
+        const FieldDescriptor* fd = find_field(*in->fmt, lv.str_value);
+        if (!fd) throw Bail{"unknown intermediate field '" + lv.str_value + "'"};
+        return {fd, inter_local(*in, lv.str_value)};
+      }
+    }
+    return {nullptr, std::string()};
+  }
+
+  std::string local_name(const std::string& name) {
+    return "__h" + std::to_string(c_.hop) + "_" + name;
+  }
+
+  std::string expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return int_literal(e.int_value);
+      case ExprKind::kFloatLit:
+        return float_literal(e.float_value);
+      case ExprKind::kStringLit:
+        return quote(e.str_value);
+      case ExprKind::kVarRef:
+        if (e.str_value == *c_.dst_param) {
+          if (c_.dst_inter) throw Bail{"whole-record use of an intermediate record"};
+          return e.str_value;
+        }
+        if (e.str_value == *c_.src_param) {
+          if (c_.src_inter) throw Bail{"whole-record use of an intermediate record"};
+          return e.str_value;
+        }
+        return local_name(e.str_value);
+      case ExprKind::kFieldAccess: {
+        auto [fd, local] = inter_target(e);
+        if (fd) return local;
+        return expr(*e.a) + "." + e.str_value;
+      }
+      case ExprKind::kIndex:
+        return expr(*e.a) + "[" + expr(*e.b) + "]";
+      case ExprKind::kUnary: {
+        const char* op = e.un_op == UnOp::kNeg ? "-" : e.un_op == UnOp::kNot ? "!" : "~";
+        return std::string("(") + op + "(" + expr(*e.a) + "))";
+      }
+      case ExprKind::kBinary: {
+        static const char* kOps[] = {"+",  "-",  "*",  "/", "%", "==", "!=", "<", "<=",
+                                     ">",  ">=", "&&", "||", "&", "|",  "^",  "<<", ">>"};
+        return "(" + expr(*e.a) + " " + kOps[static_cast<int>(e.bin_op)] + " " + expr(*e.b) + ")";
+      }
+      case ExprKind::kCond:
+        return "(" + expr(*e.a) + " ? " + expr(*e.b) + " : " + expr(*e.c) + ")";
+      case ExprKind::kCall: {
+        std::string out = e.str_value + "(";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += expr(*e.args[i]);
+        }
+        return out + ")";
+      }
+    }
+    throw Bail{"unsupported expression kind"};
+  }
+
+  static std::string int_literal(int64_t v) {
+    if (v == INT64_MIN) return "(-9223372036854775807 - 1)";
+    return std::to_string(v);
+  }
+
+  static std::string float_literal(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    std::string t = buf;
+    if (t.find_first_of(".eE") == std::string::npos) t += ".0";
+    return t;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\0': out += "\\0"; break;
+        default: out += ch;
+      }
+    }
+    return out + "\"";
+  }
+
+  const HopCtx& c_;
+  std::string& out_;
+};
+
+}  // namespace
+
+FuseResult fuse_chain(const std::vector<FuseHop>& hops) {
+  FuseResult result;
+  try {
+    if (hops.size() < 2) throw Bail{"chain has fewer than two hops"};
+    const std::string& dst_name = hops.back().dst_param;
+    const std::string& src_name = hops.front().src_param;
+    if (dst_name == src_name) throw Bail{"final destination and original source share a name"};
+    for (const auto& h : hops) {
+      if (h.dst_param == h.src_param) throw Bail{"hop parameters share a name"};
+      if (!h.dst_fmt) throw Bail{"hop without a destination format"};
+    }
+
+    // Every intermediate field must be a fixed scalar an i64/f64 local can
+    // represent exactly (f32 stores round, so only f64 floats qualify).
+    std::vector<Inter> inters;
+    inters.reserve(hops.size() - 1);
+    for (size_t k = 0; k + 1 < hops.size(); ++k) {
+      const FormatDescriptor& fmt = *hops[k].dst_fmt;
+      for (const auto& fd : fmt.fields()) {
+        const std::string where = "'" + fmt.name() + "." + fd.name + "'";
+        if (!pbio::is_fixed_scalar(fd.kind)) {
+          throw Bail{"intermediate field " + where + " is not a fixed-size scalar"};
+        }
+        if (fd.kind == FieldKind::kFloat && fd.size != 8) {
+          throw Bail{"intermediate float field " + where + " is narrower than f64"};
+        }
+        if (!valid_ident(fd.name)) {
+          throw Bail{"intermediate field " + where + " is not a printable identifier"};
+        }
+      }
+      inters.push_back(Inter{static_cast<int>(k), hops[k].dst_fmt.get()});
+    }
+
+    std::vector<std::unique_ptr<Program>> progs;
+    progs.reserve(hops.size());
+    for (const auto& h : hops) progs.push_back(parse(h.code));
+
+    std::string out = "/* fused " + std::to_string(hops.size()) + "-hop chain: " + src_name +
+                      " -> " + dst_name + " */\n";
+    for (const auto& in : inters) {
+      for (const auto& fd : in.fmt->fields()) {
+        bool f = fd.kind == FieldKind::kFloat;
+        out += std::string(f ? "double " : "long ") + inter_local(in, fd.name) +
+               (f ? " = 0.0;\n" : " = 0;\n");
+      }
+    }
+    for (size_t k = 0; k < hops.size(); ++k) {
+      HopCtx ctx;
+      ctx.hop = static_cast<int>(k);
+      ctx.final_hop = k + 1 == hops.size();
+      ctx.dst_param = &hops[k].dst_param;
+      ctx.src_param = &hops[k].src_param;
+      ctx.dst_inter = ctx.final_hop ? nullptr : &inters[k];
+      ctx.src_inter = k == 0 ? nullptr : &inters[k - 1];
+      out += "{\n";
+      HopPrinter printer(ctx, out);
+      for (const auto& st : progs[k]->stmts) printer.stmt(*st, 1);
+      out += "}\n";
+    }
+    result.ok = true;
+    result.source = std::move(out);
+  } catch (const Bail& b) {
+    result.bailout = b.reason;
+  } catch (const EcodeError& e) {
+    result.bailout = std::string("hop failed to parse: ") + e.what();
+  }
+  return result;
+}
+
+}  // namespace morph::ecode

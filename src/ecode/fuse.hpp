@@ -1,0 +1,51 @@
+// Chain fusion: compose an N-hop transform chain into one Ecode program.
+//
+// A MorphChain normally materializes one intermediate record per hop. When
+// every intermediate field is a plain fixed-size scalar, the chain can be
+// rewritten source-to-source into a single program whose intermediate
+// "records" are i64/f64 locals: hop k's writes land in locals that hop k+1
+// reads, and only the final hop touches a real destination record. The
+// rewriter reproduces record store semantics exactly — a store to an int4
+// field truncates to 32 bits and a later read sign-extends, so every
+// assignment to a narrow intermediate local is followed by an arithmetic
+// truncation fixup that makes the local bit-identical to what a real field
+// round-trip would have produced.
+//
+// Fusion is best-effort: any construct whose single-pass semantics cannot
+// be proven identical to the hop-wise execution (string/array/struct/
+// float4 intermediate fields, `return` in a non-final hop, whole-record
+// value uses, truncating writes in a `for` step clause) makes fuse_chain
+// bail with a reason, and the caller keeps the hop-wise path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::ecode {
+
+/// One hop of the chain, in execution order. `dst_fmt` must be the
+/// host-native relayout the hop was (or will be) compiled against; for
+/// every hop but the last it is the intermediate format that fusion
+/// replaces with locals.
+struct FuseHop {
+  std::string code;
+  std::string dst_param;
+  std::string src_param;
+  pbio::FormatPtr dst_fmt;
+};
+
+struct FuseResult {
+  bool ok = false;
+  std::string source;   // fused Ecode program (valid only when ok)
+  std::string bailout;  // reason fusion was abandoned (valid only when !ok)
+};
+
+/// Fuse `hops` into a single two-parameter program: parameter 0 is the
+/// final hop's destination (named hops.back().dst_param) and parameter 1
+/// the first hop's source (named hops.front().src_param). Requires at
+/// least two hops. Never throws; failures are reported via the result.
+FuseResult fuse_chain(const std::vector<FuseHop>& hops);
+
+}  // namespace morph::ecode

@@ -121,6 +121,22 @@ bool scalar_compatible(const FieldDescriptor& a, const FieldDescriptor& b) {
   return is_fixed_scalar(a.kind) && is_fixed_scalar(b.kind);
 }
 
+/// Would converting a wire scalar of (wk, size) into a host scalar of
+/// (hk, size) reproduce the wire bytes unchanged (after any byteswap)?
+/// Same-size integer-family pairs round-trip exactly: the widening load
+/// (sign- or zero-extend) and the truncating store cancel out. Floats only
+/// match floats of the same width; cross float/int conversions change the
+/// representation.
+bool kinds_byte_identical(FieldKind wk, uint32_t wsize, FieldKind hk, uint32_t hsize) {
+  if (wsize != hsize) return false;
+  if (wk == hk) return true;
+  auto int_family = [](FieldKind k) {
+    return k == FieldKind::kInt || k == FieldKind::kUInt || k == FieldKind::kEnum ||
+           k == FieldKind::kChar;
+  };
+  return int_family(wk) && int_family(hk);
+}
+
 bool element_compatible(const FieldDescriptor& w, const FieldDescriptor& h) {
   bool w_struct = w.element_format != nullptr;
   bool h_struct = h.element_format != nullptr;
@@ -171,7 +187,7 @@ WireInfo peek_header(const void* buf, size_t size) {
 // ---------------------------------------------------------------------------
 
 struct ConversionPlan::Impl {
-  enum class Op : uint8_t { kScalar, kEnumRemap, kString, kStruct, kArray, kDefault };
+  enum class Op : uint8_t { kScalar, kEnumRemap, kString, kStruct, kArray, kDefault, kCopyRun };
 
   struct Step {
     Op op;
@@ -181,6 +197,13 @@ struct ConversionPlan::Impl {
     const FieldDescriptor* src_len = nullptr;  // wire dyn-array count field
     const FieldDescriptor* dst_len = nullptr;  // host dyn-array count field
     std::vector<std::pair<int32_t, int32_t>> enum_remap;  // sorted by wire value
+    // kCopyRun: total bytes covered, and the (width, count) batches a
+    // foreign-order message needs to byteswap the run in place.
+    uint32_t run_bytes = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> swap_runs;
+    // kArray of basic scalars whose wire/host element layout is
+    // byte-identical: the whole element block can be bulk-copied.
+    bool elem_identity = false;
   };
 
   const FormatDescriptor* wire = nullptr;
@@ -188,6 +211,8 @@ struct ConversionPlan::Impl {
   std::vector<Step> steps;
   bool lossy = false;
   size_t defaulted = 0;
+  size_t coalesced_runs = 0;    // totals include nested sub-plans
+  size_t coalesced_fields = 0;
 
   static std::unique_ptr<Impl> compile(const FormatDescriptor& w, const FormatDescriptor& h,
                                        int depth) {
@@ -250,11 +275,72 @@ struct ConversionPlan::Impl {
             impl->lossy = true;
             impl->defaulted += s.sub->defaulted;
           }
+        } else if (wf->element_kind != FieldKind::kString &&
+                   hf.element_kind != FieldKind::kString) {
+          s.elem_identity = kinds_byte_identical(wf->element_kind, wf->element_size,
+                                                 hf.element_kind, hf.element_size) &&
+                            wf->element_stride() == hf.element_stride();
         }
       }
       impl->steps.push_back(std::move(s));
     }
+    impl->coalesce();
+    for (const auto& s : impl->steps) {
+      if (s.sub) {
+        impl->coalesced_runs += s.sub->coalesced_runs;
+        impl->coalesced_fields += s.sub->coalesced_fields;
+      }
+    }
     return impl;
+  }
+
+  /// Post-pass: merge maximal runs of >= 2 scalar steps whose wire and host
+  /// fields are byte-identical and strictly adjacent in both layouts into a
+  /// single kCopyRun. In host order the run executes as one memcpy; in
+  /// foreign order it byteswaps batches of same-width fields.
+  void coalesce() {
+    std::vector<Step> out;
+    out.reserve(steps.size());
+    size_t i = 0;
+    while (i < steps.size()) {
+      size_t j = i;
+      uint32_t src_end = 0;
+      uint32_t dst_end = 0;
+      while (j < steps.size()) {
+        const Step& s = steps[j];
+        if (s.op != Op::kScalar ||
+            !kinds_byte_identical(s.src->kind, s.src->size, s.dst->kind, s.dst->size)) {
+          break;
+        }
+        if (j > i && (s.src->offset != src_end || s.dst->offset != dst_end)) break;
+        src_end = s.src->offset + s.src->size;
+        dst_end = s.dst->offset + s.dst->size;
+        ++j;
+      }
+      if (j - i >= 2) {
+        Step run;
+        run.op = Op::kCopyRun;
+        run.src = steps[i].src;
+        run.dst = steps[i].dst;
+        run.run_bytes = src_end - steps[i].src->offset;
+        for (size_t k = i; k < j; ++k) {
+          uint32_t width = steps[k].src->size;
+          if (!run.swap_runs.empty() && run.swap_runs.back().first == width) {
+            run.swap_runs.back().second += 1;
+          } else {
+            run.swap_runs.emplace_back(width, 1);
+          }
+        }
+        coalesced_runs += 1;
+        coalesced_fields += j - i;
+        out.push_back(std::move(run));
+        i = j;
+      } else {
+        out.push_back(std::move(steps[i]));
+        ++i;
+      }
+    }
+    steps = std::move(out);
   }
 };
 
@@ -337,6 +423,19 @@ void exec_array(const ConversionPlan::Impl::Step& s, const uint8_t* src, uint8_t
     dst_count = std::min<int64_t>(count, hf.static_count);
   }
 
+  // Byte-identical scalar elements: one bulk copy instead of per-element
+  // widen/truncate round trips; foreign-order messages add one tight
+  // fixed-width byteswap loop over the copied block.
+  if (s.elem_identity && dst_count > 0) {
+    std::memcpy(dst_elems, src_elems, static_cast<size_t>(dst_count) * dst_stride);
+    if (ctx.swap && hf.element_size > 1 && hf.element_kind != FieldKind::kChar) {
+      for (int64_t i = 0; i < dst_count; ++i) {
+        byteswap_inplace(dst_elems + static_cast<size_t>(i) * dst_stride, hf.element_size);
+      }
+    }
+    return;
+  }
+
   for (int64_t i = 0; i < dst_count; ++i) {
     const uint8_t* se = src_elems + static_cast<size_t>(i) * src_stride;
     uint8_t* de = dst_elems + static_cast<size_t>(i) * dst_stride;
@@ -368,6 +467,23 @@ void exec_struct(const ConversionPlan::Impl& plan, const uint8_t* src, uint8_t* 
       case Op::kScalar:
         convert_scalar(src + s.src->offset, *s.src, ctx.swap, dst, *s.dst);
         break;
+      case Op::kCopyRun: {
+        const uint8_t* sp = src + s.src->offset;
+        uint8_t* dp = dst + s.dst->offset;
+        if (!ctx.swap) {
+          std::memcpy(dp, sp, s.run_bytes);
+        } else {
+          for (const auto& [width, n] : s.swap_runs) {
+            for (uint32_t k = 0; k < n; ++k) {
+              std::memcpy(dp, sp, width);
+              byteswap_inplace(dp, width);
+              sp += width;
+              dp += width;
+            }
+          }
+        }
+        break;
+      }
       case Op::kEnumRemap: {
         auto v = static_cast<int32_t>(
             load_wire_i64(src + s.src->offset, s.src->kind, s.src->size, ctx.swap));
@@ -418,6 +534,8 @@ ConversionPlan::ConversionPlan(FormatPtr wire_fmt, FormatPtr host_fmt)
   identity_ = wire_->identical_to(*host_);
   lossy_ = impl_->lossy;
   defaulted_ = impl_->defaulted;
+  coalesced_runs_ = impl_->coalesced_runs;
+  coalesced_fields_ = impl_->coalesced_fields;
 }
 
 ConversionPlan::~ConversionPlan() = default;
@@ -435,7 +553,13 @@ void* ConversionPlan::execute(const void* buf, size_t size, RecordArena& arena) 
 
   ExecCtx ctx{body, body_size, order_mismatch(info.order), &arena};
   auto* dst = static_cast<uint8_t*>(alloc_record(*host_, arena));
-  exec_struct(*impl_, body, dst, ctx);
+  if (identity_ && !ctx.swap && !host_->has_pointers()) {
+    // Layout-identical, host-order, fully inline record: the body already
+    // is the host representation. One memcpy replaces the whole program.
+    std::memcpy(dst, body, host_->struct_size());
+  } else {
+    exec_struct(*impl_, body, dst, ctx);
+  }
   // Hot-path telemetry: relaxed adds only, no clock reads (latency
   // histograms live one level up, in the receiver pipeline).
   static obs::Counter& converts = obs::metrics().counter("morph_pbio_convert_decodes_total");

@@ -62,6 +62,16 @@ class ConversionPlan {
   /// Number of host fields filled from defaults.
   size_t defaulted_fields() const { return defaulted_; }
 
+  /// Number of coalesced copy runs in the compiled program (counting nested
+  /// struct / array-element plans). Adjacent fixed-size fields whose wire
+  /// and host layouts agree byte-for-byte are merged into single runs that
+  /// execute as one memcpy (or one batched byteswap loop when the message
+  /// arrives in foreign order).
+  size_t coalesced_runs() const { return coalesced_runs_; }
+
+  /// Number of scalar fields covered by those runs.
+  size_t coalesced_fields() const { return coalesced_fields_; }
+
   /// Convert the body of the message `buf` (a full wire message including
   /// header) into a fresh host record allocated from `arena`.
   void* execute(const void* buf, size_t size, RecordArena& arena) const;
@@ -74,6 +84,8 @@ class ConversionPlan {
   bool identity_ = false;
   bool lossy_ = false;
   size_t defaulted_ = 0;
+  size_t coalesced_runs_ = 0;
+  size_t coalesced_fields_ = 0;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,320 @@
+// Chain fusion (ecode/fuse.hpp + MorphChain): the fused single-pass
+// execution must be byte-for-byte identical to the hop-wise oracle, and
+// every construct the rewriter cannot prove equivalent must bail back to
+// hop-wise execution instead of fusing wrong code.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/transform.hpp"
+#include "ecode/fuse.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/randgen.hpp"
+#include "pbio/record.hpp"
+
+#ifndef MORPH_TRANSFORMS_DIR
+#define MORPH_TRANSFORMS_DIR "examples/transforms"
+#endif
+
+namespace morph::core {
+namespace {
+
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+TransformSpec spec_of(FormatPtr src, FormatPtr dst, std::string code) {
+  TransformSpec s;
+  s.src = std::move(src);
+  s.dst = std::move(dst);
+  s.code = std::move(code);
+  return s;
+}
+
+MorphChain make_chain(const std::vector<TransformSpec>& specs, bool fuse = true,
+                      ecode::VerifyMode verify = ecode::VerifyMode::kOff) {
+  std::vector<const TransformSpec*> ptrs;
+  for (const auto& s : specs) ptrs.push_back(&s);
+  ecode::CompileOptions opts;
+  opts.verify = verify;
+  return MorphChain(ptrs, opts, fuse);
+}
+
+/// Run `chain` fused and hop-wise over `iters` random records of its source
+/// format and require identical boxed results.
+void expect_differential(const MorphChain& chain, int iters, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < iters; ++i) {
+    RecordArena arena;
+    // Box the input once and materialize it twice so a hop that writes into
+    // its own source record cannot couple the two executions.
+    pbio::DynValue input = pbio::random_dyn(rng, chain.src_format());
+    void* src_fused = pbio::from_dyn(input, arena);
+    void* src_hopwise = pbio::from_dyn(input, arena);
+    pbio::DynValue fused = pbio::to_dyn(*chain.dst_format(), chain.apply(src_fused, arena));
+    pbio::DynValue hopwise =
+        pbio::to_dyn(*chain.dst_format(), chain.apply_hopwise(src_hopwise, arena));
+    ASSERT_EQ(fused, hopwise) << "iteration " << i << "\ninput:\n"
+                              << pbio::to_debug_string(input) << "\nfused:\n"
+                              << pbio::to_debug_string(fused) << "\nhop-wise:\n"
+                              << pbio::to_debug_string(hopwise) << "\nfused source:\n"
+                              << chain.fused_source();
+  }
+}
+
+// --- bail-out conditions ----------------------------------------------------
+
+TEST(Fusion, SingleHopDoesNotFuse) {
+  auto fmt = FormatBuilder("M").add_int("x", 8).build();
+  auto chain = make_chain({spec_of(fmt, fmt, "old.x = new.x;")});
+  EXPECT_FALSE(chain.fused());
+  EXPECT_EQ(chain.fusion_bailout(), "single-hop chain");
+}
+
+TEST(Fusion, DisabledDoesNotFuse) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto b = FormatBuilder("N").add_int("x", 8).build();
+  auto c = FormatBuilder("O").add_int("x", 8).build();
+  auto chain = make_chain(
+      {spec_of(a, b, "old.x = new.x;"), spec_of(b, c, "old.x = new.x;")}, /*fuse=*/false);
+  EXPECT_FALSE(chain.fused());
+  EXPECT_EQ(chain.fusion_bailout(), "fusion disabled");
+}
+
+TEST(Fusion, StringIntermediateBails) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto mid = FormatBuilder("Mid").add_int("x", 8).add_string("s").build();
+  auto c = FormatBuilder("O").add_int("x", 8).build();
+  auto chain = make_chain({spec_of(a, mid, "old.x = new.x; old.s = \"hi\";"),
+                           spec_of(mid, c, "old.x = new.x;")});
+  EXPECT_FALSE(chain.fused());
+  EXPECT_NE(chain.fusion_bailout().find("not a fixed-size scalar"), std::string::npos)
+      << chain.fusion_bailout();
+  // The chain still runs, hop-wise.
+  RecordArena arena;
+  auto* src = static_cast<int64_t*>(pbio::alloc_record(*chain.src_format(), arena));
+  *src = 7;
+  auto* out = static_cast<int64_t*>(chain.apply(src, arena));
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(Fusion, Float32IntermediateBails) {
+  auto a = FormatBuilder("M").add_float("v", 8).build();
+  auto mid = FormatBuilder("Mid").add_float("v", 4).build();
+  auto c = FormatBuilder("O").add_float("v", 8).build();
+  auto chain =
+      make_chain({spec_of(a, mid, "old.v = new.v;"), spec_of(mid, c, "old.v = new.v;")});
+  EXPECT_FALSE(chain.fused());
+  EXPECT_NE(chain.fusion_bailout().find("narrower than f64"), std::string::npos)
+      << chain.fusion_bailout();
+}
+
+TEST(Fusion, ReturnInNonFinalHopBails) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto b = FormatBuilder("N").add_int("x", 8).build();
+  auto c = FormatBuilder("O").add_int("x", 8).build();
+  auto chain = make_chain({spec_of(a, b, "old.x = new.x; if (new.x < 0) { return; } old.x = 1;"),
+                           spec_of(b, c, "old.x = new.x;")});
+  EXPECT_FALSE(chain.fused());
+  EXPECT_NE(chain.fusion_bailout().find("return"), std::string::npos) << chain.fusion_bailout();
+}
+
+TEST(Fusion, ForStepTruncatingWriteBails) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto mid = FormatBuilder("Mid").add_int("n", 4).build();
+  auto c = FormatBuilder("O").add_int("x", 8).build();
+  auto chain =
+      make_chain({spec_of(a, mid, "for (old.n = 0; old.n < new.x % 10; old.n++) { }"),
+                  spec_of(mid, c, "old.x = new.n;")});
+  EXPECT_FALSE(chain.fused());
+  EXPECT_NE(chain.fusion_bailout().find("for-step"), std::string::npos)
+      << chain.fusion_bailout();
+  expect_differential(chain, 16, 11);
+}
+
+// --- fused execution vs the hop-wise oracle ---------------------------------
+
+TEST(Fusion, ScalarChainFusesAndMatches) {
+  auto a = FormatBuilder("M").add_int("x", 8).add_float("f", 8).build();
+  auto b = FormatBuilder("N").add_int("x", 8).add_float("f", 8).build();
+  auto c = FormatBuilder("O").add_int("x", 8).add_float("f", 8).build();
+  auto chain = make_chain({spec_of(a, b, "old.x = new.x * 3; old.f = new.f + 1.5;"),
+                           spec_of(b, c, "old.x = new.x - 1; old.f = new.f * new.f;")});
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  EXPECT_EQ(chain.hops(), 2u);
+  expect_differential(chain, 64, 1);
+}
+
+TEST(Fusion, TruncatingIntermediatesMatchRecordSemantics) {
+  // Every narrow scalar flavor: stores through real record fields truncate
+  // and reads re-extend; the fused locals must reproduce that exactly.
+  auto wide = FormatBuilder("W")
+                  .add_int("i1", 8)
+                  .add_int("i2", 8)
+                  .add_int("i4", 8)
+                  .add_int("u1", 8)
+                  .add_int("u2", 8)
+                  .add_int("ch", 8)
+                  .add_int("en", 8)
+                  .build();
+  auto mid = FormatBuilder("Mid")
+                 .add_int("i1", 1)
+                 .add_int("i2", 2)
+                 .add_int("i4", 4)
+                 .add_uint("u1", 1)
+                 .add_uint("u2", 2)
+                 .add_char("ch")
+                 .add_enum("en", {{"a", 0}, {"b", 1}})
+                 .build();
+  auto out = FormatBuilder("Out")
+                 .add_int("i1", 8)
+                 .add_int("i2", 8)
+                 .add_int("i4", 8)
+                 .add_int("u1", 8)
+                 .add_int("u2", 8)
+                 .add_int("ch", 8)
+                 .add_int("en", 8)
+                 .build();
+  auto chain = make_chain(
+      {spec_of(wide, mid,
+               "old.i1 = new.i1; old.i2 = new.i2; old.i4 = new.i4;"
+               "old.u1 = new.u1; old.u2 = new.u2; old.ch = new.ch; old.en = new.en;"),
+       spec_of(mid, out,
+               "old.i1 = new.i1; old.i2 = new.i2; old.i4 = new.i4;"
+               "old.u1 = new.u1; old.u2 = new.u2; old.ch = new.ch; old.en = new.en;")});
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  expect_differential(chain, 128, 2);
+}
+
+TEST(Fusion, CompoundAssignAndIncDecOnIntermediates) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto mid = FormatBuilder("Mid").add_int("acc", 2).build();
+  auto c = FormatBuilder("O").add_int("x", 8).build();
+  auto chain = make_chain(
+      {spec_of(a, mid,
+               "old.acc = new.x;"
+               "old.acc += new.x * 7; old.acc -= 3; old.acc *= 5;"
+               "old.acc++; old.acc--; old.acc++;"),
+       spec_of(mid, c, "old.x = new.acc;")});
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  expect_differential(chain, 128, 3);
+}
+
+TEST(Fusion, ControlFlowAndLocalRenaming) {
+  // Both hops declare locals with the same names to exercise the per-hop
+  // renaming; loops, conditionals, and ?: ride along.
+  auto a = FormatBuilder("M").add_int("n", 8).add_int("x", 8).build();
+  auto mid = FormatBuilder("Mid").add_int("sum", 4).add_int("n", 4).build();
+  auto c = FormatBuilder("O").add_int("sum", 8).add_int("parity", 8).build();
+  auto chain = make_chain(
+      {spec_of(a, mid,
+               "long tmp = new.x; long acc = 0;"
+               "for (int i = 0; i < (new.n % 8 + 8) % 8; i++) { acc += tmp + i; }"
+               "old.sum = acc; old.n = new.n;"),
+       spec_of(mid, c,
+               "long acc = new.sum > 0 ? new.sum : -new.sum;"
+               "while (acc > 1000) { acc /= 2; }"
+               "do { acc++; } while (acc < 0);"
+               "old.sum = acc; old.parity = new.n % 2 == 0;")});
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  expect_differential(chain, 64, 4);
+}
+
+TEST(Fusion, FinalHopWritesStringsAndDynArrays) {
+  // Intermediates must be scalar, but the real destination keeps its full
+  // shape: the final hop fans a scalar count out into a dynamic array and
+  // stamps a string literal.
+  auto a = FormatBuilder("M").add_int("n", 8).build();
+  auto mid = FormatBuilder("Mid").add_int("n", 4).build();
+  auto c = FormatBuilder("O")
+               .add_string("unit")
+               .add_int("count", 4)
+               .add_dyn_array("xs", pbio::FieldKind::kInt, 8, "count")
+               .build();
+  auto chain = make_chain(
+      {spec_of(a, mid, "old.n = (new.n % 5 + 5) % 5;"),
+       spec_of(mid, c,
+               "old.unit = \"widgets\"; old.count = new.n;"
+               "for (int i = 0; i < new.n; i++) { old.xs[i] = i * i; }")});
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  expect_differential(chain, 64, 5);
+}
+
+TEST(Fusion, ThreeHopsWithEnforcedVerification) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto b = FormatBuilder("N").add_int("x", 4).build();
+  auto c = FormatBuilder("O").add_int("x", 2).build();
+  auto d = FormatBuilder("P").add_int("x", 8).build();
+  auto chain = make_chain({spec_of(a, b, "old.x = new.x + 1;"),
+                           spec_of(b, c, "old.x = new.x * 3;"),
+                           spec_of(c, d, "old.x = new.x - 7;")},
+                          /*fuse=*/true, ecode::VerifyMode::kEnforce);
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  EXPECT_EQ(chain.hops(), 3u);
+  expect_differential(chain, 64, 6);
+}
+
+TEST(Fusion, VerifyFindingsReturnsStableReference) {
+  auto a = FormatBuilder("M").add_int("x", 8).build();
+  auto b = FormatBuilder("N").add_int("x", 8).add_int("y", 8).build();
+  auto chain = make_chain({spec_of(a, b, "old.x = new.x;")}, true, ecode::VerifyMode::kWarn);
+  const auto& first = chain.verify_findings();
+  const auto& second = chain.verify_findings();
+  EXPECT_EQ(&first, &second);
+}
+
+// --- the committed corpus, differentially -----------------------------------
+
+std::vector<TransformSpec> read_bundle(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path.string() + "'");
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(bytes.data(), bytes.size());
+  if (r.read_u32() != 0x314F4345u) throw DecodeError("not an ECO1 bundle");
+  uint32_t count = r.read_u32();
+  std::vector<TransformSpec> specs;
+  for (uint32_t i = 0; i < count; ++i) specs.push_back(TransformSpec::deserialize(r));
+  return specs;
+}
+
+bool specs_chain(const std::vector<TransformSpec>& specs) {
+  for (size_t i = 1; i < specs.size(); ++i) {
+    if (specs[i].src->fingerprint() != specs[i - 1].dst->fingerprint()) return false;
+  }
+  return !specs.empty();
+}
+
+TEST(FusionCorpus, EveryBundleRunsFusedAgainstHopwise) {
+  int bundles = 0;
+  int fused_chains = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(MORPH_TRANSFORMS_DIR)) {
+    if (entry.path().extension() != ".eco") continue;
+    SCOPED_TRACE(entry.path().string());
+    auto specs = read_bundle(entry.path());
+    ASSERT_TRUE(specs_chain(specs));
+    auto chain = make_chain(specs);
+    ++bundles;
+    if (chain.fused()) ++fused_chains;
+    expect_differential(chain, 48, 0xC0FFEE + static_cast<uint64_t>(bundles));
+  }
+  ASSERT_GE(bundles, 5) << "corpus went missing from " << MORPH_TRANSFORMS_DIR;
+  // sensor_fusion_chain.eco exists precisely so the corpus exercises the
+  // fused path; a silent universal bail-out should fail loudly here.
+  EXPECT_GE(fused_chains, 1);
+}
+
+TEST(FusionCorpus, SensorChainFusesUnderEnforcedVerification) {
+  auto specs = read_bundle(std::filesystem::path(MORPH_TRANSFORMS_DIR) / "sensor_fusion_chain.eco");
+  auto chain = make_chain(specs, true, ecode::VerifyMode::kEnforce);
+  ASSERT_TRUE(chain.fused()) << chain.fusion_bailout();
+  EXPECT_EQ(chain.hops(), 3u);
+  expect_differential(chain, 96, 7);
+}
+
+}  // namespace
+}  // namespace morph::core

@@ -202,6 +202,130 @@ TEST(Receiver, InPlaceFallsBackForMorphedFormats) {
   EXPECT_EQ(rx.stats().zero_copy, 0u);
 }
 
+FormatPtr scalar_rev(int n) {
+  FormatBuilder b("Rev");
+  b.add_int("v", 4);
+  for (int i = 0; i <= n; ++i) b.add_int("f" + std::to_string(i), 8);
+  return b.build();
+}
+
+TransformSpec scalar_rev_down(int n) {
+  TransformSpec s;
+  s.src = scalar_rev(n);
+  s.dst = scalar_rev(n - 1);
+  s.code = "old.v = new.v + 1;";
+  for (int i = 0; i <= n - 1; ++i) {
+    s.code += "old.f" + std::to_string(i) + " = new.f" + std::to_string(i) + " * 2;";
+  }
+  return s;
+}
+
+TEST(Receiver, FusedChainCountsInStats) {
+  // All-scalar two-hop chain: the decision should carry a fused chain, and
+  // every morphed message should land on the fused-execution counter.
+  ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  Receiver rx(opt);
+  int delivered = 0;
+  rx.register_handler(scalar_rev(0), [&](const Delivery& d) {
+    EXPECT_EQ(d.outcome, Outcome::kMorphed);
+    EXPECT_EQ(pbio::RecordRef(d.record, d.format).get_int("v"), 12);  // two +1 hops
+    ++delivered;
+  });
+  rx.learn_format(scalar_rev(2));
+  rx.learn_transform(scalar_rev_down(2));
+  rx.learn_transform(scalar_rev_down(1));
+
+  RecordArena arena;
+  auto wire_fmt = scalar_rev(2);
+  void* rec = pbio::alloc_record(*wire_fmt, arena);
+  pbio::RecordRef(rec, wire_fmt).set_int("v", 10);
+  ByteBuffer buf;
+  pbio::Encoder(wire_fmt).encode(rec, buf);
+
+  RecordArena rx_arena;
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), rx_arena), Outcome::kMorphed);
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), rx_arena), Outcome::kMorphed);
+  EXPECT_EQ(delivered, 2);
+  ReceiverStats s = rx.stats();
+  EXPECT_EQ(s.chains_fused, 1u);       // one (wire format, chain) build
+  EXPECT_EQ(s.fusion_bailouts, 0u);
+  EXPECT_EQ(s.morph_fused, 2u);        // per message
+  EXPECT_EQ(s.morph_hopwise, 0u);
+  // Conservation: every morphed outcome was executed fused or hop-wise.
+  EXPECT_EQ(s.morph_fused + s.morph_hopwise, s.morphed);
+}
+
+TEST(Receiver, FusionDisabledFallsBackHopwise) {
+  ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  opt.fuse = false;
+  Receiver rx(opt);
+  int delivered = 0;
+  rx.register_handler(scalar_rev(0), [&](const Delivery&) { ++delivered; });
+  rx.learn_format(scalar_rev(2));
+  rx.learn_transform(scalar_rev_down(2));
+  rx.learn_transform(scalar_rev_down(1));
+
+  RecordArena arena;
+  auto wire_fmt = scalar_rev(2);
+  void* rec = pbio::alloc_record(*wire_fmt, arena);
+  pbio::RecordRef(rec, wire_fmt).set_int("v", 1);
+  ByteBuffer buf;
+  pbio::Encoder(wire_fmt).encode(rec, buf);
+
+  RecordArena rx_arena;
+  EXPECT_EQ(rx.process(buf.data(), buf.size(), rx_arena), Outcome::kMorphed);
+  EXPECT_EQ(delivered, 1);
+  ReceiverStats s = rx.stats();
+  EXPECT_EQ(s.chains_fused, 0u);
+  EXPECT_EQ(s.fusion_bailouts, 1u);
+  EXPECT_EQ(s.morph_fused, 0u);
+  EXPECT_EQ(s.morph_hopwise, 1u);
+}
+
+TEST(Receiver, InPlaceDecodeFeedsMorphDirectly) {
+  // The sender's wire layout equals the chain's source layout, so
+  // process_in_place should decode in the caller's buffer and hand the
+  // record straight to the (fused) chain: no conversion-plan copy at all.
+  ReceiverOptions opt;
+  opt.thresholds = {0, 0.0};
+  Receiver rx(opt);
+  int delivered = 0;
+  rx.register_handler(scalar_rev(0), [&](const Delivery& d) {
+    EXPECT_EQ(d.outcome, Outcome::kMorphed);
+    EXPECT_EQ(pbio::RecordRef(d.record, d.format).get_int("v"), 5);
+    ++delivered;
+  });
+  rx.learn_format(scalar_rev(2));
+  rx.learn_transform(scalar_rev_down(2));
+  rx.learn_transform(scalar_rev_down(1));
+
+  RecordArena arena;
+  auto wire_fmt = scalar_rev(2);
+  void* rec = pbio::alloc_record(*wire_fmt, arena);
+  pbio::RecordRef(rec, wire_fmt).set_int("v", 3);
+  ByteBuffer wire;
+  pbio::Encoder(wire_fmt).encode(rec, wire);
+
+  RecordArena scratch;
+  EXPECT_EQ(rx.process_in_place(wire.data(), wire.size(), scratch), Outcome::kMorphed);
+  EXPECT_EQ(delivered, 1);
+  ReceiverStats s = rx.stats();
+  EXPECT_EQ(s.morph_inplace, 1u);
+  EXPECT_EQ(s.morph_fused, 1u);
+  EXPECT_EQ(s.morphed, 1u);
+
+  // The copying path must report the same outcome without the in-place mark
+  // (the first buffer was consumed by the in-place decode).
+  ByteBuffer wire2;
+  pbio::Encoder(wire_fmt).encode(rec, wire2);
+  RecordArena rx_arena;
+  EXPECT_EQ(rx.process(wire2.data(), wire2.size(), rx_arena), Outcome::kMorphed);
+  EXPECT_EQ(rx.stats().morph_inplace, 1u);
+  EXPECT_EQ(rx.stats().morph_fused, 2u);
+}
+
 TEST(Receiver, DecisionIsCached) {
   Receiver rx;
   auto fmt = fmt_v(0);

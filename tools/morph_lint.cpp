@@ -148,6 +148,69 @@ std::vector<core::TransformSpec> telemetry_chain() {
   return {std::move(hop1), std::move(hop2)};
 }
 
+// A three-hop all-scalar chain whose intermediates qualify for chain
+// fusion (ecode/fuse.hpp): truncating stores, compound arithmetic, a loop
+// and a conditional, so the fused rewrite is exercised end to end by the
+// differential suite and the fig10 A/B bench.
+std::vector<core::TransformSpec> sensor_fusion_chain() {
+  auto v3 = FormatBuilder("Sensor")
+                .add_int("seq", 8)
+                .add_int("raw", 4)
+                .add_float("scale", 8)
+                .add_uint("flags", 2)
+                .build();
+  auto v2 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_uint("flags", 1)
+                .build();
+  auto v1 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_int("check", 2)
+                .add_int("level", 2)
+                .build();
+  auto v0 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_int("level", 2)
+                .build();
+  core::TransformSpec hop1;
+  hop1.src = v3;
+  hop1.dst = v2;
+  hop1.code = R"(
+      old.seq = new.seq;
+      old.value = new.raw * new.scale;
+      old.flags = new.flags & 255;
+  )";
+  core::TransformSpec hop2;
+  hop2.src = v2;
+  hop2.dst = v1;
+  hop2.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      long acc = new.flags;
+      for (int i = 0; i < 4; i++) {
+        acc += new.seq >> (i * 8);
+      }
+      old.check = acc & 65535;
+      if (new.value > 100.0) {
+        old.level = 2;
+      } else {
+        old.level = 1;
+      }
+  )";
+  core::TransformSpec hop3;
+  hop3.src = v1;
+  hop3.dst = v0;
+  hop3.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      old.level = new.level + new.check % 7;
+  )";
+  return {std::move(hop1), std::move(hop2), std::move(hop3)};
+}
+
 bool specs_chain(const std::vector<core::TransformSpec>& specs) {
   for (size_t i = 1; i < specs.size(); ++i) {
     if (specs[i].src->fingerprint() != specs[i - 1].dst->fingerprint()) return false;
@@ -185,6 +248,7 @@ int main(int argc, char** argv) {
       write_bundle(corpus_dir + "/b2b_supplier_a.eco", {b2b_supplier_a()});
       write_bundle(corpus_dir + "/quickstart_retro.eco", {quickstart_retro()});
       write_bundle(corpus_dir + "/telemetry_chain.eco", telemetry_chain());
+      write_bundle(corpus_dir + "/sensor_fusion_chain.eco", sensor_fusion_chain());
       return 0;
     }
 
@@ -213,6 +277,7 @@ int main(int argc, char** argv) {
       run("b2b supplier A", {b2b_supplier_a()});
       run("quickstart retro", {quickstart_retro()});
       run("telemetry chain", telemetry_chain());
+      run("sensor fusion chain", sensor_fusion_chain());
     }
     for (const auto& path : files) run(path, read_bundle(path));
     return failed ? 1 : 0;

@@ -8,7 +8,9 @@
 //                                         subtract; gauges show old -> new)
 //   morph-stat --check DUMP.json          validate the dump: schema tag,
 //                                         percentile ordering, bucket sums,
-//                                         receiver outcome conservation.
+//                                         receiver outcome conservation, and
+//                                         fusion conservation (every morphed
+//                                         outcome ran fused or hop-wise).
 //                                         Exit 1 on any violation.
 //   morph-stat --spans DUMP.json          also print the captured trace
 //                                         spans, grouped by trace id
@@ -187,8 +189,40 @@ void render_fmtsvc(const Snapshot& s) {
   }
 }
 
+/// Digest of chain-fusion activity: how often decision builds produced a
+/// fused chain, and how morphs actually executed. Only printed when the
+/// receiver compiled at least one chain.
+void render_fusion(const Snapshot& s) {
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t fused_builds = counter("morph_rx_chain_fusion_total{result=\"fused\"}");
+  uint64_t bailouts = counter("morph_rx_chain_fusion_total{result=\"bailout\"}");
+  if (fused_builds + bailouts == 0) return;
+
+  std::printf("== fusion ==\n");
+  std::printf("  chains: %" PRIu64 " fused, %" PRIu64 " bailed out to hop-wise\n",
+              fused_builds, bailouts);
+  uint64_t fused = counter("morph_rx_fused_total");
+  uint64_t hopwise = counter("morph_rx_hopwise_total");
+  if (fused + hopwise > 0) {
+    double pct = 100.0 * static_cast<double>(fused) / static_cast<double>(fused + hopwise);
+    std::printf("  morphs: %" PRIu64 " fused (%.1f%%), %" PRIu64 " hop-wise, %" PRIu64
+                " fed by in-place decode\n",
+                fused, pct, hopwise, counter("morph_rx_morph_inplace_total"));
+  }
+  auto hist = s.histograms.find("morph_rx_chain_hops");
+  if (hist != s.histograms.end() && hist->second.count > 0) {
+    const HistRow& h = hist->second;
+    std::printf("  chain length: %" PRIu64 " builds, mean %.1f hops, max %" PRIu64 " hops\n",
+                h.count, static_cast<double>(h.sum) / static_cast<double>(h.count), h.max);
+  }
+}
+
 void render(const Snapshot& s, bool with_spans) {
   render_fmtsvc(s);
+  render_fusion(s);
   if (!s.counters.empty()) {
     std::printf("== counters ==\n");
     for (const auto& [name, v] : s.counters) std::printf("  %-56s %12" PRIu64 "\n", name.c_str(), v);
@@ -294,6 +328,27 @@ int check(const Snapshot& s) {
   if (outcomes > messages) {
     fail("receiver outcomes " + std::to_string(outcomes) + " exceed messages " +
          std::to_string(messages));
+  }
+
+  // Fusion conservation: a chain apply bumps its execution counter (fused
+  // or hop-wise) before the outcome counter, so at any instant morphed
+  // outcomes can never exceed fused + hop-wise executions. Skipped for
+  // dumps from builds without fusion metrics.
+  if (s.counters.count("morph_rx_fused_total") != 0 ||
+      s.counters.count("morph_rx_hopwise_total") != 0) {
+    uint64_t fused = counter("morph_rx_fused_total");
+    uint64_t hopwise = counter("morph_rx_hopwise_total");
+    uint64_t morphed = counter("morph_rx_outcome_total{outcome=\"morphed\"}") +
+                       counter("morph_rx_outcome_total{outcome=\"morphed+reconciled\"}");
+    if (morphed > fused + hopwise) {
+      fail("morphed outcomes " + std::to_string(morphed) + " exceed fused+hopwise executions " +
+           std::to_string(fused + hopwise));
+    }
+    uint64_t inplace = counter("morph_rx_morph_inplace_total");
+    if (inplace > fused + hopwise) {
+      fail("in-place morphs " + std::to_string(inplace) + " exceed chain executions " +
+           std::to_string(fused + hopwise));
+    }
   }
 
   // Resolver conservation: every resolve() lands in exactly one result
