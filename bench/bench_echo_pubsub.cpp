@@ -61,12 +61,18 @@ struct Setup {
   std::vector<EchoProcess*> sinks;
   uint64_t received = 0;
 
+  // Pinned to per-subscriber fan-out: this bench measures the sink-side
+  // morph cost of the legacy delivery path. The grouped engine (which
+  // morphs once at the source) has its own bench, bench_fanout.
   Setup(size_t n_sinks, bool evolved) {
-    auto& creator = domain.spawn("creator", EchoVersion::kV1);
-    source = &domain.spawn("source", EchoVersion::kV2);
+    auto& creator = domain.spawn("creator", EchoVersion::kV1, {},
+                                 echo::FanoutMode::kPerSubscriber);
+    source = &domain.spawn("source", EchoVersion::kV2, {},
+                           echo::FanoutMode::kPerSubscriber);
     domain.connect(creator, *source);
     for (size_t i = 0; i < n_sinks; ++i) {
-      auto& sink = domain.spawn("sink" + std::to_string(i), EchoVersion::kV1);
+      auto& sink = domain.spawn("sink" + std::to_string(i), EchoVersion::kV1, {},
+                                echo::FanoutMode::kPerSubscriber);
       domain.connect(creator, sink);
       domain.connect(*source, sink);
       sinks.push_back(&sink);

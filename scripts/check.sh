@@ -36,10 +36,13 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # run dumps the metrics registry (including its own table as bench_ms
   # gauges) and morph-stat validates the schema and the histogram/counter
   # invariants.
-  for b in bench_fig8_encoding bench_fig9_decoding bench_fig10_morphing bench_fmtsvc; do
+  # MORPH_BENCH_MAX_BYTES caps the payload sweep of the figure benches;
+  # MORPH_BENCH_MAX_SUBS caps bench_fanout's subscriber sweep at the 1k rows.
+  for b in bench_fig8_encoding bench_fig9_decoding bench_fig10_morphing bench_fmtsvc \
+           bench_fanout; do
     out="BENCH_${b#bench_}.json"
     echo "--- $b -> $out"
-    MORPH_BENCH_MAX_BYTES=10240 "./build/bench/$b" --json "$out"
+    MORPH_BENCH_MAX_BYTES=10240 MORPH_BENCH_MAX_SUBS=2000 "./build/bench/$b" --json "$out"
     ./build/tools/morph-stat --check "$out" >/dev/null
   done
   echo "bench JSON dumps OK"
@@ -60,7 +63,8 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   compare_flags=(--tolerance 0.10)
   [[ "${MORPH_BENCH_STRICT:-0}" != "1" ]] && compare_flags+=(--warn-only)
   python3 scripts/bench_compare.py "${compare_flags[@]}" BENCH_baseline.json \
-    BENCH_fig8_encoding.json BENCH_fig9_decoding.json BENCH_fig10_morphing.json
+    BENCH_fig8_encoding.json BENCH_fig9_decoding.json BENCH_fig10_morphing.json \
+    BENCH_fanout.json
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 #include "pbio/record.hpp"
 
 namespace morph::echo {
@@ -13,15 +15,62 @@ using core::Delivery;
 using core::Outcome;
 using transport::MessagePort;
 
+namespace {
+/// Process-wide mirrors of ProcessStats, resolved once (the RxMetrics
+/// discipline: per-instance counters in stats_ stay authoritative per
+/// process, these aggregate across processes for morph-stat).
+struct EchoMetrics {
+  obs::Counter& open_requests = obs::metrics().counter("morph_echo_open_requests_total");
+  obs::Counter& responses = obs::metrics().counter("morph_echo_responses_total");
+  obs::Counter& responses_morphed = obs::metrics().counter("morph_echo_responses_morphed_total");
+  obs::Counter& events = obs::metrics().counter("morph_echo_events_total");
+  obs::Counter& events_morphed = obs::metrics().counter("morph_echo_events_morphed_total");
+  obs::Counter& events_published = obs::metrics().counter("morph_echo_events_published_total");
+};
+
+EchoMetrics& em() {
+  static EchoMetrics* m = new EchoMetrics();  // leaked: outlives all processes
+  return *m;
+}
+
+core::FanoutPlannerOptions planner_options(const core::ReceiverOptions& rx) {
+  core::FanoutPlannerOptions o;
+  o.backend = rx.backend;
+  o.verify = rx.verify;
+  o.verify_fuel_limit = rx.verify_fuel_limit;
+  o.fuse = rx.fuse;
+  return o;
+}
+
+/// Hex round-trip for fingerprints in EVTSUB control frames.
+std::string fp_to_hex(uint64_t fp) {
+  std::ostringstream os;
+  os << std::hex << fp;
+  return os.str();
+}
+}  // namespace
+
 struct EchoProcess::Peer {
   std::string name;  // learned from the hello control frame
   std::unique_ptr<core::Receiver> receiver;
   std::unique_ptr<MessagePort> port;
+  /// Event formats this peer announced via EVTSUB: channel -> format name
+  /// -> fingerprint of the format it registered with its receiver.
+  std::map<std::string, std::map<std::string, uint64_t>> event_subs;
 };
 
+/// A Peer's address doubles as its SinkId: Peer objects are uniquely owned
+/// and never deallocated while the process lives (peers_ only grows).
+static SinkId sink_id(const void* peer) { return reinterpret_cast<SinkId>(peer); }
+
 EchoProcess::EchoProcess(std::string contact, EchoVersion version,
-                         core::ReceiverOptions receiver_options)
-    : contact_(std::move(contact)), version_(version), rx_options_(receiver_options) {}
+                         core::ReceiverOptions receiver_options, FanoutMode fanout)
+    : contact_(std::move(contact)),
+      version_(version),
+      rx_options_(receiver_options),
+      fanout_mode_(fanout),
+      planner_(planner_options(receiver_options)),
+      publisher_(planner_) {}
 
 EchoProcess::~EchoProcess() = default;
 
@@ -40,11 +89,7 @@ void EchoProcess::setup_peer(Peer& peer) {
   Peer* p = &peer;
 
   peer.port->set_on_control([this, p](const uint8_t* data, size_t size) {
-    std::string msg(reinterpret_cast<const char*>(data), size);
-    if (msg.rfind("HELLO ", 0) == 0) {
-      p->name = msg.substr(6);
-      MORPH_LOG_DEBUG("echo") << contact_ << ": peer introduced as " << p->name;
-    }
+    handle_control(*p, std::string(reinterpret_cast<const char*>(data), size));
   });
 
   // Channel-open request handling (creator side).
@@ -65,19 +110,82 @@ void EchoProcess::setup_peer(Peer& peer) {
     peer.port->declare_transform(response_v2_to_v1_spec());
   }
 
-  // Event formats registered so far.
+  // Event formats registered so far: wire up delivery and tell the peer
+  // which format this process wants, so a publishing peer can group us.
   for (const auto& reg : event_regs_) {
     const EventReg* r = &reg;
     peer.receiver->register_handler(reg.fmt, [this, r](const Delivery& d) {
       ++stats_.events_received;
+      em().events.inc();
       if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
         ++stats_.events_morphed;
+        em().events_morphed.inc();
       }
       Event ev{&d, r->channel};
       r->handler(ev);
     });
+    announce_subscription(peer, reg);
   }
   for (const auto& spec : event_transforms_) peer.port->declare_transform(spec);
+}
+
+void EchoProcess::handle_control(Peer& peer, const std::string& msg) {
+  if (msg.rfind("HELLO ", 0) == 0) {
+    peer.name = msg.substr(6);
+    MORPH_LOG_DEBUG("echo") << contact_ << ": peer introduced as " << peer.name;
+    return;
+  }
+  // EVTSUB <fp-hex>\x1f<channel>\x1f<format name>: the peer registered an
+  // event handler; remember its target format so grouped publishes can
+  // deliver pre-morphed events.
+  if (msg.rfind("EVTSUB ", 0) == 0) {
+    std::string rest = msg.substr(7);
+    size_t s1 = rest.find('\x1f');
+    size_t s2 = s1 == std::string::npos ? std::string::npos : rest.find('\x1f', s1 + 1);
+    if (s2 == std::string::npos) {
+      MORPH_LOG_WARN("echo") << contact_ << ": malformed EVTSUB '" << msg << "'";
+      return;
+    }
+    uint64_t fp = std::stoull(rest.substr(0, s1), nullptr, 16);
+    std::string channel = rest.substr(s1 + 1, s2 - s1 - 1);
+    std::string name = rest.substr(s2 + 1);
+    peer.event_subs[channel][name] = fp;
+    sync_channel_groups(channel);
+    return;
+  }
+}
+
+void EchoProcess::announce_subscription(Peer& peer, const EventReg& reg) {
+  std::string msg = "EVTSUB " + fp_to_hex(reg.fmt->fingerprint()) + '\x1f' + reg.channel +
+                    '\x1f' + reg.fmt->name();
+  peer.port->send_control(msg.data(), msg.size());
+}
+
+void EchoProcess::sync_channel_groups(const std::string& channel) {
+  auto it = channels_.find(channel);
+  const std::vector<Member>* members = it == channels_.end() ? nullptr : &it->second.members;
+  for (auto& p : peers_) {
+    if (p->name.empty()) continue;
+    auto subs = p->event_subs.find(channel);
+    if (subs == p->event_subs.end()) continue;
+    bool is_sink = false;
+    if (members != nullptr) {
+      for (const auto& m : *members) {
+        if (m.contact == p->name && m.is_sink) {
+          is_sink = true;
+          break;
+        }
+      }
+    }
+    for (const auto& [name, fp] : subs->second) {
+      std::string key = FanoutRegistry::key(channel, name);
+      if (is_sink) {
+        groups_.subscribe(key, sink_id(p.get()), fp);
+      } else {
+        groups_.unsubscribe(key, sink_id(p.get()));
+      }
+    }
+  }
 }
 
 EchoProcess::Peer* EchoProcess::peer_by_contact(const std::string& peer_contact) {
@@ -119,6 +227,7 @@ void EchoProcess::leave_channel(const std::string& channel,
 
 void EchoProcess::handle_open_request(Peer& peer, const Delivery& d) {
   ++stats_.open_requests_handled;
+  em().open_requests.inc();
   const auto* req = static_cast<const ChannelOpenRequest*>(d.record);
   std::string channel = req->channel_id == nullptr ? "" : req->channel_id;
   std::string contact = req->contact == nullptr ? "" : req->contact;
@@ -156,6 +265,8 @@ void EchoProcess::handle_open_request(Peer& peer, const Delivery& d) {
       members.push_back(std::move(m));
     }
   }
+
+  sync_channel_groups(channel);
 
   // Reply to the requester (including a leaver, so it sees the post-leave
   // membership) and re-notify every remaining member.
@@ -221,8 +332,10 @@ void EchoProcess::send_response_to(Peer& peer, const std::string& channel) {
 
 void EchoProcess::handle_open_response(const Delivery& d, bool from_v2_format) {
   ++stats_.responses_received;
+  em().responses.inc();
   if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
     ++stats_.responses_morphed;
+    em().responses_morphed.inc();
   }
 
   std::string channel;
@@ -261,6 +374,7 @@ void EchoProcess::handle_open_response(const Delivery& d, bool from_v2_format) {
     mark(rec->sink_list, rec->sink_count, false);
   }
   channels_[channel].members = std::move(members);
+  sync_channel_groups(channel);
 }
 
 std::vector<Member> EchoProcess::members(const std::string& channel) const {
@@ -283,17 +397,23 @@ void EchoProcess::on_event(const std::string& channel, pbio::FormatPtr fmt,
   for (auto& p : peers_) {
     p->receiver->register_handler(reg.fmt, [this, r](const Delivery& d) {
       ++stats_.events_received;
+      em().events.inc();
       if (d.outcome == Outcome::kMorphed || d.outcome == Outcome::kMorphedReconciled) {
         ++stats_.events_morphed;
+        em().events_morphed.inc();
       }
       Event ev{&d, r->channel};
       r->handler(ev);
     });
+    announce_subscription(*p, reg);
   }
 }
 
 void EchoProcess::declare_event_transform(core::TransformSpec spec) {
   event_transforms_.push_back(spec);
+  // The publisher-side planner learns the transform too: it is what makes
+  // the spec's destination reachable as a fan-out group target.
+  planner_.learn_transform(spec);
   for (auto& p : peers_) p->port->declare_transform(spec);
 }
 
@@ -301,6 +421,11 @@ size_t EchoProcess::publish(const std::string& channel, const pbio::FormatPtr& f
                             const void* record) {
   auto it = channels_.find(channel);
   if (it == channels_.end()) throw Error("echo: unknown channel '" + channel + "'");
+  ++stats_.events_published;
+  em().events_published.inc();
+  if (fanout_mode_ == FanoutMode::kGrouped) {
+    return publish_grouped(channel, it->second.members, fmt, record);
+  }
   size_t sent = 0;
   for (const auto& m : it->second.members) {
     if (!m.is_sink || m.contact == contact_) continue;
@@ -309,6 +434,52 @@ size_t EchoProcess::publish(const std::string& channel, const pbio::FormatPtr& f
       MORPH_LOG_WARN("echo") << contact_ << ": no link to sink " << m.contact;
       continue;
     }
+    p->port->send_record(fmt, record);
+    ++sent;
+  }
+  return sent;
+}
+
+size_t EchoProcess::publish_grouped(const std::string& channel,
+                                    const std::vector<Member>& members,
+                                    const pbio::FormatPtr& fmt, const void* record) {
+  auto snap = groups_.snapshot(FanoutRegistry::key(channel, fmt->name()));
+  size_t sent = 0;
+
+  PublishCounts counts = publisher_.publish(
+      fmt, record, *snap,
+      // SinkIds are Peer addresses (sink_id); the registry only ever holds
+      // peers of this process, so the cast back is safe.
+      [](SinkId sink) { return reinterpret_cast<Peer*>(sink)->port.get(); },
+      // Unreachable target format: this sink keeps the legacy contract and
+      // receives the source-format record; its own receiver reconciles.
+      [&](SinkId sink) {
+        reinterpret_cast<Peer*>(sink)->port->send_record(fmt, record);
+        ++sent;
+      });
+  sent += counts.deliveries;
+  stats_.fanout_morphs += counts.morphs;
+  stats_.fanout_encodes += counts.encodes;
+  stats_.fanout_deliveries += counts.deliveries;
+  stats_.fanout_fallbacks += counts.fallbacks;
+
+  // Sink members outside every group — nothing announced for this event
+  // format (an old peer, or a sink that registered a different format
+  // name) — still get the legacy per-subscriber delivery.
+  auto grouped = [&](SinkId sink) {
+    for (const auto& g : snap->groups) {
+      if (std::binary_search(g.sinks.begin(), g.sinks.end(), sink)) return true;
+    }
+    return false;
+  };
+  for (const auto& m : members) {
+    if (!m.is_sink || m.contact == contact_) continue;
+    Peer* p = peer_by_contact(m.contact);
+    if (p == nullptr) {
+      MORPH_LOG_WARN("echo") << contact_ << ": no link to sink " << m.contact;
+      continue;
+    }
+    if (grouped(sink_id(p))) continue;
     p->port->send_record(fmt, record);
     ++sent;
   }
@@ -338,8 +509,8 @@ core::ReceiverStats EchoProcess::receiver_totals() const {
 // ---------------------------------------------------------------------------
 
 EchoProcess& EchoDomain::spawn(const std::string& contact, EchoVersion version,
-                               core::ReceiverOptions options) {
-  processes_.push_back(std::make_unique<EchoProcess>(contact, version, options));
+                               core::ReceiverOptions options, FanoutMode fanout) {
+  processes_.push_back(std::make_unique<EchoProcess>(contact, version, options, fanout));
   return *processes_.back();
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/receiver.hpp"
+#include "echo/fanout.hpp"
 #include "echo/messages.hpp"
 #include "transport/link.hpp"
 #include "transport/port.hpp"
@@ -36,6 +37,18 @@
 namespace morph::echo {
 
 enum class EchoVersion { kV1, kV2 };
+
+/// How publish() delivers events to a channel's sinks.
+///   kPerSubscriber — the historical path: encode and send the source-format
+///     record once per sink; every sink's receiver runs its own decode/morph.
+///   kGrouped — format-grouped fan-out: sinks announce their registered
+///     event formats (EVTSUB control frames), the publisher groups them by
+///     target fingerprint, morphs once per group, encodes once per group
+///     into a refcounted shared frame, and every link in the group forwards
+///     the same buffer. Sinks that never announced, or whose target is
+///     unreachable (no transform chain), transparently fall back to the
+///     per-subscriber path.
+enum class FanoutMode { kPerSubscriber, kGrouped };
 
 struct Member {
   std::string contact;
@@ -55,8 +68,11 @@ using EventHandler = std::function<void(const Event&)>;
 class EchoProcess {
  public:
   EchoProcess(std::string contact, EchoVersion version,
-              core::ReceiverOptions receiver_options = {});
+              core::ReceiverOptions receiver_options = {},
+              FanoutMode fanout = FanoutMode::kGrouped);
   ~EchoProcess();
+
+  FanoutMode fanout_mode() const { return fanout_mode_; }
 
   const std::string& contact() const { return contact_; }
   EchoVersion version() const { return version_; }
@@ -90,31 +106,62 @@ class EchoProcess {
   void declare_event_transform(core::TransformSpec spec);
 
   /// Publish an event to every sink member of `channel` (except self).
-  /// Returns the number of peers the event was sent to.
+  /// Returns the number of peers the event was sent to. In kGrouped mode
+  /// the event is morphed once per target format and the same encoded
+  /// frame is shared across each group's links; sinks outside any group
+  /// receive the source-format record exactly as in kPerSubscriber mode.
   size_t publish(const std::string& channel, const pbio::FormatPtr& fmt, const void* record);
 
   // --- introspection ---------------------------------------------------------
 
+  /// Per-process counters, mirrored 1:1 into the obs registry as
+  /// morph_echo_* / echo_fanout_* counters (the RxMetrics discipline:
+  /// per-instance fields stay exact per process, the global counters
+  /// aggregate across processes for morph-stat).
   struct ProcessStats {
     uint64_t open_requests_handled = 0;
     uint64_t responses_received = 0;
     uint64_t responses_morphed = 0;
     uint64_t events_received = 0;
     uint64_t events_morphed = 0;
+    uint64_t events_published = 0;
+    // Grouped fan-out tallies, summed over publishes (see PublishCounts).
+    uint64_t fanout_morphs = 0;
+    uint64_t fanout_encodes = 0;
+    uint64_t fanout_deliveries = 0;
+    uint64_t fanout_fallbacks = 0;
   };
   const ProcessStats& stats() const { return stats_; }
+
+  /// Planner behind kGrouped publishing (plan cache, fusion, verification).
+  const core::FanoutPlanner& fanout_planner() const { return planner_; }
+  /// Sink grouping registry (announcement x membership).
+  const FanoutRegistry& fanout_groups() const { return groups_; }
 
   /// Aggregated receiver stats over all connections.
   core::ReceiverStats receiver_totals() const;
 
  private:
   struct Peer;
+  struct EventReg {
+    std::string channel;
+    pbio::FormatPtr fmt;
+    EventHandler handler;
+  };
 
   void setup_peer(Peer& peer);
   Peer* peer_by_contact(const std::string& peer_contact);
   void handle_open_request(Peer& peer, const core::Delivery& d);
   void handle_open_response(const core::Delivery& d, bool from_v2_format);
   void send_response_to(Peer& peer, const std::string& channel);
+  void handle_control(Peer& peer, const std::string& msg);
+  void announce_subscription(Peer& peer, const EventReg& reg);
+  /// Re-derive the fan-out registry for `channel` from current membership
+  /// and the peers' announced event formats (both sync points: membership
+  /// changes and EVTSUB arrivals funnel here).
+  void sync_channel_groups(const std::string& channel);
+  size_t publish_grouped(const std::string& channel, const std::vector<Member>& members,
+                         const pbio::FormatPtr& fmt, const void* record);
 
   struct ChannelState {
     bool creator = false;
@@ -125,17 +172,16 @@ class EchoProcess {
   std::string contact_;
   EchoVersion version_;
   core::ReceiverOptions rx_options_;
+  FanoutMode fanout_mode_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::map<std::string, ChannelState> channels_;
-  struct EventReg {
-    std::string channel;
-    pbio::FormatPtr fmt;
-    EventHandler handler;
-  };
   // deque: handlers capture pointers to entries, which must stay stable as
   // registrations are appended.
   std::deque<EventReg> event_regs_;
   std::vector<core::TransformSpec> event_transforms_;
+  core::FanoutPlanner planner_;
+  FanoutRegistry groups_;
+  GroupPublisher publisher_;
   ProcessStats stats_;
 };
 
@@ -144,7 +190,8 @@ class EchoProcess {
 class EchoDomain {
  public:
   EchoProcess& spawn(const std::string& contact, EchoVersion version,
-                     core::ReceiverOptions options = {});
+                     core::ReceiverOptions options = {},
+                     FanoutMode fanout = FanoutMode::kGrouped);
   void connect(EchoProcess& a, EchoProcess& b);
 
   /// Deliver queued traffic until the network is quiet.

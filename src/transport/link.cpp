@@ -6,20 +6,35 @@ class InprocLink : public Link {
  public:
   void send(const void* data, size_t size) override {
     const auto* p = static_cast<const uint8_t*>(data);
-    outbox_.emplace_back(p, p + size);
+    outbox_.push_back(Chunk{{p, p + size}, nullptr});
+  }
+
+  /// Zero-copy: the queue holds the refcount, not a copy. The payload is
+  /// released when the chunk is delivered (or the link destroyed).
+  void send_shared(SharedPayload payload) override {
+    outbox_.push_back(Chunk{{}, std::move(payload)});
   }
 
   bool connected() const override { return peer_ != nullptr; }
 
+  /// A queued chunk either owns its bytes (plain send) or shares them with
+  /// every other link in a fan-out group (send_shared).
+  struct Chunk {
+    std::vector<uint8_t> owned;
+    SharedPayload shared;
+  };
+
   InprocLink* peer_ = nullptr;
-  std::deque<std::vector<uint8_t>> outbox_;
+  std::deque<Chunk> outbox_;
 
   /// Move one queued chunk to the peer. Returns false when idle.
   bool deliver_one() {
     if (outbox_.empty() || peer_ == nullptr) return false;
-    std::vector<uint8_t> chunk = std::move(outbox_.front());
+    Chunk chunk = std::move(outbox_.front());
     outbox_.pop_front();
-    if (peer_->on_data_) peer_->on_data_(chunk.data(), chunk.size());
+    const uint8_t* data = chunk.shared != nullptr ? chunk.shared->data() : chunk.owned.data();
+    size_t size = chunk.shared != nullptr ? chunk.shared->size() : chunk.owned.size();
+    if (peer_->on_data_) peer_->on_data_(data, size);
     return true;
   }
 };

@@ -16,6 +16,13 @@
 
 namespace morph::transport {
 
+/// An immutable, refcounted frame buffer shared across the links of a
+/// fan-out group: the broker encodes once, every group member holds a
+/// reference, and the last release frees the bytes. Immutability is the
+/// contract that makes sharing safe — nobody may mutate the buffer after it
+/// is handed to send_shared().
+using SharedPayload = std::shared_ptr<const ByteBuffer>;
+
 class Link {
  public:
   using DataCallback = std::function<void(const uint8_t* data, size_t size)>;
@@ -25,6 +32,13 @@ class Link {
   /// Queue bytes toward the peer.
   virtual void send(const void* data, size_t size) = 0;
   void send(const ByteBuffer& buf) { send(buf.data(), buf.size()); }
+
+  /// Queue a shared immutable payload toward the peer. The default copies
+  /// through send() — correct for socket transports, which serialize into
+  /// the kernel buffer anyway (the fan-out win there is the single shared
+  /// *encode*). In-process links override this to enqueue the reference
+  /// itself: zero-copy delivery on the loopback path.
+  virtual void send_shared(SharedPayload payload) { send(payload->data(), payload->size()); }
 
   /// Callback invoked with received bytes during pumping.
   void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }

@@ -128,6 +128,22 @@ void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
   port_metrics().bytes_sent.add(frame.size());
 }
 
+SharedPayload make_shared_frame(const void* msg, size_t size, uint64_t trace_id) {
+  auto frame = std::make_shared<ByteBuffer>();
+  write_frame(*frame, FrameType::kData, msg, size, trace_id);
+  return frame;
+}
+
+void MessagePort::send_shared(const pbio::FormatPtr& fmt, const SharedPayload& frame) {
+  obs::TraceSpan span("port.send", &port_metrics().send_ns);
+  send_meta_for(fmt);
+  link_.send_shared(frame);
+  ++stats_.data_sent;
+  stats_.bytes_sent += frame->size();
+  port_metrics().data_sent.inc();
+  port_metrics().bytes_sent.add(frame->size());
+}
+
 void MessagePort::send_control(const void* data, size_t size) {
   ByteBuffer frame;
   write_frame(frame, FrameType::kControl, data, size);

@@ -37,6 +37,13 @@ class MessagePort {
   /// Encode and send a record; lazily sends format + transform meta-data.
   void send_record(const pbio::FormatPtr& fmt, const void* record);
 
+  /// Send a pre-built shared data frame of format `fmt` (see
+  /// make_shared_frame). Per-port meta-data for the format still goes out
+  /// first — once, lazily, exactly as send_record does — but the payload
+  /// bytes themselves are shared: the broker encodes one frame and every
+  /// port in the fan-out group forwards the same buffer.
+  void send_shared(const pbio::FormatPtr& fmt, const SharedPayload& frame);
+
   /// Raw control payload.
   void send_control(const void* data, size_t size);
   void set_on_control(std::function<void(const uint8_t*, size_t)> cb) {
@@ -80,5 +87,11 @@ class MessagePort {
   RecordArena rx_arena_;
   PortStats stats_;
 };
+
+/// Build a complete kData frame around an already-encoded PBIO message —
+/// the shared encode of a fan-out group, ready for MessagePort::send_shared
+/// on every member port. A non-zero `trace_id` travels in the frame's trace
+/// header, as in send_record.
+SharedPayload make_shared_frame(const void* msg, size_t size, uint64_t trace_id = 0);
 
 }  // namespace morph::transport

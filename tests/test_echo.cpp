@@ -148,21 +148,33 @@ TEST(Echo, EventsFlowFromSourceToSinks) {
   EXPECT_EQ(sink1.stats().events_received, 1u);
 }
 
-TEST(Echo, EvolvedEventFormatMorphsAtOldSink) {
+struct TickFormats {
+  FormatPtr old_fmt;
+  FormatPtr new_fmt;
+  core::TransformSpec spec;
+};
+
+TickFormats tick_formats() {
+  TickFormats t;
+  t.old_fmt = FormatBuilder("Tick").add_int("seq", 4).add_float("v", 8).build();
+  t.new_fmt = FormatBuilder("Tick")
+                  .add_int("seq", 8)
+                  .add_float("v", 8)
+                  .add_string("unit")
+                  .add_int("quality", 4)
+                  .build();
+  t.spec.src = t.new_fmt;
+  t.spec.dst = t.old_fmt;
+  t.spec.code = "old.seq = new.seq; old.v = new.v;";
+  return t;
+}
+
+TEST(Echo, EvolvedEventFormatMorphsOnceAtSource) {
   // An upgraded source publishes a richer event format and declares a
   // retro-transform; an old sink still registered for the narrow format
-  // receives morphed events.
-  auto old_fmt = FormatBuilder("Tick").add_int("seq", 4).add_float("v", 8).build();
-  auto new_fmt = FormatBuilder("Tick")
-                     .add_int("seq", 8)
-                     .add_float("v", 8)
-                     .add_string("unit")
-                     .add_int("quality", 4)
-                     .build();
-  core::TransformSpec spec;
-  spec.src = new_fmt;
-  spec.dst = old_fmt;
-  spec.code = "old.seq = new.seq; old.v = new.v;";
+  // receives correct events. With grouped fan-out (the default) the morph
+  // runs once at the publisher and the sink's delivery is exact.
+  auto t = tick_formats();
 
   EchoDomain dom;
   auto& creator = dom.spawn("creator", EchoVersion::kV1);
@@ -174,31 +186,81 @@ TEST(Echo, EvolvedEventFormatMorphsAtOldSink) {
   dom.pump();
 
   creator.create_channel("ticks");
-  int morphed_events = 0;
-  sink.on_event("ticks", old_fmt, [&](const Event& ev) {
+  int exact_events = 0;
+  sink.on_event("ticks", t.old_fmt, [&](const Event& ev) {
     pbio::RecordRef r(ev.delivery->record, ev.delivery->format);
     EXPECT_EQ(r.get_int("seq"), 100);
     EXPECT_DOUBLE_EQ(r.get_float("v"), 1.25);
-    if (ev.delivery->outcome == core::Outcome::kMorphed) ++morphed_events;
+    if (ev.delivery->outcome == core::Outcome::kExact) ++exact_events;
   });
-  source.declare_event_transform(spec);
+  source.declare_event_transform(t.spec);
 
   sink.open_channel("ticks", "creator", false, true);
   source.open_channel("ticks", "creator", true, false);
   dom.pump();
 
   RecordArena arena;
-  void* rec = pbio::alloc_record(*new_fmt, arena);
-  pbio::RecordRef r(rec, new_fmt);
+  void* rec = pbio::alloc_record(*t.new_fmt, arena);
+  pbio::RecordRef r(rec, t.new_fmt);
   r.set_int("seq", 100);
   r.set_float("v", 1.25);
   r.set_string("unit", "ms", arena);
   r.set_int("quality", 3);
-  source.publish("ticks", new_fmt, rec);
+  EXPECT_EQ(source.publish("ticks", t.new_fmt, rec), 1u);
+  dom.pump();
+
+  // The sink saw a pre-morphed record (no morph on its own receiver); the
+  // one morph ran at the source, tracked by the fan-out counters.
+  EXPECT_EQ(exact_events, 1);
+  EXPECT_EQ(sink.stats().events_received, 1u);
+  EXPECT_EQ(sink.stats().events_morphed, 0u);
+  EXPECT_EQ(source.stats().fanout_morphs, 1u);
+  EXPECT_EQ(source.stats().fanout_deliveries, 1u);
+  EXPECT_EQ(source.stats().fanout_fallbacks, 0u);
+}
+
+TEST(Echo, EvolvedEventFormatMorphsAtOldSinkPerSubscriber) {
+  // The historical per-subscriber path, still selectable: the source sends
+  // its own format and the sink's receiver runs the morph.
+  auto t = tick_formats();
+
+  EchoDomain dom;
+  auto& creator =
+      dom.spawn("creator", EchoVersion::kV1, {}, FanoutMode::kPerSubscriber);
+  auto& source = dom.spawn("source", EchoVersion::kV2, {}, FanoutMode::kPerSubscriber);
+  auto& sink = dom.spawn("sink", EchoVersion::kV1, {}, FanoutMode::kPerSubscriber);
+  dom.connect(creator, source);
+  dom.connect(creator, sink);
+  dom.connect(source, sink);
+  dom.pump();
+
+  creator.create_channel("ticks");
+  int morphed_events = 0;
+  sink.on_event("ticks", t.old_fmt, [&](const Event& ev) {
+    pbio::RecordRef r(ev.delivery->record, ev.delivery->format);
+    EXPECT_EQ(r.get_int("seq"), 100);
+    EXPECT_DOUBLE_EQ(r.get_float("v"), 1.25);
+    if (ev.delivery->outcome == core::Outcome::kMorphed) ++morphed_events;
+  });
+  source.declare_event_transform(t.spec);
+
+  sink.open_channel("ticks", "creator", false, true);
+  source.open_channel("ticks", "creator", true, false);
+  dom.pump();
+
+  RecordArena arena;
+  void* rec = pbio::alloc_record(*t.new_fmt, arena);
+  pbio::RecordRef r(rec, t.new_fmt);
+  r.set_int("seq", 100);
+  r.set_float("v", 1.25);
+  r.set_string("unit", "ms", arena);
+  r.set_int("quality", 3);
+  source.publish("ticks", t.new_fmt, rec);
   dom.pump();
 
   EXPECT_EQ(morphed_events, 1);
   EXPECT_EQ(sink.stats().events_morphed, 1u);
+  EXPECT_EQ(source.stats().fanout_morphs, 0u);
 }
 
 TEST(Echo, DuplicateEventFormatNameOnOtherChannelRejected) {

@@ -8,9 +8,11 @@
 //                                         subtract; gauges show old -> new)
 //   morph-stat --check DUMP.json          validate the dump: schema tag,
 //                                         percentile ordering, bucket sums,
-//                                         receiver outcome conservation, and
+//                                         receiver outcome conservation,
 //                                         fusion conservation (every morphed
-//                                         outcome ran fused or hop-wise).
+//                                         outcome ran fused or hop-wise),
+//                                         and echo fan-out conservation
+//                                         (morphs <= encodes <= deliveries).
 //                                         Exit 1 on any violation.
 //   morph-stat --spans DUMP.json          also print the captured trace
 //                                         spans, grouped by trace id
@@ -220,9 +222,53 @@ void render_fusion(const Snapshot& s) {
   }
 }
 
+/// Digest of echo broker activity: request/response morphing and the
+/// format-grouped event fan-out. Only printed when echo metrics are present.
+void render_echo(const Snapshot& s) {
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t responses = counter("morph_echo_responses_total");
+  uint64_t rx_events = counter("morph_echo_events_total");
+  uint64_t fan_events = counter("echo_fanout_events_total");
+  if (responses + rx_events + fan_events == 0) return;
+
+  std::printf("== echo ==\n");
+  if (responses > 0) {
+    std::printf("  responses: %" PRIu64 " delivered, %" PRIu64 " morphed (%" PRIu64
+                " open requests)\n",
+                responses, counter("morph_echo_responses_morphed_total"),
+                counter("morph_echo_open_requests_total"));
+  }
+  if (rx_events > 0) {
+    std::printf("  events: %" PRIu64 " received at sinks, %" PRIu64 " morphed sink-side\n",
+                rx_events, counter("morph_echo_events_morphed_total"));
+  }
+  if (fan_events > 0) {
+    uint64_t morphs = counter("echo_fanout_morphs_total");
+    uint64_t deliveries = counter("echo_fanout_deliveries_total");
+    std::printf("  fan-out: %" PRIu64 " events -> %" PRIu64 " deliveries (%.1f sinks/event), %"
+                PRIu64 " morphs (%.2f/event), %" PRIu64 " encodes, %" PRIu64 " fallbacks\n",
+                fan_events, deliveries,
+                static_cast<double>(deliveries) / static_cast<double>(fan_events), morphs,
+                static_cast<double>(morphs) / static_cast<double>(fan_events),
+                counter("echo_fanout_encodes_total"), counter("echo_fanout_fallback_total"));
+    uint64_t plans = counter("morph_fanout_plans_total{result=\"built\"}");
+    uint64_t hits = counter("morph_fanout_plans_total{result=\"hit\"}");
+    if (plans + hits > 0) {
+      std::printf("  fan-out plans: %" PRIu64 " built, %" PRIu64 " cache hits, %" PRIu64
+                  " unreachable, %" PRIu64 " flushes\n",
+                  plans, hits, counter("morph_fanout_plans_total{result=\"unreachable\"}"),
+                  counter("morph_fanout_cache_flushes_total"));
+    }
+  }
+}
+
 void render(const Snapshot& s, bool with_spans) {
   render_fmtsvc(s);
   render_fusion(s);
+  render_echo(s);
   if (!s.counters.empty()) {
     std::printf("== counters ==\n");
     for (const auto& [name, v] : s.counters) std::printf("  %-56s %12" PRIu64 "\n", name.c_str(), v);
@@ -348,6 +394,56 @@ int check(const Snapshot& s) {
     if (inplace > fused + hopwise) {
       fail("in-place morphs " + std::to_string(inplace) + " exceed chain executions " +
            std::to_string(fused + hopwise));
+    }
+  }
+
+  // Echo conservation: morphed responses/events are subsets of their totals.
+  if (counter("morph_echo_responses_morphed_total") > counter("morph_echo_responses_total")) {
+    fail("echo morphed responses exceed responses delivered");
+  }
+  if (counter("morph_echo_events_morphed_total") > counter("morph_echo_events_total")) {
+    fail("echo morphed events exceed events received");
+  }
+
+  // Fan-out conservation: the grouped publish path morphs at most once per
+  // encode and encodes at most once per delivery (identity groups skip the
+  // morph; every frame built is handed to at least one sink), and an event
+  // only counts when it delivered somewhere — so at any instant
+  // morphs <= encodes <= deliveries and events <= deliveries.
+  if (s.counters.count("echo_fanout_events_total") != 0) {
+    uint64_t fan_events = counter("echo_fanout_events_total");
+    uint64_t fan_morphs = counter("echo_fanout_morphs_total");
+    uint64_t fan_encodes = counter("echo_fanout_encodes_total");
+    uint64_t fan_deliveries = counter("echo_fanout_deliveries_total");
+    if (fan_morphs > fan_encodes) {
+      fail("fan-out morphs " + std::to_string(fan_morphs) + " exceed encodes " +
+           std::to_string(fan_encodes));
+    }
+    if (fan_encodes > fan_deliveries) {
+      fail("fan-out encodes " + std::to_string(fan_encodes) + " exceed deliveries " +
+           std::to_string(fan_deliveries));
+    }
+    if (fan_events > fan_deliveries) {
+      fail("fan-out events " + std::to_string(fan_events) + " exceed deliveries " +
+           std::to_string(fan_deliveries));
+    }
+  }
+
+  // Fan-out planner conservation: "unreachable" builds are a subset of
+  // "built" (every build bumps built; the failed ones also bump
+  // unreachable), and verifier rejections are one of the ways a build
+  // becomes unreachable.
+  {
+    uint64_t plan_built = counter("morph_fanout_plans_total{result=\"built\"}");
+    uint64_t plan_unreachable = counter("morph_fanout_plans_total{result=\"unreachable\"}");
+    if (plan_unreachable > plan_built) {
+      fail("fan-out unreachable plans " + std::to_string(plan_unreachable) +
+           " exceed plans built " + std::to_string(plan_built));
+    }
+    uint64_t verify_rejected = counter("morph_fanout_verify_rejected_total");
+    if (verify_rejected > plan_unreachable) {
+      fail("fan-out verify rejections " + std::to_string(verify_rejected) +
+           " exceed unreachable plans " + std::to_string(plan_unreachable));
     }
   }
 
