@@ -1,6 +1,7 @@
 #include "echo/process.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <sstream>
 
@@ -48,6 +49,19 @@ std::string fp_to_hex(uint64_t fp) {
   os << std::hex << fp;
   return os.str();
 }
+
+/// A uint64_t fingerprint as sent by fp_to_hex: 1..16 hex digits.
+bool is_fp_hex(const std::string& s) {
+  if (s.empty() || s.size() > 16) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isxdigit(c) != 0; });
+}
+
+/// Upper bound on distinct (channel, format-name) EVTSUB entries per peer.
+/// Announcements are peer-controlled input; without a cap a hostile peer
+/// streaming fresh names could grow broker memory without bound (the
+/// max_cached_plans rationale, applied to the subscription map).
+constexpr size_t kMaxEventSubsPerPeer = 4096;
 }  // namespace
 
 struct EchoProcess::Peer {
@@ -131,8 +145,16 @@ void EchoProcess::setup_peer(Peer& peer) {
 
 void EchoProcess::handle_control(Peer& peer, const std::string& msg) {
   if (msg.rfind("HELLO ", 0) == 0) {
+    bool was_unnamed = peer.name.empty();
     peer.name = msg.substr(6);
     MORPH_LOG_DEBUG("echo") << contact_ << ": peer introduced as " << peer.name;
+    // EVTSUBs processed before the peer introduced itself could not be
+    // grouped (sync matches members by name); re-derive those channels now
+    // so the sink is not stuck on the per-subscriber fallback until the
+    // next membership change.
+    if (was_unnamed && !peer.name.empty()) {
+      for (const auto& [channel, subs] : peer.event_subs) sync_channel_groups(channel);
+    }
     return;
   }
   // EVTSUB <fp-hex>\x1f<channel>\x1f<format name>: the peer registered an
@@ -142,13 +164,24 @@ void EchoProcess::handle_control(Peer& peer, const std::string& msg) {
     std::string rest = msg.substr(7);
     size_t s1 = rest.find('\x1f');
     size_t s2 = s1 == std::string::npos ? std::string::npos : rest.find('\x1f', s1 + 1);
-    if (s2 == std::string::npos) {
+    if (s2 == std::string::npos || !is_fp_hex(rest.substr(0, s1))) {
       MORPH_LOG_WARN("echo") << contact_ << ": malformed EVTSUB '" << msg << "'";
       return;
     }
     uint64_t fp = std::stoull(rest.substr(0, s1), nullptr, 16);
     std::string channel = rest.substr(s1 + 1, s2 - s1 - 1);
     std::string name = rest.substr(s2 + 1);
+    auto chan_it = peer.event_subs.find(channel);
+    if (chan_it == peer.event_subs.end() || chan_it->second.count(name) == 0) {
+      size_t total = 0;
+      for (const auto& [ch, subs] : peer.event_subs) total += subs.size();
+      if (total >= kMaxEventSubsPerPeer) {
+        MORPH_LOG_WARN("echo") << contact_ << ": EVTSUB cap (" << kMaxEventSubsPerPeer
+                               << ") reached for peer '" << peer.name << "'; dropping '"
+                               << name << "'";
+        return;
+      }
+    }
     peer.event_subs[channel][name] = fp;
     sync_channel_groups(channel);
     return;
@@ -237,7 +270,14 @@ void EchoProcess::handle_open_request(Peer& peer, const Delivery& d) {
                            << "'";
     return;
   }
-  if (peer.name.empty()) peer.name = contact;
+  if (peer.name.empty() && !contact.empty()) {
+    peer.name = contact;
+    // Naming the peer may unlock grouping for EVTSUBs it announced on
+    // other channels before introducing itself (this channel syncs below).
+    for (const auto& [ch, subs] : peer.event_subs) {
+      if (ch != channel) sync_channel_groups(ch);
+    }
+  }
   auto& members = it->second.members;
 
   bool leaving = req->as_source == 0 && req->as_sink == 0;

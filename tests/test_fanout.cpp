@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,10 @@
 #include "core/fanout.hpp"
 #include "core/receiver.hpp"
 #include "echo/fanout.hpp"
+#include "echo/messages.hpp"
 #include "echo/process.hpp"
+#include "transport/link.hpp"
+#include "transport/port.hpp"
 #include "obs/metrics.hpp"
 #include "pbio/dynrecord.hpp"
 #include "pbio/encode.hpp"
@@ -406,6 +410,142 @@ TEST(FanoutDifferential, EchoDomainsGroupedVsPerSubscriber) {
     ASSERT_EQ((*grouped)[i].frames.size(), static_cast<size_t>(kEvents)) << "sink " << i;
     EXPECT_EQ((*grouped)[i].frames, (*legacy)[i].frames) << "sink " << i;
   }
+}
+
+// --- hostile control frames --------------------------------------------------
+
+/// A bare MessagePort on one end of an InprocPair: the test acts as a
+/// remote peer speaking raw frames, free of EchoProcess discipline (no
+/// HELLO on attach, arbitrary control payloads).
+struct RawPeer {
+  transport::InprocPair pair;
+  transport::MessagePort port;
+  RawPeer() : port(pair.b(), nullptr) {}
+  void control(const std::string& msg) { port.send_control(msg.data(), msg.size()); }
+};
+
+std::string evtsub_of(const std::string& channel, const FormatPtr& fmt) {
+  std::ostringstream os;
+  os << "EVTSUB " << std::hex << fmt->fingerprint() << '\x1f' << channel << '\x1f'
+     << fmt->name();
+  return os.str();
+}
+
+void send_open_as_sink(RawPeer& remote, const std::string& channel,
+                       const std::string& contact) {
+  RecordArena arena;
+  auto req_fmt = echo::channel_open_request_format();
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*req_fmt, arena));
+  req->channel_id = arena.copy_string(channel);
+  req->contact = arena.copy_string(contact);
+  req->as_source = 0;
+  req->as_sink = 1;
+  remote.port.send_record(req_fmt, req);
+}
+
+TEST(FanoutHostile, MalformedEvtsubIsDroppedNotFatal) {
+  echo::EchoProcess broker("broker", echo::EchoVersion::kV1);
+  RawPeer remote;
+  broker.attach_link(remote.pair.a());
+  remote.pair.pump();  // broker's HELLO; the raw peer ignores it
+
+  broker.create_channel("chan");
+  auto fmt = rev_format(0);
+  std::string key = echo::FanoutRegistry::key("chan", fmt->name());
+
+  // The fingerprint field must be 1..16 hex digits; anything else takes the
+  // warn-and-drop path — never an exception through the link callback.
+  remote.control("EVTSUB z\x1f" "chan\x1f" "FanTick");                  // non-hex
+  remote.control("EVTSUB \x1f" "chan\x1f" "FanTick");                   // empty
+  remote.control("EVTSUB 11112222333344445\x1f" "chan\x1f" "FanTick");  // > 64 bits
+  remote.control("EVTSUB deadbeef");                                    // no separators
+  EXPECT_NO_THROW(remote.pair.pump());
+  EXPECT_EQ(broker.fanout_groups().snapshot(key)->total_sinks, 0u);
+
+  // The same (still hostile-looking) peer recovers: a well-formed EVTSUB
+  // followed by the open request that names it still forms the group.
+  remote.control(evtsub_of("chan", fmt));
+  send_open_as_sink(remote, "chan", "remote");
+  remote.pair.pump();
+  auto snap = broker.fanout_groups().snapshot(key);
+  ASSERT_EQ(snap->total_sinks, 1u);
+  EXPECT_EQ(snap->groups[0].target_fp, fmt->fingerprint());
+}
+
+TEST(FanoutHostile, EvtsubBeforeHelloRegroupsOnHello) {
+  // A subscriber whose EVTSUB is processed before its HELLO must not be
+  // stuck on the per-subscriber fallback: naming the peer re-syncs its
+  // announced channels.
+  echo::EchoProcess source("source", echo::EchoVersion::kV1);
+  RawPeer remote;
+  source.attach_link(remote.pair.a());
+  remote.pair.pump();
+
+  auto fmt = rev_format(0);
+  std::string key = echo::FanoutRegistry::key("chan", fmt->name());
+
+  // Membership arrives from a creator response listing "remote" as sink.
+  RecordArena arena;
+  auto resp_fmt = echo::channel_open_response_v1_format();
+  auto* rec =
+      static_cast<echo::ChannelOpenResponseV1*>(pbio::alloc_record(*resp_fmt, arena));
+  rec->channel = arena.copy_string("chan");
+  rec->member_count = 1;
+  rec->member_list = static_cast<echo::MemberEntryV1*>(
+      pbio::alloc_dyn_array(arena, sizeof(echo::MemberEntryV1), 1));
+  rec->member_list[0].info = arena.copy_string("remote");
+  rec->member_list[0].id = 1;
+  rec->src_count = 0;
+  rec->src_list = static_cast<echo::MemberEntryV1*>(
+      pbio::alloc_dyn_array(arena, sizeof(echo::MemberEntryV1), 1));
+  rec->sink_count = 1;
+  rec->sink_list = static_cast<echo::MemberEntryV1*>(
+      pbio::alloc_dyn_array(arena, sizeof(echo::MemberEntryV1), 1));
+  rec->sink_list[0].info = arena.copy_string("remote");
+  rec->sink_list[0].id = 1;
+  remote.port.send_record(resp_fmt, rec);
+
+  // Announce the event format while the peer is still anonymous: the sink
+  // is a member, but sync cannot match it by name yet.
+  remote.control(evtsub_of("chan", fmt));
+  remote.pair.pump();
+  EXPECT_EQ(source.fanout_groups().snapshot(key)->total_sinks, 0u);
+
+  remote.control("HELLO remote");
+  remote.pair.pump();
+  auto snap = source.fanout_groups().snapshot(key);
+  ASSERT_EQ(snap->total_sinks, 1u);
+  EXPECT_EQ(snap->groups[0].target_fp, fmt->fingerprint());
+}
+
+TEST(FanoutHostile, EvtsubFloodIsCapped) {
+  // event_subs is peer-controlled; past the per-peer cap fresh
+  // announcements are dropped (delivery falls back per-subscriber, broker
+  // memory stays bounded).
+  echo::EchoProcess broker("broker", echo::EchoVersion::kV1);
+  RawPeer remote;
+  broker.attach_link(remote.pair.a());
+  remote.control("HELLO remote");
+  remote.pair.pump();
+
+  for (int i = 0; i < 4096; ++i) {
+    remote.control("EVTSUB 1\x1f" "junk" + std::to_string(i) + "\x1f" "F");
+    if (i % 512 == 0) remote.pair.pump();
+  }
+  remote.pair.pump();
+
+  broker.create_channel("chan");
+  auto fmt = rev_format(0);
+  remote.control(evtsub_of("chan", fmt));  // cap hit: dropped
+  send_open_as_sink(remote, "chan", "remote");
+  remote.pair.pump();
+  std::string key = echo::FanoutRegistry::key("chan", fmt->name());
+  EXPECT_EQ(broker.fanout_groups().snapshot(key)->total_sinks, 0u);
+
+  // A re-announce of an already-known (channel, name) pair is not "fresh"
+  // and still lands (upsert, no growth).
+  remote.control("EVTSUB 2\x1f" "junk0\x1f" "F");
+  EXPECT_NO_THROW(remote.pair.pump());
 }
 
 }  // namespace
