@@ -262,6 +262,7 @@ void paper_table() {
               "and frame-counted outside the timed window); the ratio is the\n"
               "morph-once-per-format win, the last column proves broker morph work\n"
               "stayed O(revisions) while subscribers scaled\n");
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — workers joined before this point
   if (violated) std::exit(1);
 }
 

@@ -21,6 +21,15 @@ cmake --build build
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
+echo "== evolution audit (vs examples/transforms/AUDIT_golden.json) =="
+# Static breaking-change gate over the committed corpus: new error-severity
+# findings or chain-quality regressions against the golden report fail the
+# run. Refresh the golden after an intentional corpus change with:
+#   ./build/tools/morph-audit --json examples/transforms/*.eco \
+#     > examples/transforms/AUDIT_golden.json
+./build/tools/morph-audit --baseline examples/transforms/AUDIT_golden.json \
+  examples/transforms/*.eco >/dev/null
+
 if [[ "${1:-}" != "--bench-smoke" ]]; then
   echo "== bench smoke (paper tables) =="
   for b in build/bench/*; do

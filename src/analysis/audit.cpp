@@ -1,0 +1,523 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/match.hpp"
+
+namespace morph::analysis {
+
+namespace {
+
+using core::LintCheck;
+using core::LintFinding;
+using core::LintSeverity;
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatDescriptor;
+
+std::string fp_tag(const pbio::FormatPtr& f) {
+  if (!f) return "-";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s#%016llx", f->name().c_str(),
+                static_cast<unsigned long long>(f->fingerprint()));
+  return buf;
+}
+
+AuditFinding make_finding(AuditCheck check, LintSeverity sev, std::string subject,
+                          std::string message) {
+  AuditFinding f;
+  f.check = check;
+  f.severity = sev;
+  f.subject = std::move(subject);
+  f.message = std::move(message);
+  return f;
+}
+
+/// Worst-case coercion when the receiver's conversion plan moves a scalar
+/// of (kind, size) `a` into `b`. Algorithm 1's diff is width-insensitive —
+/// any two fixed scalars of the same name "match" — so a perfect match can
+/// still hide a narrowing or truncating conversion. The audit refuses to
+/// call that layout-only.
+EdgeQuality scalar_link(FieldKind ak, uint32_t asz, FieldKind bk, uint32_t bsz) {
+  if (ak == FieldKind::kFloat && bk != FieldKind::kFloat) return EdgeQuality::kLossy;
+  if (asz > bsz) return EdgeQuality::kLossy;
+  if (ak != bk || asz < bsz) return EdgeQuality::kWidening;
+  return EdgeQuality::kLayoutOnly;
+}
+
+EdgeQuality delivery_link_quality(const FormatDescriptor& src, const FormatDescriptor& dst);
+
+EdgeQuality field_link(const FieldDescriptor& a, const FieldDescriptor& b) {
+  if (a.element_format && b.element_format) {
+    return delivery_link_quality(*a.element_format, *b.element_format);
+  }
+  if (pbio::is_array(a.kind) && pbio::is_array(b.kind)) {
+    return scalar_link(a.element_kind, a.element_size, b.element_kind, b.element_size);
+  }
+  if (a.kind == FieldKind::kString || b.kind == FieldKind::kString) {
+    return EdgeQuality::kLayoutOnly;
+  }
+  return scalar_link(a.kind, a.size, b.kind, b.size);
+}
+
+/// Quality of the zero-transform delivery link src => dst (the pair already
+/// perfect-matched both ways): the worst per-field coercion the receiver's
+/// conversion plan would perform.
+EdgeQuality delivery_link_quality(const FormatDescriptor& src, const FormatDescriptor& dst) {
+  EdgeQuality q = EdgeQuality::kLayoutOnly;
+  for (const auto& f : src.fields()) {
+    const FieldDescriptor* other = dst.find_field(f.name);
+    if (other == nullptr) continue;  // cannot happen after a perfect match
+    q = compose(q, field_link(f, *other));
+  }
+  return q;
+}
+
+/// Deterministic report order: worst first, then by kind and subject.
+void sort_findings(std::vector<AuditFinding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const AuditFinding& a, const AuditFinding& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    if (a.check != b.check) return a.check < b.check;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.message < b.message;
+  });
+}
+
+/// The resolved graph the matrix and the findings are computed from. Node
+/// order is sorted by (name, fingerprint) so every derived artifact — the
+/// matrix, the JSON report — is stable across runs and platforms
+/// (fingerprints are content hashes).
+struct Engine {
+  std::vector<AuditNode> nodes;
+  std::unordered_map<uint64_t, size_t> index;
+  std::vector<AuditEdge> edges;
+  // adj[i] = {(j, quality)} over verifier-accepted edges only.
+  std::vector<std::vector<std::pair<size_t, EdgeQuality>>> adj;
+  // link[i][j]: quality of the zero-transform delivery i => j — kExact on
+  // the diagonal, the classified conversion for a perfect match modulo
+  // layout (what Algorithm 2 accepts without reconciliation), kUnreachable
+  // when the receiver would have to reconcile.
+  std::vector<std::vector<EdgeQuality>> link;
+  std::vector<std::vector<MatrixCell>> matrix;
+
+  size_t find(uint64_t fp) const {
+    auto it = index.find(fp);
+    return it == index.end() ? npos : it->second;
+  }
+  static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+Engine build_engine(const std::vector<AuditNode>& raw_nodes,
+                    const std::vector<core::TransformSpec>& specs) {
+  Engine e;
+  e.nodes = raw_nodes;
+  std::sort(e.nodes.begin(), e.nodes.end(), [](const AuditNode& a, const AuditNode& b) {
+    if (a.format->name() != b.format->name()) return a.format->name() < b.format->name();
+    return a.format->fingerprint() < b.format->fingerprint();
+  });
+  for (size_t i = 0; i < e.nodes.size(); ++i) e.index[e.nodes[i].format->fingerprint()] = i;
+
+  // Classify each spec once; keep the best edge per (src, dst) pair. A
+  // writer shipping both a sloppy and a clean transform for the same pair
+  // is judged by the clean one — that is what a receiver would prefer too
+  // once quality is visible.
+  std::map<std::pair<uint64_t, uint64_t>, AuditEdge> best;
+  for (const auto& spec : specs) {
+    if (!spec.src || !spec.dst) continue;
+    AuditEdge edge;
+    edge.src_fp = spec.src->fingerprint();
+    edge.dst_fp = spec.dst->fingerprint();
+    edge.quality = classify_spec(spec, &edge.findings);
+    auto key = std::make_pair(edge.src_fp, edge.dst_fp);
+    auto it = best.find(key);
+    if (it == best.end() || edge.quality < it->second.quality) best[key] = std::move(edge);
+  }
+  e.edges.reserve(best.size());
+  for (auto& [key, edge] : best) e.edges.push_back(std::move(edge));
+
+  const size_t n = e.nodes.size();
+  e.adj.resize(n);
+  for (const AuditEdge& edge : e.edges) {
+    if (edge.quality == EdgeQuality::kUnreachable) continue;
+    size_t src = e.find(edge.src_fp);
+    size_t dst = e.find(edge.dst_fp);
+    if (src == Engine::npos || dst == Engine::npos) continue;
+    e.adj[src].emplace_back(dst, edge.quality);
+  }
+
+  e.link.assign(n, std::vector<EdgeQuality>(n, EdgeQuality::kUnreachable));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        e.link[i][j] = EdgeQuality::kExact;
+      } else if (core::perfect_match(*e.nodes[i].format, *e.nodes[j].format)) {
+        e.link[i][j] = delivery_link_quality(*e.nodes[i].format, *e.nodes[j].format);
+      }
+    }
+  }
+
+  // Transitive closure. Per source: a lexicographic (quality, hops)
+  // Dijkstra for the best-quality chain (compose() is monotone, so the
+  // greedy settle order is sound), plus a plain BFS for the hop-shortest
+  // chain — the one the receiver's breadth-first closure would compile.
+  constexpr uint32_t kInf = ~0u;
+  e.matrix.assign(n, std::vector<MatrixCell>(n));
+  std::vector<EdgeQuality> q(n);
+  std::vector<uint32_t> h(n), bfs(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(q.begin(), q.end(), EdgeQuality::kUnreachable);
+    std::fill(h.begin(), h.end(), kInf);
+    std::vector<uint8_t> done(n, 0);
+    q[i] = EdgeQuality::kExact;
+    h[i] = 0;
+    for (;;) {
+      size_t u = Engine::npos;
+      for (size_t c = 0; c < n; ++c) {
+        if (done[c] || q[c] == EdgeQuality::kUnreachable) continue;
+        if (u == Engine::npos || q[c] < q[u] || (q[c] == q[u] && h[c] < h[u])) u = c;
+      }
+      if (u == Engine::npos) break;
+      done[u] = 1;
+      for (const auto& [v, w] : e.adj[u]) {
+        EdgeQuality nq = compose(q[u], w);
+        uint32_t nh = h[u] + 1;
+        if (nq < q[v] || (nq == q[v] && nh < h[v])) {
+          q[v] = nq;
+          h[v] = nh;
+        }
+      }
+    }
+
+    std::fill(bfs.begin(), bfs.end(), kInf);
+    bfs[i] = 0;
+    std::vector<size_t> queue{i};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      size_t u = queue[head];
+      for (const auto& [v, w] : e.adj[u]) {
+        (void)w;
+        if (bfs[v] != kInf) continue;
+        bfs[v] = bfs[u] + 1;
+        queue.push_back(v);
+      }
+    }
+
+    // Fold in the delivery link: reaching chain-end C delivers to B when
+    // C == B or C perfectly matches B modulo layout, at the link's own
+    // lattice cost (a narrowing conversion plan is itself lossy).
+    for (size_t b = 0; b < n; ++b) {
+      MatrixCell& cell = e.matrix[i][b];
+      for (size_t c = 0; c < n; ++c) {
+        if (q[c] == EdgeQuality::kUnreachable || e.link[c][b] == EdgeQuality::kUnreachable) {
+          continue;
+        }
+        EdgeQuality lq = compose(q[c], e.link[c][b]);
+        if (!cell.reachable() || lq < cell.quality ||
+            (lq == cell.quality && h[c] < cell.hops)) {
+          cell.quality = lq;
+          cell.hops = h[c];
+        }
+      }
+      if (!cell.reachable()) continue;
+      uint32_t mh = kInf;
+      for (size_t c = 0; c < n; ++c) {
+        if (bfs[c] == kInf || e.link[c][b] == EdgeQuality::kUnreachable) continue;
+        mh = std::min(mh, bfs[c]);
+      }
+      cell.min_hops = mh == kInf ? cell.hops : mh;
+    }
+  }
+  return e;
+}
+
+/// Fleet-level findings derived from a settled engine.
+void fleet_findings(const Engine& e, std::vector<AuditFinding>& out) {
+  const size_t n = e.nodes.size();
+  for (size_t i = 0; i < n; ++i) {
+    const AuditNode& a = e.nodes[i];
+    const std::string& name = a.format->name();
+    std::string tag = fp_tag(a.format);
+
+    if (a.stored) {
+      // Orphans: live readers of this exchange exist, none can receive
+      // this revision. Error-severity — messages of this revision are
+      // undeliverable to the declared fleet.
+      bool any_live = false;
+      bool delivered = false;
+      for (size_t j = 0; j < n; ++j) {
+        if (!e.nodes[j].live || e.nodes[j].format->name() != name) continue;
+        any_live = true;
+        if (e.matrix[i][j].reachable()) delivered = true;
+      }
+      if (any_live && !delivered) {
+        out.push_back(make_finding(AuditCheck::kOrphanRevision, LintSeverity::kError, tag,
+                                   "no declared live peer of '" + name +
+                                       "' can receive this revision; senders emitting it are "
+                                       "cut off from the fleet"));
+      }
+
+      // Chain-quality warnings per live peer.
+      for (size_t j = 0; j < n; ++j) {
+        if (!e.nodes[j].live || i == j || e.nodes[j].format->name() != name) continue;
+        const MatrixCell& cell = e.matrix[i][j];
+        if (!cell.reachable()) continue;
+        if (cell.quality == EdgeQuality::kLossy) {
+          out.push_back(make_finding(
+              AuditCheck::kLossyOnlyPath, LintSeverity::kWarning, tag,
+              "live peer " + fp_tag(e.nodes[j].format) + " receives this revision only via " +
+                  (cell.hops == 0 ? std::string("a lossy direct conversion")
+                                  : "a " + std::to_string(cell.hops) + "-hop lossy chain")));
+        } else if (cell.quality == EdgeQuality::kDefaulted) {
+          out.push_back(make_finding(
+              AuditCheck::kDegradedPath, LintSeverity::kNote, tag,
+              "live peer " + fp_tag(e.nodes[j].format) +
+                  " receives this revision with defaulted fields (chain quality 'defaulted')"));
+        }
+      }
+
+      // Coverage gaps: a stored revision with same-name peers but no
+      // transform connectivity in either direction — a registered
+      // revision whose writer forgot to attach (or chain) transforms.
+      bool has_family = false;
+      bool connected = false;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j || !e.nodes[j].stored || e.nodes[j].format->name() != name) continue;
+        has_family = true;
+        if (e.matrix[i][j].reachable() || e.matrix[j][i].reachable()) connected = true;
+      }
+      if (has_family && !connected) {
+        out.push_back(make_finding(AuditCheck::kCoverageGap, LintSeverity::kWarning, tag,
+                                   "revision of '" + name +
+                                       "' has no transform path to or from any other stored "
+                                       "revision of the exchange"));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* edge_quality_name(EdgeQuality q) {
+  switch (q) {
+    case EdgeQuality::kExact: return "exact";
+    case EdgeQuality::kLayoutOnly: return "layout-only";
+    case EdgeQuality::kWidening: return "widening";
+    case EdgeQuality::kDefaulted: return "defaulted";
+    case EdgeQuality::kLossy: return "lossy";
+    case EdgeQuality::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+const char* audit_policy_name(AuditPolicy p) {
+  switch (p) {
+    case AuditPolicy::kOff: return "off";
+    case AuditPolicy::kWarn: return "warn";
+    case AuditPolicy::kEnforce: return "enforce";
+  }
+  return "?";
+}
+
+const char* audit_check_name(AuditCheck c) {
+  switch (c) {
+    case AuditCheck::kFingerprintCollision: return "fingerprint-collision";
+    case AuditCheck::kOrphanRevision: return "orphan-revision";
+    case AuditCheck::kStrandedPeer: return "stranded-peer";
+    case AuditCheck::kLossyOnlyPath: return "lossy-only-path";
+    case AuditCheck::kDegradedPath: return "degraded-path";
+    case AuditCheck::kCoverageGap: return "coverage-gap";
+    case AuditCheck::kUnknownLiveReader: return "unknown-live-reader";
+    case AuditCheck::kQualityRegression: return "quality-regression";
+    case AuditCheck::kNewFinding: return "new-finding";
+  }
+  return "?";
+}
+
+std::string AuditFinding::to_string() const {
+  std::string out = core::lint_severity_name(severity);
+  out += ": ";
+  out += audit_check_name(check);
+  out += ": ";
+  if (!subject.empty()) {
+    out += subject;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+EdgeQuality classify_spec(const core::TransformSpec& spec,
+                          std::vector<core::LintFinding>* findings) {
+  core::LintReport rep = core::lint_spec(spec);
+  if (findings != nullptr) *findings = rep.findings;
+  bool lossy = false;
+  bool defaulted = false;
+  bool widened = false;
+  for (const LintFinding& f : rep.findings) {
+    if (f.severity == LintSeverity::kError) return EdgeQuality::kUnreachable;
+    switch (f.check) {
+      case LintCheck::kLossyNarrowing:
+      case LintCheck::kFloatTruncation:
+        lossy = true;
+        break;
+      case LintCheck::kDroppedField:
+        // Dropping a source field the destination simply lacks is what a
+        // retro-transformation is *for*; only operator-weighted fields
+        // (importance > 1, warning severity) count as data loss.
+        if (f.severity >= LintSeverity::kWarning) lossy = true;
+        break;
+      case LintCheck::kUnassignedField:
+        defaulted = true;
+        break;
+      case LintCheck::kSignChange:
+        widened = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (lossy) return EdgeQuality::kLossy;
+  if (defaulted) return EdgeQuality::kDefaulted;
+  if (widened) return EdgeQuality::kWidening;
+  if (spec.src->fingerprint() == spec.dst->fingerprint()) return EdgeQuality::kExact;
+  if (spec.src->shape_fingerprint() == spec.dst->shape_fingerprint()) {
+    return EdgeQuality::kLayoutOnly;
+  }
+  // Every destination field computed, every source byte consumable, no
+  // narrowing: a value-preserving restructure.
+  return EdgeQuality::kWidening;
+}
+
+void AuditUniverse::intern(const pbio::FormatPtr& format, bool stored) {
+  if (!format) return;
+  uint64_t fp = format->fingerprint();
+  auto it = by_fp_.find(fp);
+  if (it != by_fp_.end()) {
+    Node& node = nodes_[it->second];
+    if (!node.format->identical_to(*format)) {
+      collisions_.push_back(make_finding(
+          AuditCheck::kFingerprintCollision, LintSeverity::kError, fp_tag(format),
+          "structurally different descriptor collides with " + fp_tag(node.format)));
+    }
+    node.stored = node.stored || stored;
+    return;
+  }
+  by_fp_.emplace(fp, nodes_.size());
+  nodes_.push_back(Node{format, stored});
+}
+
+void AuditUniverse::add(const pbio::FormatPtr& format,
+                        const std::vector<core::TransformSpec>& transforms, bool stored) {
+  intern(format, stored);
+  for (const auto& spec : transforms) add_spec(spec);
+}
+
+void AuditUniverse::add_spec(const core::TransformSpec& spec) {
+  if (!spec.src || !spec.dst) return;
+  intern(spec.src, false);
+  intern(spec.dst, false);
+  // Dedup exact re-submissions (the same bundle loaded twice).
+  for (const auto& s : specs_) {
+    if (s.src->fingerprint() == spec.src->fingerprint() &&
+        s.dst->fingerprint() == spec.dst->fingerprint() && s.code == spec.code) {
+      return;
+    }
+  }
+  specs_.push_back(spec);
+}
+
+void AuditUniverse::declare_live(uint64_t fingerprint) {
+  if (live_set_.insert(fingerprint).second) live_.push_back(fingerprint);
+}
+
+AuditReport AuditUniverse::audit() const {
+  std::vector<AuditNode> raw;
+  raw.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    AuditNode an;
+    an.format = n.format;
+    an.stored = n.stored;
+    an.live = live_set_.count(n.format->fingerprint()) > 0;
+    raw.push_back(std::move(an));
+  }
+  Engine e = build_engine(raw, specs_);
+
+  AuditReport report;
+  report.findings = collisions_;
+  for (uint64_t fp : live_) {
+    if (by_fp_.count(fp) != 0) continue;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "#%016llx", static_cast<unsigned long long>(fp));
+    report.findings.push_back(make_finding(
+        AuditCheck::kUnknownLiveReader, LintSeverity::kWarning, buf,
+        "a live peer declares this fingerprint but no such revision is registered"));
+  }
+  fleet_findings(e, report.findings);
+  sort_findings(report.findings);
+  report.nodes = std::move(e.nodes);
+  report.edges = std::move(e.edges);
+  report.matrix = std::move(e.matrix);
+  return report;
+}
+
+std::vector<AuditFinding> audit_candidate(const AuditUniverse& universe,
+                                          const pbio::FormatPtr& format,
+                                          const std::vector<core::TransformSpec>& transforms) {
+  std::vector<AuditFinding> out;
+  if (!format) return out;
+
+  AuditUniverse extended = universe;
+  size_t collisions_before = extended.collisions_.size();
+  extended.add(format, transforms, true);
+  for (size_t i = collisions_before; i < extended.collisions_.size(); ++i) {
+    out.push_back(extended.collisions_[i]);
+  }
+
+  AuditReport report = extended.audit();
+  size_t cand = Engine::npos;
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    if (report.nodes[i].format->fingerprint() == format->fingerprint()) cand = i;
+  }
+  if (cand == Engine::npos) return out;  // collision kept the first descriptor
+
+  std::string tag = fp_tag(format);
+  for (size_t j = 0; j < report.nodes.size(); ++j) {
+    const AuditNode& reader = report.nodes[j];
+    if (!reader.live || j == cand || reader.format->name() != format->name()) continue;
+    const MatrixCell& cell = report.matrix[cand][j];
+    if (!cell.reachable()) {
+      out.push_back(make_finding(AuditCheck::kStrandedPeer, LintSeverity::kError, tag,
+                                 "pushing this revision strands live peer " +
+                                     fp_tag(reader.format) +
+                                     ": no transform chain reaches it"));
+    } else if (cell.quality == EdgeQuality::kLossy) {
+      out.push_back(make_finding(
+          AuditCheck::kLossyOnlyPath, LintSeverity::kError, tag,
+          "live peer " + fp_tag(reader.format) + " is reachable only via " +
+              (cell.hops == 0 ? std::string("a lossy direct conversion")
+                              : "a " + std::to_string(cell.hops) + "-hop lossy chain")));
+    } else if (cell.quality == EdgeQuality::kDefaulted) {
+      out.push_back(make_finding(AuditCheck::kDegradedPath, LintSeverity::kWarning, tag,
+                                 "live peer " + fp_tag(reader.format) +
+                                     " receives this revision with defaulted fields"));
+    }
+  }
+  sort_findings(out);
+  return out;
+}
+
+bool AuditReport::breaking() const {
+  for (const auto& f : findings) {
+    if (f.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+size_t AuditReport::count(core::LintSeverity sev) const {
+  size_t n = 0;
+  for (const auto& f : findings) n += f.severity == sev ? 1 : 0;
+  return n;
+}
+
+}  // namespace morph::analysis

@@ -1,0 +1,211 @@
+// Static evolution audit over an entire format universe.
+//
+// The per-spec linter (core/lint.hpp) and the Ecode verifier answer
+// point-wise questions: is this one transform safe, does it lose data. This
+// layer asks the operator's question before a deployment: given *all* the
+// revisions of every data exchange plus the transform catalog — if senders
+// start emitting revision N, which deployed peers break, and how good is
+// the chain that keeps the rest alive? No message is sent; the whole
+// analysis is static.
+//
+// Model:
+//
+//  * Nodes are format revisions, identified by fingerprint. A node is
+//    "stored" when it came from a registered entry (vs appearing only
+//    inside a transform spec) and "live" when the operator declared that a
+//    deployed peer still reads exactly that revision.
+//
+//  * Edges are transform specs. Each edge is classified once on the loss
+//    lattice below by reusing the linter's abstract-interpretation
+//    summaries; verifier-rejected specs classify as kUnreachable and do
+//    not provide connectivity (an enforce-mode receiver would refuse them).
+//
+//  * The audit computes the full N x N morph-reachability matrix: the
+//    transitive closure over transform edges, where chain quality composes
+//    *absorptively* (max over the lattice — one lossy hop makes the whole
+//    chain lossy), followed by an optional zero-transform delivery link:
+//    exact fingerprint identity, or a perfect match modulo layout
+//    (core::perfect_match), mirroring exactly what the receiver's
+//    Algorithm 2 accepts without reconciliation. The link itself is
+//    classified on the lattice: Algorithm 1's diff is width-insensitive,
+//    so a "perfect" match whose conversion plan narrows a field is lossy,
+//    not layout-only.
+//
+//  * Fleet findings fall out of the matrix: orphaned revisions no live
+//    peer can receive, candidate revisions that would strand a live peer,
+//    fingerprint collisions, transform coverage gaps, and — via the
+//    report's baseline diff — chain-quality regressions since the last
+//    audit.
+//
+// The three consumers are the fmtsvc PUT gate (AuditPolicy on REGISTER),
+// the tools/morph-audit CLI, and the CI corpus gate. See docs/ANALYSIS.md.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lint.hpp"
+#include "core/transform.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::analysis {
+
+/// Loss lattice, best to worst. Chain quality is the maximum over the
+/// chain's edges (compose()), so a single bad hop is absorptive: nothing
+/// later in the chain can un-lose data.
+enum class EdgeQuality : uint8_t {
+  kExact = 0,    // fingerprint-identical, bytes deliverable in place
+  kLayoutOnly,   // perfect match modulo layout; conversion plan only
+  kWidening,     // representation changes (wider fields, signedness,
+                 // restructuring) but every destination field is computed
+                 // and no value is narrowed
+  kDefaulted,    // destination fields left to declared defaults/zero-fill
+  kLossy,        // values narrowed/truncated or important fields dropped
+  kUnreachable,  // no verifier-accepted chain connects the pair
+};
+
+const char* edge_quality_name(EdgeQuality q);
+
+/// Absorptive composition: the worse of the two qualities.
+constexpr EdgeQuality compose(EdgeQuality a, EdgeQuality b) { return a < b ? b : a; }
+
+/// What an ingest point (fmtsvc REGISTER) does with breaking audit
+/// findings, mirroring core::LintPolicy: kOff skips the audit, kWarn logs
+/// and counts, kEnforce rejects the revision.
+enum class AuditPolicy : uint8_t { kOff, kWarn, kEnforce };
+
+const char* audit_policy_name(AuditPolicy p);
+
+enum class AuditCheck : uint8_t {
+  kFingerprintCollision,  // two distinct descriptors share a fingerprint
+  kOrphanRevision,        // no live peer can receive this revision
+  kStrandedPeer,          // candidate revision cannot reach a live peer
+  kLossyOnlyPath,         // a live peer is reachable only via a lossy chain
+  kDegradedPath,          // a live peer is reachable only via a defaulted chain
+  kCoverageGap,           // revision disconnected from its name family
+  kUnknownLiveReader,     // a declared live fingerprint matches no revision
+  kQualityRegression,     // baseline diff: a matrix cell got worse
+  kNewFinding,            // baseline diff: breaking finding not in baseline
+};
+
+const char* audit_check_name(AuditCheck c);
+
+struct AuditFinding {
+  AuditCheck check = AuditCheck::kCoverageGap;
+  core::LintSeverity severity = core::LintSeverity::kNote;
+  std::string subject;  // "Name#fingerprint" of the revision concerned
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// One revision-graph node, in report order (sorted by name, then
+/// fingerprint — stable across runs because fingerprints are content
+/// hashes).
+struct AuditNode {
+  pbio::FormatPtr format;
+  bool stored = false;
+  bool live = false;
+};
+
+/// One classified transform edge (best spec per (src, dst) pair).
+struct AuditEdge {
+  uint64_t src_fp = 0;
+  uint64_t dst_fp = 0;
+  EdgeQuality quality = EdgeQuality::kUnreachable;
+  std::vector<core::LintFinding> findings;  // the lint evidence behind quality
+};
+
+/// One reachability cell. `hops` counts transform executions on the
+/// best-quality chain; `min_hops` is the hop-shortest delivery irrespective
+/// of quality — the chain core::analyze_compatibility (and the receiver's
+/// BFS closure) would pick.
+struct MatrixCell {
+  EdgeQuality quality = EdgeQuality::kUnreachable;
+  uint32_t hops = 0;
+  uint32_t min_hops = 0;
+
+  bool reachable() const { return quality != EdgeQuality::kUnreachable; }
+};
+
+struct AuditReport {
+  std::vector<AuditNode> nodes;
+  std::vector<AuditEdge> edges;                 // sorted by (src_fp, dst_fp)
+  std::vector<std::vector<MatrixCell>> matrix;  // [src node][dst node]
+  std::vector<AuditFinding> findings;
+
+  /// True when any finding is error-severity (the CLI's exit-1 condition
+  /// and the enforce gate's rejection condition).
+  bool breaking() const;
+  size_t count(core::LintSeverity sev) const;
+
+  /// Aligned text rendering (nodes, edges, matrix, findings, summary).
+  std::string to_text() const;
+  /// Stable machine-readable report, schema "morph-audit-v1": sorted keys,
+  /// fingerprints as 16-digit hex strings, byte-identical across runs on
+  /// the same universe. Shared finding shape with morph-lint --json.
+  std::string to_json() const;
+};
+
+/// The input universe: every revision of every exchange plus the transform
+/// catalog, assembled from a fmtsvc FormatStore dump, .eco bundles, or
+/// descriptors built in code.
+class AuditUniverse {
+ public:
+  /// Add one revision with the transform specs its writer attached.
+  /// Formats referenced only by a spec become non-stored nodes. A
+  /// fingerprint collision with a structurally different descriptor is
+  /// recorded as an error finding (first descriptor wins).
+  void add(const pbio::FormatPtr& format, const std::vector<core::TransformSpec>& transforms,
+           bool stored = true);
+
+  /// Add a bare transform spec; its endpoint formats join as non-stored
+  /// nodes.
+  void add_spec(const core::TransformSpec& spec);
+
+  /// Declare that a deployed peer still reads revision `fingerprint`.
+  void declare_live(uint64_t fingerprint);
+
+  size_t size() const { return nodes_.size(); }
+  size_t edge_count() const { return specs_.size(); }
+  const std::vector<uint64_t>& live() const { return live_; }
+
+  /// Run the full fleet audit.
+  AuditReport audit() const;
+
+ private:
+  friend std::vector<AuditFinding> audit_candidate(const AuditUniverse&, const pbio::FormatPtr&,
+                                                   const std::vector<core::TransformSpec>&);
+
+  struct Node {
+    pbio::FormatPtr format;
+    bool stored = false;
+  };
+
+  void intern(const pbio::FormatPtr& format, bool stored);
+
+  std::vector<Node> nodes_;                       // insertion order
+  std::unordered_map<uint64_t, size_t> by_fp_;    // fingerprint -> nodes_ index
+  std::vector<core::TransformSpec> specs_;
+  std::vector<uint64_t> live_;
+  std::unordered_set<uint64_t> live_set_;
+  std::vector<AuditFinding> collisions_;  // recorded at add() time
+};
+
+/// The PUT gate: audit `format` (+ its attached transforms) as a candidate
+/// joining `universe`. Returns findings about the candidate only — a
+/// stranded live peer or a lossy-only chain to one is error-severity, a
+/// defaulted-only chain is a warning. The universe itself is not modified.
+std::vector<AuditFinding> audit_candidate(const AuditUniverse& universe,
+                                          const pbio::FormatPtr& format,
+                                          const std::vector<core::TransformSpec>& transforms);
+
+/// Classify one transform spec on the loss lattice, surfacing the lint
+/// findings that drove the classification. Exposed for tests and the lint
+/// CLI's quality column.
+EdgeQuality classify_spec(const core::TransformSpec& spec,
+                          std::vector<core::LintFinding>* findings = nullptr);
+
+}  // namespace morph::analysis

@@ -1,0 +1,336 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace morph::analysis {
+
+namespace {
+
+using core::LintFinding;
+using core::LintSeverity;
+
+std::string hex_fp(uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::string node_tag(const AuditNode& n) {
+  return n.format->name() + "#" + hex_fp(n.format->fingerprint());
+}
+
+/// Rank on the loss lattice for a quality name read back from a baseline
+/// report; -1 when the name is unknown (future schema revision).
+int quality_rank(const std::string& name) {
+  for (int q = 0; q <= static_cast<int>(EdgeQuality::kUnreachable); ++q) {
+    if (name == edge_quality_name(static_cast<EdgeQuality>(q))) return q;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string lint_finding_json(const core::LintFinding& f) {
+  std::ostringstream os;
+  os << "{\"check\":\"" << core::lint_check_name(f.check) << "\",\"severity\":\""
+     << core::lint_severity_name(f.severity) << "\",\"message\":\"" << json_escape(f.message)
+     << "\"";
+  if (!f.field.empty()) os << ",\"field\":\"" << json_escape(f.field) << "\"";
+  if (f.line > 0) os << ",\"line\":" << f.line;
+  os << "}";
+  return os.str();
+}
+
+std::string audit_finding_json(const AuditFinding& f) {
+  std::ostringstream os;
+  os << "{\"check\":\"" << audit_check_name(f.check) << "\",\"severity\":\""
+     << core::lint_severity_name(f.severity) << "\",\"message\":\"" << json_escape(f.message)
+     << "\"";
+  if (!f.subject.empty()) os << ",\"subject\":\"" << json_escape(f.subject) << "\"";
+  os << "}";
+  return os.str();
+}
+
+std::string AuditReport::to_text() const {
+  std::ostringstream os;
+  size_t live = 0;
+  size_t stored = 0;
+  for (const auto& n : nodes) {
+    live += n.live ? 1 : 0;
+    stored += n.stored ? 1 : 0;
+  }
+  os << "evolution audit: " << nodes.size() << " revision" << (nodes.size() == 1 ? "" : "s")
+     << " (" << stored << " stored, " << live << " live), " << edges.size() << " transform edge"
+     << (edges.size() == 1 ? "" : "s") << "\n";
+
+  if (!nodes.empty()) {
+    os << "\nrevisions:\n";
+    for (const auto& n : nodes) {
+      os << "  " << node_tag(n);
+      if (n.stored) os << "  [stored]";
+      if (n.live) os << "  [live]";
+      os << "\n";
+    }
+  }
+
+  if (!edges.empty()) {
+    os << "\ntransform edges:\n";
+    for (const auto& e : edges) {
+      size_t src = nodes.size();
+      size_t dst = nodes.size();
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        uint64_t fp = nodes[i].format->fingerprint();
+        if (fp == e.src_fp) src = i;
+        if (fp == e.dst_fp) dst = i;
+      }
+      os << "  " << (src < nodes.size() ? node_tag(nodes[src]) : "#" + hex_fp(e.src_fp))
+         << " -> " << (dst < nodes.size() ? node_tag(nodes[dst]) : "#" + hex_fp(e.dst_fp))
+         << "  " << edge_quality_name(e.quality);
+      if (!e.findings.empty()) {
+        os << " (" << e.findings.size() << " lint finding" << (e.findings.size() == 1 ? "" : "s")
+           << ")";
+      }
+      os << "\n";
+    }
+  }
+
+  // Only the off-diagonal reachable cells: the diagonal is trivially exact
+  // and unreachable pairs are the matrix's default, so listing either would
+  // drown the signal in an N^2 dump.
+  size_t listed = 0;
+  std::ostringstream cells;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    for (size_t j = 0; j < matrix[i].size(); ++j) {
+      const MatrixCell& c = matrix[i][j];
+      if (i == j || !c.reachable()) continue;
+      ++listed;
+      cells << "  " << node_tag(nodes[i]) << " => " << node_tag(nodes[j]) << "  "
+            << edge_quality_name(c.quality) << "  hops=" << c.hops;
+      if (c.min_hops != c.hops) cells << " min_hops=" << c.min_hops;
+      cells << "\n";
+    }
+  }
+  if (listed > 0) {
+    os << "\nreachability (" << listed << " pair" << (listed == 1 ? "" : "s") << "):\n"
+       << cells.str();
+  }
+
+  if (!findings.empty()) {
+    os << "\nfindings:\n";
+    for (const auto& f : findings) os << "  " << f.to_string() << "\n";
+  }
+
+  os << "\nsummary: " << count(LintSeverity::kError) << " error(s), "
+     << count(LintSeverity::kWarning) << " warning(s), " << count(LintSeverity::kNote)
+     << " note(s) -- " << (breaking() ? "BREAKING" : "ok") << "\n";
+  return os.str();
+}
+
+std::string AuditReport::to_json() const {
+  std::ostringstream os;
+  size_t live = 0;
+  for (const auto& n : nodes) live += n.live ? 1 : 0;
+  os << "{\"schema\":\"morph-audit-v1\",";
+  os << "\"summary\":{\"nodes\":" << nodes.size() << ",\"edges\":" << edges.size()
+     << ",\"live\":" << live << ",\"errors\":" << count(LintSeverity::kError)
+     << ",\"warnings\":" << count(LintSeverity::kWarning)
+     << ",\"notes\":" << count(LintSeverity::kNote)
+     << ",\"breaking\":" << (breaking() ? "true" : "false") << "},";
+
+  os << "\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const AuditNode& n = nodes[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(n.format->name()) << "\",\"fingerprint\":\""
+       << hex_fp(n.format->fingerprint()) << "\",\"stored\":" << (n.stored ? "true" : "false")
+       << ",\"live\":" << (n.live ? "true" : "false") << "}";
+  }
+  os << "],";
+
+  os << "\"edges\":[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const AuditEdge& e = edges[i];
+    if (i > 0) os << ",";
+    os << "{\"src\":\"" << hex_fp(e.src_fp) << "\",\"dst\":\"" << hex_fp(e.dst_fp)
+       << "\",\"quality\":\"" << edge_quality_name(e.quality) << "\",\"findings\":[";
+    for (size_t k = 0; k < e.findings.size(); ++k) {
+      if (k > 0) os << ",";
+      os << lint_finding_json(e.findings[k]);
+    }
+    os << "]}";
+  }
+  os << "],";
+
+  // Off-diagonal reachable cells only; unreachable is the implicit default
+  // so a reader reconstructs the full matrix from nodes + these entries.
+  os << "\"matrix\":[";
+  bool first = true;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    for (size_t j = 0; j < matrix[i].size(); ++j) {
+      const MatrixCell& c = matrix[i][j];
+      if (i == j || !c.reachable()) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"src\":\"" << hex_fp(nodes[i].format->fingerprint()) << "\",\"dst\":\""
+         << hex_fp(nodes[j].format->fingerprint()) << "\",\"quality\":\""
+         << edge_quality_name(c.quality) << "\",\"hops\":" << c.hops
+         << ",\"min_hops\":" << c.min_hops << "}";
+    }
+  }
+  os << "],";
+
+  os << "\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) os << ",";
+    os << audit_finding_json(findings[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool BaselineDiff::breaking() const {
+  for (const auto& f : findings) {
+    if (f.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::string BaselineDiff::to_text() const {
+  if (findings.empty()) return "baseline diff: no new breaking findings, no regressions\n";
+  std::ostringstream os;
+  os << "baseline diff (" << findings.size() << " change" << (findings.size() == 1 ? "" : "s")
+     << "):\n";
+  for (const auto& f : findings) os << "  " << f.to_string() << "\n";
+  return os.str();
+}
+
+BaselineDiff diff_against_baseline(const AuditReport& current, const std::string& baseline_json) {
+  obs::JsonValue doc = obs::json_parse(baseline_json);
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != "morph-audit-v1") {
+    throw Error("baseline is not a morph-audit-v1 report");
+  }
+
+  BaselineDiff diff;
+
+  // Error findings the baseline already acknowledged are grandfathered;
+  // anything error-severity beyond that set is new and breaking.
+  std::set<std::string> known;
+  if (const obs::JsonValue* bf = doc.find("findings"); bf != nullptr && bf->is_array()) {
+    for (const auto& f : bf->as_array()) {
+      const obs::JsonValue* check = f.find("check");
+      const obs::JsonValue* subject = f.find("subject");
+      const obs::JsonValue* message = f.find("message");
+      std::string key = (check != nullptr && check->is_string() ? check->as_string() : "?");
+      key += '\x01';
+      key += subject != nullptr && subject->is_string() ? subject->as_string() : "";
+      key += '\x01';
+      key += message != nullptr && message->is_string() ? message->as_string() : "";
+      known.insert(std::move(key));
+    }
+  }
+  for (const AuditFinding& f : current.findings) {
+    if (f.severity != LintSeverity::kError) continue;
+    std::string key = audit_check_name(f.check);
+    key += '\x01';
+    key += f.subject;
+    key += '\x01';
+    key += f.message;
+    if (known.count(key) != 0) continue;
+    AuditFinding nf;
+    nf.check = AuditCheck::kNewFinding;
+    nf.severity = LintSeverity::kError;
+    nf.subject = f.subject;
+    nf.message = "not in baseline: " + f.to_string();
+    diff.findings.push_back(std::move(nf));
+  }
+
+  // Quality regressions: for every node pair the baseline knew, did the
+  // cell slide down the lattice? Absent matrix entries mean unreachable on
+  // both sides, so only pairs with at least one listed entry can regress.
+  std::set<std::string> base_nodes;
+  if (const obs::JsonValue* bn = doc.find("nodes"); bn != nullptr && bn->is_array()) {
+    for (const auto& n : bn->as_array()) {
+      if (const obs::JsonValue* fp = n.find("fingerprint"); fp != nullptr && fp->is_string()) {
+        base_nodes.insert(fp->as_string());
+      }
+    }
+  }
+  std::map<std::pair<std::string, std::string>, int> base_cells;
+  if (const obs::JsonValue* bm = doc.find("matrix"); bm != nullptr && bm->is_array()) {
+    for (const auto& cell : bm->as_array()) {
+      const obs::JsonValue* src = cell.find("src");
+      const obs::JsonValue* dst = cell.find("dst");
+      const obs::JsonValue* quality = cell.find("quality");
+      if (src == nullptr || dst == nullptr || quality == nullptr) continue;
+      int rank = quality_rank(quality->as_string());
+      if (rank < 0) continue;
+      base_cells[{src->as_string(), dst->as_string()}] = rank;
+    }
+  }
+
+  for (size_t i = 0; i < current.nodes.size(); ++i) {
+    std::string src_hex = hex_fp(current.nodes[i].format->fingerprint());
+    if (base_nodes.count(src_hex) == 0) continue;
+    for (size_t j = 0; j < current.nodes.size(); ++j) {
+      if (i == j) continue;
+      std::string dst_hex = hex_fp(current.nodes[j].format->fingerprint());
+      if (base_nodes.count(dst_hex) == 0) continue;
+      auto it = base_cells.find({src_hex, dst_hex});
+      int base_rank =
+          it != base_cells.end() ? it->second : static_cast<int>(EdgeQuality::kUnreachable);
+      int cur_rank = static_cast<int>(current.matrix[i][j].quality);
+      if (cur_rank <= base_rank) continue;
+      bool severe = current.matrix[i][j].quality == EdgeQuality::kLossy ||
+                    current.matrix[i][j].quality == EdgeQuality::kUnreachable;
+      AuditFinding rf;
+      rf.check = AuditCheck::kQualityRegression;
+      rf.severity = severe ? LintSeverity::kError : LintSeverity::kWarning;
+      rf.subject = node_tag(current.nodes[i]);
+      rf.message = "chain to " + node_tag(current.nodes[j]) + " regressed from '" +
+                   edge_quality_name(static_cast<EdgeQuality>(base_rank)) + "' to '" +
+                   edge_quality_name(static_cast<EdgeQuality>(cur_rank)) + "'";
+      diff.findings.push_back(std::move(rf));
+    }
+  }
+
+  std::sort(diff.findings.begin(), diff.findings.end(),
+            [](const AuditFinding& a, const AuditFinding& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              if (a.check != b.check) return a.check < b.check;
+              if (a.subject != b.subject) return a.subject < b.subject;
+              return a.message < b.message;
+            });
+  return diff;
+}
+
+}  // namespace morph::analysis

@@ -1,0 +1,46 @@
+// Report rendering and baseline diffing for the evolution audit.
+//
+// The JSON report ("morph-audit-v1") is the machine contract: sorted node
+// order, fingerprints as 16-digit hex strings, no floats — byte-identical
+// across runs on the same universe, so a committed report doubles as a
+// golden file in CI. The finding object shape ("check" / "severity" /
+// "message" / "field" / "line") is shared with morph-lint --json
+// ("morph-lint-v1"), so findings from either tool are machine-diffable
+// with the same scripts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+
+namespace morph::analysis {
+
+/// Escape a string for embedding in a JSON document (the subset
+/// obs::json_parse reads back).
+std::string json_escape(const std::string& s);
+
+/// One core::LintFinding as the shared JSON finding object.
+std::string lint_finding_json(const core::LintFinding& f);
+
+/// One AuditFinding as the shared JSON finding object (subject instead of
+/// field/line).
+std::string audit_finding_json(const AuditFinding& f);
+
+/// Result of comparing a fresh audit against a previously committed
+/// morph-audit-v1 report.
+struct BaselineDiff {
+  std::vector<AuditFinding> findings;  // kNewFinding / kQualityRegression
+
+  bool breaking() const;
+  std::string to_text() const;
+};
+
+/// Diff `current` against the JSON text of a previous report: error
+/// findings that were not in the baseline, and matrix cells (for node
+/// pairs both universes know) whose quality moved down the loss lattice.
+/// A cell falling to lossy/unreachable is error-severity; a milder slide
+/// is a warning. Throws Error on an unparsable or wrong-schema baseline.
+BaselineDiff diff_against_baseline(const AuditReport& current, const std::string& baseline_json);
+
+}  // namespace morph::analysis

@@ -1,0 +1,107 @@
+// Clang Thread Safety Analysis support (-Wthread-safety).
+//
+// The MORPH_* macros expand to clang's capability attributes when the
+// analysis is available and to nothing elsewhere (gcc builds see plain
+// code). Because libstdc++'s std::mutex is not an annotated capability,
+// this header also provides thin annotated wrappers — Mutex / SharedMutex
+// plus their RAII guards — that delegate to the std types, so guarded
+// members can be declared MORPH_GUARDED_BY(mutex_) and the analysis
+// actually fires. The wrappers add no state and no behavior; TSan and the
+// runtime see the underlying std primitives unchanged.
+//
+// Enable the analysis with -DMORPH_THREAD_SAFETY=ON (clang only); the CI
+// static-analysis lane builds the library with it as -Werror.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MORPH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MORPH_THREAD_ANNOTATION
+#define MORPH_THREAD_ANNOTATION(x)
+#endif
+
+#define MORPH_CAPABILITY(x) MORPH_THREAD_ANNOTATION(capability(x))
+#define MORPH_SCOPED_CAPABILITY MORPH_THREAD_ANNOTATION(scoped_lockable)
+#define MORPH_GUARDED_BY(x) MORPH_THREAD_ANNOTATION(guarded_by(x))
+#define MORPH_PT_GUARDED_BY(x) MORPH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MORPH_REQUIRES(...) MORPH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MORPH_REQUIRES_SHARED(...) \
+  MORPH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define MORPH_ACQUIRE(...) MORPH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MORPH_ACQUIRE_SHARED(...) \
+  MORPH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MORPH_RELEASE(...) MORPH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MORPH_RELEASE_SHARED(...) \
+  MORPH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MORPH_TRY_ACQUIRE(...) MORPH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MORPH_EXCLUDES(...) MORPH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MORPH_RETURN_CAPABILITY(x) MORPH_THREAD_ANNOTATION(lock_returned(x))
+#define MORPH_NO_THREAD_SAFETY_ANALYSIS MORPH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace morph {
+
+/// std::mutex as an annotated capability.
+class MORPH_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() MORPH_ACQUIRE() { m_.lock(); }
+  void unlock() MORPH_RELEASE() { m_.unlock(); }
+  bool try_lock() MORPH_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex as an annotated capability (exclusive + shared modes).
+class MORPH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void lock() MORPH_ACQUIRE() { m_.lock(); }
+  void unlock() MORPH_RELEASE() { m_.unlock(); }
+  void lock_shared() MORPH_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() MORPH_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// RAII exclusive lock on a Mutex (std::lock_guard with annotations).
+class MORPH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MORPH_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MORPH_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// RAII exclusive lock on a SharedMutex.
+class MORPH_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) MORPH_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~WriterLock() MORPH_RELEASE() { m_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class MORPH_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) MORPH_ACQUIRE_SHARED(m) : m_(m) { m_.lock_shared(); }
+  ~ReaderLock() MORPH_RELEASE() { m_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+}  // namespace morph

@@ -21,15 +21,6 @@ using ecode::absint::StoreRec;
 using ecode::absint::ValKind;
 using pbio::FieldKind;
 
-const char* severity_name(LintSeverity s) {
-  switch (s) {
-    case LintSeverity::kNote: return "note";
-    case LintSeverity::kWarning: return "warning";
-    case LintSeverity::kError: return "error";
-  }
-  return "?";
-}
-
 void add(LintReport& rep, LintCheck check, LintSeverity sev, std::string msg,
          std::string field = "", int line = 0) {
   LintFinding f;
@@ -74,6 +65,15 @@ const char* lint_check_name(LintCheck c) {
   return "?";
 }
 
+const char* lint_severity_name(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kNote: return "note";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
 const char* lint_policy_name(LintPolicy p) {
   switch (p) {
     case LintPolicy::kOff: return "off";
@@ -85,7 +85,7 @@ const char* lint_policy_name(LintPolicy p) {
 
 std::string LintFinding::to_string() const {
   std::ostringstream os;
-  os << severity_name(severity) << ": " << lint_check_name(check) << ": " << message;
+  os << lint_severity_name(severity) << ": " << lint_check_name(check) << ": " << message;
   if (line > 0) os << " (line " << line << ")";
   return os.str();
 }

@@ -40,6 +40,7 @@ enum class LintCheck : uint8_t {
 };
 
 const char* lint_check_name(LintCheck c);
+const char* lint_severity_name(LintSeverity s);
 
 struct LintFinding {
   LintCheck check = LintCheck::kVerifyError;

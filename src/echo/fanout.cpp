@@ -40,7 +40,7 @@ FanoutMetrics& fm() {
 
 void FanoutRegistry::subscribe(const std::string& key, SinkId sink, uint64_t target_fp) {
   Shard& shard = shard_for(key);
-  std::unique_lock lock(shard.mutex);
+  WriterLock lock(shard.mutex);
   Entry& entry = shard.entries[key];
   auto it = entry.members.find(sink);
   if (it != entry.members.end() && it->second == target_fp) return;  // no churn
@@ -51,7 +51,7 @@ void FanoutRegistry::subscribe(const std::string& key, SinkId sink, uint64_t tar
 
 void FanoutRegistry::unsubscribe(const std::string& key, SinkId sink) {
   Shard& shard = shard_for(key);
-  std::unique_lock lock(shard.mutex);
+  WriterLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
   if (it->second.members.erase(sink) == 0) return;
@@ -61,7 +61,7 @@ void FanoutRegistry::unsubscribe(const std::string& key, SinkId sink) {
 
 void FanoutRegistry::unsubscribe_all(SinkId sink) {
   for (auto& shard : shards_) {
-    std::unique_lock lock(shard.mutex);
+    WriterLock lock(shard.mutex);
     for (auto& [key, entry] : shard.entries) {
       if (entry.members.erase(sink) != 0) {
         entry.snap = nullptr;
@@ -88,7 +88,7 @@ std::shared_ptr<const GroupSnapshot> FanoutRegistry::snapshot(const std::string&
   static const auto kEmpty = std::make_shared<const GroupSnapshot>();
   Shard& shard = shard_for(key);
   {
-    std::shared_lock lock(shard.mutex);
+    ReaderLock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) return kEmpty;
     if (it->second.snap != nullptr) {
@@ -96,7 +96,7 @@ std::shared_ptr<const GroupSnapshot> FanoutRegistry::snapshot(const std::string&
       return it->second.snap;
     }
   }
-  std::unique_lock lock(shard.mutex);
+  WriterLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return kEmpty;
   if (it->second.snap == nullptr) {

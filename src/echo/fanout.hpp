@@ -33,11 +33,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/fanout.hpp"
 #include "transport/port.hpp"
 
@@ -97,8 +97,8 @@ class FanoutRegistry {
   };
   static constexpr size_t kShards = 8;
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::string, Entry> entries;
+    mutable SharedMutex mutex;
+    std::unordered_map<std::string, Entry> entries MORPH_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const std::string& key) const {

@@ -23,6 +23,10 @@ struct SvcMetrics {
   obs::Counter& not_found = obs::metrics().counter("morph_fmtsvc_server_not_found_total");
   obs::Counter& lint_rejected =
       obs::metrics().counter("morph_fmtsvc_server_lint_rejected_total");
+  obs::Counter& audit_rejected =
+      obs::metrics().counter("morph_fmtsvc_server_audit_rejected_total");
+  obs::Counter& audit_warned =
+      obs::metrics().counter("morph_fmtsvc_server_audit_warned_total");
   obs::Counter& bad_frames = obs::metrics().counter("morph_fmtsvc_server_bad_frames_total");
   obs::Gauge& store_formats = obs::metrics().gauge("morph_fmtsvc_store_formats");
   obs::Gauge& live_conns = obs::metrics().gauge("morph_fmtsvc_server_connections");
@@ -63,6 +67,8 @@ ServiceStats FormatService::stats() const {
   s.requests = counters_.requests.load(kRelaxed);
   s.registered = counters_.registered.load(kRelaxed);
   s.lint_rejected = counters_.lint_rejected.load(kRelaxed);
+  s.audit_rejected = counters_.audit_rejected.load(kRelaxed);
+  s.audit_warned = counters_.audit_warned.load(kRelaxed);
   s.not_found = counters_.not_found.load(kRelaxed);
   s.bad_frames = counters_.bad_frames.load(kRelaxed);
   return s;
@@ -164,6 +170,36 @@ Reply FormatService::handle(const Request& req) {
             svc().lint_rejected.inc();
             reply.status = Status::kRejected;
             continue;  // reject this entry, keep processing the rest
+          }
+        }
+        if (options_.audit != analysis::AuditPolicy::kOff && entry.format != nullptr) {
+          // Audit the candidate against the current store contents plus the
+          // declared live readers. REGISTERs are control-plane rare, so
+          // rebuilding the universe per entry is fine — and it guarantees
+          // the gate sees entries accepted earlier in this same request.
+          analysis::AuditUniverse universe;
+          for (const FormatEntry& stored : store_.list()) {
+            universe.add(stored.format, stored.transforms);
+          }
+          for (uint64_t fp : options_.live_readers) universe.declare_live(fp);
+          auto findings = analysis::audit_candidate(universe, entry.format, entry.transforms);
+          bool breaking = false;
+          for (const auto& f : findings) {
+            if (f.severity >= core::LintSeverity::kWarning) {
+              MORPH_LOG_WARN("fmtsvc")
+                  << "register '" << entry.format->name() << "': " << f.to_string();
+            }
+            breaking = breaking || f.severity == core::LintSeverity::kError;
+          }
+          if (breaking) {
+            if (options_.audit == analysis::AuditPolicy::kEnforce) {
+              counters_.audit_rejected.fetch_add(1, kRelaxed);
+              svc().audit_rejected.inc();
+              reply.status = Status::kRejected;
+              continue;
+            }
+            counters_.audit_warned.fetch_add(1, kRelaxed);
+            svc().audit_warned.inc();
           }
         }
         if (store_.put(entry)) counters_.registered.fetch_add(1, kRelaxed);

@@ -12,6 +12,13 @@
 // whose descriptor has error-severity lint findings is answered with
 // Status::kRejected (counted in morph_fmtsvc_server_lint_rejected_total)
 // and nothing enters the store.
+//
+// Beyond the per-entry lint, the service can run the fleet-wide evolution
+// audit (analysis/audit.hpp) on every REGISTER: the candidate revision is
+// checked against everything already in the store plus the declared live
+// readers. Under AuditPolicy::kEnforce a revision that would strand a live
+// peer — or reach one only through a lossy chain — is rejected before it
+// enters the store; under kWarn it is accepted but counted and logged.
 #pragma once
 
 #include <atomic>
@@ -20,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "core/lint.hpp"
 #include "fmtsvc/store.hpp"
 #include "transport/tcp.hpp"
@@ -29,6 +37,12 @@ namespace morph::fmtsvc {
 struct ServiceOptions {
   uint16_t port = 0;  // 0 picks an ephemeral port; read back with port()
   core::LintPolicy lint = core::LintPolicy::kWarn;
+  /// Evolution-audit gate on REGISTER (see analysis/audit.hpp). Off by
+  /// default: the audit only bites when the operator declares live readers.
+  analysis::AuditPolicy audit = analysis::AuditPolicy::kOff;
+  /// Fingerprints of revisions deployed peers still read, fed to the audit
+  /// as AuditUniverse::declare_live.
+  std::vector<uint64_t> live_readers;
   /// Maximum simultaneous connections; further accepts are closed
   /// immediately (the client sees EOF and retries per its backoff).
   size_t max_connections = 64;
@@ -39,6 +53,8 @@ struct ServiceStats {
   uint64_t requests = 0;
   uint64_t registered = 0;      // formats accepted into the store
   uint64_t lint_rejected = 0;   // REGISTER entries refused under kEnforce
+  uint64_t audit_rejected = 0;  // REGISTER entries refused by the audit gate
+  uint64_t audit_warned = 0;    // entries with breaking audits under kWarn
   uint64_t not_found = 0;       // FETCH fingerprints the store lacked
   uint64_t bad_frames = 0;      // connections killed by malformed input
 };
@@ -73,6 +89,8 @@ class FormatService {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> registered{0};
     std::atomic<uint64_t> lint_rejected{0};
+    std::atomic<uint64_t> audit_rejected{0};
+    std::atomic<uint64_t> audit_warned{0};
     std::atomic<uint64_t> not_found{0};
     std::atomic<uint64_t> bad_frames{0};
   };

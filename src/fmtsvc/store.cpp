@@ -10,6 +10,7 @@
 namespace morph::fmtsvc {
 
 FormatStore::~FormatStore() {
+  MutexLock lock(spill_mutex_);
   if (spill_ != nullptr) std::fclose(spill_);
 }
 
@@ -24,7 +25,7 @@ bool FormatStore::put(const FormatEntry& entry) {
     return false;
   }
   {
-    std::unique_lock lock(shard.tmutex);
+    WriterLock lock(shard.tmutex);
     shard.transforms[fp] = entry.transforms;
   }
   // Publish the format last: a concurrent get() that sees the format also
@@ -42,7 +43,7 @@ std::optional<FormatEntry> FormatStore::get(uint64_t fingerprint) const {
   FormatEntry e;
   e.format = std::move(fmt);
   {
-    std::shared_lock lock(shard.tmutex);
+    ReaderLock lock(shard.tmutex);
     auto it = shard.transforms.find(fingerprint);
     if (it != shard.transforms.end()) e.transforms = it->second;
   }
@@ -56,7 +57,7 @@ std::vector<FormatEntry> FormatStore::list() const {
       FormatEntry e;
       e.format = std::move(fmt);
       {
-        std::shared_lock lock(shard.tmutex);
+        ReaderLock lock(shard.tmutex);
         auto it = shard.transforms.find(e.format->fingerprint());
         if (it != shard.transforms.end()) e.transforms = it->second;
       }
@@ -73,7 +74,7 @@ size_t FormatStore::size() const {
 }
 
 size_t FormatStore::attach_spill(const std::string& path) {
-  std::lock_guard<std::mutex> lock(spill_mutex_);
+  MutexLock lock(spill_mutex_);
   if (spill_ != nullptr) throw Error("fmtsvc: spill already attached");
 
   size_t replayed = 0;
@@ -104,7 +105,7 @@ size_t FormatStore::attach_spill(const std::string& path) {
         Shard& shard = shard_for(fp);
         if (shard.formats.by_fingerprint(fp) == nullptr) {
           {
-            std::unique_lock tl(shard.tmutex);
+            WriterLock tl(shard.tmutex);
             shard.transforms[fp] = std::move(e.transforms);
           }
           shard.formats.register_format(e.format);
@@ -126,7 +127,7 @@ size_t FormatStore::attach_spill(const std::string& path) {
 }
 
 void FormatStore::spill_append(const FormatEntry& entry) {
-  std::lock_guard<std::mutex> lock(spill_mutex_);
+  MutexLock lock(spill_mutex_);
   if (spill_ == nullptr) return;
   ByteBuffer blob;
   entry.serialize(blob);

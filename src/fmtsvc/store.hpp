@@ -16,13 +16,12 @@
 
 #include <array>
 #include <cstdio>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "fmtsvc/protocol.hpp"
 #include "pbio/registry.hpp"
 
@@ -63,8 +62,9 @@ class FormatStore {
 
   struct Shard {
     pbio::FormatRegistry formats;
-    mutable std::shared_mutex tmutex;  // guards transforms
-    std::unordered_map<uint64_t, std::vector<core::TransformSpec>> transforms;
+    mutable SharedMutex tmutex;
+    std::unordered_map<uint64_t, std::vector<core::TransformSpec>> transforms
+        MORPH_GUARDED_BY(tmutex);
   };
 
   Shard& shard_for(uint64_t fp) { return shards_[(fp ^ (fp >> 32)) & (kShards - 1)]; }
@@ -75,8 +75,8 @@ class FormatStore {
   void spill_append(const FormatEntry& entry);
 
   std::array<Shard, kShards> shards_;
-  std::mutex spill_mutex_;        // serializes appends and guards spill_
-  std::FILE* spill_ = nullptr;
+  Mutex spill_mutex_;  // serializes appends and guards spill_
+  std::FILE* spill_ MORPH_GUARDED_BY(spill_mutex_) = nullptr;
 };
 
 }  // namespace morph::fmtsvc

@@ -1,0 +1,455 @@
+// Evolution audit: loss lattice, spec classification, reachability matrix,
+// fleet findings, the baseline diff, a differential pin against
+// core::analyze_compatibility over the committed corpus, the fmtsvc
+// REGISTER audit gate, and the morph-audit CLI exit contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/audit.hpp"
+#include "analysis/report.hpp"
+#include "common/bytes.hpp"
+#include "core/compat.hpp"
+#include "fmtsvc/resolver.hpp"
+#include "fmtsvc/server.hpp"
+#include "fmtsvc/store.hpp"
+#include "obs/json.hpp"
+#include "pbio/format.hpp"
+
+#ifndef MORPH_TRANSFORMS_DIR
+#define MORPH_TRANSFORMS_DIR "examples/transforms"
+#endif
+
+namespace morph {
+namespace {
+
+using analysis::AuditCheck;
+using analysis::AuditReport;
+using analysis::AuditUniverse;
+using analysis::EdgeQuality;
+using core::LintSeverity;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+
+/// Revision k of a telemetry format: fields f0..fk.
+FormatPtr rev(int k) {
+  FormatBuilder b("Telemetry");
+  for (int i = 0; i <= k; ++i) b.add_int("f" + std::to_string(i), 4);
+  return b.build();
+}
+
+/// The retro-transformation rev(k) -> rev(k-1): copy the shared fields,
+/// drop the newest one. The canonical "safe evolution" edge.
+core::TransformSpec down(int k) {
+  core::TransformSpec s;
+  s.src = rev(k);
+  s.dst = rev(k - 1);
+  for (int i = 0; i <= k - 1; ++i) {
+    s.code += "old.f" + std::to_string(i) + " = new.f" + std::to_string(i) + ";";
+  }
+  return s;
+}
+
+/// A same-name revision whose only field is wider than rev(0)'s, so the
+/// only possible transform down to rev(0) narrows — a lossy edge.
+FormatPtr wide_rev() { return FormatBuilder("Telemetry").add_int("f0", 8).build(); }
+
+core::TransformSpec wide_to_r0() {
+  core::TransformSpec s;
+  s.src = wide_rev();
+  s.dst = rev(0);
+  s.code = "old.f0 = new.f0;";
+  return s;
+}
+
+size_t find_node(const AuditReport& report, uint64_t fp) {
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    if (report.nodes[i].format->fingerprint() == fp) return i;
+  }
+  ADD_FAILURE() << "node not in report";
+  return 0;
+}
+
+const analysis::MatrixCell& cell(const AuditReport& report, const FormatPtr& src,
+                                 const FormatPtr& dst) {
+  return report.matrix[find_node(report, src->fingerprint())]
+                      [find_node(report, dst->fingerprint())];
+}
+
+bool has_finding(const std::vector<analysis::AuditFinding>& findings, AuditCheck check,
+                 LintSeverity sev) {
+  for (const auto& f : findings) {
+    if (f.check == check && f.severity == sev) return true;
+  }
+  return false;
+}
+
+// --- lattice ----------------------------------------------------------------
+
+TEST(LossLattice, ComposeIsAbsorptiveMax) {
+  using analysis::compose;
+  EXPECT_EQ(compose(EdgeQuality::kExact, EdgeQuality::kExact), EdgeQuality::kExact);
+  EXPECT_EQ(compose(EdgeQuality::kExact, EdgeQuality::kLossy), EdgeQuality::kLossy);
+  EXPECT_EQ(compose(EdgeQuality::kLossy, EdgeQuality::kWidening), EdgeQuality::kLossy);
+  EXPECT_EQ(compose(EdgeQuality::kWidening, EdgeQuality::kDefaulted), EdgeQuality::kDefaulted);
+  // Once lost, never recovered: nothing composes back below lossy.
+  EXPECT_EQ(compose(EdgeQuality::kLossy, EdgeQuality::kExact), EdgeQuality::kLossy);
+  EXPECT_EQ(compose(EdgeQuality::kUnreachable, EdgeQuality::kExact), EdgeQuality::kUnreachable);
+}
+
+TEST(LossLattice, QualityNamesRoundTrip) {
+  EXPECT_STREQ(analysis::edge_quality_name(EdgeQuality::kExact), "exact");
+  EXPECT_STREQ(analysis::edge_quality_name(EdgeQuality::kLayoutOnly), "layout-only");
+  EXPECT_STREQ(analysis::edge_quality_name(EdgeQuality::kLossy), "lossy");
+  EXPECT_STREQ(analysis::edge_quality_name(EdgeQuality::kUnreachable), "unreachable");
+}
+
+// --- classification ---------------------------------------------------------
+
+TEST(ClassifySpec, SafeEvolutionEdgeIsWidening) {
+  EXPECT_EQ(analysis::classify_spec(down(1)), EdgeQuality::kWidening);
+}
+
+TEST(ClassifySpec, NarrowingStoreIsLossy) {
+  std::vector<core::LintFinding> findings;
+  EXPECT_EQ(analysis::classify_spec(wide_to_r0(), &findings), EdgeQuality::kLossy);
+  bool narrowing = false;
+  for (const auto& f : findings) narrowing |= f.check == core::LintCheck::kLossyNarrowing;
+  EXPECT_TRUE(narrowing);
+}
+
+TEST(ClassifySpec, UnassignedDestinationFieldIsDefaulted) {
+  core::TransformSpec s;
+  s.src = rev(0);
+  s.dst = rev(1);  // up-conversion: f1 has no source, stays defaulted
+  s.code = "old.f0 = new.f0;";
+  EXPECT_EQ(analysis::classify_spec(s), EdgeQuality::kDefaulted);
+}
+
+TEST(ClassifySpec, VerifierRejectedSpecIsUnreachable) {
+  core::TransformSpec s;
+  s.src = rev(0);
+  s.dst = rev(0);
+  s.code = "this is not ecode (";
+  EXPECT_EQ(analysis::classify_spec(s), EdgeQuality::kUnreachable);
+}
+
+// --- matrix -----------------------------------------------------------------
+
+TEST(AuditMatrix, TransitiveClosureComposesQualityAndCountsHops) {
+  AuditUniverse u;
+  u.add(rev(2), {down(2)});
+  u.add(rev(1), {down(1)});
+  u.add(rev(0), {});
+  AuditReport report = u.audit();
+  ASSERT_EQ(report.nodes.size(), 3u);
+
+  const auto& c20 = cell(report, rev(2), rev(0));
+  EXPECT_TRUE(c20.reachable());
+  EXPECT_EQ(c20.quality, EdgeQuality::kWidening);
+  EXPECT_EQ(c20.hops, 2u);
+  EXPECT_EQ(c20.min_hops, 2u);
+
+  // The diagonal is trivially exact; evolution only runs downhill.
+  EXPECT_EQ(cell(report, rev(1), rev(1)).quality, EdgeQuality::kExact);
+  EXPECT_FALSE(cell(report, rev(0), rev(2)).reachable());
+}
+
+TEST(AuditMatrix, OneLossyHopAbsorbsTheWholeChain) {
+  // wider -> wide (clean transform), then wide delivers to r0 only by
+  // narrowing f0 from 8 to 4 bytes — whichever way that last step happens
+  // (direct conversion plan or the explicit transform), the chain is lossy.
+  auto wider = FormatBuilder("Telemetry").add_int("f0", 8).add_int("extra", 4).build();
+  core::TransformSpec clean;
+  clean.src = wider;
+  clean.dst = wide_rev();
+  clean.code = "old.f0 = new.f0;";
+  AuditUniverse u;
+  u.add(wider, {clean});
+  u.add(wide_rev(), {wide_to_r0()});
+  u.add(rev(0), {});
+  AuditReport report = u.audit();
+  EXPECT_EQ(analysis::classify_spec(clean), EdgeQuality::kWidening);
+  const auto& c = cell(report, wider, rev(0));
+  ASSERT_TRUE(c.reachable());
+  EXPECT_EQ(c.quality, EdgeQuality::kLossy);
+  EXPECT_EQ(c.hops, 1u);  // clean transform + narrowing delivery link
+}
+
+TEST(AuditMatrix, NarrowingDeliveryLinkIsLossyNotLayoutOnly) {
+  // Algorithm 1's diff is width-insensitive: wide (f0 int8) perfectly
+  // matches r0 (f0 int4), so the receiver accepts it directly — but the
+  // conversion plan silently narrows. The audit must say lossy.
+  AuditUniverse u;
+  u.add(wide_rev(), {});
+  u.add(rev(0), {});
+  AuditReport report = u.audit();
+  const auto& c = cell(report, wide_rev(), rev(0));
+  ASSERT_TRUE(c.reachable());
+  EXPECT_EQ(c.quality, EdgeQuality::kLossy);
+  EXPECT_EQ(c.hops, 0u);
+  // The widening direction preserves every value.
+  const auto& back = cell(report, rev(0), wide_rev());
+  ASSERT_TRUE(back.reachable());
+  EXPECT_EQ(back.quality, EdgeQuality::kWidening);
+}
+
+// --- fleet findings ---------------------------------------------------------
+
+TEST(FleetFindings, RevisionNoLivePeerCanReceiveIsOrphaned) {
+  AuditUniverse u;
+  u.add(rev(1), {down(1)});
+  u.add(rev(0), {});
+  u.declare_live(rev(1)->fingerprint());  // fleet moved on to r1...
+  AuditReport report = u.audit();
+  // ...so r0 (down-chain only) is an orphan: nothing delivers it to r1.
+  EXPECT_TRUE(has_finding(report.findings, AuditCheck::kOrphanRevision, LintSeverity::kError));
+  EXPECT_TRUE(report.breaking());
+}
+
+TEST(FleetFindings, UnknownLiveFingerprintIsFlagged) {
+  AuditUniverse u;
+  u.add(rev(0), {});
+  u.declare_live(0xdeadbeefdeadbeefULL);
+  AuditReport report = u.audit();
+  EXPECT_TRUE(
+      has_finding(report.findings, AuditCheck::kUnknownLiveReader, LintSeverity::kWarning));
+  EXPECT_FALSE(report.breaking());
+}
+
+TEST(AuditCandidate, RevisionWithoutChainToLivePeerStrands) {
+  AuditUniverse u;
+  u.add(rev(0), {});
+  u.declare_live(rev(0)->fingerprint());
+  auto findings = analysis::audit_candidate(u, rev(2), {});
+  EXPECT_TRUE(has_finding(findings, AuditCheck::kStrandedPeer, LintSeverity::kError));
+  // The same revision with its retro-chain attached is clean.
+  auto ok = analysis::audit_candidate(u, rev(2), {down(2), down(1)});
+  for (const auto& f : ok) EXPECT_LT(f.severity, LintSeverity::kError) << f.to_string();
+}
+
+TEST(AuditCandidate, LossyOnlyChainToLivePeerIsBreaking) {
+  AuditUniverse u;
+  u.add(rev(0), {});
+  u.declare_live(rev(0)->fingerprint());
+  auto findings = analysis::audit_candidate(u, wide_rev(), {wide_to_r0()});
+  EXPECT_TRUE(has_finding(findings, AuditCheck::kLossyOnlyPath, LintSeverity::kError));
+}
+
+// --- report + baseline diff -------------------------------------------------
+
+TEST(AuditReportRender, JsonIsStableAndParsable) {
+  AuditUniverse u;
+  u.add(rev(1), {down(1)});
+  u.add(rev(0), {});
+  u.declare_live(rev(0)->fingerprint());
+  AuditReport report = u.audit();
+  std::string a = report.to_json();
+  std::string b = u.audit().to_json();
+  EXPECT_EQ(a, b) << "report must be byte-identical across runs";
+
+  obs::JsonValue doc = obs::json_parse(a);
+  EXPECT_EQ(doc.at("schema").as_string(), "morph-audit-v1");
+  EXPECT_EQ(doc.at("nodes").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("summary").at("live").as_u64(), 1u);
+  // One off-diagonal reachable pair: r1 => r0.
+  ASSERT_EQ(doc.at("matrix").as_array().size(), 1u);
+  EXPECT_EQ(doc.at("matrix").as_array()[0].at("quality").as_string(), "widening");
+}
+
+TEST(BaselineDiff, LostEdgeIsAQualityRegression) {
+  AuditUniverse before;
+  before.add(rev(1), {down(1)});
+  before.add(rev(0), {});
+  std::string baseline = before.audit().to_json();
+
+  // Same fleet, transform gone: r1 -> r0 regresses widening -> unreachable.
+  AuditUniverse after;
+  after.add(rev(1), {});
+  after.add(rev(0), {});
+  AuditReport current = after.audit();
+  ASSERT_FALSE(current.breaking());  // no live readers: nothing orphaned
+
+  analysis::BaselineDiff diff = analysis::diff_against_baseline(current, baseline);
+  EXPECT_TRUE(diff.breaking());
+  EXPECT_TRUE(has_finding(diff.findings, AuditCheck::kQualityRegression, LintSeverity::kError));
+
+  // Diffing a report against itself is quiet.
+  analysis::BaselineDiff same = analysis::diff_against_baseline(before.audit(), baseline);
+  EXPECT_TRUE(same.findings.empty()) << same.to_text();
+}
+
+TEST(BaselineDiff, RejectsForeignDocuments) {
+  AuditUniverse u;
+  u.add(rev(0), {});
+  EXPECT_THROW(analysis::diff_against_baseline(u.audit(), "{\"schema\":\"other\"}"), Error);
+  EXPECT_THROW(analysis::diff_against_baseline(u.audit(), "not json"), Error);
+}
+
+// --- differential: matrix restricted to one reader == analyze_compatibility -
+
+std::vector<core::TransformSpec> read_bundle(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.read_u32(), 0x314F4345u) << path;
+  uint32_t count = r.read_u32();
+  std::vector<core::TransformSpec> specs;
+  for (uint32_t i = 0; i < count; ++i) specs.push_back(core::TransformSpec::deserialize(r));
+  return specs;
+}
+
+TEST(AuditDifferential, MatrixAgreesWithCompatAnalysisOverCorpus) {
+  AuditUniverse universe;
+  core::TransformCatalog catalog;
+  std::vector<FormatPtr> formats;
+  int bundles = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(MORPH_TRANSFORMS_DIR)) {
+    if (entry.path().extension() != ".eco") continue;
+    ++bundles;
+    for (const auto& spec : read_bundle(entry.path())) {
+      universe.add(spec.src, {}, true);
+      universe.add(spec.dst, {}, true);
+      universe.add_spec(spec);
+      catalog.add(spec);
+    }
+  }
+  ASSERT_GE(bundles, 5) << "corpus went missing from " << MORPH_TRANSFORMS_DIR;
+
+  AuditReport report = universe.audit();
+  for (const auto& node : report.nodes) formats.push_back(node.format);
+
+  // Restricting the audit matrix to one reader column must reproduce the
+  // receiver-side compatibility analysis (Algorithm 2's decision logic):
+  // the audit is the same closure, computed fleet-wide.
+  for (size_t j = 0; j < formats.size(); ++j) {
+    auto entries = core::analyze_compatibility(formats, {formats[j]}, catalog);
+    ASSERT_EQ(entries.size(), formats.size());
+    for (size_t i = 0; i < formats.size(); ++i) {
+      const auto& c = report.matrix[i][j];
+      SCOPED_TRACE(formats[i]->name() + " -> " + formats[j]->name() + " route " +
+                   core::compat_route_name(entries[i].route));
+      switch (entries[i].route) {
+        case core::CompatRoute::kExact:
+          EXPECT_EQ(c.quality, EdgeQuality::kExact);
+          EXPECT_EQ(c.min_hops, 0u);
+          break;
+        case core::CompatRoute::kPerfect:
+          EXPECT_TRUE(c.reachable());
+          EXPECT_EQ(c.min_hops, 0u);
+          break;
+        case core::CompatRoute::kMorph:
+          EXPECT_TRUE(c.reachable());
+          EXPECT_EQ(c.min_hops, entries[i].chain_hops);
+          break;
+        case core::CompatRoute::kReconcile:
+        case core::CompatRoute::kMorphReconcile:
+        case core::CompatRoute::kIncompatible:
+          // Reconciliation accepts what the static matrix refuses to call
+          // a delivery: the audit models only loss-free acceptance links.
+          EXPECT_FALSE(c.reachable());
+          break;
+      }
+    }
+  }
+}
+
+// --- fmtsvc gate ------------------------------------------------------------
+
+fmtsvc::ResolverOptions client_for(uint16_t port) {
+  fmtsvc::ResolverOptions opts;
+  opts.port = port;
+  return opts;
+}
+
+TEST(FmtsvcAuditGate, EnforceRejectsStrandingRevisionAcceptsChainedOne) {
+  fmtsvc::FormatStore store;
+  fmtsvc::ServiceOptions opts;
+  opts.audit = analysis::AuditPolicy::kEnforce;
+  opts.live_readers = {rev(0)->fingerprint()};
+  fmtsvc::FormatService service(store, opts);
+  fmtsvc::FormatResolver client(client_for(service.port()));
+
+  EXPECT_TRUE(client.publish(rev(0)));
+  EXPECT_TRUE(client.publish(rev(1), {down(1)}));  // retro-chain keeps r0 fed
+  EXPECT_FALSE(client.publish(rev(2)));            // no chain: strands live r0
+
+  fmtsvc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.registered, 2u);
+  EXPECT_EQ(s.audit_rejected, 1u);
+  EXPECT_EQ(s.audit_warned, 0u);
+  EXPECT_FALSE(store.get(rev(2)->fingerprint()).has_value());
+}
+
+TEST(FmtsvcAuditGate, WarnAcceptsButCounts) {
+  fmtsvc::FormatStore store;
+  fmtsvc::ServiceOptions opts;
+  opts.audit = analysis::AuditPolicy::kWarn;
+  opts.live_readers = {rev(0)->fingerprint()};
+  fmtsvc::FormatService service(store, opts);
+  fmtsvc::FormatResolver client(client_for(service.port()));
+
+  EXPECT_TRUE(client.publish(rev(0)));
+  EXPECT_TRUE(client.publish(rev(2)));  // breaking, but warn-mode admits it
+
+  fmtsvc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.registered, 2u);
+  EXPECT_EQ(s.audit_rejected, 0u);
+  EXPECT_EQ(s.audit_warned, 1u);
+  EXPECT_TRUE(store.get(rev(2)->fingerprint()).has_value());
+}
+
+TEST(FmtsvcAuditGate, OffPolicyNeverAudits) {
+  fmtsvc::FormatStore store;
+  fmtsvc::ServiceOptions opts;
+  opts.live_readers = {rev(0)->fingerprint()};  // audit defaults to kOff
+  fmtsvc::FormatService service(store, opts);
+  fmtsvc::FormatResolver client(client_for(service.port()));
+  EXPECT_TRUE(client.publish(rev(0)));
+  EXPECT_TRUE(client.publish(rev(2)));
+  fmtsvc::ServiceStats s = service.stats();
+  EXPECT_EQ(s.audit_rejected, 0u);
+  EXPECT_EQ(s.audit_warned, 0u);
+}
+
+// --- CLI exit contract ------------------------------------------------------
+
+#ifdef MORPH_AUDIT_BIN
+
+TEST(AuditCli, NonzeroExitOnBreakingFindings) {
+  std::filesystem::path dir = testing::TempDir();
+  std::filesystem::path bundle = dir / "audit_cli_chain.eco";
+  {
+    ByteBuffer out;
+    out.append_u32(0x314F4345u);
+    out.append_u32(1);
+    down(1).serialize(out);
+    std::ofstream f(bundle, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  }
+
+  std::string quiet = " > " + (dir / "audit_cli_out.json").string() + " 2>&1";
+  std::string base = std::string(MORPH_AUDIT_BIN) + " --json " + bundle.string();
+  int rc_ok = std::system((base + quiet).c_str());
+  EXPECT_EQ(WEXITSTATUS(rc_ok), 0);
+
+  // Declare the fleet live on r1: stored r0 becomes an orphan (error), and
+  // the CLI's exit status is the CI contract.
+  char fp_hex[32];
+  std::snprintf(fp_hex, sizeof fp_hex, "%016llx",
+                static_cast<unsigned long long>(rev(1)->fingerprint()));
+  int rc_bad = std::system((base + " --live " + fp_hex + quiet).c_str());
+  EXPECT_EQ(WEXITSTATUS(rc_bad), 1);
+
+  // Usage errors are distinct from breaking findings.
+  int rc_usage = std::system((std::string(MORPH_AUDIT_BIN) + quiet).c_str());
+  EXPECT_EQ(WEXITSTATUS(rc_usage), 2);
+}
+
+#endif  // MORPH_AUDIT_BIN
+
+}  // namespace
+}  // namespace morph

@@ -1,0 +1,211 @@
+// Shared between morph-lint and morph-audit: .eco bundle I/O and the
+// built-in demo corpus.
+//
+// A .eco bundle is: u32 magic "ECO1", u32 spec count, then each
+// TransformSpec in its wire serialization. The demo corpus mirrors the
+// example programs (examples/b2b_broker.cpp, quickstart.cpp,
+// compat_explorer.cpp) so the CLIs can be exercised without generating
+// files first; --gen-corpus writes the same specs into examples/transforms/
+// where CI lints and audits them as a committed corpus.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "core/transform.hpp"
+#include "pbio/format.hpp"
+
+namespace morph::tools {
+
+constexpr uint32_t kEcoMagic = 0x314F4345;  // "ECO1" little-endian
+
+inline std::vector<core::TransformSpec> read_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(bytes.data(), bytes.size());
+  if (r.read_u32() != kEcoMagic) throw DecodeError("'" + path + "' is not an ECO1 bundle");
+  uint32_t count = r.read_u32();
+  std::vector<core::TransformSpec> specs;
+  specs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) specs.push_back(core::TransformSpec::deserialize(r));
+  return specs;
+}
+
+inline void write_bundle(const std::string& path, const std::vector<core::TransformSpec>& specs) {
+  ByteBuffer out;
+  out.append_u32(kEcoMagic);
+  out.append_u32(static_cast<uint32_t>(specs.size()));
+  for (const auto& s : specs) s.serialize(out);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error("cannot write '" + path + "'");
+  f.write(reinterpret_cast<const char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  std::printf("wrote %s (%u spec%s, %zu bytes)\n", path.c_str(),
+              static_cast<unsigned>(specs.size()), specs.size() == 1 ? "" : "s", out.size());
+}
+
+/// True when the bundle's specs connect end-to-end by fingerprint (lint
+/// treats such a bundle as one chain).
+inline bool specs_chain(const std::vector<core::TransformSpec>& specs) {
+  for (size_t i = 1; i < specs.size(); ++i) {
+    if (specs[i].src->fingerprint() != specs[i - 1].dst->fingerprint()) return false;
+  }
+  return specs.size() > 1;
+}
+
+// --- the example corpus -----------------------------------------------------
+
+inline core::TransformSpec b2b_supplier_a() {
+  using pbio::FormatBuilder;
+  auto item =
+      FormatBuilder("Item").add_string("sku").add_int("qty", 4).add_float("unit_price", 8).build();
+  auto retailer = FormatBuilder("Order")
+                      .add_string("order_id")
+                      .add_string("retailer")
+                      .add_int("item_count", 4)
+                      .add_dyn_array("items", item, "item_count")
+                      .build();
+  auto line =
+      FormatBuilder("Line").add_string("sku").add_int("qty", 4).add_int("total_cents", 8).build();
+  auto supplier = FormatBuilder("Order")
+                      .add_string("reference")
+                      .add_int("line_count", 4)
+                      .add_dyn_array("lines", line, "line_count")
+                      .build();
+  core::TransformSpec s;
+  s.src = retailer;
+  s.dst = supplier;
+  s.code = R"(
+    old.reference = new.order_id;
+    old.line_count = new.item_count;
+    for (int i = 0; i < new.item_count; i++) {
+      old.lines[i].sku = new.items[i].sku;
+      old.lines[i].qty = new.items[i].qty;
+      old.lines[i].total_cents = new.items[i].qty * new.items[i].unit_price * 100.0 + 0.5;
+    }
+  )";
+  return s;
+}
+
+inline core::TransformSpec quickstart_retro() {
+  using pbio::FormatBuilder;
+  auto v1 =
+      FormatBuilder("LoadReport").add_int("cpu", 4).add_int("mem", 4).add_int("net", 4).build();
+  auto v2 = FormatBuilder("LoadReport")
+                .add_string("host")
+                .add_float("cpu", 8)
+                .add_int("mem", 4)
+                .add_int("net", 4)
+                .add_int("gpu", 4)
+                .build();
+  core::TransformSpec s;
+  s.src = v2;
+  s.dst = v1;
+  s.code = R"(
+    old.cpu = new.cpu + 0.5;
+    old.mem = new.mem;
+    old.net = new.net;
+  )";
+  return s;
+}
+
+inline std::vector<core::TransformSpec> telemetry_chain() {
+  using pbio::FormatBuilder;
+  auto r0 = FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).build();
+  auto r1 =
+      FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).add_string("unit").build();
+  auto src = FormatBuilder("SourceInfo").add_string("host").add_int("pid", 4).build();
+  auto r2 = FormatBuilder("Telemetry")
+                .add_int("seq", 8)
+                .add_float("value", 8)
+                .add_string("unit")
+                .add_int("quality", 4)
+                .add_struct("source", src)
+                .build();
+  core::TransformSpec hop1;
+  hop1.src = r2;
+  hop1.dst = r1;
+  hop1.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      old.unit = new.unit;
+  )";
+  core::TransformSpec hop2;
+  hop2.src = r1;
+  hop2.dst = r0;
+  hop2.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+  )";
+  return {std::move(hop1), std::move(hop2)};
+}
+
+// A three-hop all-scalar chain whose intermediates qualify for chain
+// fusion (ecode/fuse.hpp): truncating stores, compound arithmetic, a loop
+// and a conditional, so the fused rewrite is exercised end to end by the
+// differential suite and the fig10 A/B bench.
+inline std::vector<core::TransformSpec> sensor_fusion_chain() {
+  using pbio::FormatBuilder;
+  auto v3 = FormatBuilder("Sensor")
+                .add_int("seq", 8)
+                .add_int("raw", 4)
+                .add_float("scale", 8)
+                .add_uint("flags", 2)
+                .build();
+  auto v2 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_uint("flags", 1)
+                .build();
+  auto v1 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_int("check", 2)
+                .add_int("level", 2)
+                .build();
+  auto v0 = FormatBuilder("Sensor")
+                .add_int("seq", 4)
+                .add_float("value", 8)
+                .add_int("level", 2)
+                .build();
+  core::TransformSpec hop1;
+  hop1.src = v3;
+  hop1.dst = v2;
+  hop1.code = R"(
+      old.seq = new.seq;
+      old.value = new.raw * new.scale;
+      old.flags = new.flags & 255;
+  )";
+  core::TransformSpec hop2;
+  hop2.src = v2;
+  hop2.dst = v1;
+  hop2.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      long acc = new.flags;
+      for (int i = 0; i < 4; i++) {
+        acc += new.seq >> (i * 8);
+      }
+      old.check = acc & 65535;
+      if (new.value > 100.0) {
+        old.level = 2;
+      } else {
+        old.level = 1;
+      }
+  )";
+  core::TransformSpec hop3;
+  hop3.src = v1;
+  hop3.dst = v0;
+  hop3.code = R"(
+      old.seq = new.seq;
+      old.value = new.value;
+      old.level = new.level + new.check % 7;
+  )";
+  return {std::move(hop1), std::move(hop2), std::move(hop3)};
+}
+
+}  // namespace morph::tools

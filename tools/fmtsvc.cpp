@@ -2,10 +2,13 @@
 //
 // Usage:
 //   fmtsvc --serve [--port N] [--spill FILE] [--lint off|warn|enforce]
+//          [--audit off|warn|enforce] [--live FP_HEX]...
 //       Serve a format store on 127.0.0.1 (port 0 picks one; the chosen
 //       port is printed). With --spill, previously stored entries are
 //       replayed on start and every accepted entry is appended for
-//       restart durability. Runs until SIGINT/SIGTERM.
+//       restart durability. --audit gates REGISTER on the fleet-wide
+//       evolution audit; each --live declares a revision fingerprint a
+//       deployed peer still reads. Runs until SIGINT/SIGTERM.
 //   fmtsvc --put HOST:PORT
 //       Register the built-in ECho demo formats (ChannelOpenResponse v1,
 //       v2 and the Figure 5 retro-transformation) with a running service.
@@ -20,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/audit.hpp"
 #include "core/lint.hpp"
 #include "echo/messages.hpp"
 #include "fmtsvc/resolver.hpp"
@@ -80,6 +84,24 @@ int serve(int argc, char** argv) {
         std::fprintf(stderr, "fmtsvc: unknown lint mode '%s'\n", mode);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--audit") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "off") == 0) opts.audit = analysis::AuditPolicy::kOff;
+      else if (std::strcmp(mode, "warn") == 0) opts.audit = analysis::AuditPolicy::kWarn;
+      else if (std::strcmp(mode, "enforce") == 0) opts.audit = analysis::AuditPolicy::kEnforce;
+      else {
+        std::fprintf(stderr, "fmtsvc: unknown audit mode '%s'\n", mode);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--live") == 0 && i + 1 < argc) {
+      const char* hex = argv[++i];
+      char* end = nullptr;
+      uint64_t fp = std::strtoull(hex, &end, 16);
+      if (end == hex || *end != '\0') {
+        std::fprintf(stderr, "fmtsvc: bad --live fingerprint '%s' (want hex)\n", hex);
+        return 2;
+      }
+      opts.live_readers.push_back(fp);
     } else {
       std::fprintf(stderr, "fmtsvc: unknown serve option '%s'\n", argv[i]);
       return 2;
@@ -93,8 +115,10 @@ int serve(int argc, char** argv) {
                 replayed == 1 ? "y" : "ies");
   }
   fmtsvc::FormatService service(store, opts);
-  std::printf("fmtsvc serving on 127.0.0.1:%u (lint %s)\n", service.port(),
-              core::lint_policy_name(opts.lint));
+  std::printf("fmtsvc serving on 127.0.0.1:%u (lint %s, audit %s, %zu live reader%s)\n",
+              service.port(), core::lint_policy_name(opts.lint),
+              analysis::audit_policy_name(opts.audit), opts.live_readers.size(),
+              opts.live_readers.size() == 1 ? "" : "s");
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);
@@ -103,11 +127,14 @@ int serve(int argc, char** argv) {
 
   fmtsvc::ServiceStats s = service.stats();
   std::printf("\nfmtsvc shutting down: %llu connections, %llu requests, "
-              "%llu registered, %llu lint-rejected, %llu not-found, %llu bad frames\n",
+              "%llu registered, %llu lint-rejected, %llu audit-rejected, "
+              "%llu audit-warned, %llu not-found, %llu bad frames\n",
               static_cast<unsigned long long>(s.connections),
               static_cast<unsigned long long>(s.requests),
               static_cast<unsigned long long>(s.registered),
               static_cast<unsigned long long>(s.lint_rejected),
+              static_cast<unsigned long long>(s.audit_rejected),
+              static_cast<unsigned long long>(s.audit_warned),
               static_cast<unsigned long long>(s.not_found),
               static_cast<unsigned long long>(s.bad_frames));
   return 0;
@@ -187,7 +214,8 @@ int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "--get") == 0) return get(argv[2], argv[3]);
   if (argc >= 3 && std::strcmp(argv[1], "--dump") == 0) return dump(argv[2]);
   std::fprintf(stderr,
-               "usage: fmtsvc (--serve [--port N] [--spill FILE] [--lint MODE] |\n"
+               "usage: fmtsvc (--serve [--port N] [--spill FILE] [--lint MODE]\n"
+               "                       [--audit MODE] [--live FP_HEX]... |\n"
                "               --put HOST:PORT | --get HOST:PORT FP_HEX | --dump HOST:PORT)\n");
   return 2;
 }

@@ -1,0 +1,132 @@
+// morph-audit — fleet-wide evolution audit: which peers break, statically.
+//
+// Where morph-lint judges one spec or chain at a time, morph-audit loads a
+// whole format universe (every .eco bundle named on the command line, or
+// the built-in demo corpus), computes the N x N morph-reachability matrix
+// over the transform catalog, and reports the fleet findings: orphaned
+// revisions, stranded live peers, lossy-only chains, fingerprint
+// collisions, coverage gaps. No message is sent; the analysis is static
+// (analysis/audit.hpp).
+//
+// Usage:
+//   morph-audit [options] (file.eco ... | --demo)
+//     --live FP_HEX     declare that a deployed peer still reads this
+//                       revision (repeatable; hex fingerprint as printed
+//                       by fmtsvc --dump or the JSON report)
+//     --json            stable machine-readable report ("morph-audit-v1")
+//     --baseline FILE   diff against a committed morph-audit-v1 report:
+//                       new breaking findings and chain-quality
+//                       regressions fail the run
+//
+// Exit status: 0 clean, 1 breaking findings (error severity, or a
+// breaking baseline diff), 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "analysis/report.hpp"
+#include "common/error.hpp"
+#include "echo/messages.hpp"
+#include "eco_corpus.hpp"
+
+using namespace morph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: morph-audit [--live FP_HEX]... [--json] [--baseline FILE]\n"
+               "                   (--demo | file.eco ...)\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Fold one bundle into the universe. Spec endpoints count as stored
+/// revisions: a spec in the corpus means its writer registered both ends
+/// of the exchange at some point.
+void add_bundle(analysis::AuditUniverse& universe,
+                const std::vector<core::TransformSpec>& specs) {
+  for (const auto& spec : specs) {
+    if (!spec.src || !spec.dst) continue;
+    universe.add(spec.src, {}, true);
+    universe.add(spec.dst, {}, true);
+    universe.add_spec(spec);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool demo = false;
+  std::string baseline_path;
+  std::vector<uint64_t> live;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--live") == 0 && i + 1 < argc) {
+      const char* hex = argv[++i];
+      char* end = nullptr;
+      uint64_t fp = std::strtoull(hex, &end, 16);
+      if (end == hex || *end != '\0') {
+        std::fprintf(stderr, "morph-audit: bad --live fingerprint '%s' (want hex)\n", hex);
+        return 2;
+      }
+      live.push_back(fp);
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (!demo && files.empty()) return usage();
+
+  try {
+    analysis::AuditUniverse universe;
+    if (demo) {
+      add_bundle(universe, {echo::response_v2_to_v1_spec()});
+      add_bundle(universe, {tools::b2b_supplier_a()});
+      add_bundle(universe, {tools::quickstart_retro()});
+      add_bundle(universe, tools::telemetry_chain());
+      add_bundle(universe, tools::sensor_fusion_chain());
+    }
+    for (const auto& path : files) add_bundle(universe, tools::read_bundle(path));
+    for (uint64_t fp : live) universe.declare_live(fp);
+
+    analysis::AuditReport report = universe.audit();
+    bool failed = report.breaking();
+
+    if (json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::printf("%s", report.to_text().c_str());
+    }
+
+    if (!baseline_path.empty()) {
+      analysis::BaselineDiff diff =
+          analysis::diff_against_baseline(report, read_file(baseline_path));
+      // The diff goes to stderr in JSON mode so stdout stays a single
+      // parseable document.
+      std::fprintf(json ? stderr : stdout, "%s", diff.to_text().c_str());
+      failed = failed || diff.breaking();
+    }
+    return failed ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "morph-audit: %s\n", e.what());
+    return 2;
+  }
+}

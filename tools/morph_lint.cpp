@@ -5,223 +5,45 @@
 //   morph-lint --demo               lint the built-in demo specs
 //   morph-lint --gen-corpus <dir>   write the example .eco corpus into <dir>
 //   morph-lint --werror             warnings (not just errors) fail the run
+//   morph-lint --json               machine-readable report ("morph-lint-v1")
 //
 // A .eco bundle is: u32 magic "ECO1", u32 spec count, then each
 // TransformSpec in its wire serialization. A bundle whose specs connect
 // end-to-end is linted as a chain (fingerprint gap/cycle checks included);
-// otherwise each spec is linted on its own.
+// otherwise each spec is linted on its own. The JSON report shares its
+// finding object shape with morph-audit --json and adds the loss-lattice
+// quality (analysis::classify_spec, composed absorptively over a chain).
 //
 // Exit status: 0 clean, 1 findings at or above the failure threshold,
 // 2 usage or I/O error.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "common/bytes.hpp"
+#include "analysis/audit.hpp"
+#include "analysis/report.hpp"
 #include "common/error.hpp"
 #include "core/lint.hpp"
 #include "echo/messages.hpp"
-#include "pbio/format.hpp"
+#include "eco_corpus.hpp"
 
 using namespace morph;
-using pbio::FormatBuilder;
 
 namespace {
 
-constexpr uint32_t kEcoMagic = 0x314F4345;  // "ECO1" little-endian
-
 int usage() {
   std::fprintf(stderr,
-               "usage: morph-lint [--werror] (--demo | --gen-corpus <dir> | file.eco ...)\n");
+               "usage: morph-lint [--werror] [--json] "
+               "(--demo | --gen-corpus <dir> | file.eco ...)\n");
   return 2;
-}
-
-std::vector<core::TransformSpec> read_bundle(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open '" + path + "'");
-  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  ByteReader r(bytes.data(), bytes.size());
-  if (r.read_u32() != kEcoMagic) throw DecodeError("'" + path + "' is not an ECO1 bundle");
-  uint32_t count = r.read_u32();
-  std::vector<core::TransformSpec> specs;
-  specs.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) specs.push_back(core::TransformSpec::deserialize(r));
-  return specs;
-}
-
-void write_bundle(const std::string& path, const std::vector<core::TransformSpec>& specs) {
-  ByteBuffer out;
-  out.append_u32(kEcoMagic);
-  out.append_u32(static_cast<uint32_t>(specs.size()));
-  for (const auto& s : specs) s.serialize(out);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw Error("cannot write '" + path + "'");
-  f.write(reinterpret_cast<const char*>(out.data()), static_cast<std::streamsize>(out.size()));
-  std::printf("wrote %s (%u spec%s, %zu bytes)\n", path.c_str(),
-              static_cast<unsigned>(specs.size()), specs.size() == 1 ? "" : "s", out.size());
-}
-
-// --- the example corpus (mirrors examples/b2b_broker.cpp, quickstart.cpp,
-// --- compat_explorer.cpp) ---------------------------------------------------
-
-core::TransformSpec b2b_supplier_a() {
-  auto item =
-      FormatBuilder("Item").add_string("sku").add_int("qty", 4).add_float("unit_price", 8).build();
-  auto retailer = FormatBuilder("Order")
-                      .add_string("order_id")
-                      .add_string("retailer")
-                      .add_int("item_count", 4)
-                      .add_dyn_array("items", item, "item_count")
-                      .build();
-  auto line =
-      FormatBuilder("Line").add_string("sku").add_int("qty", 4).add_int("total_cents", 8).build();
-  auto supplier = FormatBuilder("Order")
-                      .add_string("reference")
-                      .add_int("line_count", 4)
-                      .add_dyn_array("lines", line, "line_count")
-                      .build();
-  core::TransformSpec s;
-  s.src = retailer;
-  s.dst = supplier;
-  s.code = R"(
-    old.reference = new.order_id;
-    old.line_count = new.item_count;
-    for (int i = 0; i < new.item_count; i++) {
-      old.lines[i].sku = new.items[i].sku;
-      old.lines[i].qty = new.items[i].qty;
-      old.lines[i].total_cents = new.items[i].qty * new.items[i].unit_price * 100.0 + 0.5;
-    }
-  )";
-  return s;
-}
-
-core::TransformSpec quickstart_retro() {
-  auto v1 =
-      FormatBuilder("LoadReport").add_int("cpu", 4).add_int("mem", 4).add_int("net", 4).build();
-  auto v2 = FormatBuilder("LoadReport")
-                .add_string("host")
-                .add_float("cpu", 8)
-                .add_int("mem", 4)
-                .add_int("net", 4)
-                .add_int("gpu", 4)
-                .build();
-  core::TransformSpec s;
-  s.src = v2;
-  s.dst = v1;
-  s.code = R"(
-    old.cpu = new.cpu + 0.5;
-    old.mem = new.mem;
-    old.net = new.net;
-  )";
-  return s;
-}
-
-std::vector<core::TransformSpec> telemetry_chain() {
-  auto r0 = FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).build();
-  auto r1 =
-      FormatBuilder("Telemetry").add_int("seq", 4).add_float("value", 8).add_string("unit").build();
-  auto src = FormatBuilder("SourceInfo").add_string("host").add_int("pid", 4).build();
-  auto r2 = FormatBuilder("Telemetry")
-                .add_int("seq", 8)
-                .add_float("value", 8)
-                .add_string("unit")
-                .add_int("quality", 4)
-                .add_struct("source", src)
-                .build();
-  core::TransformSpec hop1;
-  hop1.src = r2;
-  hop1.dst = r1;
-  hop1.code = R"(
-      old.seq = new.seq;
-      old.value = new.value;
-      old.unit = new.unit;
-  )";
-  core::TransformSpec hop2;
-  hop2.src = r1;
-  hop2.dst = r0;
-  hop2.code = R"(
-      old.seq = new.seq;
-      old.value = new.value;
-  )";
-  return {std::move(hop1), std::move(hop2)};
-}
-
-// A three-hop all-scalar chain whose intermediates qualify for chain
-// fusion (ecode/fuse.hpp): truncating stores, compound arithmetic, a loop
-// and a conditional, so the fused rewrite is exercised end to end by the
-// differential suite and the fig10 A/B bench.
-std::vector<core::TransformSpec> sensor_fusion_chain() {
-  auto v3 = FormatBuilder("Sensor")
-                .add_int("seq", 8)
-                .add_int("raw", 4)
-                .add_float("scale", 8)
-                .add_uint("flags", 2)
-                .build();
-  auto v2 = FormatBuilder("Sensor")
-                .add_int("seq", 4)
-                .add_float("value", 8)
-                .add_uint("flags", 1)
-                .build();
-  auto v1 = FormatBuilder("Sensor")
-                .add_int("seq", 4)
-                .add_float("value", 8)
-                .add_int("check", 2)
-                .add_int("level", 2)
-                .build();
-  auto v0 = FormatBuilder("Sensor")
-                .add_int("seq", 4)
-                .add_float("value", 8)
-                .add_int("level", 2)
-                .build();
-  core::TransformSpec hop1;
-  hop1.src = v3;
-  hop1.dst = v2;
-  hop1.code = R"(
-      old.seq = new.seq;
-      old.value = new.raw * new.scale;
-      old.flags = new.flags & 255;
-  )";
-  core::TransformSpec hop2;
-  hop2.src = v2;
-  hop2.dst = v1;
-  hop2.code = R"(
-      old.seq = new.seq;
-      old.value = new.value;
-      long acc = new.flags;
-      for (int i = 0; i < 4; i++) {
-        acc += new.seq >> (i * 8);
-      }
-      old.check = acc & 65535;
-      if (new.value > 100.0) {
-        old.level = 2;
-      } else {
-        old.level = 1;
-      }
-  )";
-  core::TransformSpec hop3;
-  hop3.src = v1;
-  hop3.dst = v0;
-  hop3.code = R"(
-      old.seq = new.seq;
-      old.value = new.value;
-      old.level = new.level + new.check % 7;
-  )";
-  return {std::move(hop1), std::move(hop2), std::move(hop3)};
-}
-
-bool specs_chain(const std::vector<core::TransformSpec>& specs) {
-  for (size_t i = 1; i < specs.size(); ++i) {
-    if (specs[i].src->fingerprint() != specs[i - 1].dst->fingerprint()) return false;
-  }
-  return specs.size() > 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool json = false;
   bool demo = false;
   std::string corpus_dir;
   std::vector<std::string> files;
@@ -229,6 +51,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--werror") == 0) {
       werror = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else if (std::strcmp(argv[i], "--gen-corpus") == 0) {
@@ -244,20 +68,27 @@ int main(int argc, char** argv) {
 
   try {
     if (!corpus_dir.empty()) {
-      write_bundle(corpus_dir + "/echo_response_v2_v1.eco", {echo::response_v2_to_v1_spec()});
-      write_bundle(corpus_dir + "/b2b_supplier_a.eco", {b2b_supplier_a()});
-      write_bundle(corpus_dir + "/quickstart_retro.eco", {quickstart_retro()});
-      write_bundle(corpus_dir + "/telemetry_chain.eco", telemetry_chain());
-      write_bundle(corpus_dir + "/sensor_fusion_chain.eco", sensor_fusion_chain());
+      tools::write_bundle(corpus_dir + "/echo_response_v2_v1.eco",
+                          {echo::response_v2_to_v1_spec()});
+      tools::write_bundle(corpus_dir + "/b2b_supplier_a.eco", {tools::b2b_supplier_a()});
+      tools::write_bundle(corpus_dir + "/quickstart_retro.eco", {tools::quickstart_retro()});
+      tools::write_bundle(corpus_dir + "/telemetry_chain.eco", tools::telemetry_chain());
+      tools::write_bundle(corpus_dir + "/sensor_fusion_chain.eco", tools::sensor_fusion_chain());
       return 0;
     }
 
     core::LintSeverity fail_at =
         werror ? core::LintSeverity::kWarning : core::LintSeverity::kError;
     bool failed = false;
+    size_t errors = 0;
+    size_t warnings = 0;
+    size_t notes = 0;
+    std::string bundles_json;
+
     auto run = [&](const std::string& name, const std::vector<core::TransformSpec>& specs) {
+      bool chain = tools::specs_chain(specs);
       core::LintReport rep;
-      if (specs_chain(specs)) {
+      if (chain) {
         std::vector<const core::TransformSpec*> ptrs;
         for (const auto& s : specs) ptrs.push_back(&s);
         rep = core::lint_chain(ptrs);
@@ -267,19 +98,49 @@ int main(int argc, char** argv) {
           for (auto& f : one.findings) rep.findings.push_back(std::move(f));
         }
       }
-      std::printf("== %s: %zu finding(s)\n", name.c_str(), rep.findings.size());
-      if (!rep.findings.empty()) std::printf("%s", rep.to_string().c_str());
+      // Chain quality composes absorptively over the bundle's specs.
+      analysis::EdgeQuality quality = analysis::EdgeQuality::kExact;
+      for (const auto& s : specs) quality = analysis::compose(quality, analysis::classify_spec(s));
+      for (const auto& f : rep.findings) {
+        errors += f.severity == core::LintSeverity::kError ? 1 : 0;
+        warnings += f.severity == core::LintSeverity::kWarning ? 1 : 0;
+        notes += f.severity == core::LintSeverity::kNote ? 1 : 0;
+      }
+      if (json) {
+        if (!bundles_json.empty()) bundles_json += ",";
+        bundles_json += "{\"name\":\"" + analysis::json_escape(name) + "\",\"chain\":";
+        bundles_json += chain ? "true" : "false";
+        bundles_json += ",\"quality\":\"";
+        bundles_json += analysis::edge_quality_name(quality);
+        bundles_json += "\",\"findings\":[";
+        for (size_t k = 0; k < rep.findings.size(); ++k) {
+          if (k > 0) bundles_json += ",";
+          bundles_json += analysis::lint_finding_json(rep.findings[k]);
+        }
+        bundles_json += "]}";
+      } else {
+        std::printf("== %s: %zu finding(s), quality %s\n", name.c_str(), rep.findings.size(),
+                    analysis::edge_quality_name(quality));
+        if (!rep.findings.empty()) std::printf("%s", rep.to_string().c_str());
+      }
       if (!rep.ok(fail_at)) failed = true;
     };
 
     if (demo) {
       run("echo response v2->v1", {echo::response_v2_to_v1_spec()});
-      run("b2b supplier A", {b2b_supplier_a()});
-      run("quickstart retro", {quickstart_retro()});
-      run("telemetry chain", telemetry_chain());
-      run("sensor fusion chain", sensor_fusion_chain());
+      run("b2b supplier A", {tools::b2b_supplier_a()});
+      run("quickstart retro", {tools::quickstart_retro()});
+      run("telemetry chain", tools::telemetry_chain());
+      run("sensor fusion chain", tools::sensor_fusion_chain());
     }
-    for (const auto& path : files) run(path, read_bundle(path));
+    for (const auto& path : files) run(path, tools::read_bundle(path));
+
+    if (json) {
+      std::printf("{\"schema\":\"morph-lint-v1\",\"bundles\":[%s],"
+                  "\"summary\":{\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
+                  "\"failed\":%s}}\n",
+                  bundles_json.c_str(), errors, warnings, notes, failed ? "true" : "false");
+    }
     return failed ? 1 : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "morph-lint: %s\n", e.what());

@@ -55,7 +55,7 @@ struct Snapshot {
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "morph-stat: %s\n", msg.c_str());
-  std::exit(2);
+  std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded CLI
 }
 
 Snapshot load_snapshot(const JsonValue& doc) {
@@ -181,6 +181,12 @@ void render_fmtsvc(const Snapshot& s) {
                 requests, counter("morph_fmtsvc_server_not_found_total"),
                 counter("morph_fmtsvc_server_lint_rejected_total"),
                 counter("morph_fmtsvc_server_bad_frames_total"));
+    uint64_t audit_rejected = counter("morph_fmtsvc_server_audit_rejected_total");
+    uint64_t audit_warned = counter("morph_fmtsvc_server_audit_warned_total");
+    if (audit_rejected + audit_warned > 0) {
+      std::printf("  server audit: %" PRIu64 " rejected, %" PRIu64 " warned\n", audit_rejected,
+                  audit_warned);
+    }
   }
   uint64_t rx_fetched = counter("morph_rx_resolve_total{result=\"fetched\"}");
   uint64_t rx_degraded = counter("morph_rx_resolve_total{result=\"degraded\"}");

@@ -36,7 +36,7 @@ std::string read_file(const char* path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "morphc: cannot open '%s'\n", path);
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) — single-threaded CLI
   }
   std::ostringstream ss;
   ss << in.rdbuf();
