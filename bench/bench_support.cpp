@@ -17,15 +17,6 @@ size_t g_threads = 1;
 bool g_fused = true;
 std::string g_bench_name = "bench";          // argv[0] basename
 std::vector<std::string> g_cols;             // from the last print_header
-
-std::string label_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '\\' || c == '"') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 }  // namespace
 
 const std::vector<size_t>& paper_sizes() {
@@ -60,9 +51,10 @@ void print_row(const char* label, const std::vector<double>& ms) {
   std::printf("\n");
   for (size_t i = 0; i < ms.size(); ++i) {
     std::string col = i < g_cols.size() ? g_cols[i] : "col" + std::to_string(i);
+    // Label values go in raw; obs::to_prometheus escapes at render time.
     obs::metrics()
-        .gauge("bench_ms{bench=\"" + label_escape(g_bench_name) + "\",row=\"" +
-               label_escape(label) + "\",col=\"" + label_escape(col) + "\"}")
+        .gauge("bench_ms{bench=\"" + g_bench_name + "\",row=\"" + std::string(label) +
+               "\",col=\"" + col + "\"}")
         .set(ms[i]);
   }
 }

@@ -64,6 +64,16 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     --json BENCH_fig10_morphing_fused_off.json
   ./build/tools/morph-stat --check BENCH_fig10_morphing_fused_off.json >/dev/null
 
+  echo "== telemetry e2e (three-process stitched trace) =="
+  # morph-trace pipeline forks a publisher, broker, and receiver under
+  # MORPH_TRACE=1, stitches their spans in an in-process collector, and
+  # exits non-zero unless every trace carries all three processes with
+  # linked parentage and the conservation laws hold. morph-stat --check
+  # re-derives those laws independently from the dump artifact.
+  ./build/tools/morph-trace pipeline --events 8 --json TRACE_pipeline.json >/dev/null
+  ./build/tools/morph-stat --check TRACE_pipeline.json >/dev/null
+  echo "telemetry e2e OK (TRACE_pipeline.json)"
+
   echo "== bench regression gate (vs BENCH_baseline.json) =="
   # The committed baseline was recorded on one machine; absolute timings do
   # not transfer, so by default regressions only warn. Set

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "pbio/record.hpp"
 
@@ -36,6 +37,7 @@ struct RxMetrics {
   obs::Counter& morph_fused;
   obs::Counter& morph_hopwise;
   obs::Counter& morph_inplace;
+  obs::Counter& morphs;  // morph executions (chain and/or reconcile ran)
   obs::Counter& chain_fused_builds;
   obs::Counter& chain_fusion_bailouts;
   obs::Histogram& chain_hops;
@@ -65,6 +67,7 @@ struct RxMetrics {
         morph_fused(obs::metrics().counter("morph_rx_fused_total")),
         morph_hopwise(obs::metrics().counter("morph_rx_hopwise_total")),
         morph_inplace(obs::metrics().counter("morph_rx_morph_inplace_total")),
+        morphs(obs::metrics().counter("morph_rx_morphs_total")),
         chain_fused_builds(obs::metrics().counter("morph_rx_chain_fusion_total{result=\"fused\"}")),
         chain_fusion_bailouts(
             obs::metrics().counter("morph_rx_chain_fusion_total{result=\"bailout\"}")),
@@ -80,20 +83,6 @@ RxMetrics& rx() {
   return m;
 }
 
-/// Escape a format name for use as a Prometheus label value.
-std::string label_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '\\' || c == '"') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
 }  // namespace
 
 ReceiverStats ReceiverStats::delta(const ReceiverStats& earlier) const {
@@ -332,6 +321,9 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
   if (fm == nullptr) {
     // Unknown format: no out-of-band definition arrived. Reject.
     MORPH_LOG_INFO("receiver") << "no format definition for fingerprint " << fingerprint;
+    obs::flight_record(obs::FlightKind::kReject, obs::current_trace().trace_id,
+                       "rx: no format definition for fingerprint " +
+                           std::to_string(fingerprint));
     d.outcome = Outcome::kRejected;
     return;
   }
@@ -345,7 +337,10 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
   // Per-format latency series, cached on the decision so the steady-state
   // cost per message is one clock read + relaxed add. Labeled by format
   // *name* (bounded by the application's schema count), never fingerprint.
-  std::string fmt_label = "{fmt=\"" + label_escape(fm->name()) + "\"}";
+  // The name is baked raw; the exporters escape label values at render
+  // time (obs/export.hpp), so escaping here would double up.
+  d.fmt_name = fm->name();
+  std::string fmt_label = "{fmt=\"" + fm->name() + "\"}";
   d.decode_ns = &obs::metrics().histogram("morph_rx_decode_ns" + fmt_label);
   d.morph_ns = &obs::metrics().histogram("morph_rx_morph_ns" + fmt_label);
 
@@ -371,6 +366,8 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
   auto m = max_match(ft, fr, options_.thresholds);
   rx().match_ns.record(obs::monotonic_ns() - m0);
   if (!m) {
+    obs::flight_record(obs::FlightKind::kReject, obs::current_trace().trace_id,
+                       "rx: no acceptable match for format '" + fm->name() + "'");
     d.outcome = Outcome::kRejected;
     return;
   }
@@ -404,6 +401,8 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
           << " rejected by the static verifier:";
       for (const auto& f : e.result().findings) msg << "\n  " << f.to_string();
       MORPH_LOG_WARN("receiver") << msg.str();
+      obs::flight_record(obs::FlightKind::kReject, obs::current_trace().trace_id,
+                         "rx: verifier rejected transform chain for '" + fm->name() + "'");
       d.chain = nullptr;
       d.handler = nullptr;
       d.deliver_fmt = nullptr;
@@ -528,7 +527,15 @@ Outcome Receiver::process(const void* buf, size_t size, RecordArena& arena) {
       }
     }
     if (d.reconciler) record = d.reconciler->apply(record, arena);
-    if (d.morph_ns != nullptr) d.morph_ns->record(obs::monotonic_ns() - t1);
+    const uint64_t morph_dur = obs::monotonic_ns() - t1;
+    if (d.morph_ns != nullptr) d.morph_ns->record(morph_dur);
+    rx().morphs.inc();
+    obs::record_span("rx.morph", d.fmt_name, t1, morph_dur);
+    if (morph_dur >= obs::flight_slow_ns()) {
+      obs::flight_record(obs::FlightKind::kSlowMorph, obs::current_trace().trace_id,
+                         "rx: morph of '" + d.fmt_name + "' took " +
+                             std::to_string(morph_dur) + " ns");
+    }
   }
   return finish_delivery(d, record);
 }
@@ -571,7 +578,15 @@ Outcome Receiver::process_in_place(void* buf, size_t size, RecordArena& arena) {
         rx().morph_hopwise.inc();
       }
       if (d.reconciler) record = d.reconciler->apply(record, arena);
-      if (d.morph_ns != nullptr) d.morph_ns->record(obs::monotonic_ns() - t0);
+      const uint64_t morph_dur = obs::monotonic_ns() - t0;
+      if (d.morph_ns != nullptr) d.morph_ns->record(morph_dur);
+      rx().morphs.inc();
+      obs::record_span("rx.morph", d.fmt_name, t0, morph_dur);
+      if (morph_dur >= obs::flight_slow_ns()) {
+        obs::flight_record(obs::FlightKind::kSlowMorph, obs::current_trace().trace_id,
+                           "rx: morph of '" + d.fmt_name + "' took " +
+                               std::to_string(morph_dur) + " ns");
+      }
       return finish_delivery(d, record);
     }
   }

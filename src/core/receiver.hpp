@@ -219,6 +219,7 @@ class Receiver {
     // never erased, so the pointers stay valid).
     obs::Histogram* decode_ns = nullptr;                // plan execute time
     obs::Histogram* morph_ns = nullptr;                 // chain + reconcile time
+    std::string fmt_name;  // wire format name: span/flight attribution tag
     /// Under ResolvePolicy::kFetchOrInline a rejection caused by an
     /// unreachable format service is provisional: decide() drops the cache
     /// entry right after the build, so the next message retries (the

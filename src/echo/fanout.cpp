@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -132,11 +133,18 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
   if (snapshot.groups.empty()) return out;
 
   uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   if (obs::tracing_enabled()) {
     trace_id = obs::current_trace().trace_id;
-    if (trace_id == 0) trace_id = obs::new_trace_id();
+    if (trace_id == 0) {
+      trace_id = obs::new_trace_id();
+    } else {
+      // Inherit the caller's active span: when the broker republishes from
+      // inside a delivery, fan-out spans parent under port.deliver.
+      parent_span = obs::current_trace().span_id;
+    }
   }
-  obs::TraceScope trace_scope(obs::TraceContext{trace_id});
+  obs::TraceScope trace_scope(obs::TraceContext{trace_id, parent_span});
 
   // The single wire encode of the publisher's record: morph input for every
   // group, and the payload itself for the identity group.
@@ -176,8 +184,19 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
     if (plan->identity()) {
       frame = transport::make_shared_frame(wire_.data(), wire_.size(), trace_id);
     } else {
+      const uint64_t t0 = obs::monotonic_ns();
       void* morphed = plan->morph(wire_.data(), wire_.size(), arena_);
+      const uint64_t morph_dur = obs::monotonic_ns() - t0;
       ++out.morphs;
+      // One span per group morph, tagged with the target format: the
+      // collector's attribution table reconciles these against
+      // echo_fanout_morphs_total (the conservation check).
+      obs::record_span("fanout.morph", plan->target()->name(), t0, morph_dur);
+      if (morph_dur >= obs::flight_slow_ns()) {
+        obs::flight_record(obs::FlightKind::kSlowMorph, trace_id,
+                           "fanout: slow morph to " + plan->target()->name() + " (" +
+                               std::to_string(morph_dur) + " ns)");
+      }
       scratch_.clear();
       plan->encode(morphed, scratch_);
       frame = transport::make_shared_frame(scratch_.data(), scratch_.size(), trace_id);
@@ -199,7 +218,12 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
     fm().event_morphs.set(static_cast<double>(out.morphs));
     fm().event_groups.set(static_cast<double>(out.groups));
   }
-  if (out.fallbacks > 0) fm().fallbacks.add(out.fallbacks);
+  if (out.fallbacks > 0) {
+    fm().fallbacks.add(out.fallbacks);
+    obs::flight_record(obs::FlightKind::kFanoutFallback, trace_id,
+                       "fanout: " + std::to_string(out.fallbacks) +
+                           " sink(s) fell back to unmorphed delivery");
+  }
   return out;
 }
 

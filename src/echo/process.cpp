@@ -99,8 +99,15 @@ void EchoProcess::attach_link(transport::Link& link) {
   peers_.back()->port->send_control(hello.data(), hello.size());
 }
 
+void EchoProcess::set_meta_publisher(transport::MessagePort::MetaPublisher publisher) {
+  meta_publisher_ = std::move(publisher);
+  for (auto& peer : peers_) peer->port->set_meta_publisher(meta_publisher_);
+}
+
 void EchoProcess::setup_peer(Peer& peer) {
   Peer* p = &peer;
+
+  if (meta_publisher_) peer.port->set_meta_publisher(meta_publisher_);
 
   peer.port->set_on_control([this, p](const uint8_t* data, size_t size) {
     handle_control(*p, std::string(reinterpret_cast<const char*>(data), size));

@@ -105,6 +105,12 @@ class EchoProcess {
   /// Declare a retro-transform for an event format this process publishes.
   void declare_event_transform(core::TransformSpec spec);
 
+  /// Route first-contact format meta-data through an out-of-band publisher
+  /// (typically fmtsvc::FormatResolver::publish) on every connection, current
+  /// and future. See transport::MessagePort::set_meta_publisher for the
+  /// fallback semantics when the publisher declines a format.
+  void set_meta_publisher(transport::MessagePort::MetaPublisher publisher);
+
   /// Publish an event to every sink member of `channel` (except self).
   /// Returns the number of peers the event was sent to. In kGrouped mode
   /// the event is morphed once per target format and the same encoded
@@ -179,6 +185,7 @@ class EchoProcess {
   // registrations are appended.
   std::deque<EventReg> event_regs_;
   std::vector<core::TransformSpec> event_transforms_;
+  transport::MessagePort::MetaPublisher meta_publisher_;
   core::FanoutPlanner planner_;
   FanoutRegistry groups_;
   GroupPublisher publisher_;

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -270,6 +271,11 @@ std::optional<core::ResolvedFormat> FormatResolver::fetch_with_retries(uint64_t 
     if (attempt > 0) {
       counters_->retries.fetch_add(1, kRelaxed);
       counters_->m_retries.inc();
+      obs::flight_record(obs::FlightKind::kResolverRetry, obs::current_trace().trace_id,
+                         "fmtsvc: fetch of fingerprint " + std::to_string(fingerprint) +
+                             " retrying (attempt " + std::to_string(attempt + 1) + "/" +
+                             std::to_string(options_.max_attempts) + ", backoff " +
+                             std::to_string(backoff) + " ms)");
       uint64_t now = now_ms();
       if (now >= deadline) break;
       uint64_t sleep_ms = std::min(jittered(backoff), deadline - now);

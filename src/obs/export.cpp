@@ -54,7 +54,9 @@ void maybe_type_line(std::string& out, std::string& last_base, const std::string
   out += '\n';
 }
 
-/// `base_suffix{labels,extra}` or `base_suffix{extra}` or plain.
+/// `base_suffix{labels,extra}` or `base_suffix{extra}` or plain. `labels`
+/// must already be escaped (append_series is called per bucket; escaping
+/// once per metric keeps the hot rendering loop cheap).
 void append_series(std::string& out, const std::string& base, const char* suffix,
                    const std::string& labels, const std::string& extra) {
   out += base;
@@ -69,6 +71,32 @@ void append_series(std::string& out, const std::string& base, const char* suffix
   out += ' ';
 }
 
+/// True when `s` continues at `at` with `ident="` — i.e. a new label
+/// assignment starts there. Used to find the real closing quote of a raw
+/// (unescaped) label value.
+bool label_starts_at(const std::string& s, size_t at) {
+  size_t i = at;
+  if (i >= s.size()) return false;
+  auto ident_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_';
+  };
+  if (!ident_char(s[i])) return false;
+  while (i < s.size() && ident_char(s[i])) ++i;
+  return i + 1 < s.size() && s[i] == '=' && s[i + 1] == '"';
+}
+
+void append_escaped_label_value(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 }  // namespace
 
 std::pair<std::string, std::string> split_metric_name(const std::string& name) {
@@ -79,12 +107,51 @@ std::pair<std::string, std::string> split_metric_name(const std::string& name) {
   return {name.substr(0, brace), name.substr(brace + 1, end - brace - 1)};
 }
 
+std::string escape_label_values(const std::string& labels) {
+  // Baked label strings store values raw, so a value may itself contain
+  // quotes or commas. The closing quote of a value is the `"` followed by
+  // end-of-string or `,` + the start of another `ident="` assignment —
+  // unambiguous because label names can't contain quotes.
+  std::string out;
+  size_t i = 0;
+  while (i < labels.size()) {
+    size_t eq = labels.find("=\"", i);
+    if (eq == std::string::npos) {
+      out.append(labels, i, std::string::npos);  // malformed tail: pass through
+      break;
+    }
+    out.append(labels, i, eq + 2 - i);  // name=" verbatim
+    size_t vstart = eq + 2;
+    size_t vend = vstart;
+    while (vend < labels.size()) {
+      if (labels[vend] == '"' &&
+          (vend + 1 == labels.size() ||
+           (labels[vend + 1] == ',' && label_starts_at(labels, vend + 2)))) {
+        break;
+      }
+      ++vend;
+    }
+    append_escaped_label_value(out, labels.substr(vstart, vend - vstart));
+    if (vend < labels.size()) {
+      out += '"';
+      ++vend;
+      if (vend < labels.size()) {
+        out += ',';  // separator before the next assignment
+        ++vend;
+      }
+    }
+    i = vend;
+  }
+  return out;
+}
+
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   std::string last_base;
 
   for (const auto& [name, value] : snapshot.counters) {
-    auto [base, labels] = split_metric_name(name);
+    auto [base, raw] = split_metric_name(name);
+    std::string labels = escape_label_values(raw);
     maybe_type_line(out, last_base, base, "counter");
     append_series(out, base, "", labels, "");
     append_u64(out, value);
@@ -92,7 +159,8 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   }
   last_base.clear();
   for (const auto& [name, value] : snapshot.gauges) {
-    auto [base, labels] = split_metric_name(name);
+    auto [base, raw] = split_metric_name(name);
+    std::string labels = escape_label_values(raw);
     maybe_type_line(out, last_base, base, "gauge");
     append_series(out, base, "", labels, "");
     append_double(out, value);
@@ -100,7 +168,8 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   }
   last_base.clear();
   for (const auto& [name, h] : snapshot.histograms) {
-    auto [base, labels] = split_metric_name(name);
+    auto [base, raw] = split_metric_name(name);
+    std::string labels = escape_label_values(raw);
     maybe_type_line(out, last_base, base, "histogram");
     uint64_t cum = 0;
     for (const auto& [upper, count] : h.buckets) {
@@ -127,7 +196,36 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string to_json(const MetricsSnapshot& snapshot, const std::vector<SpanRecord>& spans) {
+namespace {
+
+void append_span_json(std::string& out, const SpanRecord& s) {
+  out += "{\"name\": ";
+  append_json_string(out, s.name);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", s.trace_id);
+  out += ", \"trace\": ";
+  out += buf;
+  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", s.span_id);
+  out += ", \"span\": ";
+  out += buf;
+  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", s.parent_id);
+  out += ", \"parent\": ";
+  out += buf;
+  out += ", \"detail\": ";
+  append_json_string(out, s.detail);
+  out += ", \"start_ns\": ";
+  append_u64(out, s.start_ns);
+  out += ", \"dur_ns\": ";
+  append_u64(out, s.dur_ns);
+  out += ", \"thread\": ";
+  append_u64(out, s.thread);
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, const std::vector<SpanRecord>& spans,
+                    const std::vector<FlightEvent>& flight) {
   std::string out;
   out += "{\n  \"schema\": \"morph-metrics-v1\",\n  \"counters\": {";
   bool first = true;
@@ -190,19 +288,34 @@ std::string to_json(const MetricsSnapshot& snapshot, const std::vector<SpanRecor
     for (const auto& s : spans) {
       out += first ? "\n    " : ",\n    ";
       first = false;
-      out += "{\"name\": ";
-      append_json_string(out, s.name);
+      append_span_json(out, s);
+    }
+    out += "\n  ]";
+  }
+  if (!flight.empty()) {
+    out += ",\n  \"flight\": [";
+    first = true;
+    for (const auto& e : flight) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"ts_ns\": ";
+      append_u64(out, e.ts_ns);
+      out += ", \"kind\": ";
+      append_json_string(out, flight_kind_name(e.kind));
       out += ", \"trace\": ";
       char buf[32];
-      std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", s.trace_id);
+      std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", e.trace_id);
       out += buf;
-      out += ", \"start_ns\": ";
-      append_u64(out, s.start_ns);
-      out += ", \"dur_ns\": ";
-      append_u64(out, s.dur_ns);
-      out += ", \"thread\": ";
-      append_u64(out, s.thread);
-      out += '}';
+      out += ", \"detail\": ";
+      append_json_string(out, e.detail);
+      out += ", \"spans\": [";
+      bool sfirst = true;
+      for (const auto& s : e.spans) {
+        if (!sfirst) out += ", ";
+        sfirst = false;
+        append_span_json(out, s);
+      }
+      out += "]}";
     }
     out += "\n  ]";
   }

@@ -11,34 +11,47 @@
 //     "histograms": {"name": {"count": n, "sum": s, "max": m,
 //                             "p50": a, "p90": b, "p99": c,
 //                             "buckets": [[upper, count], ...]}, ...},
-//     "spans":      [{"name": "...", "trace": "0x...", "start_ns": t,
-//                     "dur_ns": d, "thread": i}, ...]
+//     "spans":      [{"name": "...", "trace": "0x...", "span": "0x...",
+//                     "parent": "0x...", "detail": "...", "start_ns": t,
+//                     "dur_ns": d, "thread": i}, ...],
+//     "flight":     [{"ts_ns": t, "kind": "...", "trace": "0x...",
+//                     "detail": "...", "spans": [...]}, ...]
 //   }
 //
 // Metric names may bake Prometheus labels in (`x{k="v"}`); the Prometheus
 // renderer splits them so histogram series get a merged label set
-// (`x_bucket{k="v",le="..."}`).
+// (`x_bucket{k="v",le="..."}`). Label values are stored raw in the name
+// and escaped at render time per each format's rules.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace morph::obs {
 
 /// Prometheus text exposition (version 0.0.4). Histograms emit only their
-/// non-empty cumulative buckets plus "+Inf".
+/// non-empty cumulative buckets plus "+Inf". Label values are escaped per
+/// the text format (backslash, double-quote, line-feed).
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
-/// Stable JSON document (schema above). Spans are included only when
-/// `spans` is non-empty.
+/// Stable JSON document (schema above). Spans and flight events are
+/// included only when non-empty.
 std::string to_json(const MetricsSnapshot& snapshot,
-                    const std::vector<SpanRecord>& spans = {});
+                    const std::vector<SpanRecord>& spans = {},
+                    const std::vector<FlightEvent>& flight = {});
 
 /// Split a metric name into (base, labels-without-braces); labels is empty
 /// when the name carries none.
 std::pair<std::string, std::string> split_metric_name(const std::string& name);
+
+/// Re-emit a baked label string (`k="v",k2="v2"`) with each value escaped
+/// per the Prometheus 0.0.4 text format. Values are stored raw, so a
+/// format named `a"b` or `a\nb` round-trips instead of corrupting the
+/// exposition. Exposed for the exporter tests.
+std::string escape_label_values(const std::string& labels);
 
 }  // namespace morph::obs

@@ -1,0 +1,72 @@
+// Always-on flight recorder: a small bounded ring of notable events
+// (rejects, resolver retries, fan-out fallbacks, morphs slower than a
+// threshold) that survives until someone asks for it — `morph-stat
+// --flight` over the stats endpoint, the telemetry dump, or a fatal
+// signal.
+//
+// Unlike trace spans the recorder does not wait for MORPH_TRACE: the whole
+// point is that the evidence for a production incident already exists when
+// the operator shows up. The hot-path cost when nothing notable happens is
+// a single relaxed load (the slow-morph threshold compare); recording an
+// event takes the ring mutex, but notable events are rare by definition.
+//
+// Tail sampling: slow-morph events snapshot the span ring's records for
+// their trace id, so full span detail is kept only for traces that proved
+// slow (and only when tracing was on to populate the ring).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace morph::obs {
+
+enum class FlightKind : uint8_t {
+  kReject = 1,         // receiver rejected a message
+  kResolverRetry = 2,  // fmtsvc fetch retried (connect/rpc failure + backoff)
+  kFanoutFallback = 3, // grouped fan-out fell back to per-sink morphing
+  kSlowMorph = 4,      // a morph exceeded flight_slow_ns()
+};
+
+const char* flight_kind_name(FlightKind kind);
+
+struct FlightEvent {
+  uint64_t ts_ns = 0;  // monotonic_ns() at record time
+  FlightKind kind = FlightKind::kReject;
+  uint64_t trace_id = 0;
+  std::string detail;
+  // Tail sample: same-trace spans captured at record time (kSlowMorph
+  // only, empty otherwise or when tracing is off).
+  std::vector<SpanRecord> spans;
+};
+
+/// Ring capacity; oldest events are evicted (the per-kind counters
+/// morph_flight_events_total{kind=...} keep the totals honest).
+constexpr size_t kFlightRingCapacity = 256;
+
+/// Record one event. `trace_id` 0 means "not correlated"; pass
+/// current_trace().trace_id where a context exists.
+void flight_record(FlightKind kind, uint64_t trace_id, std::string detail);
+
+/// Slow-morph threshold in nanoseconds, from MORPH_FLIGHT_SLOW_NS (default
+/// 1ms). Reading is one relaxed load; set_flight_slow_ns overrides.
+uint64_t flight_slow_ns();
+void set_flight_slow_ns(uint64_t ns);
+
+/// Copy of the ring, oldest first.
+std::vector<FlightEvent> flight_events();
+void clear_flight_events();
+
+/// Render the ring as a human-readable multi-line dump (one event per
+/// line, spans indented under their event).
+std::string flight_dump_text();
+
+/// Install SIGSEGV/SIGABRT/SIGBUS handlers that best-effort write the
+/// flight ring to stderr before re-raising with the default disposition.
+/// Async-signal-safety is best effort: the dump try-locks the ring and
+/// gives up rather than deadlock, and formats with write(2) only.
+void install_flight_signal_dump();
+
+}  // namespace morph::obs

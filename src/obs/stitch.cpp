@@ -1,0 +1,348 @@
+#include "obs/stitch.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+namespace morph::obs {
+
+namespace {
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_hex64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+bool is_morph_span(const SpanRecord& s) {
+  // "rx.morph", "fanout.morph", ...: the attribution table keys off the
+  // ".morph" suffix so new morph sites join without touching the stitcher.
+  const std::string suffix = ".morph";
+  return s.name.size() > suffix.size() &&
+         s.name.compare(s.name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void TraceStitcher::ingest(const SpanBatch& batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProcessRecord& rec = processes_[batch.process];
+  rec.batches += 1;
+  rec.spans_ingested += batch.spans.size();
+  rec.exported_total = std::max(rec.exported_total, batch.exported_total);
+  rec.dropped_total = std::max(rec.dropped_total, batch.dropped_total);
+  rec.morphs_total = std::max(rec.morphs_total, batch.morphs_total);
+
+  for (const auto& s : batch.spans) {
+    if (s.trace_id == 0) continue;  // untraced spans have nothing to stitch
+    auto it = traces_.find(s.trace_id);
+    if (it == traces_.end()) {
+      if (traces_.size() >= kMaxTracesRetained) {
+        traces_dropped_ += 1;
+        continue;
+      }
+      it = traces_.emplace(s.trace_id, Trace{}).first;
+    }
+    if (it->second.spans.size() >= kMaxSpansPerTrace) {
+      spans_overflowed_ += 1;
+      continue;
+    }
+    it->second.spans.push_back(StitchedSpan{batch.process, s});
+  }
+}
+
+std::vector<StitchedSpan> TraceStitcher::trace(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return {};
+  return it->second.spans;
+}
+
+std::vector<uint64_t> TraceStitcher::trace_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> ids;
+  ids.reserve(traces_.size());
+  for (const auto& [id, t] : traces_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<PathStep> TraceStitcher::critical_path_locked(const Trace& t) const {
+  // Group the trace's spans by process; processes are walked in name
+  // order (clocks are per-process, so any cross-process ordering other
+  // than linkage would be fiction).
+  std::map<std::string, std::vector<const SpanRecord*>> by_process;
+  for (const auto& s : t.spans) by_process[s.process].push_back(&s.span);
+
+  std::vector<PathStep> path;
+  for (const auto& [process, spans] : by_process) {
+    std::unordered_map<uint64_t, const SpanRecord*> by_id;
+    std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+    std::unordered_map<uint64_t, uint64_t> child_ns;  // parent -> sum of direct child dur
+    for (const SpanRecord* s : spans) {
+      if (s->span_id != 0) by_id.emplace(s->span_id, s);
+    }
+    for (const SpanRecord* s : spans) {
+      if (s->parent_id != 0 && by_id.count(s->parent_id) != 0) {
+        children[s->parent_id].push_back(s);
+        child_ns[s->parent_id] += s->dur_ns;
+      }
+    }
+    // Root = most expensive span whose parent is absent (0 or remote).
+    const SpanRecord* root = nullptr;
+    for (const SpanRecord* s : spans) {
+      bool is_root = s->parent_id == 0 || by_id.count(s->parent_id) == 0;
+      if (is_root && (root == nullptr || s->dur_ns > root->dur_ns)) root = s;
+    }
+    // Descend into the heaviest child at each level. The visited set
+    // guards against hostile batches with parent cycles.
+    std::set<uint64_t> visited;
+    const SpanRecord* cur = root;
+    while (cur != nullptr) {
+      if (cur->span_id != 0 && !visited.insert(cur->span_id).second) break;
+      PathStep step;
+      step.process = process;
+      step.name = cur->name;
+      step.detail = cur->detail;
+      step.dur_ns = cur->dur_ns;
+      uint64_t kids = child_ns.count(cur->span_id) != 0 ? child_ns[cur->span_id] : 0;
+      step.self_ns = cur->dur_ns > kids ? cur->dur_ns - kids : 0;
+      path.push_back(std::move(step));
+      const SpanRecord* next = nullptr;
+      auto it = children.find(cur->span_id);
+      if (it != children.end()) {
+        for (const SpanRecord* c : it->second) {
+          if (next == nullptr || c->dur_ns > next->dur_ns) next = c;
+        }
+      }
+      cur = next;
+    }
+  }
+  return path;
+}
+
+std::vector<PathStep> TraceStitcher::critical_path(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return {};
+  return critical_path_locked(it->second);
+}
+
+std::vector<AttributionRow> TraceStitcher::attribution() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::pair<std::string, std::string>, AttributionRow> rows;
+  for (const auto& [id, t] : traces_) {
+    for (const auto& s : t.spans) {
+      if (!is_morph_span(s.span)) continue;
+      AttributionRow& row = rows[{s.process, s.span.detail}];
+      row.process = s.process;
+      row.format = s.span.detail;
+      row.morphs += 1;
+      row.total_ns += s.span.dur_ns;
+      row.max_ns = std::max(row.max_ns, s.span.dur_ns);
+    }
+  }
+  std::vector<AttributionRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+std::vector<std::pair<std::string, ProcessRecord>> TraceStitcher::processes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {processes_.begin(), processes_.end()};
+}
+
+std::vector<std::string> TraceStitcher::check() const {
+  std::vector<std::string> violations;
+  // attribution() and processes() take the lock themselves; counting
+  // attributed morphs per process needs the raw table.
+  std::map<std::string, uint64_t> attributed;
+  for (const auto& row : attribution()) attributed[row.process] += row.morphs;
+
+  for (const auto& [name, rec] : processes()) {
+    if (rec.spans_ingested != rec.exported_total) {
+      violations.push_back("process '" + name + "': ingested " +
+                           std::to_string(rec.spans_ingested) + " spans but sender exported " +
+                           std::to_string(rec.exported_total) +
+                           " (lost in transit or collector started late)");
+    }
+    uint64_t morph_spans = attributed.count(name) != 0 ? attributed[name] : 0;
+    if (rec.dropped_total == 0) {
+      if (rec.morphs_total != morph_spans) {
+        violations.push_back("process '" + name + "': counters report " +
+                             std::to_string(rec.morphs_total) + " morphs but " +
+                             std::to_string(morph_spans) +
+                             " morph spans were attributed (no ring drops reported)");
+      }
+    } else if (morph_spans > rec.morphs_total) {
+      violations.push_back("process '" + name + "': " + std::to_string(morph_spans) +
+                           " morph spans attributed exceed the " +
+                           std::to_string(rec.morphs_total) + " morphs the counters report");
+    }
+  }
+  return violations;
+}
+
+std::string TraceStitcher::to_json() const {
+  // Assemble from the locked accessors; the document is a point-in-time
+  // view, consistent enough for dumps (ingest between sections only adds).
+  auto procs = processes();
+  auto ids = trace_ids();
+  auto attrib = attribution();
+  auto violations = check();
+
+  std::string out;
+  out += "{\n  \"schema\": \"morph-telemetry-v1\",\n  \"processes\": {";
+  bool first = true;
+  for (const auto& [name, rec] : procs) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"batches\": ";
+    append_u64(out, rec.batches);
+    out += ", \"spans\": ";
+    append_u64(out, rec.spans_ingested);
+    out += ", \"exported\": ";
+    append_u64(out, rec.exported_total);
+    out += ", \"dropped\": ";
+    append_u64(out, rec.dropped_total);
+    out += ", \"morphs\": ";
+    append_u64(out, rec.morphs_total);
+    out += '}';
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"traces\": [";
+  first = true;
+  for (uint64_t id : ids) {
+    auto spans = trace(id);
+    auto path = critical_path(id);
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"trace\": ";
+    append_hex64(out, id);
+    out += ", \"span_count\": ";
+    append_u64(out, spans.size());
+    out += ",\n     \"spans\": [";
+    bool sfirst = true;
+    for (const auto& s : spans) {
+      out += sfirst ? "\n      " : ",\n      ";
+      sfirst = false;
+      out += "{\"process\": ";
+      append_json_string(out, s.process);
+      out += ", \"name\": ";
+      append_json_string(out, s.span.name);
+      out += ", \"detail\": ";
+      append_json_string(out, s.span.detail);
+      out += ", \"span\": ";
+      append_hex64(out, s.span.span_id);
+      out += ", \"parent\": ";
+      append_hex64(out, s.span.parent_id);
+      out += ", \"start_ns\": ";
+      append_u64(out, s.span.start_ns);
+      out += ", \"dur_ns\": ";
+      append_u64(out, s.span.dur_ns);
+      out += '}';
+    }
+    out += sfirst ? "]" : "\n     ]";
+    out += ",\n     \"critical_path\": [";
+    bool pfirst = true;
+    for (const auto& step : path) {
+      out += pfirst ? "\n      " : ",\n      ";
+      pfirst = false;
+      out += "{\"process\": ";
+      append_json_string(out, step.process);
+      out += ", \"name\": ";
+      append_json_string(out, step.name);
+      out += ", \"detail\": ";
+      append_json_string(out, step.detail);
+      out += ", \"dur_ns\": ";
+      append_u64(out, step.dur_ns);
+      out += ", \"self_ns\": ";
+      append_u64(out, step.self_ns);
+      out += '}';
+    }
+    out += pfirst ? "]}" : "\n     ]}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"attribution\": [";
+  first = true;
+  for (const auto& row : attrib) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"process\": ";
+    append_json_string(out, row.process);
+    out += ", \"format\": ";
+    append_json_string(out, row.format);
+    out += ", \"morphs\": ";
+    append_u64(out, row.morphs);
+    out += ", \"total_ns\": ";
+    append_u64(out, row.total_ns);
+    out += ", \"max_ns\": ";
+    append_u64(out, row.max_ns);
+    out += '}';
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"stitch\": {\"traces_dropped\": ";
+  append_u64(out, traces_dropped());
+  out += ", \"spans_overflowed\": ";
+  append_u64(out, spans_overflowed());
+  out += "},\n";
+
+  out += "  \"conservation\": {\"ok\": ";
+  out += violations.empty() ? "true" : "false";
+  out += ", \"violations\": [";
+  first = true;
+  for (const auto& v : violations) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, v);
+  }
+  out += first ? "]}" : "\n  ]}";
+  out += "\n}\n";
+  return out;
+}
+
+uint64_t TraceStitcher::traces_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_dropped_;
+}
+
+uint64_t TraceStitcher::spans_overflowed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_overflowed_;
+}
+
+}  // namespace morph::obs

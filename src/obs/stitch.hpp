@@ -1,0 +1,127 @@
+// Trace stitching: turn span batches from many processes into end-to-end
+// traces and a per-(process, format) morph-cost attribution table.
+//
+// The stitcher is the collector's brain and deliberately transport-free:
+// feed it decoded SpanBatches (obs/telemetry.hpp) from any number of
+// processes and ask for the stitched state as morph-telemetry-v1 JSON.
+//
+// Stitching model:
+//   - spans with the same trace id belong to one end-to-end trace, however
+//     many processes contributed them (the id rides the 0x80 frame header
+//     between peers);
+//   - within one process spans form a tree via span_id/parent_id, and the
+//     critical path is the most expensive root-to-leaf chain;
+//   - across processes only the trace id is comparable — monotonic clocks
+//     are per-process, so cross-process ordering is by linkage, never by
+//     timestamp.
+//
+// Conservation: every batch carries the sender's cumulative exported /
+// dropped / morph counters. check() cross-checks them against what was
+// actually ingested and attributed, so "the trace looks fine" can be
+// distinguished from "half the spans never arrived".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace morph::obs {
+
+/// Per-process conservation bookkeeping (cumulative counters are
+/// max-merged across batches; spans_ingested counts what arrived).
+struct ProcessRecord {
+  uint64_t batches = 0;
+  uint64_t spans_ingested = 0;
+  uint64_t exported_total = 0;
+  uint64_t dropped_total = 0;
+  uint64_t morphs_total = 0;
+};
+
+/// One row of the morph-cost attribution table: where in the fleet each
+/// (process, format) pair spends its morph time.
+struct AttributionRow {
+  std::string process;
+  std::string format;  // the morph span's detail tag; "" = untagged
+  uint64_t morphs = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// A span plus the process that contributed it.
+struct StitchedSpan {
+  std::string process;
+  SpanRecord span;
+};
+
+/// One hop of a critical path.
+struct PathStep {
+  std::string process;
+  std::string name;
+  std::string detail;
+  uint64_t dur_ns = 0;
+  uint64_t self_ns = 0;  // dur minus direct children
+};
+
+/// Retention caps: traces beyond the cap are dropped whole, spans beyond
+/// the per-trace cap are dropped individually; both are counted and
+/// reported (never silent).
+constexpr size_t kMaxTracesRetained = 1024;
+constexpr size_t kMaxSpansPerTrace = 512;
+
+class TraceStitcher {
+ public:
+  /// Merge one batch. Thread-safe (the collector ingests from per-
+  /// connection threads).
+  void ingest(const SpanBatch& batch);
+
+  /// Spans of one trace, in ingest order. Empty when unknown.
+  std::vector<StitchedSpan> trace(uint64_t trace_id) const;
+
+  /// All trace ids currently retained, ascending.
+  std::vector<uint64_t> trace_ids() const;
+
+  /// Critical path of one trace: per contributing process, the most
+  /// expensive root-to-leaf span chain (processes ordered by name —
+  /// cross-process clocks are not comparable).
+  std::vector<PathStep> critical_path(uint64_t trace_id) const;
+
+  /// Attribution table over spans named "*.morph", sorted by (process,
+  /// format).
+  std::vector<AttributionRow> attribution() const;
+
+  /// Per-process conservation records, sorted by process name.
+  std::vector<std::pair<std::string, ProcessRecord>> processes() const;
+
+  /// Conservation violations (empty = everything accounts):
+  ///   - ingested != exported_total for some process (spans lost in
+  ///     transit or collector started late);
+  ///   - attributed morph spans != morphs_total when the sender reports
+  ///     zero ring drops (with drops, attributed <= morphs_total).
+  std::vector<std::string> check() const;
+
+  /// Full stitched state as a morph-telemetry-v1 JSON document.
+  std::string to_json() const;
+
+  uint64_t traces_dropped() const;
+  uint64_t spans_overflowed() const;
+
+ private:
+  struct Trace {
+    std::vector<StitchedSpan> spans;
+  };
+
+  std::vector<PathStep> critical_path_locked(const Trace& t) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ProcessRecord> processes_;
+  std::map<uint64_t, Trace> traces_;
+  uint64_t traces_dropped_ = 0;
+  uint64_t spans_overflowed_ = 0;
+};
+
+}  // namespace morph::obs

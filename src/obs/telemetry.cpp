@@ -1,0 +1,87 @@
+#include "obs/telemetry.hpp"
+
+#include "common/error.hpp"
+
+namespace morph::obs {
+
+std::vector<uint8_t> encode_span_batch(const SpanBatch& batch) {
+  ByteBuffer buf;
+  buf.append_u8(static_cast<uint8_t>(TelemetryOp::kSpanBatch));
+  buf.append_string(batch.process);
+  buf.append_u64(batch.exported_total);
+  buf.append_u64(batch.dropped_total);
+  buf.append_u64(batch.morphs_total);
+  buf.append_u32(static_cast<uint32_t>(batch.spans.size()));
+  for (const auto& s : batch.spans) {
+    buf.append_string(s.name);
+    buf.append_string(s.detail);
+    buf.append_u64(s.trace_id);
+    buf.append_u64(s.span_id);
+    buf.append_u64(s.parent_id);
+    buf.append_u64(s.start_ns);
+    buf.append_u64(s.dur_ns);
+    buf.append_u32(s.thread);
+  }
+  return buf.take();
+}
+
+SpanBatch decode_span_batch(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  uint8_t op = r.read_u8();
+  if (op != static_cast<uint8_t>(TelemetryOp::kSpanBatch)) {
+    throw DecodeError("telemetry: expected span-batch op 1, got " + std::to_string(op));
+  }
+  SpanBatch batch;
+  batch.process = r.read_string();
+  batch.exported_total = r.read_u64();
+  batch.dropped_total = r.read_u64();
+  batch.morphs_total = r.read_u64();
+  uint32_t count = r.read_u32();
+  if (count > kMaxSpansPerBatch) {
+    throw DecodeError("telemetry: span batch claims " + std::to_string(count) +
+                      " spans (cap " + std::to_string(kMaxSpansPerBatch) + ")");
+  }
+  batch.spans.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SpanRecord s;
+    s.name = r.read_string();
+    s.detail = r.read_string();
+    s.trace_id = r.read_u64();
+    s.span_id = r.read_u64();
+    s.parent_id = r.read_u64();
+    s.start_ns = r.read_u64();
+    s.dur_ns = r.read_u64();
+    s.thread = r.read_u32();
+    batch.spans.push_back(std::move(s));
+  }
+  if (!r.at_end()) {
+    throw DecodeError("telemetry: trailing bytes after span batch");
+  }
+  return batch;
+}
+
+std::vector<uint8_t> encode_dump_request() {
+  return {static_cast<uint8_t>(TelemetryOp::kDumpRequest)};
+}
+
+std::vector<uint8_t> encode_dump_reply(const std::string& json) {
+  ByteBuffer buf;
+  buf.append_u8(static_cast<uint8_t>(TelemetryOp::kDumpReply));
+  buf.append_string(json);
+  return buf.take();
+}
+
+std::string decode_dump_reply(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  uint8_t op = r.read_u8();
+  if (op != static_cast<uint8_t>(TelemetryOp::kDumpReply)) {
+    throw DecodeError("telemetry: expected dump-reply op 3, got " + std::to_string(op));
+  }
+  return r.read_string();
+}
+
+uint8_t telemetry_op(const uint8_t* data, size_t size) {
+  return size == 0 ? 0 : data[0];
+}
+
+}  // namespace morph::obs

@@ -1,0 +1,79 @@
+// morph-telemetry-v1: the payload schema carried by kTelemetry (type 7)
+// frames between span exporters and the telemetry collector.
+//
+// The payload's first byte selects the operation:
+//
+//   1  kSpanBatch    exporter -> collector, one batch of finished spans
+//                    plus the sending process's conservation counters
+//   2  kDumpRequest  client -> collector, ask for the stitched-state JSON
+//   3  kDumpReply    collector -> client, UTF-8 JSON document
+//
+// kSpanBatch layout after the op byte (little-endian, strings u32-length-
+// prefixed as everywhere else on this wire):
+//
+//   string process          sender identity (obs::process_name())
+//   u64    exported_total   cumulative spans exported incl. this batch
+//   u64    dropped_total    cumulative ring drops at the sender
+//   u64    morphs_total     cumulative morphs the sender's counters report
+//   u32    span_count       <= kMaxSpansPerBatch
+//   repeated span_count times:
+//     string name, string detail,
+//     u64 trace_id, u64 span_id, u64 parent_id, u64 start_ns, u64 dur_ns,
+//     u32 thread
+//
+// The conservation triple lets the collector prove it lost nothing in
+// transit: ingested spans per process must equal exported_total, and the
+// attribution table must account for morphs_total (see stitch.hpp).
+//
+// This header is transport-free: encode/decode only. Shipping frames is
+// transport/telemetry_endpoint.hpp's job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "obs/trace.hpp"
+
+namespace morph::obs {
+
+enum class TelemetryOp : uint8_t {
+  kSpanBatch = 1,
+  kDumpRequest = 2,
+  kDumpReply = 3,
+};
+
+/// Hostile-input cap: a batch claiming more spans than this is rejected
+/// before any allocation happens (the count field is one u32; trusting it
+/// would let a 13-byte frame reserve gigabytes).
+constexpr uint32_t kMaxSpansPerBatch = 4096;
+
+struct SpanBatch {
+  std::string process;
+  uint64_t exported_total = 0;
+  uint64_t dropped_total = 0;
+  uint64_t morphs_total = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Encode `batch` as a kSpanBatch payload (op byte included).
+std::vector<uint8_t> encode_span_batch(const SpanBatch& batch);
+
+/// Decode a kSpanBatch payload (op byte included). Throws DecodeError on
+/// truncation, a wrong op byte, or a span count above kMaxSpansPerBatch.
+SpanBatch decode_span_batch(const uint8_t* data, size_t size);
+
+/// One-byte kDumpRequest payload.
+std::vector<uint8_t> encode_dump_request();
+
+/// Wrap a JSON document as a kDumpReply payload.
+std::vector<uint8_t> encode_dump_reply(const std::string& json);
+
+/// Unwrap a kDumpReply payload. Throws DecodeError on a wrong op byte.
+std::string decode_dump_reply(const uint8_t* data, size_t size);
+
+/// Peek the op byte (0 when empty).
+uint8_t telemetry_op(const uint8_t* data, size_t size);
+
+}  // namespace morph::obs

@@ -25,6 +25,7 @@ namespace morph::obs {
 
 struct TraceContext {
   uint64_t trace_id = 0;  // 0 = not traced
+  uint64_t span_id = 0;   // enclosing span on this thread (0 = root)
   explicit operator bool() const { return trace_id != 0; }
 };
 
@@ -52,18 +53,30 @@ class TraceScope {
   TraceContext prev_;
 };
 
-/// One finished span.
+/// One finished span. `span_id`/`parent_id` link spans into a tree within
+/// one process (parent 0 = root); `detail` carries an optional free-form
+/// attribution tag (the format name for morph spans). The first five
+/// members predate the linkage fields, so existing aggregate initializers
+/// keep working with ids defaulting to "unlinked root".
 struct SpanRecord {
   std::string name;
   uint64_t trace_id = 0;
   uint64_t start_ns = 0;  // monotonic, since process start
   uint64_t dur_ns = 0;
-  uint32_t thread = 0;  // thread_stripe() of the recording thread
+  uint32_t thread = 0;   // thread_stripe() of the recording thread
+  uint64_t span_id = 0;  // 0 = recorded before span ids existed
+  uint64_t parent_id = 0;
+  std::string detail;
 };
 
 /// RAII span timer. Duration always goes to `hist` when one is given; a
 /// SpanRecord is appended to the ring only when tracing is enabled (the
 /// span adopts the thread's current trace context at construction).
+///
+/// When tracing is enabled the span also allocates a span id and installs
+/// itself as the thread's current parent, so nested TraceSpans (and
+/// record_span calls) link to it; the previous parent is restored on
+/// destruction.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, Histogram* hist = nullptr);
@@ -72,21 +85,49 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   uint64_t trace_id() const { return ctx_.trace_id; }
+  uint64_t span_id() const { return span_id_; }
+  /// Attach a free-form attribution tag (format name, peer, ...) carried
+  /// into the SpanRecord. No-op when the span is not being ringed.
+  void set_detail(std::string detail);
 
  private:
   const char* name_;
   Histogram* hist_;
-  TraceContext ctx_;
+  TraceContext ctx_;  // context at construction (parent linkage)
   uint64_t start_ns_;
+  uint64_t span_id_ = 0;
+  std::string detail_;
   bool ringed_;
 };
 
 /// Monotonic nanoseconds since process start (first call).
 uint64_t monotonic_ns();
 
-/// Copy of the span ring, oldest first. Bounded (kSpanRingCapacity).
+/// Record an already-timed interval as a span (for paths that clock
+/// themselves, e.g. the receiver's morph timing). Adopts the calling
+/// thread's current trace context as parent; no-op when tracing is off.
+void record_span(const char* name, const std::string& detail, uint64_t start_ns,
+                 uint64_t dur_ns);
+
+/// Copy of the span ring, oldest first. Bounded (kSpanRingCapacity); when
+/// full the oldest span is dropped and morph_obs_spans_dropped_total is
+/// bumped so saturation is visible instead of silent.
 constexpr size_t kSpanRingCapacity = 1024;
 std::vector<SpanRecord> recent_spans();
 void clear_spans();
+
+/// Move the ring's contents out (oldest first), leaving it empty. The
+/// span exporter's drain primitive: spans handed out exactly once.
+std::vector<SpanRecord> drain_spans();
+
+/// Spans in the ring belonging to `trace_id`, oldest first. Used by the
+/// flight recorder's tail sampling (keep full spans only for slow traces).
+std::vector<SpanRecord> spans_for_trace(uint64_t trace_id);
+
+/// Process identity attached to exported span batches. Defaults to
+/// MORPH_PROCESS from the environment, else "pid-<pid>"; set_process_name
+/// overrides (call before starting an exporter).
+std::string process_name();
+void set_process_name(const std::string& name);
 
 }  // namespace morph::obs

@@ -29,9 +29,10 @@ enum class FrameType : uint8_t {
   kControl = 4,        // application-level control payload
   kFmtsvcRequest = 5,  // format-service request (fmtsvc/protocol.hpp)
   kFmtsvcReply = 6,    // format-service reply
+  kTelemetry = 7,      // telemetry-plane payload (obs/telemetry.hpp)
 };
 
-constexpr uint8_t kMaxFrameType = 6;
+constexpr uint8_t kMaxFrameType = 7;
 
 /// Type-byte bit marking the presence of the 8-byte trace id header.
 constexpr uint8_t kFrameTraceBit = 0x80;

@@ -19,6 +19,7 @@ struct PortMetrics {
   obs::Counter& meta_received =
       obs::metrics().counter("morph_port_frames_received_total{type=\"meta\"}");
   obs::Counter& meta_published = obs::metrics().counter("morph_port_meta_published_total");
+  obs::Counter& bad_frames = obs::metrics().counter("morph_port_bad_frames_total");
   obs::Histogram& send_ns = obs::metrics().histogram("morph_span_ns{span=\"port.send\"}");
   obs::Histogram& deliver_ns = obs::metrics().histogram("morph_span_ns{span=\"port.deliver\"}");
 };
@@ -105,11 +106,17 @@ void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
   // wire so the receiving port (and any broker in between) can correlate
   // its spans with ours.
   uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   if (obs::tracing_enabled()) {
     trace_id = obs::current_trace().trace_id;
-    if (trace_id == 0) trace_id = obs::new_trace_id();
+    if (trace_id == 0) {
+      trace_id = obs::new_trace_id();
+    } else {
+      // Inherit the caller's active span so our send span parents under it.
+      parent_span = obs::current_trace().span_id;
+    }
   }
-  obs::TraceScope trace_scope(obs::TraceContext{trace_id});
+  obs::TraceScope trace_scope(obs::TraceContext{trace_id, parent_span});
   obs::TraceSpan span("port.send", &port_metrics().send_ns);
 
   send_meta_for(fmt);
@@ -152,6 +159,22 @@ void MessagePort::send_control(const void* data, size_t size) {
 }
 
 void MessagePort::on_bytes(const uint8_t* data, size_t size) {
+  // A malformed frame (bad type, oversized length, truncated trace
+  // header) means the byte stream itself is corrupt: framing never
+  // recovers after that, so the port goes wire-dead — every later chunk is
+  // dropped — instead of letting TransportError unwind through the link's
+  // receive callback into whatever event loop drives it.
+  if (wire_dead_) return;
+  try {
+    feed_frames(data, size);
+  } catch (const Error&) {
+    wire_dead_ = true;
+    ++stats_.bad_frames;
+    port_metrics().bad_frames.inc();
+  }
+}
+
+void MessagePort::feed_frames(const uint8_t* data, size_t size) {
   assembler_.feed(data, size, [this](Frame& frame) {
     switch (frame.type) {
       case FrameType::kFormatDef: {
@@ -190,8 +213,9 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
         break;
       case FrameType::kFmtsvcRequest:
       case FrameType::kFmtsvcReply:
-        // Format-service frames belong on service connections
-        // (fmtsvc/server, fmtsvc/resolver), never on a data-plane port.
+      case FrameType::kTelemetry:
+        // Service-plane frames (format service, telemetry collector)
+        // belong on their own connections, never on a data-plane port.
         break;
     }
   });

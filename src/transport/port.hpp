@@ -69,11 +69,18 @@ class MessagePort {
     uint64_t meta_frames_received = 0;
     uint64_t meta_published = 0;  // formats handed to the meta publisher
     uint64_t bytes_sent = 0;
+    uint64_t bad_frames = 0;  // malformed frames; the port is wire-dead after one
   };
   const PortStats& stats() const { return stats_; }
 
+  /// True once a malformed frame poisoned the byte stream: the port stops
+  /// processing input (framing cannot resynchronize) but never throws
+  /// through the link's receive callback.
+  bool wire_dead() const { return wire_dead_; }
+
  private:
   void on_bytes(const uint8_t* data, size_t size);
+  void feed_frames(const uint8_t* data, size_t size);
   void send_meta_for(const pbio::FormatPtr& fmt);
 
   Link& link_;
@@ -86,6 +93,7 @@ class MessagePort {
   MetaPublisher meta_publisher_;
   RecordArena rx_arena_;
   PortStats stats_;
+  bool wire_dead_ = false;
 };
 
 /// Build a complete kData frame around an already-encoded PBIO message —

@@ -60,7 +60,7 @@ void StatsServer::handle(TcpLink& link) {
     body = obs::to_prometheus(registry_.snapshot());
     content_type = "text/plain; version=0.0.4";
   } else {
-    body = obs::to_json(registry_.snapshot(), obs::recent_spans());
+    body = obs::to_json(registry_.snapshot(), obs::recent_spans(), obs::flight_events());
     content_type = "application/json";
   }
 

@@ -256,13 +256,53 @@ TEST(Exporters, JsonRoundTripsThroughParser) {
 TEST(Exporters, JsonIncludesSpans) {
   MetricsRegistry reg;
   std::vector<SpanRecord> spans;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+  // Pre-linkage aggregate initializer: span_id/parent_id/detail were
+  // appended to SpanRecord, so five-field initializers must keep compiling
+  // and default the new fields to "unlinked root".
   spans.push_back({"port.send", 0xabcdef, 10, 250, 3});
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ(spans[0].span_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].detail, "");
   JsonValue doc = json_parse(to_json(reg.snapshot(), spans));
   const auto& arr = doc.at("spans").as_array();
   ASSERT_EQ(arr.size(), 1u);
   EXPECT_EQ(arr[0].at("name").as_string(), "port.send");
   EXPECT_EQ(arr[0].at("trace").as_string(), "0x0000000000abcdef");
+  EXPECT_EQ(arr[0].at("span").as_string(), "0x0000000000000000");
+  EXPECT_EQ(arr[0].at("parent").as_string(), "0x0000000000000000");
   EXPECT_EQ(arr[0].at("dur_ns").as_u64(), 250u);
+}
+
+TEST(Exporters, EscapeLabelValues) {
+  // Values are stored raw in metric names; the Prometheus renderer escapes
+  // backslash, double-quote, and line-feed per the 0.0.4 text format.
+  EXPECT_EQ(escape_label_values("k=\"plain\""), "k=\"plain\"");
+  EXPECT_EQ(escape_label_values("k=\"a\"b\""), "k=\"a\\\"b\"");
+  EXPECT_EQ(escape_label_values("k=\"a\\b\""), "k=\"a\\\\b\"");
+  EXPECT_EQ(escape_label_values("k=\"a\nb\""), "k=\"a\\nb\"");
+  EXPECT_EQ(escape_label_values("k=\"a\",k2=\"b\"b\""), "k=\"a\",k2=\"b\\\"b\"");
+  EXPECT_EQ(escape_label_values(""), "");
+}
+
+TEST(Exporters, PrometheusEscapesHostileLabelValues) {
+  // A format legitimately named `Weird"Fmt` (or carrying a newline) must
+  // not corrupt the exposition: one series line, value escaped.
+  MetricsRegistry reg;
+  reg.counter("rx_total{fmt=\"Weird\"Fmt\"}").add(2);
+  reg.counter("rx_total{fmt=\"two\nlines\"}").add(1);
+  std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("rx_total{fmt=\"Weird\\\"Fmt\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("rx_total{fmt=\"two\\nlines\"} 1\n"), std::string::npos);
+  // The raw (unescaped) forms must not appear anywhere.
+  EXPECT_EQ(text.find("Weird\"Fmt"), std::string::npos);
+  EXPECT_EQ(text.find("two\nlines"), std::string::npos);
 }
 
 // ------------------------------------------------------------- JSON parser
@@ -369,6 +409,117 @@ TEST(Trace, MonotonicClockAdvances) {
   uint64_t a = monotonic_ns();
   uint64_t b = monotonic_ns();
   EXPECT_LE(a, b);
+}
+
+TEST(Trace, RingEvictionBumpsDropCounter) {
+  Counter& dropped = metrics().counter("morph_obs_spans_dropped_total");
+  set_tracing(true);
+  clear_spans();
+  const uint64_t before = dropped.value();
+  for (size_t i = 0; i < kSpanRingCapacity + 50; ++i) {
+    TraceSpan span("test.flood");
+  }
+  set_tracing(false);
+  // Exactly the overflow is counted: saturation is visible, never silent.
+  EXPECT_EQ(dropped.value() - before, 50u);
+  clear_spans();
+}
+
+TEST(Trace, NestedSpansLinkParentToChild) {
+  set_tracing(true);
+  clear_spans();
+  {
+    TraceScope scope(TraceContext{0xF00});
+    TraceSpan outer("test.outer");
+    EXPECT_NE(outer.span_id(), 0u);
+    {
+      TraceSpan inner("test.inner");
+      inner.set_detail("FmtA");
+      EXPECT_NE(inner.span_id(), outer.span_id());
+    }
+  }
+  set_tracing(false);
+  auto spans = recent_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes (and rings) first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].detail, "FmtA");
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  EXPECT_EQ(spans[1].parent_id, 0u);  // root: no enclosing span
+  EXPECT_NE(spans[0].span_id, 0u);
+  clear_spans();
+}
+
+TEST(Trace, RecordSpanAdoptsCurrentParent) {
+  set_tracing(true);
+  clear_spans();
+  {
+    TraceScope scope(TraceContext{0xF01});
+    TraceSpan outer("test.outer");
+    record_span("test.timed", "FmtB", 123, 456);
+  }
+  set_tracing(false);
+  auto spans = recent_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test.timed");
+  EXPECT_EQ(spans[0].detail, "FmtB");
+  EXPECT_EQ(spans[0].start_ns, 123u);
+  EXPECT_EQ(spans[0].dur_ns, 456u);
+  EXPECT_EQ(spans[0].trace_id, 0xF01u);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  clear_spans();
+}
+
+TEST(Trace, RecordSpanIsNoOpWhenTracingOff) {
+  set_tracing(false);
+  clear_spans();
+  record_span("test.ghost", "", 1, 2);
+  EXPECT_TRUE(recent_spans().empty());
+}
+
+TEST(Trace, DrainMovesSpansOutExactlyOnce) {
+  set_tracing(true);
+  clear_spans();
+  {
+    TraceScope scope(TraceContext{0xD1});
+    TraceSpan span("test.drained");
+  }
+  set_tracing(false);
+  auto drained = drain_spans();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].name, "test.drained");
+  EXPECT_TRUE(recent_spans().empty());
+  EXPECT_TRUE(drain_spans().empty());
+}
+
+TEST(Trace, SpansForTraceFiltersById) {
+  set_tracing(true);
+  clear_spans();
+  {
+    TraceScope scope(TraceContext{0xAA});
+    TraceSpan span("test.a");
+  }
+  {
+    TraceScope scope(TraceContext{0xBB});
+    TraceSpan span("test.b");
+  }
+  set_tracing(false);
+  auto only_a = spans_for_trace(0xAA);
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_EQ(only_a[0].name, "test.a");
+  EXPECT_TRUE(spans_for_trace(0xCC).empty());
+  // Non-destructive: the ring still holds both.
+  EXPECT_EQ(recent_spans().size(), 2u);
+  clear_spans();
+}
+
+TEST(Trace, ProcessNameOverridable) {
+  std::string original = process_name();
+  EXPECT_FALSE(original.empty());
+  set_process_name("unit-proc");
+  EXPECT_EQ(process_name(), "unit-proc");
+  set_process_name(original);
 }
 
 }  // namespace

@@ -119,6 +119,33 @@ TEST(Framing, TruncatedTraceHeaderRejected) {
   EXPECT_THROW(asm_.feed(bad, sizeof bad, [](Frame&) {}), TransportError);
 }
 
+TEST(Framing, MaxTraceIdRoundTrips) {
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "x", 1, 0xFFFFFFFFFFFFFFFFull);
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(out.data(), out.size(), [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(Framing, ZeroTraceIdEmitsLegacyLayout) {
+  // An explicit zero id means "untraced": no trace bit, no 8-byte header,
+  // byte-identical to what a pre-trace peer emits and expects.
+  ByteBuffer traced, untraced;
+  write_frame(traced, FrameType::kData, "x", 1, 0);
+  write_frame(untraced, FrameType::kData, "x", 1);
+  ASSERT_EQ(traced.size(), untraced.size());
+  EXPECT_EQ(0, std::memcmp(traced.data(), untraced.data(), traced.size()));
+  EXPECT_EQ(traced.data()[4] & kFrameTraceBit, 0);  // type byte carries no bit
+
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(traced.data(), traced.size(), [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 0u);
+}
+
 TEST(InprocPair, DeliversOnPumpOnly) {
   InprocPair pair;
   std::string got;
@@ -318,6 +345,68 @@ TEST(MessagePort, NoTraceHeaderWhenTracingOff) {
   // Delivered fine and nothing landed in the span ring.
   EXPECT_EQ(rx.stats().messages, 1u);
   EXPECT_TRUE(obs::recent_spans().empty());
+}
+
+TEST(MessagePort, TruncatedTraceHeaderGoesWireDeadWithoutThrowing) {
+  // A frame claiming the trace bit without room for the id is stream
+  // corruption. The port must contain it: no exception may unwind through
+  // the link's receive callback, and every later chunk is dropped.
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  rx.register_handler(fmt, [](const core::Delivery&) {});
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "me";
+  sender.send_record(fmt, req);
+  pair.pump();
+  ASSERT_EQ(rx.stats().messages, 1u);
+  ASSERT_FALSE(receiver_port.wire_dead());
+
+  uint8_t bad[4 + 1 + 4] = {5, 0, 0, 0, static_cast<uint8_t>(3 | kFrameTraceBit), 1, 2, 3, 4};
+  pair.a().send(bad, sizeof bad);
+  EXPECT_NO_THROW(pair.pump());
+  EXPECT_TRUE(receiver_port.wire_dead());
+  EXPECT_EQ(receiver_port.stats().bad_frames, 1u);
+
+  // The stream is untrusted from here on: even a well-formed record is
+  // dropped rather than risk resynchronizing mid-garbage.
+  sender.send_record(fmt, req);
+  EXPECT_NO_THROW(pair.pump());
+  EXPECT_EQ(rx.stats().messages, 1u);
+  EXPECT_EQ(receiver_port.stats().bad_frames, 1u);  // dropped, not re-counted
+}
+
+TEST(MessagePort, TelemetryFramesIgnoredOnDataPort) {
+  // kTelemetry (type 7) is a service-plane frame; a data port must skip it
+  // without feeding it to the receiver and without declaring the wire dead.
+  InprocPair pair;
+  core::Receiver rx;
+  auto fmt = echo::channel_open_request_format();
+  rx.register_handler(fmt, [](const core::Delivery&) {});
+  MessagePort sender(pair.a(), nullptr);
+  MessagePort receiver_port(pair.b(), &rx);
+
+  const uint8_t junk[4] = {0xDE, 0xAD, 0xBE, 0xEF};
+  ByteBuffer frame;
+  write_frame(frame, FrameType::kTelemetry, junk, sizeof junk);
+  pair.a().send(frame.data(), frame.size());
+  EXPECT_NO_THROW(pair.pump());
+  EXPECT_FALSE(receiver_port.wire_dead());
+  EXPECT_EQ(rx.stats().messages, 0u);
+
+  // The port keeps working after ignoring the service frame.
+  RecordArena arena;
+  auto* req = static_cast<echo::ChannelOpenRequest*>(pbio::alloc_record(*fmt, arena));
+  req->channel_id = "c";
+  req->contact = "me";
+  sender.send_record(fmt, req);
+  pair.pump();
+  EXPECT_EQ(rx.stats().messages, 1u);
 }
 
 namespace {

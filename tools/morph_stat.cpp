@@ -16,6 +16,15 @@
 //                                         Exit 1 on any violation.
 //   morph-stat --spans DUMP.json          also print the captured trace
 //                                         spans, grouped by trace id
+//   morph-stat --flight DUMP.json         also print the flight-recorder
+//                                         ring (rejects, resolver retries,
+//                                         fan-out fallbacks, slow morphs)
+//
+// Both commands also accept a morph-telemetry-v1 document (a collector
+// dump from `morph-trace dump`): rendering shows the per-process ledger,
+// stitched traces, and the morph-attribution table; --check validates span
+// conservation (every span a process exported was ingested; attributed
+// morph spans reconcile with the counters).
 //
 // Flags combine: `morph-stat --check --scrape 127.0.0.1:9464` validates a
 // live endpoint. Histogram times are stored in nanoseconds and rendered
@@ -50,7 +59,8 @@ struct Snapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistRow> histograms;
-  const JsonValue* spans = nullptr;  // borrowed from the parsed document
+  const JsonValue* spans = nullptr;   // borrowed from the parsed document
+  const JsonValue* flight = nullptr;  // borrowed from the parsed document
 };
 
 [[noreturn]] void die(const std::string& msg) {
@@ -88,6 +98,7 @@ Snapshot load_snapshot(const JsonValue& doc) {
     }
   }
   s.spans = doc.find("spans");
+  s.flight = doc.find("flight");
   return s;
 }
 
@@ -271,10 +282,22 @@ void render_echo(const Snapshot& s) {
   }
 }
 
-void render(const Snapshot& s, bool with_spans) {
+void render(const Snapshot& s, bool with_spans, bool with_flight) {
   render_fmtsvc(s);
   render_fusion(s);
   render_echo(s);
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t ring_dropped = counter("morph_obs_spans_dropped_total");
+  uint64_t export_dropped = counter("morph_telemetry_export_dropped_total");
+  if (ring_dropped + export_dropped > 0) {
+    std::printf("WARNING: %" PRIu64 " spans evicted from the ring and %" PRIu64
+                " dropped by the exporter — traces are incomplete; raise the ring\n"
+                "         capacity or the export rate before trusting attribution\n",
+                ring_dropped, export_dropped);
+  }
   if (!s.counters.empty()) {
     std::printf("== counters ==\n");
     for (const auto& [name, v] : s.counters) std::printf("  %-56s %12" PRIu64 "\n", name.c_str(), v);
@@ -301,6 +324,20 @@ void render(const Snapshot& s, bool with_spans) {
                   span.at("name").as_string().c_str(), span.at("trace").as_string().c_str(),
                   span.at("start_ns").as_u64(), fmt_ns(span.at("dur_ns").as_u64()).c_str(),
                   span.at("thread").as_u64());
+    }
+  }
+  if (with_flight && s.flight != nullptr) {
+    std::printf("== flight recorder ==\n");
+    for (const auto& e : s.flight->as_array()) {
+      std::printf("  [%-15s] t=%12" PRIu64 " trace=%s %s\n", e.at("kind").as_string().c_str(),
+                  e.at("ts_ns").as_u64(), e.at("trace").as_string().c_str(),
+                  e.at("detail").as_string().c_str());
+      if (const JsonValue* spans = e.find("spans")) {
+        for (const auto& span : spans->as_array()) {
+          std::printf("      %-20s dur=%s\n", span.at("name").as_string().c_str(),
+                      fmt_ns(span.at("dur_ns").as_u64()).c_str());
+        }
+      }
     }
   }
 }
@@ -470,11 +507,118 @@ int check(const Snapshot& s) {
   return failures == 0 ? 0 : 1;
 }
 
+// --- morph-telemetry-v1 (collector dump) rendering --------------------------
+
+void render_telemetry(const JsonValue& doc) {
+  std::printf("== processes ==\n");
+  std::printf("  %-16s %8s %8s %10s %10s %8s\n", "process", "batches", "spans", "exported",
+              "dropped", "morphs");
+  if (const JsonValue* processes = doc.find("processes")) {
+    for (const auto& [name, p] : processes->as_object()) {
+      std::printf("  %-16s %8" PRIu64 " %8" PRIu64 " %10" PRIu64 " %10" PRIu64 " %8" PRIu64 "\n",
+                  name.c_str(), p.at("batches").as_u64(), p.at("spans").as_u64(),
+                  p.at("exported").as_u64(), p.at("dropped").as_u64(), p.at("morphs").as_u64());
+    }
+  }
+
+  if (const JsonValue* attrib = doc.find("attribution")) {
+    if (!attrib->as_array().empty()) {
+      std::printf("== morph attribution ==\n");
+      std::printf("  %-16s %-28s %8s %12s %12s\n", "process", "format", "morphs", "mean", "max");
+      for (const auto& row : attrib->as_array()) {
+        uint64_t morphs = row.at("morphs").as_u64();
+        uint64_t mean = morphs > 0 ? row.at("total_ns").as_u64() / morphs : 0;
+        std::printf("  %-16s %-28s %8" PRIu64 " %s %s\n", row.at("process").as_string().c_str(),
+                    row.at("format").as_string().c_str(), morphs, fmt_ns(mean).c_str(),
+                    fmt_ns(row.at("max_ns").as_u64()).c_str());
+      }
+    }
+  }
+
+  if (const JsonValue* traces = doc.find("traces")) {
+    std::printf("== stitched traces (%zu) ==\n", traces->as_array().size());
+    for (const auto& trace : traces->as_array()) {
+      std::printf("  trace %s: %" PRIu64 " spans\n", trace.at("trace").as_string().c_str(),
+                  trace.at("span_count").as_u64());
+      for (const auto& step : trace.at("critical_path").as_array()) {
+        std::printf("    %-16s %-20s %-24s dur=%s self=%s\n",
+                    step.at("process").as_string().c_str(), step.at("name").as_string().c_str(),
+                    step.at("detail").as_string().c_str(), fmt_ns(step.at("dur_ns").as_u64()).c_str(),
+                    fmt_ns(step.at("self_ns").as_u64()).c_str());
+      }
+    }
+  }
+
+  if (const JsonValue* stitch = doc.find("stitch")) {
+    uint64_t dropped = stitch->at("traces_dropped").as_u64();
+    uint64_t overflowed = stitch->at("spans_overflowed").as_u64();
+    if (dropped + overflowed > 0) {
+      std::printf("WARNING: stitcher dropped %" PRIu64 " traces and overflowed %" PRIu64
+                  " spans — retention caps hit\n",
+                  dropped, overflowed);
+    }
+  }
+}
+
+/// Conservation for collector dumps: the collector already re-derives its
+/// checks in every to_json(); trust but verify the invariants the document
+/// itself exposes (the conservation block plus per-process arithmetic).
+int check_telemetry(const JsonValue& doc) {
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", msg.c_str());
+    ++failures;
+  };
+
+  const JsonValue* conservation = doc.find("conservation");
+  if (conservation == nullptr) {
+    fail("telemetry dump has no conservation block");
+  } else {
+    if (!conservation->at("ok").as_bool()) {
+      for (const auto& v : conservation->at("violations").as_array()) fail(v.as_string());
+    }
+  }
+
+  // Per-process re-check from the raw numbers (independent of the
+  // collector's own verdict): ingested == exported, and the attribution
+  // table's per-process morph totals reconcile with the counters.
+  std::map<std::string, uint64_t> attributed;
+  if (const JsonValue* attrib = doc.find("attribution")) {
+    for (const auto& row : attrib->as_array()) {
+      attributed[row.at("process").as_string()] += row.at("morphs").as_u64();
+    }
+  }
+  if (const JsonValue* processes = doc.find("processes")) {
+    for (const auto& [name, p] : processes->as_object()) {
+      uint64_t spans = p.at("spans").as_u64();
+      uint64_t exported = p.at("exported").as_u64();
+      if (spans != exported) {
+        fail("process '" + name + "': ingested " + std::to_string(spans) + " != exported " +
+             std::to_string(exported));
+      }
+      uint64_t morphs = p.at("morphs").as_u64();
+      uint64_t spans_attributed = attributed.count(name) != 0 ? attributed[name] : 0;
+      if (p.at("dropped").as_u64() == 0) {
+        if (spans_attributed != morphs) {
+          fail("process '" + name + "': " + std::to_string(spans_attributed) +
+               " attributed morph spans != " + std::to_string(morphs) + " counted morphs");
+        }
+      } else if (spans_attributed > morphs) {
+        fail("process '" + name + "': attributed morph spans exceed counted morphs");
+      }
+    }
+  }
+
+  if (failures == 0) std::printf("check OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool do_check = false;
   bool with_spans = false;
+  bool with_flight = false;
   std::optional<std::string> scrape_target;
   std::optional<std::string> delta_old;
   std::vector<std::string> files;
@@ -484,13 +628,15 @@ int main(int argc, char** argv) {
       do_check = true;
     } else if (std::strcmp(argv[i], "--spans") == 0) {
       with_spans = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      with_flight = true;
     } else if (std::strcmp(argv[i], "--scrape") == 0 && i + 1 < argc) {
       scrape_target = argv[++i];
     } else if (std::strcmp(argv[i], "--delta") == 0 && i + 1 < argc) {
       delta_old = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: morph-stat [--check] [--spans] [--delta OLD.json] "
+                   "usage: morph-stat [--check] [--spans] [--flight] [--delta OLD.json] "
                    "(DUMP.json | --scrape HOST:PORT)\n");
       return 2;
     } else {
@@ -508,6 +654,17 @@ int main(int argc, char** argv) {
       die("no input: pass a JSON dump or --scrape HOST:PORT");
     }
     JsonValue doc = morph::obs::json_parse(text);
+
+    // Collector dumps carry their own schema; branch before the metrics
+    // loader (which dies on anything but morph-metrics-v1).
+    const JsonValue* schema = doc.find("schema");
+    if (schema != nullptr && schema->as_string() == "morph-telemetry-v1") {
+      if (delta_old) die("--delta is not supported for telemetry dumps");
+      render_telemetry(doc);
+      if (do_check) return check_telemetry(doc);
+      return 0;
+    }
+
     Snapshot snap = load_snapshot(doc);
 
     if (delta_old) {
@@ -515,7 +672,7 @@ int main(int argc, char** argv) {
       Snapshot old_snap = load_snapshot(old_doc);
       render_delta(old_snap, snap);
     } else {
-      render(snap, with_spans);
+      render(snap, with_spans, with_flight);
     }
     if (do_check) return check(snap);
     return 0;
