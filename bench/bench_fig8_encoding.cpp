@@ -1,11 +1,17 @@
 // Figure 8 — Encoding cost.
 //
 // Encodes a ChannelOpenResponse v2.0 at the paper's five payload sizes with
-// (a) PBIO (native-layout flatten) and (b) XML (text encoding). The paper
-// reports XML at least 2x PBIO across the sweep.
+// (a) PBIO (native-layout flatten), (b) protobuf (varint/tag wire via the
+// pbuf bridge, field numbers assigned by annotate_field_numbers), and
+// (c) XML (text encoding). The paper reports XML at least 2x PBIO across
+// the sweep; protobuf sits between them — cheaper than XML, dearer than a
+// straight flatten. Each encoder's bytes-on-wire lands in the --json dump
+// as bench_wire_bytes gauges.
 #include "bench_support.hpp"
 
 #include "pbio/encode.hpp"
+#include "pbuf/bridge.hpp"
+#include "pbuf/schema.hpp"
 #include "xmlx/xml_bind.hpp"
 
 namespace {
@@ -15,17 +21,25 @@ using namespace morph::bench;
 
 void paper_table() {
   std::printf("Figure 8: encoding cost (ms per message), ChannelOpenResponse v2.0\n\n");
-  print_header("size", {"PBIO", "XML", "XML/PBIO"});
+  print_header("size", {"PBIO", "Pbuf", "XML", "XML/PBIO"});
   for (size_t size : paper_sizes()) {
     RecordArena arena;
     auto* rec = make_payload(size, arena);
     auto fmt = echo::channel_open_response_v2_format();
     pbio::Encoder encoder(fmt);
+    pbuf::EncodePlan pbuf_encoder(pbuf::annotate_field_numbers(*fmt));
 
     ByteBuffer wire;
     double pbio_ms = time_median_ms(size, [&] {
       encoder.encode(rec, wire);
       benchmark::DoNotOptimize(wire.data());
+    });
+
+    ByteBuffer pb_wire;
+    double pbuf_ms = time_median_ms(size, [&] {
+      pb_wire.clear();
+      pbuf_encoder.encode(rec, pb_wire);
+      benchmark::DoNotOptimize(pb_wire.data());
     });
 
     std::string xml;
@@ -34,7 +48,10 @@ void paper_table() {
       benchmark::DoNotOptimize(xml.data());
     });
 
-    print_row(size_label(size), {pbio_ms, xml_ms, xml_ms / pbio_ms});
+    print_row(size_label(size), {pbio_ms, pbuf_ms, xml_ms, xml_ms / pbio_ms});
+    record_wire_bytes(size_label(size), "PBIO", wire.size());
+    record_wire_bytes(size_label(size), "Pbuf", pb_wire.size());
+    record_wire_bytes(size_label(size), "XML", xml.size());
   }
   std::printf("\npaper's shape: XML encode >= 2x PBIO at every size\n");
 }
@@ -45,6 +62,21 @@ void bm_pbio_encode(benchmark::State& state) {
   pbio::Encoder encoder(echo::channel_open_response_v2_format());
   ByteBuffer wire;
   for (auto _ : state) {
+    encoder.encode(rec, wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+
+void bm_pbuf_encode(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  pbuf::EncodePlan encoder(
+      pbuf::annotate_field_numbers(*echo::channel_open_response_v2_format()));
+  ByteBuffer wire;
+  for (auto _ : state) {
+    wire.clear();
     encoder.encode(rec, wire);
     benchmark::DoNotOptimize(wire.data());
   }
@@ -66,6 +98,7 @@ void bm_xml_encode(benchmark::State& state) {
 }
 
 BENCHMARK(bm_pbio_encode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+BENCHMARK(bm_pbuf_encode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
 BENCHMARK(bm_xml_encode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
 
 }  // namespace

@@ -6,10 +6,15 @@
 // parses the text and walks the tree back into a native struct. The paper
 // reports PBIO orders of magnitude cheaper, thanks to the DCG'd conversion
 // routine.
+// The protobuf column decodes the same payload from pbuf wire bytes via
+// the bridge's compiled DecodePlan (tag dispatch + varint work on every
+// field, vs PBIO's straight-line conversion plan).
 #include "bench_support.hpp"
 
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
+#include "pbuf/bridge.hpp"
+#include "pbuf/schema.hpp"
 #include "xmlx/xml_bind.hpp"
 
 namespace {
@@ -21,7 +26,7 @@ void paper_table() {
   std::printf(
       "Figure 9: decoding cost without evolution (ms per message), "
       "ChannelOpenResponse v2.0\n\n");
-  print_header("size", {"PBIO-inplace", "PBIO-convert", "XML", "XML/PBIOcv"});
+  print_header("size", {"PBIO-inplace", "PBIO-convert", "Pbuf", "XML", "XML/PBIOcv"});
   for (size_t size : paper_sizes()) {
     RecordArena arena;
     auto* rec = make_payload(size, arena);
@@ -54,6 +59,17 @@ void paper_table() {
       benchmark::DoNotOptimize(out);
     });
 
+    auto pb_fmt = pbuf::annotate_field_numbers(*fmt);
+    ByteBuffer pb_wire;
+    pbuf::EncodePlan(pb_fmt).encode(rec, pb_wire);
+    pbuf::DecodePlan pb_decoder(pb_fmt);
+    RecordArena pb_arena;
+    double pbuf_ms = time_median_ms(size, [&] {
+      pb_arena.reset();
+      void* out = pb_decoder.decode(pb_wire.data(), pb_wire.size(), pb_arena);
+      benchmark::DoNotOptimize(out);
+    });
+
     RecordArena xml_arena;
     double xml_ms = time_median_ms(size, [&] {
       xml_arena.reset();
@@ -61,7 +77,9 @@ void paper_table() {
       benchmark::DoNotOptimize(out);
     });
 
-    print_row(size_label(size), {inplace_ms, convert_ms, xml_ms, xml_ms / convert_ms});
+    print_row(size_label(size), {inplace_ms, convert_ms, pbuf_ms, xml_ms, xml_ms / convert_ms});
+    record_wire_bytes(size_label(size), "PBIO", wire.size());
+    record_wire_bytes(size_label(size), "Pbuf", pb_wire.size());
   }
   std::printf("\npaper's shape: PBIO decode is far cheaper than XML at every size\n");
 }
@@ -77,6 +95,20 @@ void bm_pbio_decode_convert(benchmark::State& state) {
   for (auto _ : state) {
     out.reset();
     benchmark::DoNotOptimize(decoder.decode(wire.data(), wire.size(), fmt, out));
+  }
+}
+
+void bm_pbuf_decode(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  auto pb_fmt = pbuf::annotate_field_numbers(*echo::channel_open_response_v2_format());
+  ByteBuffer wire;
+  pbuf::EncodePlan(pb_fmt).encode(rec, wire);
+  pbuf::DecodePlan decoder(pb_fmt);
+  RecordArena out;
+  for (auto _ : state) {
+    out.reset();
+    benchmark::DoNotOptimize(decoder.decode(wire.data(), wire.size(), out));
   }
 }
 
@@ -99,6 +131,7 @@ BENCHMARK(bm_pbio_decode_convert)
     ->Arg(10 << 10)
     ->Arg(100 << 10)
     ->Arg(1 << 20);
+BENCHMARK(bm_pbuf_decode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
 BENCHMARK(bm_xml_decode)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
 
 }  // namespace

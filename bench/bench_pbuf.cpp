@@ -1,0 +1,100 @@
+// Pbuf bridge cost — the protobuf interop column in isolation.
+//
+// Same ChannelOpenResponse v2.0 payload sweep as Figures 8/9, but pitting
+// the pbuf bridge's compiled plans against PBIO's native flatten on both
+// directions, plus the full bridge round trip (encode to protobuf wire,
+// decode back to a native record). The trailing ratio is protobuf encode
+// over PBIO encode — the price of crossing the serialization ecosystem
+// boundary, which the broker pays once per (format, encoding) group, not
+// once per sink. Bytes-on-wire for both encodings land in the --json dump
+// as bench_wire_bytes gauges (deterministic, so the regression gate can
+// compare them across machines).
+#include "bench_support.hpp"
+
+#include "pbio/encode.hpp"
+#include "pbuf/bridge.hpp"
+#include "pbuf/schema.hpp"
+
+namespace {
+
+using namespace morph;
+using namespace morph::bench;
+
+void paper_table() {
+  std::printf("Pbuf bridge: cost (ms per message), ChannelOpenResponse v2.0 (annotated)\n\n");
+  print_header("size", {"PBIO-enc", "Pbuf-enc", "Pbuf-dec", "RoundTrip", "Pbuf/PBIO"});
+  for (size_t size : paper_sizes()) {
+    RecordArena arena;
+    auto* rec = make_payload(size, arena);
+    auto fmt = echo::channel_open_response_v2_format();
+    auto pb_fmt = pbuf::annotate_field_numbers(*fmt);
+    pbio::Encoder pbio_enc(fmt);
+    pbuf::EncodePlan enc(pb_fmt);
+    pbuf::DecodePlan dec(pb_fmt);
+
+    ByteBuffer pbio_wire;
+    double pbio_ms = time_median_ms(size, [&] {
+      pbio_enc.encode(rec, pbio_wire);
+      benchmark::DoNotOptimize(pbio_wire.data());
+    });
+
+    ByteBuffer wire;
+    double enc_ms = time_median_ms(size, [&] {
+      wire.clear();
+      enc.encode(rec, wire);
+      benchmark::DoNotOptimize(wire.data());
+    });
+
+    RecordArena dec_arena;
+    double dec_ms = time_median_ms(size, [&] {
+      dec_arena.reset();
+      void* out = dec.decode(wire.data(), wire.size(), dec_arena);
+      benchmark::DoNotOptimize(out);
+    });
+
+    ByteBuffer rt_wire;
+    RecordArena rt_arena;
+    double rt_ms = time_median_ms(size, [&] {
+      rt_wire.clear();
+      rt_arena.reset();
+      enc.encode(rec, rt_wire);
+      void* out = dec.decode(rt_wire.data(), rt_wire.size(), rt_arena);
+      benchmark::DoNotOptimize(out);
+    });
+
+    print_row(size_label(size), {pbio_ms, enc_ms, dec_ms, rt_ms, enc_ms / pbio_ms});
+    record_wire_bytes(size_label(size), "PBIO", pbio_wire.size());
+    record_wire_bytes(size_label(size), "Pbuf", wire.size());
+  }
+  const auto& m = pbuf::bridge_metrics();
+  std::printf("\nbridge conservation: frames_in=%llu decoded=%llu rejected=%llu (%s)\n",
+              static_cast<unsigned long long>(m.frames_in.value()),
+              static_cast<unsigned long long>(m.decoded.value()),
+              static_cast<unsigned long long>(m.rejected.value()),
+              m.frames_in.value() == m.decoded.value() + m.rejected.value() ? "holds"
+                                                                            : "VIOLATED");
+}
+
+void bm_pbuf_roundtrip(benchmark::State& state) {
+  RecordArena arena;
+  auto* rec = make_payload(static_cast<size_t>(state.range(0)), arena);
+  auto pb_fmt = pbuf::annotate_field_numbers(*echo::channel_open_response_v2_format());
+  pbuf::EncodePlan enc(pb_fmt);
+  pbuf::DecodePlan dec(pb_fmt);
+  ByteBuffer wire;
+  RecordArena out;
+  for (auto _ : state) {
+    wire.clear();
+    out.reset();
+    enc.encode(rec, wire);
+    benchmark::DoNotOptimize(dec.decode(wire.data(), wire.size(), out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+
+BENCHMARK(bm_pbuf_roundtrip)->Arg(100)->Arg(1 << 10)->Arg(10 << 10)->Arg(100 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+MORPH_BENCH_MAIN(paper_table)

@@ -59,6 +59,13 @@ void print_row(const char* label, const std::vector<double>& ms) {
   }
 }
 
+void record_wire_bytes(const char* row, const char* col, size_t bytes) {
+  obs::metrics()
+      .gauge("bench_wire_bytes{bench=\"" + g_bench_name + "\",row=\"" + std::string(row) +
+             "\",col=\"" + std::string(col) + "\"}")
+      .set(static_cast<double>(bytes));
+}
+
 int bench_main(int argc, char** argv, const std::function<void()>& paper_table) {
   bool gbench = false;
   const char* json_path = nullptr;

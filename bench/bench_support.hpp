@@ -84,6 +84,13 @@ void print_row(const char* label, const std::vector<double>& ms);
 
 void print_header(const char* first, const std::vector<std::string>& cols);
 
+/// Record a bytes-on-wire data point as a `bench_wire_bytes{bench,row,col}`
+/// gauge. Not printed in the table; shows up in --json dumps so
+/// bench_compare.py can gate encoded-size regressions (sizes are
+/// deterministic, unlike timings, so these cells are safe to compare
+/// across machines).
+void record_wire_bytes(const char* row, const char* col, size_t bytes);
+
 /// Worker count requested via `--threads N` (default 1). Benchmarks with a
 /// concurrency section size their ParallelReceiver pool from this.
 size_t bench_threads();

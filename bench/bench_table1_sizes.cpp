@@ -5,9 +5,14 @@
 // targets 0.1 KB, 1 KB, 10 KB, 100 KB, 1000 KB. Paper claims: PBIO adds
 // < 30 bytes; the v1.0 rollback roughly triples the size (all members
 // appear in three lists); XML inflates by several times.
+// The "Pbuf v2.0" row is the same payload on the protobuf wire (field
+// numbers assigned by annotate_field_numbers): varint packing and skipped
+// zero fields usually land it below PBIO's fixed-width flatten.
 #include "bench_support.hpp"
 
 #include "pbio/encode.hpp"
+#include "pbuf/bridge.hpp"
+#include "pbuf/schema.hpp"
 #include "xmlx/xml_bind.hpp"
 
 namespace {
@@ -22,7 +27,7 @@ void paper_table() {
   for (size_t s : sizes) cols.emplace_back(size_label(s));
   print_header("format", cols);
 
-  std::vector<double> unencoded_v2, pbio_v2, unencoded_v1, xml_v2, xml_v1, xml_v2p;
+  std::vector<double> unencoded_v2, pbio_v2, pbuf_v2, unencoded_v1, xml_v2, xml_v1, xml_v2p;
   for (size_t size : sizes) {
     RecordArena arena;
     auto* v2 = make_payload(size, arena);
@@ -30,6 +35,9 @@ void paper_table() {
 
     ByteBuffer wire;
     pbio::Encoder(echo::channel_open_response_v2_format()).encode(v2, wire);
+    ByteBuffer pb_wire;
+    pbuf::EncodePlan(pbuf::annotate_field_numbers(*echo::channel_open_response_v2_format()))
+        .encode(v2, pb_wire);
     std::string xml2;
     xmlx::xml_encode_record(*echo::channel_open_response_v2_format(), v2, xml2);
     std::string xml1;
@@ -41,13 +49,17 @@ void paper_table() {
     auto kb = [](size_t b) { return static_cast<double>(b) / 1024.0; };
     unencoded_v2.push_back(kb(echo::unencoded_size_v2(*v2)));
     pbio_v2.push_back(kb(wire.size()));
+    pbuf_v2.push_back(kb(pb_wire.size()));
     unencoded_v1.push_back(kb(echo::unencoded_size_v1(*v1)));
     xml_v2.push_back(kb(xml2.size()));
     xml_v1.push_back(kb(xml1.size()));
     xml_v2p.push_back(kb(xml2_pretty.size()));
+    record_wire_bytes(size_label(size), "PBIO", wire.size());
+    record_wire_bytes(size_label(size), "Pbuf", pb_wire.size());
   }
   print_row("Unenc v2.0", unencoded_v2);
   print_row("PBIO v2.0", pbio_v2);
+  print_row("Pbuf v2.0", pbuf_v2);
   print_row("Unenc v1.0", unencoded_v1);
   print_row("XML v2.0", xml_v2);
   print_row("XML v1.0", xml_v1);
@@ -55,6 +67,7 @@ void paper_table() {
 
   std::printf("\nPBIO overhead at 1MB: %.0f bytes (paper: < 30 bytes)\n",
               (pbio_v2.back() - unencoded_v2.back()) * 1024.0);
+  std::printf("Pbuf / PBIO encoded ratio at 1MB: %.2fx\n", pbuf_v2.back() / pbio_v2.back());
   std::printf("v1.0 / v2.0 unencoded ratio at 1MB: %.2fx (paper: ~3x)\n",
               unencoded_v1.back() / unencoded_v2.back());
   std::printf("XML v2.0 / unencoded ratio at 1MB: %.2fx (paper: ~6x)\n",

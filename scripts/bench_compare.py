@@ -18,6 +18,11 @@ Cells whose column name contains a '/' are ratios (e.g. "XSLT/morph",
 ratio in the tables is "slow path over fast path". Cells present in only one
 dump are reported but never fatal (tables legitimately grow).
 
+``bench_wire_bytes{bench,row,col}`` gauges — encoded message sizes — are
+compared the same way (growth beyond tolerance is a regression). Unlike
+timings they are deterministic, so they hold across machines even without
+MORPH_BENCH_STRICT.
+
 Exit status: 0 when no regression (or --warn-only), 1 on regression, 2 on
 usage/parse errors.
 """
@@ -28,12 +33,13 @@ import re
 import sys
 
 CELL_RE = re.compile(
-    r'^bench_ms\{bench="(?P<bench>[^"]*)",row="(?P<row>[^"]*)",col="(?P<col>[^"]*)"\}$'
+    r'^(?P<metric>bench_ms|bench_wire_bytes)'
+    r'\{bench="(?P<bench>[^"]*)",row="(?P<row>[^"]*)",col="(?P<col>[^"]*)"\}$'
 )
 
 
 def load_cells(path):
-    """Return {(bench, row, col): value} from one metrics dump."""
+    """Return {(metric, bench, row, col): value} from one metrics dump."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -45,7 +51,8 @@ def load_cells(path):
     for name, value in doc.get("gauges", {}).items():
         m = CELL_RE.match(name)
         if m:
-            cells[(m.group("bench"), m.group("row"), m.group("col"))] = float(value)
+            key = (m.group("metric"), m.group("bench"), m.group("row"), m.group("col"))
+            cells[key] = float(value)
     return cells
 
 
@@ -73,16 +80,17 @@ def main():
     regressions = []
     compared = 0
     for key in sorted(base):
+        metric, bench, row, col = key
+        label = f"{bench} {row}/{col}" + (" (bytes)" if metric == "bench_wire_bytes" else "")
         if key not in cur:
-            print(f"  [gone]    {key[0]} {key[1]}/{key[2]} (baseline only)")
+            print(f"  [gone]    {label} (baseline only)")
             continue
         old, new = base[key], cur[key]
         if old <= 0.0:
             continue
         compared += 1
         change = (new - old) / old
-        label = f"{key[0]} {key[1]}/{key[2]}"
-        if is_ratio(key[2]):
+        if metric == "bench_ms" and is_ratio(col):
             # Ratios are slow-path over fast-path: a drop means the fast path
             # lost ground.
             if change < -args.tolerance:
@@ -91,13 +99,16 @@ def main():
             else:
                 print(f"  [ok]      {label}: ratio {old:.4f} -> {new:.4f} ({change:+.1%})")
         else:
+            # Timing cells and wire-bytes cells alike: bigger is worse.
             if change > args.tolerance:
                 regressions.append((label, old, new, change))
                 print(f"  [REGRESS] {label}: {old:.4f} -> {new:.4f} ({change:+.1%})")
             else:
                 print(f"  [ok]      {label}: {old:.4f} -> {new:.4f} ({change:+.1%})")
     for key in sorted(set(cur) - set(base)):
-        print(f"  [new]     {key[0]} {key[1]}/{key[2]} = {cur[key]:.4f}")
+        metric, bench, row, col = key
+        suffix = " (bytes)" if metric == "bench_wire_bytes" else ""
+        print(f"  [new]     {bench} {row}/{col}{suffix} = {cur[key]:.4f}")
 
     print(
         f"bench_compare: {compared} cells compared, {len(regressions)} regression(s) "

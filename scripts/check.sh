@@ -48,13 +48,20 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # MORPH_BENCH_MAX_BYTES caps the payload sweep of the figure benches;
   # MORPH_BENCH_MAX_SUBS caps bench_fanout's subscriber sweep at the 1k rows.
   for b in bench_fig8_encoding bench_fig9_decoding bench_fig10_morphing bench_fmtsvc \
-           bench_fanout; do
+           bench_fanout bench_pbuf; do
     out="BENCH_${b#bench_}.json"
     echo "--- $b -> $out"
     MORPH_BENCH_MAX_BYTES=10240 MORPH_BENCH_MAX_SUBS=2000 "./build/bench/$b" --json "$out"
     ./build/tools/morph-stat --check "$out" >/dev/null
   done
   echo "bench JSON dumps OK"
+
+  echo "== pbuf round-trip differential (proto corpus) =="
+  # Replays the committed examples/proto corpus through the bridge: encode
+  # to protobuf wire, decode back, assert value-identical records. Fast and
+  # deterministic, so it rides in the bench-smoke lane as the interop gate.
+  ./build/tests/tests_pbuf --gtest_filter='PbufBridge.*RoundTrip*' >/dev/null
+  echo "pbuf round-trip differential OK"
 
   echo "== fused vs hop-wise A/B dump =="
   # Same fig10 run with chain fusion disabled, kept as a separate dump so CI
@@ -83,7 +90,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   [[ "${MORPH_BENCH_STRICT:-0}" != "1" ]] && compare_flags+=(--warn-only)
   python3 scripts/bench_compare.py "${compare_flags[@]}" BENCH_baseline.json \
     BENCH_fig8_encoding.json BENCH_fig9_decoding.json BENCH_fig10_morphing.json \
-    BENCH_fanout.json
+    BENCH_fanout.json BENCH_pbuf.json
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then

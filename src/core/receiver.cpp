@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
+#include "pbio/encode.hpp"
 #include "pbio/record.hpp"
 
 namespace morph::core {
@@ -352,6 +353,7 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
   if (auto& m = first; m && m->perfect()) {
     d.outcome = m->f2->fingerprint() == fm->fingerprint() ? Outcome::kExact : Outcome::kPerfect;
     d.deliver_fmt = m->f2;
+    d.native_fmt = m->f2;
     d.handler = handler_for(m->f2->fingerprint());
     d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, m->f2);
     if (d.outcome == Outcome::kExact) {
@@ -438,6 +440,8 @@ void Receiver::build_decision(Decision& d, uint64_t fingerprint) {
     native_fmt = pbio::relayout(*fm);
     d.decode_plan = std::make_unique<pbio::ConversionPlan>(fm, native_fmt);
   }
+
+  d.native_fmt = native_fmt;
 
   // Lines 26-28: imperfect pairs get defaults filled and extras dropped.
   bool needs_reconcile = !native_fmt->identical_to(*m->f2);
@@ -591,6 +595,92 @@ Outcome Receiver::process_in_place(void* buf, size_t size, RecordArena& arena) {
     }
   }
   return process(buf, size, arena);
+}
+
+Outcome Receiver::process_record(const pbio::FormatPtr& fmt, void* record,
+                                 RecordArena& arena) {
+  EntryPtr entry = decide(fmt->fingerprint());
+  const Decision& d = entry->decision;
+
+  if (d.outcome == Outcome::kRejected || d.outcome == Outcome::kDefaulted) {
+    stats_.messages.fetch_add(1, kRelaxed);
+    rx().messages.inc();
+    if (d.default_handler != nullptr && *d.default_handler) {
+      // The default handler's contract is raw wire bytes; hand it a PBIO
+      // encoding of the record (the bridge's frame bytes are long gone).
+      ByteBuffer wire;
+      pbio::encode_record(*fmt, record, wire);
+      (*d.default_handler)(wire.data(), wire.size());
+      stats_.defaulted.fetch_add(1, kRelaxed);
+      rx().defaulted.inc();
+      return Outcome::kDefaulted;
+    }
+    stats_.rejected.fetch_add(1, kRelaxed);
+    rx().rejected.inc();
+    return Outcome::kRejected;
+  }
+
+  // Fingerprint equality fixes the shape but not the offsets, so each
+  // shortcut below also proves layout equality (pointer check first: the
+  // caller usually passes the very format the decision was built from).
+  auto same_layout = [&fmt](const pbio::FormatPtr& f) {
+    return f != nullptr && (f.get() == fmt.get() || f->identical_to(*fmt));
+  };
+
+  if (d.outcome == Outcome::kExact && same_layout(d.deliver_fmt)) {
+    stats_.messages.fetch_add(1, kRelaxed);
+    rx().messages.inc();
+    return finish_delivery(d, record);
+  }
+
+  if (d.chain != nullptr && same_layout(d.chain->src_format())) {
+    // The record is already in the chain's source layout: feed it straight
+    // into the morph pipeline, exactly as a decode-into-morph frame would.
+    stats_.messages.fetch_add(1, kRelaxed);
+    rx().messages.inc();
+    uint64_t t0 = obs::monotonic_ns();
+    record = d.chain->apply(record, arena);
+    if (d.chain->fused()) {
+      stats_.morph_fused.fetch_add(1, kRelaxed);
+      rx().morph_fused.inc();
+    } else {
+      stats_.morph_hopwise.fetch_add(1, kRelaxed);
+      rx().morph_hopwise.inc();
+    }
+    if (d.reconciler) record = d.reconciler->apply(record, arena);
+    const uint64_t morph_dur = obs::monotonic_ns() - t0;
+    if (d.morph_ns != nullptr) d.morph_ns->record(morph_dur);
+    rx().morphs.inc();
+    obs::record_span("rx.morph", d.fmt_name, t0, morph_dur);
+    if (morph_dur >= obs::flight_slow_ns()) {
+      obs::flight_record(obs::FlightKind::kSlowMorph, obs::current_trace().trace_id,
+                         "rx: morph of '" + d.fmt_name + "' took " +
+                             std::to_string(morph_dur) + " ns");
+    }
+    return finish_delivery(d, record);
+  }
+
+  if (d.chain == nullptr && d.reconciler != nullptr && same_layout(d.native_fmt)) {
+    // Already in the reconciler's input layout: fill defaults, drop extras,
+    // deliver.
+    stats_.messages.fetch_add(1, kRelaxed);
+    rx().messages.inc();
+    uint64_t t0 = obs::monotonic_ns();
+    record = d.reconciler->apply(record, arena);
+    const uint64_t morph_dur = obs::monotonic_ns() - t0;
+    if (d.morph_ns != nullptr) d.morph_ns->record(morph_dur);
+    rx().morphs.inc();
+    obs::record_span("rx.morph", d.fmt_name, t0, morph_dur);
+    return finish_delivery(d, record);
+  }
+
+  // The decision's pipeline starts from wire bytes (its conversion plan
+  // changes byte order or layout first), so the record cannot enter
+  // mid-pipeline: round-trip through a PBIO encoding. process() does its
+  // own message accounting — no pre-increment here.
+  ByteBuffer wire;
+  pbio::encode_record(*fmt, record, wire);
+  return process(wire.data(), wire.size(), arena);
 }
 
 }  // namespace morph::core

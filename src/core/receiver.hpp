@@ -185,6 +185,16 @@ class Receiver {
   /// and cannot be processed twice after an in-place decode.
   Outcome process_in_place(void* buf, size_t size, RecordArena& arena);
 
+  /// Native-record entry point for foreign-encoding bridges (pbuf): the
+  /// caller has already decoded a frame into a record laid out as `fmt`
+  /// (allocated from `arena`), and the receiver runs the same decision —
+  /// morph chain, reconciler, delivery — it would for a PBIO frame of that
+  /// format. When the decision's pipeline does not start at `fmt` (the plan
+  /// converts byte order or layout first), the record is re-encoded as PBIO
+  /// and routed through process(); rejections with a default handler also
+  /// hand over a PBIO encoding of the record.
+  Outcome process_record(const pbio::FormatPtr& fmt, void* record, RecordArena& arena);
+
   ReceiverStats stats() const;
   const ReceiverOptions& options() const { return options_; }
   size_t cached_decisions() const {
@@ -214,6 +224,11 @@ class Receiver {
     std::unique_ptr<pbio::Decoder> morph_decoder;
     std::shared_ptr<MorphChain> chain;                  // optional
     std::unique_ptr<Reconciler> reconciler;             // optional
+    /// Format of the decoded record once the conversion plan (and chain,
+    /// if any) has run — the layout the reconciler expects. Lets
+    /// process_record() tell whether an already-native record can skip
+    /// straight to the chain/reconciler or must re-enter via PBIO bytes.
+    pbio::FormatPtr native_fmt;
     // Per-format latency series, resolved once at build time so the
     // per-message cost is a clock read + relaxed add (registry metrics are
     // never erased, so the pointers stay valid).

@@ -5,6 +5,7 @@
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pbuf/schema.hpp"
 
 namespace morph::echo {
 
@@ -19,7 +20,9 @@ struct FanoutMetrics {
   obs::Counter& events = obs::metrics().counter("echo_fanout_events_total");
   obs::Counter& groups = obs::metrics().counter("echo_fanout_groups_total");
   obs::Counter& morphs = obs::metrics().counter("echo_fanout_morphs_total");
+  obs::Counter& morph_reuses = obs::metrics().counter("echo_fanout_morph_reuses_total");
   obs::Counter& encodes = obs::metrics().counter("echo_fanout_encodes_total");
+  obs::Counter& pbuf_encodes = obs::metrics().counter("echo_fanout_pbuf_encodes_total");
   obs::Counter& deliveries = obs::metrics().counter("echo_fanout_deliveries_total");
   obs::Counter& fallbacks = obs::metrics().counter("echo_fanout_fallback_total");
   obs::Gauge& event_morphs = obs::metrics().gauge("echo_fanout_event_morphs");
@@ -39,13 +42,17 @@ FanoutMetrics& fm() {
 // FanoutRegistry
 // ---------------------------------------------------------------------------
 
-void FanoutRegistry::subscribe(const std::string& key, SinkId sink, uint64_t target_fp) {
+void FanoutRegistry::subscribe(const std::string& key, SinkId sink, uint64_t target_fp,
+                               SinkEncoding encoding) {
   Shard& shard = shard_for(key);
   WriterLock lock(shard.mutex);
   Entry& entry = shard.entries[key];
   auto it = entry.members.find(sink);
-  if (it != entry.members.end() && it->second == target_fp) return;  // no churn
-  entry.members[sink] = target_fp;
+  if (it != entry.members.end() && it->second.target_fp == target_fp &&
+      it->second.encoding == encoding) {
+    return;  // no churn
+  }
+  entry.members[sink] = Sub{target_fp, encoding};
   entry.snap = nullptr;  // invalidate; rebuilt on next snapshot()
   subscribes_.fetch_add(1, kRelaxed);
 }
@@ -74,13 +81,17 @@ void FanoutRegistry::unsubscribe_all(SinkId sink) {
 
 std::shared_ptr<const GroupSnapshot> FanoutRegistry::build_snapshot(const Entry& entry) {
   auto snap = std::make_shared<GroupSnapshot>();
-  // members is ordered by SinkId; bucket by fingerprint, then sort groups.
-  std::map<uint64_t, std::vector<SinkId>> by_fp;
-  for (const auto& [sink, fp] : entry.members) by_fp[fp].push_back(sink);
+  // members is ordered by SinkId; bucket by (fingerprint, encoding), then
+  // sort groups. Same-format groups land adjacent regardless of encoding,
+  // which is what lets the publisher reuse one morph across both.
+  std::map<std::pair<uint64_t, SinkEncoding>, std::vector<SinkId>> by_fp;
+  for (const auto& [sink, sub] : entry.members) {
+    by_fp[{sub.target_fp, sub.encoding}].push_back(sink);
+  }
   snap->groups.reserve(by_fp.size());
-  for (auto& [fp, sinks] : by_fp) {
+  for (auto& [key, sinks] : by_fp) {
     snap->total_sinks += sinks.size();
-    snap->groups.push_back(FanoutGroup{fp, std::move(sinks)});
+    snap->groups.push_back(FanoutGroup{key.first, key.second, std::move(sinks)});
   }
   return snap;
 }
@@ -156,12 +167,32 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
   enc->second->encode(record, wire_);
   arena_.reset();
 
+  // Morph cache across adjacent groups: snapshots sort groups by
+  // (fingerprint, encoding), so "protobuf sinks of F" directly follows
+  // "native sinks of F" and reuses its morphed record (morph once per
+  // format, encode once per group).
+  uint64_t morphed_fp = 0;
+  void* morphed_cached = nullptr;
+
   for (const auto& group : snapshot.groups) {
     auto plan = planner_.plan(fmt, group.target_fp);
     if (!plan->reachable()) {
       for (SinkId sink : group.sinks) fallback(sink);
       out.fallbacks += group.sinks.size();
       continue;
+    }
+    const pbio::FormatPtr& send_fmt = plan->identity() ? fmt : plan->target();
+
+    pbuf::EncodePlan* pbuf_plan = nullptr;
+    if (group.encoding == SinkEncoding::kPbuf) {
+      pbuf_plan = pbuf_encoder_for(send_fmt);
+      if (pbuf_plan == nullptr) {
+        // Sinks asked for protobuf but the target cannot express it (no
+        // field numbers): keep the legacy contract instead of going dark.
+        for (SinkId sink : group.sinks) fallback(sink);
+        out.fallbacks += group.sinks.size();
+        continue;
+      }
     }
 
     // Resolve ports before morphing: a group whose sinks all fell back
@@ -179,24 +210,40 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
     }
     if (ports_.empty()) continue;
 
+    void* morphed = nullptr;
+    if (!plan->identity()) {
+      if (morphed_cached != nullptr && morphed_fp == group.target_fp) {
+        morphed = morphed_cached;
+        ++out.morph_reuses;
+      } else {
+        const uint64_t t0 = obs::monotonic_ns();
+        morphed = plan->morph(wire_.data(), wire_.size(), arena_);
+        const uint64_t morph_dur = obs::monotonic_ns() - t0;
+        ++out.morphs;
+        morphed_cached = morphed;
+        morphed_fp = group.target_fp;
+        // One span per format morph, tagged with the target format: the
+        // collector's attribution table reconciles these against
+        // echo_fanout_morphs_total (the conservation check).
+        obs::record_span("fanout.morph", plan->target()->name(), t0, morph_dur);
+        if (morph_dur >= obs::flight_slow_ns()) {
+          obs::flight_record(obs::FlightKind::kSlowMorph, trace_id,
+                             "fanout: slow morph to " + plan->target()->name() + " (" +
+                                 std::to_string(morph_dur) + " ns)");
+        }
+      }
+    }
+
     transport::SharedPayload frame;
-    const pbio::FormatPtr& send_fmt = plan->identity() ? fmt : plan->target();
-    if (plan->identity()) {
+    if (pbuf_plan != nullptr) {
+      scratch_.clear();
+      pbuf_plan->encode(plan->identity() ? record : morphed, scratch_);
+      frame = transport::make_shared_pbuf_frame(send_fmt->fingerprint(), scratch_.data(),
+                                                scratch_.size(), trace_id);
+      ++out.pbuf_encodes;
+    } else if (plan->identity()) {
       frame = transport::make_shared_frame(wire_.data(), wire_.size(), trace_id);
     } else {
-      const uint64_t t0 = obs::monotonic_ns();
-      void* morphed = plan->morph(wire_.data(), wire_.size(), arena_);
-      const uint64_t morph_dur = obs::monotonic_ns() - t0;
-      ++out.morphs;
-      // One span per group morph, tagged with the target format: the
-      // collector's attribution table reconciles these against
-      // echo_fanout_morphs_total (the conservation check).
-      obs::record_span("fanout.morph", plan->target()->name(), t0, morph_dur);
-      if (morph_dur >= obs::flight_slow_ns()) {
-        obs::flight_record(obs::FlightKind::kSlowMorph, trace_id,
-                           "fanout: slow morph to " + plan->target()->name() + " (" +
-                               std::to_string(morph_dur) + " ns)");
-      }
       scratch_.clear();
       plan->encode(morphed, scratch_);
       frame = transport::make_shared_frame(scratch_.data(), scratch_.size(), trace_id);
@@ -213,7 +260,9 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
     fm().events.inc();
     fm().groups.add(out.groups);
     fm().morphs.add(out.morphs);
+    fm().morph_reuses.add(out.morph_reuses);
     fm().encodes.add(out.encodes);
+    fm().pbuf_encodes.add(out.pbuf_encodes);
     fm().deliveries.add(out.deliveries);
     fm().event_morphs.set(static_cast<double>(out.morphs));
     fm().event_groups.set(static_cast<double>(out.groups));
@@ -225,6 +274,16 @@ PublishCounts GroupPublisher::publish(const pbio::FormatPtr& fmt, const void* re
                            " sink(s) fell back to unmorphed delivery");
   }
   return out;
+}
+
+pbuf::EncodePlan* GroupPublisher::pbuf_encoder_for(const pbio::FormatPtr& target) {
+  auto it = pbuf_encoders_.find(target->fingerprint());
+  if (it == pbuf_encoders_.end()) {
+    std::unique_ptr<pbuf::EncodePlan> plan;
+    if (pbuf::pbuf_encodable(*target)) plan = std::make_unique<pbuf::EncodePlan>(target);
+    it = pbuf_encoders_.emplace(target->fingerprint(), std::move(plan)).first;
+  }
+  return it->second.get();
 }
 
 }  // namespace morph::echo

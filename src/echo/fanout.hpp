@@ -47,9 +47,18 @@ namespace morph::echo {
 /// peer's address; the bench uses indices).
 using SinkId = uint64_t;
 
-/// One fan-out group: every sink that registered the same target format.
+/// Wire encoding a sink asked for. kPbio is the native default; kPbuf sinks
+/// announced protobuf acceptance (EVTENC) and receive kPbufData frames.
+enum class SinkEncoding : uint8_t { kPbio = 0, kPbuf = 1 };
+
+/// One fan-out group: every sink that registered the same target format
+/// AND the same wire encoding. Groups for the same format but different
+/// encodings are adjacent in the snapshot (sorted by fingerprint, then
+/// encoding), so the publisher morphs once per format and encodes once per
+/// group.
 struct FanoutGroup {
   uint64_t target_fp = 0;
+  SinkEncoding encoding = SinkEncoding::kPbio;
   std::vector<SinkId> sinks;  // ascending, unique
 };
 
@@ -73,9 +82,11 @@ class FanoutRegistry {
     return channel + '\x1f' + format_name;
   }
 
-  /// Add `sink` to `key`'s grouping with target fingerprint `target_fp`.
-  /// Upsert: a sink re-announcing a different fingerprint moves groups.
-  void subscribe(const std::string& key, SinkId sink, uint64_t target_fp);
+  /// Add `sink` to `key`'s grouping with target fingerprint `target_fp`
+  /// and wire encoding `encoding`. Upsert: a sink re-announcing a different
+  /// fingerprint or encoding moves groups.
+  void subscribe(const std::string& key, SinkId sink, uint64_t target_fp,
+                 SinkEncoding encoding = SinkEncoding::kPbio);
 
   /// Remove `sink` from `key`'s grouping (no-op when absent).
   void unsubscribe(const std::string& key, SinkId sink);
@@ -91,8 +102,12 @@ class FanoutRegistry {
   FanoutRegistryStats stats() const;
 
  private:
+  struct Sub {
+    uint64_t target_fp = 0;
+    SinkEncoding encoding = SinkEncoding::kPbio;
+  };
   struct Entry {
-    std::map<SinkId, uint64_t> members;  // sink -> target fingerprint
+    std::map<SinkId, Sub> members;  // sink -> (target fingerprint, encoding)
     std::shared_ptr<const GroupSnapshot> snap;  // null while dirty
   };
   static constexpr size_t kShards = 8;
@@ -115,11 +130,14 @@ class FanoutRegistry {
 
 /// Per-event delivery tally returned by GroupPublisher::publish.
 struct PublishCounts {
-  size_t groups = 0;      // reachable groups delivered to
-  size_t morphs = 0;      // morph-chain executions (identity groups: none)
-  size_t encodes = 0;     // shared frames built (one per reachable group)
-  size_t deliveries = 0;  // send_shared calls (sum of group sizes)
-  size_t fallbacks = 0;   // sinks punted to the fallback callback
+  size_t groups = 0;        // reachable groups delivered to
+  size_t morphs = 0;        // morph-chain executions (identity groups: none)
+  size_t morph_reuses = 0;  // groups that reused the previous group's morph
+                            // (same format, different encoding)
+  size_t encodes = 0;       // shared frames built (one per reachable group)
+  size_t pbuf_encodes = 0;  // of those, protobuf-encoded (kPbufData frames)
+  size_t deliveries = 0;    // send_shared calls (sum of group sizes)
+  size_t fallbacks = 0;     // sinks punted to the fallback callback
 };
 
 class GroupPublisher {
@@ -140,9 +158,14 @@ class GroupPublisher {
                         const Fallback& fallback);
 
  private:
+  /// Cached protobuf encoder for a group's target format; nullptr is a
+  /// cached negative (target not pbuf-encodable — its sinks fall back).
+  pbuf::EncodePlan* pbuf_encoder_for(const pbio::FormatPtr& target);
+
   core::FanoutPlanner& planner_;
   // Publisher-side wire encoders for source formats, one per fingerprint.
   std::unordered_map<uint64_t, std::unique_ptr<pbio::Encoder>> encoders_;
+  std::unordered_map<uint64_t, std::unique_ptr<pbuf::EncodePlan>> pbuf_encoders_;
   RecordArena arena_;    // morphed records live until the next publish
   ByteBuffer wire_;      // scratch: the event's source-format encoding
   ByteBuffer scratch_;   // scratch: per-group morphed encoding

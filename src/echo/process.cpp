@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -71,6 +72,10 @@ struct EchoProcess::Peer {
   /// Event formats this peer announced via EVTSUB: channel -> format name
   /// -> fingerprint of the format it registered with its receiver.
   std::map<std::string, std::map<std::string, uint64_t>> event_subs;
+  /// Subscriptions the peer additionally marked protobuf-preferred via
+  /// EVTENC (always a subset of event_subs: EVTENC for an unknown
+  /// subscription is dropped, which also bounds this map by the EVTSUB cap).
+  std::map<std::string, std::set<std::string>> pbuf_subs;
 };
 
 /// A Peer's address doubles as its SinkId: Peer objects are uniquely owned
@@ -193,12 +198,46 @@ void EchoProcess::handle_control(Peer& peer, const std::string& msg) {
     sync_channel_groups(channel);
     return;
   }
+  // EVTENC <fp-hex>\x1f<channel>\x1f<format name>: the peer wants the named
+  // subscription delivered protobuf-encoded (kPbufData frames). Only
+  // meaningful for a subscription it already announced — the sender always
+  // emits EVTSUB first on the same ordered link — so EVTENC for an unknown
+  // subscription is hostile or stale and gets dropped.
+  if (msg.rfind("EVTENC ", 0) == 0) {
+    std::string rest = msg.substr(7);
+    size_t s1 = rest.find('\x1f');
+    size_t s2 = s1 == std::string::npos ? std::string::npos : rest.find('\x1f', s1 + 1);
+    if (s2 == std::string::npos || !is_fp_hex(rest.substr(0, s1))) {
+      MORPH_LOG_WARN("echo") << contact_ << ": malformed EVTENC '" << msg << "'";
+      return;
+    }
+    std::string channel = rest.substr(s1 + 1, s2 - s1 - 1);
+    std::string name = rest.substr(s2 + 1);
+    auto chan_it = peer.event_subs.find(channel);
+    if (chan_it == peer.event_subs.end() || chan_it->second.count(name) == 0) {
+      MORPH_LOG_WARN("echo") << contact_ << ": EVTENC without matching EVTSUB for '" << name
+                             << "'";
+      return;
+    }
+    peer.pbuf_subs[channel].insert(name);
+    sync_channel_groups(channel);
+    return;
+  }
 }
 
 void EchoProcess::announce_subscription(Peer& peer, const EventReg& reg) {
-  std::string msg = "EVTSUB " + fp_to_hex(reg.fmt->fingerprint()) + '\x1f' + reg.channel +
-                    '\x1f' + reg.fmt->name();
+  std::string body = fp_to_hex(reg.fmt->fingerprint()) + '\x1f' + reg.channel + '\x1f' +
+                     reg.fmt->name();
+  std::string msg = "EVTSUB " + body;
   peer.port->send_control(msg.data(), msg.size());
+  if (reg.encoding == SinkEncoding::kPbuf) {
+    // Two-level opt-in: the port-level sentinel switches direct
+    // send_record traffic to protobuf, the EVTENC verb switches grouped
+    // fan-out for this subscription. Legacy peers ignore both.
+    peer.port->announce_pbuf();
+    std::string enc = "EVTENC " + body;
+    peer.port->send_control(enc.data(), enc.size());
+  }
 }
 
 void EchoProcess::sync_channel_groups(const std::string& channel) {
@@ -217,10 +256,15 @@ void EchoProcess::sync_channel_groups(const std::string& channel) {
         }
       }
     }
+    auto enc_chan = p->pbuf_subs.find(channel);
     for (const auto& [name, fp] : subs->second) {
       std::string key = FanoutRegistry::key(channel, name);
       if (is_sink) {
-        groups_.subscribe(key, sink_id(p.get()), fp);
+        SinkEncoding enc =
+            enc_chan != p->pbuf_subs.end() && enc_chan->second.count(name) != 0
+                ? SinkEncoding::kPbuf
+                : SinkEncoding::kPbio;
+        groups_.subscribe(key, sink_id(p.get()), fp, enc);
       } else {
         groups_.unsubscribe(key, sink_id(p.get()));
       }
@@ -430,7 +474,7 @@ std::vector<Member> EchoProcess::members(const std::string& channel) const {
 }
 
 void EchoProcess::on_event(const std::string& channel, pbio::FormatPtr fmt,
-                           EventHandler handler) {
+                           EventHandler handler, SinkEncoding encoding) {
   for (const auto& reg : event_regs_) {
     if (reg.fmt->name() == fmt->name() && reg.channel != channel) {
       throw Error("echo: event format '" + fmt->name() +
@@ -438,7 +482,7 @@ void EchoProcess::on_event(const std::string& channel, pbio::FormatPtr fmt,
                   "' (one channel per format name per process)");
     }
   }
-  event_regs_.push_back({channel, std::move(fmt), std::move(handler)});
+  event_regs_.push_back({channel, std::move(fmt), std::move(handler), encoding});
   const EventReg& reg = event_regs_.back();
   const EventReg* r = &reg;
   for (auto& p : peers_) {
@@ -506,7 +550,9 @@ size_t EchoProcess::publish_grouped(const std::string& channel,
       });
   sent += counts.deliveries;
   stats_.fanout_morphs += counts.morphs;
+  stats_.fanout_morph_reuses += counts.morph_reuses;
   stats_.fanout_encodes += counts.encodes;
+  stats_.fanout_pbuf_encodes += counts.pbuf_encodes;
   stats_.fanout_deliveries += counts.deliveries;
   stats_.fanout_fallbacks += counts.fallbacks;
 

@@ -99,8 +99,12 @@ class EchoProcess {
 
   /// Register an event handler: events of `fmt` arriving for `channel`.
   /// The format is registered on every connection's receiver, so evolved
-  /// event formats morph per-connection.
-  void on_event(const std::string& channel, pbio::FormatPtr fmt, EventHandler handler);
+  /// event formats morph per-connection. Passing SinkEncoding::kPbuf asks
+  /// publishers to deliver this subscription protobuf-encoded (EVTENC
+  /// announcement; legacy publishers ignore it and keep sending PBIO,
+  /// which this process still accepts).
+  void on_event(const std::string& channel, pbio::FormatPtr fmt, EventHandler handler,
+                SinkEncoding encoding = SinkEncoding::kPbio);
 
   /// Declare a retro-transform for an event format this process publishes.
   void declare_event_transform(core::TransformSpec spec);
@@ -133,7 +137,9 @@ class EchoProcess {
     uint64_t events_published = 0;
     // Grouped fan-out tallies, summed over publishes (see PublishCounts).
     uint64_t fanout_morphs = 0;
+    uint64_t fanout_morph_reuses = 0;
     uint64_t fanout_encodes = 0;
+    uint64_t fanout_pbuf_encodes = 0;
     uint64_t fanout_deliveries = 0;
     uint64_t fanout_fallbacks = 0;
   };
@@ -153,6 +159,7 @@ class EchoProcess {
     std::string channel;
     pbio::FormatPtr fmt;
     EventHandler handler;
+    SinkEncoding encoding = SinkEncoding::kPbio;
   };
 
   void setup_peer(Peer& peer);

@@ -104,6 +104,8 @@ Derived compute_derived(const std::string& name, uint32_t struct_size,
     fp = fnv1a_u64(fd.static_count, fp);
     fp = fnv1a(fd.length_field, fp);
     fp = fnv1a_u64(fd.importance, fp);
+    // Mixed only when present so every pre-pbuf fingerprint is unchanged.
+    if (fd.pb_field != 0) fp = fnv1a_u64(fd.pb_field, fp);
     for (const auto& ev : fd.enumerators) {
       fp = fnv1a(ev.name, fp);
       fp = fnv1a_u64(static_cast<uint64_t>(ev.value), fp);
@@ -118,6 +120,8 @@ Derived compute_derived(const std::string& name, uint32_t struct_size,
 }
 
 }  // namespace
+
+uint32_t FieldDescriptor::pb_number() const { return pb_field & kPbNumberMask; }
 
 uint32_t FieldDescriptor::element_stride() const {
   if (element_format) {
@@ -157,7 +161,8 @@ bool FormatDescriptor::identical_to(const FormatDescriptor& other) const {
     if (a.name != b.name || a.kind != b.kind || a.size != b.size || a.offset != b.offset ||
         a.element_kind != b.element_kind || a.element_size != b.element_size ||
         a.static_count != b.static_count || a.length_field != b.length_field ||
-        a.importance != b.importance || a.enumerators != b.enumerators) {
+        a.importance != b.importance || a.pb_field != b.pb_field ||
+        a.enumerators != b.enumerators) {
       return false;
     }
     if ((a.element_format == nullptr) != (b.element_format == nullptr)) return false;
@@ -181,7 +186,13 @@ void FormatDescriptor::to_string_rec(std::string& out, int indent) const {
     if (is_fixed_scalar(fd.kind)) out += "[" + std::to_string(fd.size) + "]";
     if (fd.kind == FieldKind::kStaticArray) out += " x" + std::to_string(fd.static_count);
     if (fd.kind == FieldKind::kDynArray) out += " [len=" + fd.length_field + "]";
-    out += " @" + std::to_string(fd.offset) + "\n";
+    out += " @" + std::to_string(fd.offset);
+    if (fd.pb_field != 0) {
+      out += " pb=" + std::to_string(fd.pb_number());
+      if ((fd.pb_field & kPbZigzag) != 0) out += "z";
+      if ((fd.pb_field & kPbFixed) != 0) out += "f";
+    }
+    out += "\n";
     if (fd.element_format) fd.element_format->to_string_rec(out, indent + 2);
   }
 }
@@ -213,11 +224,15 @@ void FormatDescriptor::serialize_rec(ByteBuffer& out, int depth) const {
     if (fd.default_int) flags |= 2;
     if (fd.default_float) flags |= 4;
     if (fd.default_string) flags |= 8;
+    // Flag 16 is only set when protobuf metadata is present, so descriptors
+    // without pb mappings serialize byte-identically to the legacy layout.
+    if (fd.pb_field != 0) flags |= 16;
     out.append_u8(flags);
     out.append_u32(fd.importance);
     if (fd.default_int) out.append_i64(*fd.default_int);
     if (fd.default_float) out.append_f64(*fd.default_float);
     if (fd.default_string) out.append_string(*fd.default_string);
+    if (fd.pb_field != 0) out.append_u32(fd.pb_field);
     if (fd.element_format) fd.element_format->serialize_rec(out, depth + 1);
   }
 }
@@ -264,6 +279,15 @@ FormatPtr FormatDescriptor::deserialize_rec(ByteReader& in, int depth) {
     if (flags & 2) fd.default_int = in.read_i64();
     if (flags & 4) fd.default_float = in.read_f64();
     if (flags & 8) fd.default_string = in.read_string();
+    if (flags & 16) {
+      fd.pb_field = in.read_u32();
+      if ((fd.pb_field & kPbNumberMask) == 0) {
+        throw DecodeError("pb field number missing in '" + fd.name + "'");
+      }
+      if ((fd.pb_field & ~(kPbNumberMask | kPbZigzag | kPbFixed)) != 0) {
+        throw DecodeError("unknown pb flag bits in '" + fd.name + "'");
+      }
+    }
     if (flags & 1) fd.element_format = deserialize_rec(in, depth + 1);
     // Sanity limits that keep a hostile descriptor from driving huge
     // allocations during later conversion.
@@ -563,6 +587,17 @@ FormatBuilder& FormatBuilder::with_importance(uint32_t importance) {
   return *this;
 }
 
+FormatBuilder& FormatBuilder::with_pb_field(uint32_t pb_field) {
+  if ((pb_field & kPbNumberMask) == 0) {
+    throw FormatError("pb field number must be 1.." + std::to_string(kPbMaxFieldNumber));
+  }
+  if ((pb_field & ~(kPbNumberMask | kPbZigzag | kPbFixed)) != 0) {
+    throw FormatError("unknown pb flag bits");
+  }
+  last().pb_field = pb_field;
+  return *this;
+}
+
 FormatPtr FormatBuilder::build() {
   if (built_) throw FormatError("builder already consumed");
   built_ = true;
@@ -678,6 +713,7 @@ FormatPtr relayout(const FormatDescriptor& fmt) {
     if (fd.default_float) b.with_default(*fd.default_float);
     if (fd.default_string) b.with_default(*fd.default_string);
     if (fd.importance != 1) b.with_importance(fd.importance);
+    if (fd.pb_field != 0) b.with_pb_field(fd.pb_field);
   }
   return b.build();
 }

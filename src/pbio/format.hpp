@@ -36,6 +36,17 @@ struct EnumValue {
   bool operator==(const EnumValue&) const = default;
 };
 
+/// FieldDescriptor::pb_field layout. Proto field numbers fit in 29 bits
+/// (the protobuf spec caps them at 2^29 - 1), leaving the top bits for the
+/// wire-encoding variants that the descriptor alone must determine:
+///   kPbZigzag — sint32/sint64: varints carry the zigzag-mapped value;
+///   kPbFixed  — fixed/sfixed:  little-endian fixed32/fixed64 instead of
+///               varint (floats are always fixed and need no flag).
+constexpr uint32_t kPbNumberMask = 0x1FFFFFFFu;
+constexpr uint32_t kPbZigzag = 1u << 29;
+constexpr uint32_t kPbFixed = 1u << 30;
+constexpr uint32_t kPbMaxFieldNumber = kPbNumberMask;
+
 /// One field of a record format.
 struct FieldDescriptor {
   std::string name;
@@ -70,6 +81,17 @@ struct FieldDescriptor {
   // unweighted Algorithm 1; 0 makes a field's absence free; larger values
   // make losing the field costlier. Travels with the out-of-band meta-data.
   uint32_t importance = 1;
+
+  // Protobuf interop metadata (src/pbuf/): the proto field number in the
+  // low 29 bits plus wire-encoding flag bits (kPbZigzag / kPbFixed below).
+  // Zero means "no protobuf mapping" — the historical state — and such
+  // fields serialize byte-identically to pre-pbuf descriptors, so legacy
+  // formats keep their fingerprints. Travels with the out-of-band
+  // meta-data like every other field attribute.
+  uint32_t pb_field = 0;
+
+  /// Proto field number (0 when the field has no protobuf mapping).
+  uint32_t pb_number() const;
 
   bool has_element_format() const { return element_format != nullptr; }
 
@@ -190,6 +212,12 @@ class FormatBuilder {
   /// Set the importance weight of the most recently added field (weighted
   /// MaxMatch; 1 = the paper's unweighted semantics).
   FormatBuilder& with_importance(uint32_t importance);
+
+  /// Attach protobuf wire metadata to the most recently added field: the
+  /// proto field number (1 .. kPbMaxFieldNumber) optionally OR'd with
+  /// kPbZigzag / kPbFixed. See pbuf/schema.hpp for the importers that use
+  /// this.
+  FormatBuilder& with_pb_field(uint32_t pb_field);
 
   /// Validate and freeze. Throws FormatError on inconsistency.
   FormatPtr build();

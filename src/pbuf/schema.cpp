@@ -1,0 +1,520 @@
+#include "pbuf/schema.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "pbuf/wire.hpp"
+
+namespace morph::pbuf {
+
+using pbio::FieldDescriptor;
+using pbio::FieldKind;
+using pbio::FormatBuilder;
+using pbio::FormatDescriptor;
+using pbio::FormatPtr;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers / integers / punctuation / quoted strings, with
+// // and /* */ comments. Tracks line numbers for error messages.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kPunct, kString, kEnd } kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  const Token& peek() {
+    if (!have_) {
+      tok_ = lex();
+      have_ = true;
+    }
+    return tok_;
+  }
+
+  Token next() {
+    Token t = peek();
+    have_ = false;
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what, int line) const {
+    throw FormatError("proto parse error (line " + std::to_string(line) + "): " + what);
+  }
+
+ private:
+  Token lex() {
+    for (;;) {
+      while (pos_ < src_.size() && is_space(src_[pos_])) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        int start = line_;
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= src_.size()) fail("unterminated /* comment", start);
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= src_.size()) return {Token::kEnd, "", line_};
+    char c = src_[pos_];
+    if (is_ident_start(c)) {
+      size_t start = pos_;
+      while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+      return {Token::kIdent, std::string(src_.substr(start, pos_ - start)), line_};
+    }
+    if (c >= '0' && c <= '9') {
+      size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] >= '0' && src_[pos_] <= '9') ++pos_;
+      return {Token::kNumber, std::string(src_.substr(start, pos_ - start)), line_};
+    }
+    if (c == '"') {
+      size_t start = ++pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') ++pos_;
+      if (pos_ >= src_.size() || src_[pos_] != '"') fail("unterminated string literal", line_);
+      std::string s(src_.substr(start, pos_ - start));
+      ++pos_;
+      return {Token::kString, std::move(s), line_};
+    }
+    ++pos_;
+    return {Token::kPunct, std::string(1, c), line_};
+  }
+
+  static bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+  static bool is_ident_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  }
+  static bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token tok_;
+  bool have_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct AstField {
+  bool repeated = false;
+  std::string type;  // scalar keyword or message name
+  std::string name;
+  uint32_t number = 0;
+  int line = 0;
+};
+
+struct AstMessage {
+  std::string name;
+  std::vector<AstField> fields;
+  std::vector<AstMessage> nested;
+  int line = 0;
+};
+
+struct ScalarInfo {
+  FieldKind kind;
+  uint32_t size;
+  uint32_t pb_flags;  // kPbZigzag / kPbFixed
+};
+
+const std::map<std::string, ScalarInfo, std::less<>>& scalar_types() {
+  static const std::map<std::string, ScalarInfo, std::less<>> kTypes = {
+      {"int32", {FieldKind::kInt, 4, 0}},
+      {"int64", {FieldKind::kInt, 8, 0}},
+      {"sint32", {FieldKind::kInt, 4, pbio::kPbZigzag}},
+      {"sint64", {FieldKind::kInt, 8, pbio::kPbZigzag}},
+      {"sfixed32", {FieldKind::kInt, 4, pbio::kPbFixed}},
+      {"sfixed64", {FieldKind::kInt, 8, pbio::kPbFixed}},
+      {"uint32", {FieldKind::kUInt, 4, 0}},
+      {"uint64", {FieldKind::kUInt, 8, 0}},
+      {"fixed32", {FieldKind::kUInt, 4, pbio::kPbFixed}},
+      {"fixed64", {FieldKind::kUInt, 8, pbio::kPbFixed}},
+      {"bool", {FieldKind::kUInt, 1, 0}},
+      {"float", {FieldKind::kFloat, 4, 0}},
+      {"double", {FieldKind::kFloat, 8, 0}},
+      {"string", {FieldKind::kString, 8, 0}},
+      {"bytes", {FieldKind::kString, 8, 0}},
+  };
+  return kTypes;
+}
+
+// Constructs outside the subset, named explicitly so the error says what
+// was recognized-but-unsupported rather than "expected type".
+bool is_unsupported_keyword(std::string_view w) {
+  return w == "enum" || w == "oneof" || w == "map" || w == "extend" || w == "extensions" ||
+         w == "group" || w == "import" || w == "service" || w == "option" || w == "reserved" ||
+         w == "optional" || w == "required";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  std::vector<AstMessage> parse_file() {
+    std::vector<AstMessage> messages;
+    // Optional leading `syntax = "proto3";`
+    if (lex_.peek().kind == Token::kIdent && lex_.peek().text == "syntax") {
+      Token t = lex_.next();
+      expect_punct("=");
+      Token s = lex_.next();
+      if (s.kind != Token::kString) lex_.fail("expected string after syntax =", s.line);
+      if (s.text != "proto3") {
+        lex_.fail("unsupported syntax \"" + s.text + "\" (only proto3)", t.line);
+      }
+      expect_punct(";");
+    }
+    for (;;) {
+      Token t = lex_.peek();
+      if (t.kind == Token::kEnd) break;
+      if (t.kind == Token::kIdent && t.text == "package") {
+        lex_.next();
+        // Accept dotted identifiers, ignore the value.
+        for (;;) {
+          Token p = lex_.next();
+          if (p.kind == Token::kPunct && p.text == ";") break;
+          if (p.kind == Token::kEnd) lex_.fail("unterminated package statement", t.line);
+        }
+        continue;
+      }
+      if (t.kind == Token::kIdent && t.text == "message") {
+        messages.push_back(parse_message());
+        continue;
+      }
+      if (t.kind == Token::kIdent && is_unsupported_keyword(t.text)) {
+        lex_.fail("'" + t.text + "' is outside the supported proto subset", t.line);
+      }
+      lex_.fail("expected 'message', got '" + t.text + "'", t.line);
+    }
+    if (messages.empty()) lex_.fail("no message definitions found", 1);
+    return messages;
+  }
+
+ private:
+  AstMessage parse_message() {
+    Token kw = lex_.next();  // 'message'
+    Token name = lex_.next();
+    if (name.kind != Token::kIdent) lex_.fail("expected message name", name.line);
+    expect_punct("{");
+    AstMessage msg;
+    msg.name = name.text;
+    msg.line = kw.line;
+    std::set<uint32_t> numbers;
+    std::set<std::string> names;
+    for (;;) {
+      Token t = lex_.peek();
+      if (t.kind == Token::kPunct && t.text == "}") {
+        lex_.next();
+        break;
+      }
+      if (t.kind == Token::kEnd) lex_.fail("unterminated message '" + msg.name + "'", msg.line);
+      if (t.kind == Token::kIdent && t.text == "message") {
+        msg.nested.push_back(parse_message());
+        continue;
+      }
+      if (t.kind == Token::kIdent && is_unsupported_keyword(t.text)) {
+        lex_.fail("'" + t.text + "' is outside the supported proto subset", t.line);
+      }
+      AstField f = parse_field();
+      if (!numbers.insert(f.number).second) {
+        lex_.fail("duplicate field number " + std::to_string(f.number) + " in message '" +
+                      msg.name + "'",
+                  f.line);
+      }
+      if (!names.insert(f.name).second) {
+        lex_.fail("duplicate field name '" + f.name + "' in message '" + msg.name + "'", f.line);
+      }
+      msg.fields.push_back(std::move(f));
+    }
+    return msg;
+  }
+
+  AstField parse_field() {
+    AstField f;
+    Token t = lex_.next();
+    f.line = t.line;
+    if (t.kind == Token::kIdent && t.text == "repeated") {
+      f.repeated = true;
+      t = lex_.next();
+    }
+    if (t.kind != Token::kIdent) lex_.fail("expected field type", t.line);
+    f.type = t.text;
+    Token name = lex_.next();
+    if (name.kind != Token::kIdent) lex_.fail("expected field name", name.line);
+    f.name = name.text;
+    expect_punct("=");
+    Token num = lex_.next();
+    if (num.kind != Token::kNumber) lex_.fail("expected field number", num.line);
+    unsigned long long v = 0;
+    for (char c : num.text) {
+      v = v * 10 + static_cast<unsigned long long>(c - '0');
+      if (v > pbio::kPbMaxFieldNumber) break;
+    }
+    if (v == 0 || v > pbio::kPbMaxFieldNumber) {
+      lex_.fail("field number " + num.text + " out of range 1.." +
+                    std::to_string(pbio::kPbMaxFieldNumber),
+                num.line);
+    }
+    if (v >= 19000 && v <= 19999) {
+      lex_.fail("field number " + num.text + " is in the reserved range 19000-19999", num.line);
+    }
+    f.number = static_cast<uint32_t>(v);
+    expect_punct(";");
+    return f;
+  }
+
+  void expect_punct(const std::string& p) {
+    Token t = lex_.next();
+    if (t.kind != Token::kPunct || t.text != p) {
+      lex_.fail("expected '" + p + "', got '" + t.text + "'", t.line);
+    }
+  }
+
+  Lexer lex_;
+};
+
+// ---------------------------------------------------------------------------
+// AST -> FormatDescriptor. Message references resolve lexically: the
+// current message's nested definitions shadow the enclosing scopes, which
+// shadow earlier top-level messages. Recursion is rejected (inline structs
+// would be infinitely sized).
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  const std::vector<AstMessage>* messages;
+  const Scope* parent;
+};
+
+class Builder {
+ public:
+  FormatPtr build_message(const AstMessage& msg, const Scope& enclosing) {
+    if (!path_.insert(msg.name).second) {
+      throw FormatError("recursive message type '" + msg.name +
+                        "' cannot map to an inline struct");
+    }
+    if (path_.size() > FormatDescriptor::kMaxNesting) {
+      throw FormatError("message nesting exceeds the supported depth (" +
+                        std::to_string(FormatDescriptor::kMaxNesting) + ")");
+    }
+    Scope scope{&msg.nested, &enclosing};
+    FormatBuilder b(msg.name);
+    for (const AstField& f : msg.fields) {
+      auto it = scalar_types().find(f.type);
+      if (it != scalar_types().end()) {
+        add_scalar(b, f, it->second);
+      } else {
+        const AstMessage* sub = resolve(f.type, &scope);
+        if (sub == nullptr) {
+          throw FormatError("proto parse error (line " + std::to_string(f.line) +
+                            "): unknown type '" + f.type + "' for field '" + f.name + "'");
+        }
+        FormatPtr sub_fmt = build_message(*sub, scope);
+        if (f.repeated) {
+          b.add_uint(f.name + "_count", 4);
+          b.add_dyn_array(f.name, sub_fmt, f.name + "_count");
+        } else {
+          b.add_struct(f.name, sub_fmt);
+        }
+        b.with_pb_field(f.number);
+      }
+    }
+    path_.erase(msg.name);
+    return b.build();
+  }
+
+ private:
+  static void add_scalar(FormatBuilder& b, const AstField& f, const ScalarInfo& si) {
+    if (f.repeated) {
+      b.add_uint(f.name + "_count", 4);
+      b.add_dyn_array(f.name, si.kind, si.kind == FieldKind::kString ? 8 : si.size,
+                      f.name + "_count");
+      b.with_pb_field(f.number | si.pb_flags);
+      return;
+    }
+    switch (si.kind) {
+      case FieldKind::kInt:
+        b.add_int(f.name, si.size);
+        break;
+      case FieldKind::kUInt:
+        b.add_uint(f.name, si.size);
+        break;
+      case FieldKind::kFloat:
+        b.add_float(f.name, si.size);
+        break;
+      case FieldKind::kString:
+        b.add_string(f.name);
+        break;
+      default:
+        throw FormatError("unreachable scalar kind");
+    }
+    b.with_pb_field(f.number | si.pb_flags);
+  }
+
+  static const AstMessage* resolve(const std::string& type, const Scope* scope) {
+    for (; scope != nullptr; scope = scope->parent) {
+      for (const AstMessage& m : *scope->messages) {
+        if (m.name == type) return &m;
+      }
+    }
+    return nullptr;
+  }
+
+  std::set<std::string> path_;  // messages on the current build stack
+};
+
+}  // namespace
+
+std::vector<FormatPtr> parse_proto(std::string_view source) {
+  Parser p(source);
+  std::vector<AstMessage> ast = p.parse_file();
+  // Top-level scope: all top-level messages see each other (order-free
+  // references between siblings, as in real proto files).
+  Scope file_scope{&ast, nullptr};
+  std::vector<FormatPtr> out;
+  out.reserve(ast.size());
+  for (const AstMessage& m : ast) {
+    Builder b;
+    out.push_back(b.build_message(m, file_scope));
+  }
+  return out;
+}
+
+FormatPtr parse_proto_message(std::string_view source, std::string_view message_name) {
+  for (FormatPtr& fmt : parse_proto(source)) {
+    if (fmt->name() == message_name) return std::move(fmt);
+  }
+  throw FormatError("proto source defines no top-level message '" + std::string(message_name) +
+                    "'");
+}
+
+// ---------------------------------------------------------------------------
+// Native-format annotation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_length_field_of_some_array(const FormatDescriptor& fmt, const std::string& name) {
+  for (const auto& fd : fmt.fields()) {
+    if (fd.kind == FieldKind::kDynArray && fd.length_field == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FormatPtr annotate_field_numbers(const FormatDescriptor& fmt) {
+  FormatBuilder b(fmt.name(), fmt.struct_size());
+  uint32_t next = 1;
+  for (const auto& fd : fmt.fields()) {
+    FieldDescriptor copy = fd;
+    if (copy.element_format) {
+      copy.element_format = annotate_field_numbers(*copy.element_format);
+    }
+    bool implied = is_length_field_of_some_array(fmt, fd.name);
+    copy.pb_field = implied ? 0 : (fd.pb_field != 0 ? fd.pb_field : next);
+    if (!implied) ++next;
+    // Rebuild through the bound-mode builder to preserve the original
+    // offsets and struct size: records of `fmt` must remain valid records
+    // of the annotated format.
+    switch (copy.kind) {
+      case FieldKind::kInt:
+        b.add_int(copy.name, copy.size, copy.offset);
+        break;
+      case FieldKind::kUInt:
+        b.add_uint(copy.name, copy.size, copy.offset);
+        break;
+      case FieldKind::kFloat:
+        b.add_float(copy.name, copy.size, copy.offset);
+        break;
+      case FieldKind::kChar:
+        b.add_char(copy.name, copy.offset);
+        break;
+      case FieldKind::kEnum:
+        b.add_enum(copy.name, copy.enumerators, copy.offset);
+        break;
+      case FieldKind::kString:
+        b.add_string(copy.name, copy.offset);
+        break;
+      case FieldKind::kStruct:
+        b.add_struct(copy.name, copy.element_format, copy.offset);
+        break;
+      case FieldKind::kStaticArray:
+        throw FormatError("field '" + copy.name +
+                          "' is a static array, which has no protobuf mapping");
+      case FieldKind::kDynArray:
+        if (copy.element_format) {
+          b.add_dyn_array(copy.name, copy.element_format, copy.length_field, copy.offset);
+        } else {
+          b.add_dyn_array(copy.name, copy.element_kind, copy.element_size, copy.length_field,
+                          copy.offset);
+        }
+        break;
+    }
+    if (copy.default_int) b.with_default(*copy.default_int);
+    if (copy.default_float) b.with_default(*copy.default_float);
+    if (copy.default_string) b.with_default(*copy.default_string);
+    if (copy.importance != 1) b.with_importance(copy.importance);
+    if (copy.pb_field != 0) b.with_pb_field(copy.pb_field);
+  }
+  return b.build();
+}
+
+bool pbuf_encodable(const FormatDescriptor& fmt, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::set<uint32_t> numbers;
+  for (const auto& fd : fmt.fields()) {
+    bool implied = is_length_field_of_some_array(fmt, fd.name);
+    if (implied) {
+      if (fd.pb_field != 0) {
+        return fail("length field '" + fd.name + "' must not carry a pb number");
+      }
+      continue;
+    }
+    if (fd.pb_field == 0) return fail("field '" + fd.name + "' has no pb number");
+    if (!numbers.insert(fd.pb_number()).second) {
+      return fail("duplicate pb number " + std::to_string(fd.pb_number()) + " on '" + fd.name +
+                  "'");
+    }
+    if (fd.kind == FieldKind::kStaticArray) {
+      return fail("field '" + fd.name + "' is a static array, which has no protobuf mapping");
+    }
+    if (fd.kind == FieldKind::kFloat && (fd.pb_field & pbio::kPbZigzag) != 0) {
+      return fail("float field '" + fd.name + "' cannot be zigzag-encoded");
+    }
+    if (fd.element_format && !pbuf_encodable(*fd.element_format, why)) {
+      if (why != nullptr) *why = "in '" + fd.name + "': " + *why;
+      return false;
+    }
+    if (fd.kind == FieldKind::kDynArray && !fd.element_format &&
+        fd.element_kind == FieldKind::kChar) {
+      return fail("repeated char field '" + fd.name + "' has no protobuf mapping");
+    }
+  }
+  return true;
+}
+
+}  // namespace morph::pbuf

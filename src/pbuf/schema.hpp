@@ -1,0 +1,69 @@
+// Proto schema import: turn a `.proto`-subset message definition into a
+// FormatDescriptor, and annotate native formats with proto field numbers.
+//
+// The supported subset (documented in docs/PBUF.md):
+//
+//   syntax = "proto3";            // optional; proto2 is rejected
+//   package anything;             // accepted, ignored
+//   message Name {
+//     int32|int64|uint32|uint64|sint32|sint64|bool       f = N;   // varint
+//     fixed32|fixed64|sfixed32|sfixed64|float|double     f = N;   // fixed
+//     string|bytes                                       f = N;
+//     OtherMessage                                       f = N;   // nested
+//     repeated <any of the above>                        f = N;
+//     message Nested { ... }      // nested definitions, lexically scoped
+//   }
+//
+// Not supported (rejected with FormatError): proto2 syntax, enum blocks,
+// oneof, map<>, groups, options, extensions, reserved ranges, imports,
+// services. Recursive message types are rejected too — PBIO nested structs
+// are stored inline, so a self-referential message would have infinite
+// size.
+//
+// Mapping rules: signed ints -> kInt (sint* adds kPbZigzag, sfixed* adds
+// kPbFixed), unsigned -> kUInt (fixed* adds kPbFixed), bool -> 1-byte
+// kUInt, float/double -> kFloat, string/bytes -> kString, message ->
+// kStruct, `repeated T xs` -> kDynArray plus a synthesized `xs_count`
+// length field. Length fields carry no pb number: protobuf implies element
+// counts from the wire, so they are rewritten after decode and never
+// encoded.
+//
+// Imported formats are ordinary FormatDescriptors — registered,
+// fingerprinted, diffed, morphed, and served through fmtsvc like any
+// native format; the pb numbers ride along as field metadata.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace morph::pbuf {
+
+/// Parse a .proto-subset source. Returns one FormatDescriptor per
+/// top-level message, in declaration order. Throws FormatError with a
+/// line-numbered message on anything outside the subset.
+std::vector<pbio::FormatPtr> parse_proto(std::string_view source);
+
+/// Parse and return the single message named `message_name` (top-level).
+/// Throws FormatError if the source does not define it.
+pbio::FormatPtr parse_proto_message(std::string_view source, std::string_view message_name);
+
+/// Clone a native format, assigning sequential proto field numbers (1, 2,
+/// ... in declaration order) to every field except dynamic-array length
+/// fields, which stay implied. Layout (offsets, struct size) is preserved,
+/// so records of the original format are records of the annotated one; the
+/// fingerprint differs because the pb metadata is part of the identity.
+/// Throws FormatError if the format cannot carry a pb mapping (static
+/// arrays, >1-deep unsupported shapes — see pbuf_encodable).
+pbio::FormatPtr annotate_field_numbers(const pbio::FormatDescriptor& fmt);
+
+/// True when `fmt` has a complete protobuf mapping: every field except
+/// dyn-array length fields carries a pb number, numbers are unique within
+/// each message, length fields are unannotated, and every field kind is
+/// representable on the protobuf wire (static arrays are not). When false
+/// and `why` is non-null, *why names the first offending field.
+bool pbuf_encodable(const pbio::FormatDescriptor& fmt, std::string* why = nullptr);
+
+}  // namespace morph::pbuf

@@ -1,6 +1,7 @@
 #include "transport/framing.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -31,7 +32,9 @@ void FrameAssembler::feed(const void* data, size_t size,
     if (buffer_.size() - pos - 4 < len) break;
     uint8_t type_byte = buffer_[pos + 4];
     uint8_t type = type_byte & static_cast<uint8_t>(~kFrameTraceBit);
-    if (type < 1 || type > kMaxFrameType) throw TransportError("bad frame type");
+    if (type < 1 || type > kMaxFrameType) {
+      throw TransportError("bad frame type " + std::to_string(static_cast<unsigned>(type)));
+    }
     Frame frame;
     frame.type = static_cast<FrameType>(type);
     size_t header = 1;

@@ -30,9 +30,16 @@ enum class FrameType : uint8_t {
   kFmtsvcRequest = 5,  // format-service request (fmtsvc/protocol.hpp)
   kFmtsvcReply = 6,    // format-service reply
   kTelemetry = 7,      // telemetry-plane payload (obs/telemetry.hpp)
+  /// Protobuf-encoded message: [u64 format fingerprint][protobuf bytes].
+  /// Sent only after the peer announced pbuf acceptance (the "@enc pbuf"
+  /// control sentinel — see MessagePort::announce_pbuf), so legacy peers
+  /// never see the type. The fingerprint substitutes for the PBIO header:
+  /// it names the imported .proto format whose field numbers decode the
+  /// payload.
+  kPbufData = 8,
 };
 
-constexpr uint8_t kMaxFrameType = 7;
+constexpr uint8_t kMaxFrameType = 8;
 
 /// Type-byte bit marking the presence of the 8-byte trace id header.
 constexpr uint8_t kFrameTraceBit = 0x80;

@@ -1,8 +1,12 @@
 #include "transport/port.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pbuf/schema.hpp"
 
 namespace morph::transport {
 
@@ -20,6 +24,10 @@ struct PortMetrics {
       obs::metrics().counter("morph_port_frames_received_total{type=\"meta\"}");
   obs::Counter& meta_published = obs::metrics().counter("morph_port_meta_published_total");
   obs::Counter& bad_frames = obs::metrics().counter("morph_port_bad_frames_total");
+  obs::Counter& pbuf_sent = obs::metrics().counter("morph_port_frames_sent_total{type=\"pbuf\"}");
+  obs::Counter& pbuf_received =
+      obs::metrics().counter("morph_port_frames_received_total{type=\"pbuf\"}");
+  obs::Counter& pbuf_rejects = obs::metrics().counter("morph_port_pbuf_rejects_total");
   obs::Histogram& send_ns = obs::metrics().histogram("morph_span_ns{span=\"port.send\"}");
   obs::Histogram& deliver_ns = obs::metrics().histogram("morph_span_ns{span=\"port.deliver\"}");
 };
@@ -120,6 +128,10 @@ void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
   obs::TraceSpan span("port.send", &port_metrics().send_ns);
 
   send_meta_for(fmt);
+  if (peer_accepts_pbuf_ && pbuf_sendable(fmt)) {
+    send_record_pbuf(fmt, record, trace_id);
+    return;
+  }
   auto it = encoders_.find(fmt->fingerprint());
   if (it == encoders_.end()) {
     it = encoders_.emplace(fmt->fingerprint(), std::make_unique<pbio::Encoder>(fmt)).first;
@@ -133,6 +145,39 @@ void MessagePort::send_record(const pbio::FormatPtr& fmt, const void* record) {
   stats_.bytes_sent += frame.size();
   port_metrics().data_sent.inc();
   port_metrics().bytes_sent.add(frame.size());
+}
+
+bool MessagePort::pbuf_sendable(const pbio::FormatPtr& fmt) {
+  auto it = pbuf_sendable_.find(fmt->fingerprint());
+  if (it == pbuf_sendable_.end()) {
+    it = pbuf_sendable_.emplace(fmt->fingerprint(), pbuf::pbuf_encodable(*fmt)).first;
+  }
+  return it->second;
+}
+
+void MessagePort::send_record_pbuf(const pbio::FormatPtr& fmt, const void* record,
+                                   uint64_t trace_id) {
+  auto it = pbuf_encoders_.find(fmt->fingerprint());
+  if (it == pbuf_encoders_.end()) {
+    it = pbuf_encoders_.emplace(fmt->fingerprint(), std::make_unique<pbuf::EncodePlan>(fmt))
+             .first;
+  }
+  ByteBuffer msg;
+  msg.append_u64(fmt->fingerprint());
+  it->second->encode(record, msg);
+  ByteBuffer frame;
+  write_frame(frame, FrameType::kPbufData, msg.data(), msg.size(), trace_id);
+  link_.send(frame);
+  ++stats_.data_sent;
+  ++stats_.pbuf_sent;
+  stats_.bytes_sent += frame.size();
+  port_metrics().data_sent.inc();
+  port_metrics().pbuf_sent.inc();
+  port_metrics().bytes_sent.add(frame.size());
+}
+
+void MessagePort::announce_pbuf() {
+  send_control(kPbufEnableSentinel, sizeof(kPbufEnableSentinel) - 1);
 }
 
 SharedPayload make_shared_frame(const void* msg, size_t size, uint64_t trace_id) {
@@ -208,9 +253,29 @@ void MessagePort::feed_frames(const uint8_t* data, size_t size) {
         receiver_->process(frame.payload.data(), frame.payload.size(), rx_arena_);
         break;
       }
-      case FrameType::kControl:
+      case FrameType::kControl: {
+        // Encoding negotiation rides the control channel: the sentinel is
+        // consumed here, everything else reaches the application handler.
+        constexpr size_t kSentinelLen = sizeof(kPbufEnableSentinel) - 1;
+        if (frame.payload.size() == kSentinelLen &&
+            std::memcmp(frame.payload.data(), kPbufEnableSentinel, kSentinelLen) == 0) {
+          peer_accepts_pbuf_ = true;
+          break;
+        }
         if (on_control_) on_control_(frame.payload.data(), frame.payload.size());
         break;
+      }
+      case FrameType::kPbufData: {
+        ++stats_.data_received;
+        ++stats_.pbuf_received;
+        port_metrics().data_received.inc();
+        port_metrics().pbuf_received.inc();
+        if (receiver_ == nullptr) return;
+        obs::TraceScope trace_scope(obs::TraceContext{frame.trace_id});
+        obs::TraceSpan span("port.deliver", &port_metrics().deliver_ns);
+        deliver_pbuf(frame);
+        break;
+      }
       case FrameType::kFmtsvcRequest:
       case FrameType::kFmtsvcReply:
       case FrameType::kTelemetry:
@@ -219,6 +284,56 @@ void MessagePort::feed_frames(const uint8_t* data, size_t size) {
         break;
     }
   });
+}
+
+void MessagePort::deliver_pbuf(const Frame& frame) {
+  // Unlike a mangled frame header, a hostile protobuf payload leaves the
+  // byte stream itself in sync — rejects here are per-frame (counted and
+  // flight-recorded), never wire-death, and never an exception through the
+  // link's receive callback.
+  auto reject = [this](const std::string& detail) {
+    ++stats_.pbuf_rejects;
+    port_metrics().pbuf_rejects.inc();
+    obs::flight_record(obs::FlightKind::kReject, obs::current_trace().trace_id, detail);
+  };
+  if (frame.payload.size() < 8) {
+    reject("port: pbuf frame shorter than its fingerprint header");
+    return;
+  }
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  const uint64_t fp = r.read_u64();
+  pbio::FormatPtr fmt = receiver_->learned().by_fingerprint(fp);
+  if (fmt == nullptr) {
+    reject("port: pbuf frame for unknown fingerprint " + std::to_string(fp));
+    return;
+  }
+  auto it = pbuf_decoders_.find(fp);
+  if (it == pbuf_decoders_.end()) {
+    try {
+      it = pbuf_decoders_.emplace(fp, std::make_unique<pbuf::DecodePlan>(fmt)).first;
+    } catch (const Error& e) {
+      reject("port: format '" + fmt->name() + "' is not pbuf-decodable: " + e.what());
+      return;
+    }
+  }
+  rx_arena_.reset();
+  try {
+    void* record =
+        it->second->decode(frame.payload.data() + 8, frame.payload.size() - 8, rx_arena_);
+    receiver_->process_record(fmt, record, rx_arena_);
+  } catch (const DecodeError& e) {
+    reject("port: pbuf decode of '" + fmt->name() + "' rejected: " + e.what());
+  }
+}
+
+SharedPayload make_shared_pbuf_frame(uint64_t fingerprint, const void* msg, size_t size,
+                                     uint64_t trace_id) {
+  ByteBuffer payload;
+  payload.append_u64(fingerprint);
+  payload.append(msg, size);
+  auto frame = std::make_shared<ByteBuffer>();
+  write_frame(*frame, FrameType::kPbufData, payload.data(), payload.size(), trace_id);
+  return frame;
 }
 
 }  // namespace morph::transport

@@ -19,10 +19,19 @@
 
 #include "core/receiver.hpp"
 #include "pbio/encode.hpp"
+#include "pbuf/bridge.hpp"
 #include "transport/framing.hpp"
 #include "transport/link.hpp"
 
 namespace morph::transport {
+
+/// Control sentinel a port sends to announce it accepts protobuf-encoded
+/// data frames (FrameType::kPbufData). The remote port consumes it during
+/// frame dispatch — it never reaches the application control handler — and
+/// ports that predate the sentinel deliver it as an ordinary control
+/// payload, which applications ignore by convention; such peers simply
+/// never set the bit and keep receiving PBIO.
+inline constexpr char kPbufEnableSentinel[] = "@enc pbuf";
 
 class MessagePort {
  public:
@@ -43,6 +52,15 @@ class MessagePort {
   /// bytes themselves are shared: the broker encodes one frame and every
   /// port in the fan-out group forwards the same buffer.
   void send_shared(const pbio::FormatPtr& fmt, const SharedPayload& frame);
+
+  /// Announce to the peer that this port accepts protobuf-encoded data
+  /// frames. After the announcement round-trips, the peer's send_record
+  /// switches to FrameType::kPbufData for every pbuf-encodable format
+  /// (formats without protobuf field numbers keep using PBIO frames).
+  void announce_pbuf();
+
+  /// True once the peer announced pbuf acceptance ("@enc pbuf" arrived).
+  bool peer_accepts_pbuf() const { return peer_accepts_pbuf_; }
 
   /// Raw control payload.
   void send_control(const void* data, size_t size);
@@ -70,6 +88,9 @@ class MessagePort {
     uint64_t meta_published = 0;  // formats handed to the meta publisher
     uint64_t bytes_sent = 0;
     uint64_t bad_frames = 0;  // malformed frames; the port is wire-dead after one
+    uint64_t pbuf_sent = 0;      // data frames that went out protobuf-encoded
+    uint64_t pbuf_received = 0;  // kPbufData frames that arrived
+    uint64_t pbuf_rejects = 0;   // pbuf frames dropped (bad payload/unknown format)
   };
   const PortStats& stats() const { return stats_; }
 
@@ -82,6 +103,9 @@ class MessagePort {
   void on_bytes(const uint8_t* data, size_t size);
   void feed_frames(const uint8_t* data, size_t size);
   void send_meta_for(const pbio::FormatPtr& fmt);
+  bool pbuf_sendable(const pbio::FormatPtr& fmt);
+  void send_record_pbuf(const pbio::FormatPtr& fmt, const void* record, uint64_t trace_id);
+  void deliver_pbuf(const Frame& frame);
 
   Link& link_;
   core::Receiver* receiver_;
@@ -89,11 +113,15 @@ class MessagePort {
   std::unordered_set<uint64_t> sent_formats_;
   std::vector<core::TransformSpec> declared_transforms_;
   std::unordered_map<uint64_t, std::unique_ptr<pbio::Encoder>> encoders_;
+  std::unordered_map<uint64_t, std::unique_ptr<pbuf::EncodePlan>> pbuf_encoders_;
+  std::unordered_map<uint64_t, std::unique_ptr<pbuf::DecodePlan>> pbuf_decoders_;
+  std::unordered_map<uint64_t, bool> pbuf_sendable_;  // pbuf_encodable, cached
   std::function<void(const uint8_t*, size_t)> on_control_;
   MetaPublisher meta_publisher_;
   RecordArena rx_arena_;
   PortStats stats_;
   bool wire_dead_ = false;
+  bool peer_accepts_pbuf_ = false;
 };
 
 /// Build a complete kData frame around an already-encoded PBIO message —
@@ -101,5 +129,12 @@ class MessagePort {
 /// on every member port. A non-zero `trace_id` travels in the frame's trace
 /// header, as in send_record.
 SharedPayload make_shared_frame(const void* msg, size_t size, uint64_t trace_id = 0);
+
+/// Build a complete kPbufData frame around an already protobuf-encoded
+/// payload: the fan-out group's shared encode for pbuf-speaking sinks.
+/// `fingerprint` names the format the payload was encoded from (the
+/// receiving port resolves it against its learned registry).
+SharedPayload make_shared_pbuf_frame(uint64_t fingerprint, const void* msg, size_t size,
+                                     uint64_t trace_id = 0);
 
 }  // namespace morph::transport

@@ -1,0 +1,139 @@
+// Concurrent pbuf bridge: N threads share one Receiver and hammer
+// process_record with decoded protobuf records — a mix of exact-format
+// records and records needing a morph chain — interleaved with threads
+// running DecodePlan/EncodePlan round-trips on their own plans. The
+// receiver's decision cache, transform catalog, and the bridge's global
+// BridgeMetrics conservation law (frames_in == decoded + rejected) must
+// all hold under the race.
+//
+// Handlers count into atomics instead of asserting inline (see
+// test_concurrent_receiver.cpp for the rationale).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "core/receiver.hpp"
+#include "pbio/record.hpp"
+#include "pbuf/bridge.hpp"
+#include "pbuf/schema.hpp"
+
+namespace morph::pbuf {
+namespace {
+
+using core::Delivery;
+using core::Outcome;
+using pbio::FormatBuilder;
+using pbio::FormatPtr;
+using pbio::RecordRef;
+
+FormatPtr sensor_v1() {
+  static FormatPtr fmt = parse_proto_message(
+      "syntax = \"proto3\";\n"
+      "message Sensor { int32 station = 1; double value = 2; }\n",
+      "Sensor");
+  return fmt;
+}
+
+struct SensorV2 {
+  int32_t station;
+  int32_t flags;
+  double value;
+};
+FormatPtr sensor_v2() {
+  static FormatPtr fmt = FormatBuilder("Sensor", sizeof(SensorV2))
+                             .add_int("station", 4, offsetof(SensorV2, station))
+                             .add_int("flags", 4, offsetof(SensorV2, flags))
+                             .add_float("value", 8, offsetof(SensorV2, value))
+                             .build();
+  return fmt;
+}
+
+// A second proto-imported format, delivered exact: the two fingerprints
+// keep distinct decision-cache shards busy at once.
+FormatPtr pulse_proto() {
+  static FormatPtr fmt = parse_proto_message(
+      "syntax = \"proto3\";\nmessage Pulse { sint64 seq = 1; }\n", "Pulse");
+  return fmt;
+}
+
+TEST(PbufConcurrency, SharedReceiverProcessRecord) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+
+  core::Receiver rx;
+  std::atomic<uint64_t> morphed{0};
+  std::atomic<uint64_t> exact{0};
+  std::atomic<uint64_t> value_mismatches{0};
+  rx.register_handler(sensor_v2(), [&](const Delivery& d) {
+    const auto* rec = static_cast<const SensorV2*>(d.record);
+    if (rec->flags != 1 || rec->station < 0) value_mismatches.fetch_add(1);
+    if (d.outcome == Outcome::kMorphed) morphed.fetch_add(1);
+  });
+  rx.register_handler(pulse_proto(), [&](const Delivery& d) {
+    if (d.outcome == Outcome::kExact) exact.fetch_add(1);
+  });
+  rx.learn_format(sensor_v1());
+  rx.learn_format(pulse_proto());
+  core::TransformSpec spec;
+  spec.src = sensor_v1();
+  spec.dst = sensor_v2();
+  spec.code = "old.station = new.station; old.value = new.value; old.flags = 1;";
+  rx.learn_transform(spec);
+
+  const uint64_t frames_before = bridge_metrics().frames_in.value();
+  std::barrier gate(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Per-thread plans and arenas: the shared state under test is the
+      // receiver and the global bridge metrics, not the plan objects.
+      EncodePlan enc_v1(sensor_v1());
+      DecodePlan dec_v1(sensor_v1());
+      EncodePlan enc_p(pulse_proto());
+      DecodePlan dec_p(pulse_proto());
+      RecordArena build_arena;
+      RecordArena rx_arena;
+      ByteBuffer wire;
+      gate.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        build_arena.reset();
+        rx_arena.reset();
+        wire.clear();
+        if (i % 2 == 0) {
+          void* rec = pbio::alloc_record(*sensor_v1(), build_arena);
+          RecordRef r(rec, sensor_v1());
+          r.set_int("station", t * kPerThread + i);
+          r.set_float("value", 0.25 * i);
+          enc_v1.encode(rec, wire);
+          void* decoded = dec_v1.decode(wire.data(), wire.size(), rx_arena);
+          rx.process_record(sensor_v1(), decoded, rx_arena);
+        } else {
+          void* rec = pbio::alloc_record(*pulse_proto(), build_arena);
+          RecordRef(rec, pulse_proto()).set_int("seq", -i);
+          enc_p.encode(rec, wire);
+          void* decoded = dec_p.decode(wire.data(), wire.size(), rx_arena);
+          rx.process_record(pulse_proto(), decoded, rx_arena);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(morphed.load(), total / 2);
+  EXPECT_EQ(exact.load(), total / 2);
+  EXPECT_EQ(value_mismatches.load(), 0u);
+  EXPECT_EQ(rx.stats().messages, total);
+  EXPECT_TRUE(rx.stats().consistent());
+  // Global conservation across every thread's decode: all frames accounted.
+  BridgeMetrics& m = bridge_metrics();
+  EXPECT_GE(m.frames_in.value(), frames_before + total);
+  EXPECT_EQ(m.frames_in.value(), m.decoded.value() + m.rejected.value());
+}
+
+}  // namespace
+}  // namespace morph::pbuf

@@ -5,15 +5,21 @@
 //                                     weights, fingerprints, diff analysis
 //   fmtdump --message <file>          parse the PBIO wire header of a file
 //   fmtdump --encode-demo <file>      write a demo v2.0 message to <file>
+//   fmtdump --proto <file.proto>      import a .proto-subset schema and
+//                                     print each message as the
+//                                     FormatDescriptor it becomes (field
+//                                     numbers, wire flags, fingerprint)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/rng.hpp"
 #include "core/match.hpp"
 #include "echo/messages.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
+#include "pbuf/schema.hpp"
 
 using namespace morph;
 
@@ -63,6 +69,38 @@ int message(const char* path) {
   return 0;
 }
 
+int proto(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fmtdump: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    auto formats = pbuf::parse_proto(ss.str());
+    for (const auto& fmt : formats) {
+      std::printf("%s", fmt->to_string().c_str());
+      for (const auto& f : fmt->fields()) {
+        if (f.pb_number() == 0) continue;
+        std::printf("  pb %-20s = %u%s%s\n", f.name.c_str(), f.pb_number(),
+                    (f.pb_field & pbio::kPbZigzag) != 0 ? " zigzag" : "",
+                    (f.pb_field & pbio::kPbFixed) != 0 ? " fixed" : "");
+      }
+      std::printf("  fingerprint       %016llx\n",
+                  static_cast<unsigned long long>(fmt->fingerprint()));
+      std::string why;
+      std::printf("  pbuf encodable    %s\n\n",
+                  pbuf::pbuf_encodable(*fmt, &why) ? "yes" : ("no: " + why).c_str());
+    }
+    std::printf("%zu message(s) imported from %s\n", formats.size(), path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fmtdump: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 int encode_demo(const char* path) {
   Rng rng(7);
   RecordArena arena;
@@ -84,7 +122,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--formats") == 0) return formats();
   if (argc >= 3 && std::strcmp(argv[1], "--message") == 0) return message(argv[2]);
   if (argc >= 3 && std::strcmp(argv[1], "--encode-demo") == 0) return encode_demo(argv[2]);
+  if (argc >= 3 && std::strcmp(argv[1], "--proto") == 0) return proto(argv[2]);
   std::fprintf(stderr,
-               "usage: fmtdump (--formats | --message <file> | --encode-demo <file>)\n");
+               "usage: fmtdump (--formats | --message <file> | --encode-demo <file> | "
+               "--proto <file.proto>)\n");
   return 2;
 }

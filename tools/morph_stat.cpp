@@ -282,10 +282,48 @@ void render_echo(const Snapshot& s) {
   }
 }
 
+/// Digest of the protobuf interop bridge: frames crossing the ecosystem
+/// boundary, their fate (decoded vs rejected), and the transport/fan-out
+/// paths carrying them. Only printed when pbuf metrics are present.
+void render_pbuf(const Snapshot& s) {
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t frames_in = counter("morph_pbuf_frames_in_total");
+  uint64_t encoded = counter("morph_pbuf_encoded_total");
+  if (frames_in + encoded == 0) return;
+
+  std::printf("== pbuf bridge ==\n");
+  uint64_t decoded = counter("morph_pbuf_decoded_total");
+  uint64_t rejected = counter("morph_pbuf_rejected_total");
+  std::printf("  frames: %" PRIu64 " in -> %" PRIu64 " decoded, %" PRIu64 " rejected (%s), %"
+              PRIu64 " unknown fields skipped\n",
+              frames_in, decoded, rejected,
+              frames_in == decoded + rejected ? "conserved" : "NOT CONSERVED",
+              counter("morph_pbuf_unknown_fields_total"));
+  std::printf("  encodes: %" PRIu64 " records to protobuf wire\n", encoded);
+  uint64_t port_sent = counter("morph_port_frames_sent_total{type=\"pbuf\"}");
+  uint64_t port_received = counter("morph_port_frames_received_total{type=\"pbuf\"}");
+  uint64_t port_rejects = counter("morph_port_pbuf_rejects_total");
+  if (port_sent + port_received + port_rejects > 0) {
+    std::printf("  transport: %" PRIu64 " pbuf frames sent, %" PRIu64 " received, %" PRIu64
+                " rejected (contained per-frame)\n",
+                port_sent, port_received, port_rejects);
+  }
+  uint64_t fanout_pbuf = counter("echo_fanout_pbuf_encodes_total");
+  if (fanout_pbuf > 0) {
+    std::printf("  fan-out: %" PRIu64 " group encodes to protobuf (of %" PRIu64
+                " total encodes)\n",
+                fanout_pbuf, counter("echo_fanout_encodes_total"));
+  }
+}
+
 void render(const Snapshot& s, bool with_spans, bool with_flight) {
   render_fmtsvc(s);
   render_fusion(s);
   render_echo(s);
+  render_pbuf(s);
   auto counter = [&](const std::string& n) -> uint64_t {
     auto it = s.counters.find(n);
     return it == s.counters.end() ? 0 : it->second;
@@ -469,6 +507,32 @@ int check(const Snapshot& s) {
     if (fan_events > fan_deliveries) {
       fail("fan-out events " + std::to_string(fan_events) + " exceed deliveries " +
            std::to_string(fan_deliveries));
+    }
+  }
+
+  // Pbuf bridge conservation: every frame entering the bridge either
+  // decodes or rejects — exactly one of the two, no third bucket and no
+  // silent drops (frames_in is bumped before the attempt, the outcome
+  // after, so a scrape can catch a frame in flight: >=, not ==). Every
+  // port-level pbuf reject is a received pbuf frame (per-frame containment
+  // never invents rejects), so that pair is a subset relation too.
+  if (s.counters.count("morph_pbuf_frames_in_total") != 0) {
+    uint64_t pb_in = counter("morph_pbuf_frames_in_total");
+    uint64_t pb_decoded = counter("morph_pbuf_decoded_total");
+    uint64_t pb_rejected = counter("morph_pbuf_rejected_total");
+    if (pb_decoded + pb_rejected > pb_in) {
+      fail("pbuf decoded+rejected " + std::to_string(pb_decoded + pb_rejected) +
+           " exceed frames_in " + std::to_string(pb_in));
+    }
+    uint64_t port_pb_rejects = counter("morph_port_pbuf_rejects_total");
+    uint64_t port_pb_received = counter("morph_port_frames_received_total{type=\"pbuf\"}");
+    if (port_pb_rejects > port_pb_received) {
+      fail("port pbuf rejects " + std::to_string(port_pb_rejects) +
+           " exceed received pbuf frames " + std::to_string(port_pb_received));
+    }
+    uint64_t fanout_pbuf = counter("echo_fanout_pbuf_encodes_total");
+    if (fanout_pbuf > counter("echo_fanout_encodes_total")) {
+      fail("fan-out pbuf encodes " + std::to_string(fanout_pbuf) + " exceed total encodes");
     }
   }
 

@@ -194,7 +194,7 @@ int role_broker(uint16_t collector_port, uint16_t fmtsvc_port, int events) {
   const pbio::FormatPtr v1 = echo::channel_open_response_v1_format();
   planner.learn_format(v1);
   echo::GroupSnapshot snapshot;
-  snapshot.groups.push_back(echo::FanoutGroup{v1->fingerprint(), {1}});
+  snapshot.groups.push_back(echo::FanoutGroup{v1->fingerprint(), echo::SinkEncoding::kPbio, {1}});
   snapshot.total_sinks = 1;
 
   int delivered = 0;
