@@ -222,13 +222,19 @@ uint64_t dyn_array_capacity(const void* elements) {
   return cap;
 }
 
+uint64_t dyn_array_grown_capacity(uint64_t cap, uint64_t index) {
+  if (index < cap) return cap;
+  uint64_t new_cap = cap == 0 ? 8 : cap * 2;
+  while (new_cap <= index) new_cap *= 2;
+  return new_cap;
+}
+
 void* grow_dyn_array(void* record, const FieldDescriptor& fd, RecordArena& arena,
                      uint64_t index) {
   void* elems = read_pointer(record, fd);
   uint64_t cap = dyn_array_capacity(elems);
   if (index < cap) return elems;
-  uint64_t new_cap = cap == 0 ? 8 : cap * 2;
-  while (new_cap <= index) new_cap *= 2;
+  uint64_t new_cap = dyn_array_grown_capacity(cap, index);
   uint32_t stride = fd.element_stride();
   void* grown = alloc_dyn_array(arena, stride, new_cap);
   if (elems != nullptr && cap > 0) std::memcpy(grown, elems, cap * stride);

@@ -55,6 +55,12 @@ void* alloc_dyn_array(RecordArena& arena, uint32_t elem_stride, uint64_t count);
 /// Capacity of an array allocated by alloc_dyn_array (0 for nullptr).
 uint64_t dyn_array_capacity(const void* elements);
 
+/// Capacity grow_dyn_array() would reserve to make `index` addressable
+/// given a current capacity of `cap` (amortized doubling, floor of 8).
+/// Exposed so callers decoding untrusted input can charge the exact
+/// allocation against a budget before the growth happens.
+uint64_t dyn_array_grown_capacity(uint64_t cap, uint64_t index);
+
 /// Ensure the dynamic array field in `record` can hold index+1 elements,
 /// growing (and copying) through the arena if needed. Returns the element
 /// pointer (base of the array). Only valid on arrays this library allocated.

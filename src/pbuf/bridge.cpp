@@ -186,37 +186,75 @@ std::string_view ld_view(const PbReader& sub) {
 // Decode
 // ---------------------------------------------------------------------------
 
+/// Per-frame ceiling on bytes of record storage the decoder may allocate
+/// for repeated elements, as a multiple of the payload size (plus a fixed
+/// slack so tiny frames still fit a few elements). Each repeated occurrence
+/// costs at least one wire byte but allocates element_stride bytes — and
+/// element_stride comes from a *peer-learned* descriptor whose struct_size
+/// may be huge — so without this cap a few hostile bytes could force
+/// multi-GB arena growth. The budget is charged with the exact allocation
+/// before it happens; exceeding it is an ordinary per-frame DecodeError,
+/// never a bad_alloc escaping through the link callback.
+constexpr uint64_t kDecodeBudgetPerWireByte = 64;
+constexpr uint64_t kDecodeBudgetSlackBytes = 64 * 1024;
+
+struct DecodeBudget {
+  uint64_t remaining;
+
+  explicit DecodeBudget(size_t payload_size)
+      : remaining(kDecodeBudgetSlackBytes + kDecodeBudgetPerWireByte * payload_size) {}
+
+  void charge(uint64_t bytes, const FieldDescriptor& fd) {
+    if (bytes > remaining) {
+      throw DecodeError("repeated field '" + fd.name +
+                        "' exceeds the per-frame decode byte budget");
+    }
+    remaining -= bytes;
+  }
+};
+
 void decode_message_impl(PbReader& in, const MessageTable& table, void* record,
-                         RecordArena& arena, int depth);
+                         RecordArena& arena, DecodeBudget& budget, int depth);
 
 /// Fill declared defaults into a fresh (zeroed) record, recursively.
 /// Implied length fields carry no pb number and no defaults, so they stay
-/// zero — repeated-field decode counts up from there.
-void apply_defaults(void* record, const MessageTable& table, RecordArena& arena) {
+/// zero — repeated-field decode counts up from there. `budget` is null for
+/// the top-level record (its default footprint is fixed per frame) and set
+/// for repeated elements, whose count the wire controls.
+void apply_defaults(void* record, const MessageTable& table, RecordArena& arena,
+                    DecodeBudget* budget) {
   for (const auto& e : table.entries) {
     const FieldDescriptor& fd = *e.fd;
     if (fd.kind == FieldKind::kStruct) {
-      apply_defaults(static_cast<uint8_t*>(record) + fd.offset, *e.sub, arena);
+      apply_defaults(static_cast<uint8_t*>(record) + fd.offset, *e.sub, arena, budget);
       continue;
     }
     if (fd.default_int) pbio::write_scalar_i64(record, fd, *fd.default_int);
     if (fd.default_float) pbio::write_scalar_f64(record, fd, *fd.default_float);
-    if (fd.default_string) pbio::write_string_field(record, fd, *fd.default_string, arena);
+    if (fd.default_string) {
+      if (budget != nullptr) budget->charge(fd.default_string->size() + 1, fd);
+      pbio::write_string_field(record, fd, *fd.default_string, arena);
+    }
   }
 }
 
 /// Append one element slot to a dynamic array; returns the slot pointer
-/// and bumps the length field.
-void* append_element(void* record, const MessageTable::Entry& e, RecordArena& arena) {
+/// and bumps the length field. Growth is charged against the budget before
+/// the allocation happens.
+void* append_element(void* record, const MessageTable::Entry& e, RecordArena& arena,
+                     DecodeBudget& budget) {
   const FieldDescriptor& fd = *e.fd;
   auto count = static_cast<uint64_t>(pbio::read_scalar_i64(record, *e.length_fd));
+  uint64_t cap = pbio::dyn_array_capacity(pbio::read_pointer(record, fd));
+  uint64_t grown = pbio::dyn_array_grown_capacity(cap, count);
+  if (grown != cap) budget.charge((grown - cap) * fd.element_stride(), fd);
   void* base = pbio::grow_dyn_array(record, fd, arena, count);
   pbio::write_scalar_i64(record, *e.length_fd, static_cast<int64_t>(count + 1));
   return static_cast<uint8_t*>(base) + count * fd.element_stride();
 }
 
 void decode_repeated(PbReader& in, WireType wt, const MessageTable::Entry& e, void* record,
-                     RecordArena& arena, int depth) {
+                     RecordArena& arena, DecodeBudget& budget, int depth) {
   const FieldDescriptor& fd = *e.fd;
   if (fd.element_format) {
     // Repeated message: one length-delimited occurrence per element.
@@ -224,10 +262,10 @@ void decode_repeated(PbReader& in, WireType wt, const MessageTable::Entry& e, vo
       throw DecodeError("wire type mismatch on repeated message '" + fd.name + "'");
     }
     PbReader sub = in.length_delimited();
-    void* elem = append_element(record, e, arena);
+    void* elem = append_element(record, e, arena, budget);
     std::memset(elem, 0, fd.element_stride());
-    apply_defaults(elem, *e.sub, arena);
-    decode_message_impl(sub, *e.sub, elem, arena, depth + 1);
+    apply_defaults(elem, *e.sub, arena, &budget);
+    decode_message_impl(sub, *e.sub, elem, arena, budget, depth + 1);
     return;
   }
   if (fd.element_kind == FieldKind::kString) {
@@ -240,7 +278,7 @@ void decode_repeated(PbReader& in, WireType wt, const MessageTable::Entry& e, vo
     if (s.find('\0') != std::string_view::npos) {
       throw DecodeError("embedded NUL in string field '" + fd.name + "'");
     }
-    void* elem = append_element(record, e, arena);
+    void* elem = append_element(record, e, arena, budget);
     pbio::write_string_field(elem, e.elem, s, arena);
     return;
   }
@@ -251,7 +289,7 @@ void decode_repeated(PbReader& in, WireType wt, const MessageTable::Entry& e, vo
   if (wt == WireType::kLengthDelimited) {
     PbReader sub = in.length_delimited();
     while (!sub.at_end()) {
-      void* elem = append_element(record, e, arena);
+      void* elem = append_element(record, e, arena, budget);
       decode_scalar_value(sub, elem_wt, e.elem, fd.pb_field, elem);
     }
     return;
@@ -259,12 +297,12 @@ void decode_repeated(PbReader& in, WireType wt, const MessageTable::Entry& e, vo
   if (wt != elem_wt) {
     throw DecodeError("wire type mismatch on repeated field '" + fd.name + "'");
   }
-  void* elem = append_element(record, e, arena);
+  void* elem = append_element(record, e, arena, budget);
   decode_scalar_value(in, wt, e.elem, fd.pb_field, elem);
 }
 
 void decode_message_impl(PbReader& in, const MessageTable& table, void* record,
-                         RecordArena& arena, int depth) {
+                         RecordArena& arena, DecodeBudget& budget, int depth) {
   if (depth > static_cast<int>(FormatDescriptor::kMaxNesting)) {
     throw DecodeError("pb message nesting exceeds depth cap");
   }
@@ -301,11 +339,11 @@ void decode_message_impl(PbReader& in, const MessageTable& table, void* record,
         // Proto merge semantics degrade to last-one-wins per leaf: a second
         // occurrence decodes into the same struct without re-zeroing.
         decode_message_impl(sub, *e->sub, static_cast<uint8_t*>(record) + fd.offset, arena,
-                            depth + 1);
+                            budget, depth + 1);
         break;
       }
       case FieldKind::kDynArray: {
-        decode_repeated(in, tag.wt, *e, record, arena, depth);
+        decode_repeated(in, tag.wt, *e, record, arena, budget, depth);
         break;
       }
       default: {
@@ -431,13 +469,16 @@ void* DecodePlan::decode(const void* data, size_t size, RecordArena& arena) cons
   m.frames_in.inc();
   try {
     void* record = pbio::alloc_record(*fmt_, arena);
-    apply_defaults(record, *table_, arena);
+    apply_defaults(record, *table_, arena, nullptr);
     PbReader in(data, size);
-    decode_message_impl(in, *table_, record, arena, 0);
+    DecodeBudget budget(size);
+    decode_message_impl(in, *table_, record, arena, budget, 0);
     m.decoded.inc();
     m.decode_bytes.record(size);
     return record;
-  } catch (const DecodeError&) {
+  } catch (...) {
+    // Not just DecodeError: a bad_alloc from arena growth or a FormatError
+    // from a record helper must also keep frames_in == decoded + rejected.
     m.rejected.inc();
     throw;
   }

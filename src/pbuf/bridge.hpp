@@ -20,7 +20,16 @@
 // DecodePlan::decode bumps morph_pbuf_frames_in_total and then exactly one
 // of morph_pbuf_decoded_total / morph_pbuf_rejected_total, so
 //   frames_in == decoded + rejected
-// holds at every instant, for every caller (ports, benches, tests).
+// holds at every instant, for every caller (ports, benches, tests). Every
+// failure path counts as rejected — malformed input, the per-frame decode
+// byte budget, allocation failure — not just DecodeError.
+//
+// Allocation is bounded per frame: repeated-element storage (dyn-array
+// growth plus per-element default strings) is charged against a budget
+// proportional to the payload size before each allocation, so a tiny
+// hostile frame referencing a peer-learned descriptor with a huge
+// element_stride rejects with DecodeError instead of forcing multi-GB
+// arena growth.
 #pragma once
 
 #include <cstdint>
@@ -62,9 +71,12 @@ class DecodePlan {
   /// Declared field defaults are applied first, then wire fields overwrite
   /// them (absent fields therefore read as their default, or zero).
   /// Unknown field numbers are skipped deterministically and counted in
-  /// morph_pbuf_unknown_fields_total. Malformed input throws DecodeError
+  /// morph_pbuf_unknown_fields_total. Malformed input — including input
+  /// that exceeds the per-frame decode byte budget — throws DecodeError
   /// after bumping the rejected counter; the record under construction is
-  /// abandoned to the arena (reset it between messages as usual).
+  /// abandoned to the arena (reset it between messages as usual). Any
+  /// other failure (bad_alloc, FormatError) also bumps rejected before
+  /// propagating, so the conservation law holds on every path.
   void* decode(const void* data, size_t size, RecordArena& arena) const;
 
   const pbio::FormatPtr& format() const { return fmt_; }

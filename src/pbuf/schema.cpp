@@ -425,6 +425,16 @@ bool is_length_field_of_some_array(const FormatDescriptor& fmt, const std::strin
 
 FormatPtr annotate_field_numbers(const FormatDescriptor& fmt) {
   FormatBuilder b(fmt.name(), fmt.struct_size());
+  // Numbers already claimed explicitly are off-limits to auto-assignment:
+  // without this, an explicit pb=2 followed by an unnumbered field would
+  // hand that field 2 as well, and the format would then be rejected as a
+  // duplicate by Encode/DecodePlan.
+  std::set<uint32_t> taken;
+  for (const auto& fd : fmt.fields()) {
+    if (fd.pb_field != 0 && !is_length_field_of_some_array(fmt, fd.name)) {
+      taken.insert(fd.pb_number());
+    }
+  }
   uint32_t next = 1;
   for (const auto& fd : fmt.fields()) {
     FieldDescriptor copy = fd;
@@ -432,8 +442,13 @@ FormatPtr annotate_field_numbers(const FormatDescriptor& fmt) {
       copy.element_format = annotate_field_numbers(*copy.element_format);
     }
     bool implied = is_length_field_of_some_array(fmt, fd.name);
-    copy.pb_field = implied ? 0 : (fd.pb_field != 0 ? fd.pb_field : next);
-    if (!implied) ++next;
+    if (implied) {
+      copy.pb_field = 0;
+    } else if (fd.pb_field == 0) {
+      while (taken.count(next) != 0) ++next;
+      copy.pb_field = next;
+      ++next;
+    }
     // Rebuild through the bound-mode builder to preserve the original
     // offsets and struct size: records of `fmt` must remain valid records
     // of the annotated format.

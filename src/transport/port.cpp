@@ -1,6 +1,8 @@
 #include "transport/port.hpp"
 
 #include <cstring>
+#include <exception>
+#include <new>
 
 #include "common/error.hpp"
 #include "obs/flight.hpp"
@@ -216,6 +218,13 @@ void MessagePort::on_bytes(const uint8_t* data, size_t size) {
     wire_dead_ = true;
     ++stats_.bad_frames;
     port_metrics().bad_frames.inc();
+  } catch (const std::bad_alloc&) {
+    // Allocation failure while assembling or delivering a frame: go
+    // wire-dead like any other poisoned stream instead of letting
+    // bad_alloc unwind into the event loop driving the link.
+    wire_dead_ = true;
+    ++stats_.bad_frames;
+    port_metrics().bad_frames.inc();
   }
 }
 
@@ -312,18 +321,35 @@ void MessagePort::deliver_pbuf(const Frame& frame) {
     try {
       it = pbuf_decoders_.emplace(fp, std::make_unique<pbuf::DecodePlan>(fmt)).first;
     } catch (const Error& e) {
+      // Negative-cache the failure: a learned-but-not-pbuf-decodable
+      // format never becomes decodable (fingerprints are content-based),
+      // so later frames for it reject on the map lookup instead of paying
+      // plan construction again.
+      pbuf_decoders_.emplace(fp, nullptr);
       reject("port: format '" + fmt->name() + "' is not pbuf-decodable: " + e.what());
       return;
     }
   }
-  rx_arena_.reset();
-  try {
-    void* record =
-        it->second->decode(frame.payload.data() + 8, frame.payload.size() - 8, rx_arena_);
-    receiver_->process_record(fmt, record, rx_arena_);
-  } catch (const DecodeError& e) {
-    reject("port: pbuf decode of '" + fmt->name() + "' rejected: " + e.what());
+  if (it->second == nullptr) {
+    reject("port: format '" + fmt->name() + "' is not pbuf-decodable");
+    return;
   }
+  rx_arena_.reset();
+  void* record = nullptr;
+  try {
+    record = it->second->decode(frame.payload.data() + 8, frame.payload.size() - 8, rx_arena_);
+  } catch (const Error& e) {
+    // DecodeError (malformed payload, budget) and FormatError alike: a
+    // hostile payload is rejected per-frame, never wire-death.
+    reject("port: pbuf decode of '" + fmt->name() + "' rejected: " + e.what());
+    return;
+  } catch (const std::exception& e) {
+    // bad_alloc and friends from arena growth stop here too — anything
+    // escaping the link's receive callback would kill the connection.
+    reject("port: pbuf decode of '" + fmt->name() + "' failed: " + std::string(e.what()));
+    return;
+  }
+  receiver_->process_record(fmt, record, rx_arena_);
 }
 
 SharedPayload make_shared_pbuf_frame(uint64_t fingerprint, const void* msg, size_t size,

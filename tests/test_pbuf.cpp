@@ -323,6 +323,22 @@ TEST(PbufSchema, AnnotateFieldNumbersPreservesLayout) {
   EXPECT_EQ(ann->shape_fingerprint(), native->shape_fingerprint());
 }
 
+TEST(PbufSchema, AnnotateSkipsExplicitlyTakenNumbers) {
+  // Auto-assignment must dodge numbers claimed explicitly: with "a" pinned
+  // to pb=2, the unnumbered fields get 1 and 3, never a duplicate 2.
+  auto native = FormatBuilder("Native")
+                    .add_int("a", 4)
+                    .with_pb_field(2)
+                    .add_int("b", 4)
+                    .add_int("c", 4)
+                    .build();
+  FormatPtr ann = annotate_field_numbers(*native);
+  EXPECT_EQ(ann->find_field("a")->pb_number(), 2u);
+  EXPECT_EQ(ann->find_field("b")->pb_number(), 1u);
+  EXPECT_EQ(ann->find_field("c")->pb_number(), 3u);
+  EXPECT_TRUE(pbuf_encodable(*ann));
+}
+
 TEST(PbufSchema, DescriptorSerializationCarriesPbNumbers) {
   FormatPtr fmt = parse_proto_message(corpus("roster.proto"), "Roster");
   ByteBuffer buf;

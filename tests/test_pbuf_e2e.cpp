@@ -256,6 +256,34 @@ TEST(PbufPort, HostileFramesAreContainedPerFrame) {
   EXPECT_EQ(m.frames_in.value(), m.decoded.value() + m.rejected.value());
 }
 
+TEST(PbufPort, NonDecodableFormatFramesRejectRepeatedly) {
+  // A learned format with no protobuf mapping (no pb numbers) can still be
+  // named by hostile kPbufData frames. The failed DecodePlan construction
+  // is negatively cached, so every such frame — first and subsequent —
+  // rejects per-frame and the connection survives the spam.
+  InprocPair pair;
+  core::Receiver rx;
+  FormatPtr unmapped = FormatBuilder("NoMap").add_int("x", 4).build();
+  rx.learn_format(unmapped);
+  MessagePort sub(pair.b(), &rx);
+
+  ByteBuffer payload;
+  payload.append_u64(unmapped->fingerprint());
+  payload.append_u8(0x08);  // field 1, varint
+  payload.append_u8(0x07);
+  ByteBuffer frame;
+  transport::write_frame(frame, transport::FrameType::kPbufData, payload.data(),
+                         payload.size());
+  constexpr int kSpam = 5;
+  for (int i = 0; i < kSpam; ++i) pair.a().send(frame.data(), frame.size());
+  pair.pump();
+
+  EXPECT_FALSE(sub.wire_dead());
+  EXPECT_EQ(sub.stats().pbuf_rejects, static_cast<uint64_t>(kSpam));
+  EXPECT_EQ(sub.stats().pbuf_received, static_cast<uint64_t>(kSpam));
+  EXPECT_EQ(sub.stats().bad_frames, 0u);
+}
+
 TEST(PbufPort, UnknownFrameTypeErrorNamesTheByte) {
   transport::FrameAssembler assembler;
   uint8_t bad[6] = {2, 0, 0, 0, 42, 0};  // type 42, one payload byte

@@ -211,6 +211,59 @@ TEST(PbufFuzz, RepeatedElementFloodIsBoundedByInput) {
   EXPECT_EQ(RecordRef(rec, fmt).get_int("xs_count"), static_cast<int64_t>(kN));
 }
 
+TEST(PbufFuzz, TinyFrameCannotForceHugeRepeatedAllocation) {
+  // A peer-learned descriptor controls element_stride, so a repeated
+  // message whose element struct is huge would let a 2-byte empty
+  // occurrence demand ~half a GB (grow_dyn_array's initial capacity is 8).
+  // The per-frame decode byte budget must reject before allocating.
+  constexpr uint32_t kHugeStride = 64u << 20;  // 64 MB per element
+  FormatPtr big = FormatBuilder("Big", kHugeStride)
+                      .add_int("x", 4, 0)
+                      .with_pb_field(1)
+                      .build();
+  FormatPtr top = FormatBuilder("Top", 16)
+                      .add_uint("items_count", 8, 0)
+                      .add_dyn_array("items", big, "items_count", 8)
+                      .with_pb_field(1)
+                      .build();
+  DecodePlan dec(top);
+  BridgeMetrics& m = bridge_metrics();
+  uint64_t rejected0 = m.rejected.value();
+  RecordArena arena;
+  ByteBuffer wire;
+  put_tag(wire, 1, WireType::kLengthDelimited);
+  put_varint(wire, 0);  // one empty occurrence: 2 wire bytes
+  EXPECT_THROW(dec.decode(wire.data(), wire.size(), arena), DecodeError);
+  EXPECT_EQ(m.rejected.value(), rejected0 + 1);
+  EXPECT_EQ(m.frames_in.value(), m.decoded.value() + m.rejected.value());
+  EXPECT_LT(arena.bytes_allocated(), 1u << 20);  // the 512 MB never happened
+}
+
+TEST(PbufFuzz, EmptyOccurrenceFloodIsBudgetBounded) {
+  // Moderate stride, many empty occurrences: each costs 2 wire bytes but
+  // allocates ~1 KB of record. Total decoded bytes must stay proportional
+  // to the payload, so the flood rejects instead of amplifying ~500x.
+  FormatPtr elem = FormatBuilder("Elem", 1024)
+                       .add_int("x", 4, 0)
+                       .with_pb_field(1)
+                       .build();
+  FormatPtr top = FormatBuilder("Top", 16)
+                      .add_uint("items_count", 8, 0)
+                      .add_dyn_array("items", elem, "items_count", 8)
+                      .with_pb_field(1)
+                      .build();
+  DecodePlan dec(top);
+  RecordArena arena;
+  ByteBuffer wire;
+  for (int i = 0; i < 4096; ++i) {
+    put_tag(wire, 1, WireType::kLengthDelimited);
+    put_varint(wire, 0);
+  }
+  EXPECT_THROW(dec.decode(wire.data(), wire.size(), arena), DecodeError);
+  BridgeMetrics& m = bridge_metrics();
+  EXPECT_EQ(m.frames_in.value(), m.decoded.value() + m.rejected.value());
+}
+
 TEST(PbufFuzz, EmbeddedNulInStringRejected) {
   FormatPtr fmt = parse_proto_message("message S { string s = 1; }", "S");
   DecodePlan dec(fmt);
