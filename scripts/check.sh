@@ -21,6 +21,13 @@ cmake --build build
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
+echo "== reactor transport lane (MORPH_TRANSPORT=reactor) =="
+# Re-run every transport-facing suite with the event-loop transport as the
+# process-wide default: same tests, second transport implementation. The
+# threaded path stays the differential oracle — both must pass.
+MORPH_TRANSPORT=reactor ./build/tests/tests_middleware
+MORPH_TRANSPORT=reactor ./build/tests/tests_fmtsvc
+
 echo "== evolution audit (vs examples/transforms/AUDIT_golden.json) =="
 # Static breaking-change gate over the committed corpus: new error-severity
 # findings or chain-quality regressions against the golden report fail the
@@ -56,6 +63,16 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   done
   echo "bench JSON dumps OK"
 
+  echo "== connection-scale A/B (thread-per-conn vs reactor) =="
+  # One receiver process, 1000 sustained concurrent peers per mode (the full
+  # 10k rows run uncapped locally / nightly). The receiver child dumps its
+  # obs registry so the reactor gauges/histograms are schema-checked too.
+  MORPH_BENCH_MAX_CONNS=1000 MORPH_CONNSCALE_RX_DUMP=BENCH_connscale_rx.json \
+    ./build/bench/bench_connscale --json BENCH_connscale.json
+  ./build/tools/morph-stat --check BENCH_connscale.json >/dev/null
+  ./build/tools/morph-stat --check BENCH_connscale_rx.json >/dev/null
+  echo "connection-scale A/B OK"
+
   echo "== pbuf round-trip differential (proto corpus) =="
   # Replays the committed examples/proto corpus through the bridge: encode
   # to protobuf wire, decode back, assert value-identical records. Fast and
@@ -90,7 +107,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   [[ "${MORPH_BENCH_STRICT:-0}" != "1" ]] && compare_flags+=(--warn-only)
   python3 scripts/bench_compare.py "${compare_flags[@]}" BENCH_baseline.json \
     BENCH_fig8_encoding.json BENCH_fig9_decoding.json BENCH_fig10_morphing.json \
-    BENCH_fanout.json BENCH_pbuf.json
+    BENCH_fanout.json BENCH_pbuf.json BENCH_connscale.json
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then
@@ -116,8 +133,9 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -G Ninja -DMORPH_SANITIZE=thread \
     -DMORPH_BUILD_BENCH=OFF -DMORPH_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan
-  # The dedicated concurrency suite plus the multi-threaded soak: these are
-  # the tests whose whole point is to race, so they get the TSan referee.
+  # The dedicated concurrency suite (including ReactorConcurrency) plus the
+  # multi-threaded soak in both transport modes: these are the tests whose
+  # whole point is to race, so they get the TSan referee.
   ./build-tsan/tests/tests_concurrency
   ./build-tsan/tests/tests_middleware --gtest_filter='Soak.*'
 fi

@@ -46,14 +46,29 @@ struct FormatService::Conn {
 };
 
 FormatService::FormatService(FormatStore& store, ServiceOptions options)
-    : store_(store),
-      options_(options),
-      listener_(options.port),
-      acceptor_([this] { accept_loop(); }) {}
+    : store_(store), options_(options), listener_(options.port) {
+  if (options_.transport == transport::TransportMode::kReactor) {
+    transport::ReactorOptions ropts;
+    ropts.loops = options_.loops;
+    ropts.idle_timeout_ms = options_.idle_timeout_ms;
+    ropts.max_connections = options_.max_connections;
+    reactor_ = std::make_unique<transport::ReactorServer>(
+        listener_, ropts,
+        [this](transport::AsyncTcpLink& link) {
+          counters_.connections.fetch_add(1, kRelaxed);
+          svc().live_conns.add(1);
+          serve_reactor_conn(link);
+        },
+        [](transport::AsyncTcpLink&) { svc().live_conns.add(-1); });
+  } else {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+}
 
 FormatService::~FormatService() {
   stop_.store(true, kRelaxed);
-  acceptor_.join();
+  reactor_.reset();  // stops the reactor's acceptor and loops, closes conns
+  if (acceptor_.joinable()) acceptor_.join();
   std::lock_guard<std::mutex> lock(conns_mutex_);
   // Handlers poll in <=100ms slices and re-check stop_, so joining suffices;
   // closing their links from here would race the handler's own use of them.
@@ -145,6 +160,41 @@ void FormatService::serve_conn(Conn& conn) {
     MORPH_LOG_WARN("fmtsvc") << "connection dropped: " << e.what();
   }
   conn.link->close();
+}
+
+void FormatService::serve_reactor_conn(transport::AsyncTcpLink& link) {
+  // Per-connection protocol state lives in the link's user slot and dies on
+  // the owning loop's thread at close. handle() is already thread-safe
+  // (sharded store, atomic counters), so loops never coordinate.
+  auto assembler = std::make_shared<transport::FrameAssembler>();
+  link.set_user(assembler);
+  transport::AsyncTcpLink* l = &link;
+  link.set_on_data([this, l, a = assembler.get()](const uint8_t* data, size_t size) {
+    try {
+      a->feed(data, size, [this, l](transport::Frame& frame) {
+        if (frame.type != transport::FrameType::kFmtsvcRequest) {
+          throw TransportError("fmtsvc: unexpected frame type on service connection");
+        }
+        obs::TraceScope trace_scope(obs::TraceContext{frame.trace_id});
+        obs::TraceSpan span("fmtsvc.handle", &svc().handle_ns);
+        ByteReader r(frame.payload.data(), frame.payload.size());
+        Reply reply = handle(Request::deserialize(r));
+        ByteBuffer payload;
+        reply.serialize(payload);
+        ByteBuffer out;
+        transport::write_frame(out, transport::FrameType::kFmtsvcReply, payload.data(),
+                               payload.size(), frame.trace_id);
+        l->send(out);
+      });
+    } catch (const Error& e) {
+      // Same containment as the threaded path: a malformed frame costs its
+      // own connection and a counter bump, never the service.
+      counters_.bad_frames.fetch_add(1, kRelaxed);
+      svc().bad_frames.inc();
+      MORPH_LOG_WARN("fmtsvc") << "connection dropped: " << e.what();
+      l->close();
+    }
+  });
 }
 
 Reply FormatService::handle(const Request& req) {

@@ -30,6 +30,7 @@
 #include "analysis/audit.hpp"
 #include "core/lint.hpp"
 #include "fmtsvc/store.hpp"
+#include "transport/reactor.hpp"
 #include "transport/tcp.hpp"
 
 namespace morph::fmtsvc {
@@ -46,6 +47,16 @@ struct ServiceOptions {
   /// Maximum simultaneous connections; further accepts are closed
   /// immediately (the client sees EOF and retries per its backoff).
   size_t max_connections = 64;
+  /// Serving engine. kThreaded (one thread per connection) is the legacy
+  /// differential oracle; kReactor multiplexes every connection over epoll
+  /// event loops and scales to tens of thousands of resolvers. The default
+  /// follows MORPH_TRANSPORT so CI can re-run whole suites in either mode.
+  transport::TransportMode transport = transport::default_transport_mode();
+  /// Reactor-mode event loops (ignored under kThreaded).
+  int loops = 1;
+  /// Reactor-mode idle-connection timeout, 0 = never (ignored under
+  /// kThreaded: blocking per-connection threads reap only on disconnect).
+  uint32_t idle_timeout_ms = 0;
 };
 
 struct ServiceStats {
@@ -76,6 +87,7 @@ class FormatService {
 
   void accept_loop();
   void serve_conn(Conn& conn);
+  void serve_reactor_conn(transport::AsyncTcpLink& link);
   Reply handle(const Request& req);
   void reap_finished();
 
@@ -98,7 +110,10 @@ class FormatService {
 
   std::mutex conns_mutex_;
   std::vector<std::unique_ptr<Conn>> conns_;
-  std::thread acceptor_;  // initialized last: serving starts after members
+  // Exactly one of these serves, per options_.transport. Both are
+  // initialized last: serving starts after every other member exists.
+  std::unique_ptr<transport::ReactorServer> reactor_;
+  std::thread acceptor_;  // threaded mode only
 };
 
 }  // namespace morph::fmtsvc

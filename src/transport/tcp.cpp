@@ -30,7 +30,13 @@ std::unique_ptr<TcpLink> TcpLink::connect(const std::string& host, uint16_t port
     ::close(fd);
     throw TransportError("bad address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  // A connect interrupted after the SYN went out completes asynchronously
+  // and retrying returns EISCONN — that is success, not an error.
+  if (rc != 0 && errno != EISCONN) {
     ::close(fd);
     fail("connect");
   }
@@ -71,18 +77,30 @@ bool TcpLink::pump(int timeout_ms) {
     fail("poll");
   }
   if (r == 0) return true;  // timeout, still connected
+  // Drain the socket for this readiness event instead of taking one
+  // fixed-size bite: a sender that batched many frames costs one poll and
+  // a few large recvs, not one poll per 64KB. Bounded per call so one
+  // firehose peer cannot starve a caller multiplexing several links.
   uint8_t buf[64 * 1024];
-  ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
-  if (n < 0) {
-    if (errno == EINTR) return true;
-    fail("recv");
+  size_t drained = 0;
+  constexpr size_t kMaxDrainPerPump = 1u << 20;
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      fail("recv");
+    }
+    if (n == 0) {
+      close();
+      return false;
+    }
+    if (on_data_) on_data_(buf, static_cast<size_t>(n));
+    drained += static_cast<size_t>(n);
+    if (static_cast<size_t>(n) < sizeof buf || drained >= kMaxDrainPerPump) {
+      return true;  // short read: socket drained (or per-call bound hit)
+    }
   }
-  if (n == 0) {
-    close();
-    return false;
-  }
-  if (on_data_) on_data_(buf, static_cast<size_t>(n));
-  return true;
 }
 
 TcpListener::TcpListener(uint16_t port) {
@@ -95,7 +113,9 @@ TcpListener::TcpListener(uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) fail("bind");
-  if (::listen(fd_, 16) != 0) fail("listen");
+  // Deep backlog (kernel clamps to somaxconn): connection-scale clients
+  // arrive in storms, and a backlog of 16 turns those into ECONNREFUSED.
+  if (::listen(fd_, 4096) != 0) fail("listen");
   socklen_t len = sizeof addr;
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) fail("getsockname");
   port_ = ntohs(addr.sin_port);
@@ -108,10 +128,19 @@ TcpListener::~TcpListener() {
 std::unique_ptr<TcpLink> TcpListener::accept(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
   int r = ::poll(&pfd, 1, timeout_ms);
-  if (r < 0) fail("poll");
+  if (r < 0) {
+    if (errno == EINTR) return nullptr;  // signal: report as a timeout
+    fail("poll");
+  }
   if (r == 0) return nullptr;
-  int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) fail("accept");
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == ECONNABORTED) return nullptr;  // peer gave up while queued
+    fail("accept");
+  }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return std::unique_ptr<TcpLink>(new TcpLink(fd));

@@ -29,6 +29,14 @@ class TcpLink : public Link {
   void close();
   int fd() const { return fd_; }
 
+  /// Relinquish ownership of the socket (handoff to the reactor): returns
+  /// the fd and leaves this link closed.
+  int release_fd() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
  private:
   friend class TcpListener;
   explicit TcpLink(int fd) : fd_(fd) {}

@@ -631,5 +631,106 @@ TEST(FmtsvcReceiver, FetchOrInlineRetriesProvisionalRejections) {
   EXPECT_EQ(rs.resolve_fetched, 1u);
 }
 
+// --- reactor transport ------------------------------------------------------
+
+TEST(FmtsvcReactor, ServesResolversOverTheEventLoop) {
+  fmtsvc::FormatStore store;
+  fmtsvc::ServiceOptions opts;
+  opts.transport = transport::TransportMode::kReactor;
+  fmtsvc::FormatService service(store, opts);
+
+  fmtsvc::FormatResolver writer(client_for(service.port()));
+  ASSERT_TRUE(writer.publish(rev(1), {down(1)}));
+
+  // Several resolvers pipelining over their own long-lived connections.
+  for (int i = 0; i < 4; ++i) {
+    fmtsvc::FormatResolver reader(client_for(service.port()));
+    auto resolved = reader.resolve(rev(1)->fingerprint());
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_EQ(resolved->format->fingerprint(), rev(1)->fingerprint());
+    ASSERT_EQ(resolved->transforms.size(), 1u);
+  }
+  EXPECT_GE(service.stats().requests, 5u);
+}
+
+TEST(FmtsvcReactor, MalformedFrameKillsOnlyThatConnection) {
+  fmtsvc::FormatStore store;
+  store.put(fmtsvc::FormatEntry{rev(0), {}});
+  fmtsvc::ServiceOptions opts;
+  opts.transport = transport::TransportMode::kReactor;
+  fmtsvc::FormatService service(store, opts);
+
+  // Hostile client: garbage that fails frame validation.
+  auto hostile = transport::TcpLink::connect("127.0.0.1", service.port());
+  const uint8_t junk[8] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4};
+  hostile->send(junk, sizeof junk);
+  while (hostile->pump(200)) {
+  }
+  EXPECT_FALSE(hostile->connected());  // server closed us
+
+  // A well-behaved resolver on a fresh connection is unaffected.
+  fmtsvc::FormatResolver reader(client_for(service.port()));
+  EXPECT_TRUE(reader.resolve(rev(0)->fingerprint()).has_value());
+  EXPECT_EQ(service.stats().bad_frames, 1u);
+}
+
+TEST(FmtsvcReactor, DifferentialReplyBytesMatchThreadedMode) {
+  // The same request sequence against both serving engines must produce
+  // byte-identical reply streams — the reactor is a transport change, not
+  // a protocol change.
+  auto run_requests = [](transport::TransportMode mode) {
+    fmtsvc::FormatStore store;
+    store.put(fmtsvc::FormatEntry{rev(1), {down(1)}});
+    store.put(fmtsvc::FormatEntry{rev(2), {down(2)}});
+    fmtsvc::ServiceOptions opts;
+    opts.transport = mode;
+    fmtsvc::FormatService service(store, opts);
+
+    auto link = transport::TcpLink::connect("127.0.0.1", service.port());
+    std::vector<uint8_t> replies;
+    size_t reply_frames = 0;
+    transport::FrameAssembler assembler;
+    link->set_on_data([&](const uint8_t* d, size_t n) {
+      replies.insert(replies.end(), d, d + n);
+      assembler.feed(d, n, [&](transport::Frame&) { ++reply_frames; });
+    });
+
+    auto send_request = [&](const fmtsvc::Request& req) {
+      ByteBuffer payload;
+      req.serialize(payload);
+      ByteBuffer out;
+      transport::write_frame(out, transport::FrameType::kFmtsvcRequest, payload.data(),
+                             payload.size());
+      link->send(out);
+    };
+    fmtsvc::Request fetch;
+    fetch.op = fmtsvc::Op::kFetch;
+    fetch.request_id = 1;
+    fetch.fingerprints = {rev(1)->fingerprint()};
+    send_request(fetch);
+    fmtsvc::Request multi;
+    multi.op = fmtsvc::Op::kFetchMulti;
+    multi.request_id = 2;
+    multi.fingerprints = {rev(2)->fingerprint(), 0xdead};
+    send_request(multi);
+    fmtsvc::Request list;
+    list.op = fmtsvc::Op::kList;
+    list.request_id = 3;
+    send_request(list);
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(3);
+    while (reply_frames < 3 && std::chrono::steady_clock::now() < deadline) {
+      EXPECT_TRUE(link->pump(20));
+    }
+    EXPECT_EQ(reply_frames, 3u);
+    return replies;
+  };
+
+  const auto threaded = run_requests(transport::TransportMode::kThreaded);
+  const auto reactor = run_requests(transport::TransportMode::kReactor);
+  ASSERT_FALSE(threaded.empty());
+  EXPECT_EQ(threaded, reactor);
+}
+
 }  // namespace
 }  // namespace morph

@@ -47,6 +47,45 @@ TEST(Framing, HandlesBytewiseDelivery) {
   EXPECT_EQ(frames[0].payload.size(), 7u);
 }
 
+TEST(Framing, HandlesEverySplitBoundary) {
+  // A traced + an untraced frame, delivered as two chunks split at every
+  // possible byte position: every header/payload straddle (length field
+  // split, type byte alone, trace id split, payload split) must reassemble
+  // to the identical frames.
+  ByteBuffer out;
+  write_frame(out, FrameType::kData, "straddle", 8, 0xABCDEF0102030405ull);
+  write_frame(out, FrameType::kControl, "ok", 2);
+  for (size_t split = 0; split <= out.size(); ++split) {
+    FrameAssembler asm_;
+    std::vector<Frame> frames;
+    auto sink = [&](Frame& f) { frames.push_back(std::move(f)); };
+    asm_.feed(out.data(), split, sink);
+    asm_.feed(out.data() + split, out.size() - split, sink);
+    ASSERT_EQ(frames.size(), 2u) << "split at " << split;
+    EXPECT_EQ(frames[0].trace_id, 0xABCDEF0102030405ull) << "split at " << split;
+    EXPECT_EQ(std::string(frames[0].payload.begin(), frames[0].payload.end()), "straddle");
+    EXPECT_EQ(frames[1].type, FrameType::kControl);
+    EXPECT_EQ(asm_.buffered_bytes(), 0u);
+  }
+}
+
+TEST(Framing, ManyFramesFedAsOneBatch) {
+  // The reactor delivers whole read batches (many frames per dispatch);
+  // the assembler must peel every complete frame out of one feed call.
+  ByteBuffer out;
+  constexpr int kFrames = 257;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto byte = static_cast<uint8_t>(i);
+    write_frame(out, FrameType::kData, &byte, 1);
+  }
+  FrameAssembler asm_;
+  std::vector<Frame> frames;
+  asm_.feed(out.data(), out.size(), [&](Frame& f) { frames.push_back(std::move(f)); });
+  ASSERT_EQ(frames.size(), static_cast<size_t>(kFrames));
+  EXPECT_EQ(frames[256].payload[0], static_cast<uint8_t>(256 & 0xFF));
+  EXPECT_EQ(asm_.buffered_bytes(), 0u);
+}
+
 TEST(Framing, RejectsGarbage) {
   FrameAssembler asm_;
   uint8_t bad_len[8] = {0, 0, 0, 0};  // length 0
@@ -493,6 +532,39 @@ TEST(Tcp, MorphingAcrossRealSockets) {
 
   while (morphed == 0) ASSERT_TRUE(server->pump(2000));
   EXPECT_EQ(morphed, 1);
+}
+
+TEST(Tcp, PumpDrainsWholeBacklogPerReadinessEvent) {
+  // A sender that batched far more than one 64KB recv's worth must be
+  // drained by a bounded number of pump calls (each pump loops to EAGAIN),
+  // not one recv per poll round trip.
+  TcpListener listener(0);
+  auto client = TcpLink::connect("127.0.0.1", listener.port());
+  auto server = listener.accept(2000);
+  ASSERT_NE(server, nullptr);
+
+  constexpr size_t kTotal = 512u * 1024;
+  std::vector<uint8_t> blob(kTotal);
+  for (size_t i = 0; i < kTotal; ++i) blob[i] = static_cast<uint8_t>(i * 131);
+
+  size_t got = 0;
+  bool ordered = true;
+  server->set_on_data([&](const uint8_t* d, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      ordered = ordered && d[i] == static_cast<uint8_t>((got + i) * 131);
+    }
+    got += n;
+  });
+
+  std::thread sender([&] { client->send(blob.data(), blob.size()); });
+  int pumps = 0;
+  while (got < kTotal) {
+    ASSERT_TRUE(server->pump(2000));
+    ASSERT_LT(++pumps, 200) << "pump drains too little per readiness event";
+  }
+  sender.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(got, kTotal);
 }
 
 TEST(Tcp, AcceptTimesOutCleanly) {

@@ -319,11 +319,56 @@ void render_pbuf(const Snapshot& s) {
   }
 }
 
+/// Digest of the reactor transport: connection population, event-loop and
+/// dispatch latency, and the failure/defense counters (idle reaps,
+/// backpressure closes, counted drops). Only printed when a reactor ran.
+void render_transport(const Snapshot& s) {
+  auto counter = [&](const std::string& n) -> uint64_t {
+    auto it = s.counters.find(n);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  uint64_t accepted = counter("morph_reactor_accepted_total");
+  if (accepted == 0) return;
+
+  std::printf("== reactor transport ==\n");
+  auto gauge = [&](const std::string& n) -> double {
+    auto it = s.gauges.find(n);
+    return it == s.gauges.end() ? 0.0 : it->second;
+  };
+  std::printf("  connections: %.0f live (%.0f KB queued), %" PRIu64 " accepted, %" PRIu64
+              " closed, %" PRIu64 " refused\n",
+              gauge("morph_reactor_connections"),
+              gauge("morph_reactor_outbox_bytes") / 1024.0, accepted,
+              counter("morph_reactor_closed_total"), counter("morph_reactor_refused_total"));
+  auto hist = s.histograms.find("morph_reactor_loop_ns");
+  if (hist != s.histograms.end() && hist->second.count > 0) {
+    const HistRow& h = hist->second;
+    std::printf("  loop: %" PRIu64 " wakeups with work, p50 %s, p99 %s\n", h.count,
+                fmt_ns(h.p50).c_str(), fmt_ns(h.p99).c_str());
+  }
+  hist = s.histograms.find("morph_reactor_dispatch_ns");
+  if (hist != s.histograms.end() && hist->second.count > 0) {
+    const HistRow& h = hist->second;
+    std::printf("  dispatch: %" PRIu64 " batches, p50 %s, p99 %s\n", h.count,
+                fmt_ns(h.p50).c_str(), fmt_ns(h.p99).c_str());
+  }
+  uint64_t idle = counter("morph_reactor_idle_timeouts_total");
+  uint64_t bp = counter("morph_reactor_backpressure_closes_total");
+  uint64_t drops = counter("morph_reactor_send_drops_total");
+  uint64_t bad = counter("morph_reactor_bad_callbacks_total");
+  if (idle + bp + drops + bad > 0) {
+    std::printf("  defenses: %" PRIu64 " idle reaps, %" PRIu64 " backpressure closes, %" PRIu64
+                " counted send drops, %" PRIu64 " callback faults contained\n",
+                idle, bp, drops, bad);
+  }
+}
+
 void render(const Snapshot& s, bool with_spans, bool with_flight) {
   render_fmtsvc(s);
   render_fusion(s);
   render_echo(s);
   render_pbuf(s);
+  render_transport(s);
   auto counter = [&](const std::string& n) -> uint64_t {
     auto it = s.counters.find(n);
     return it == s.counters.end() ? 0 : it->second;
