@@ -47,6 +47,7 @@ EchoTcpNode::~EchoTcpNode() {
 
 size_t EchoTcpNode::connections() const {
   if (reactor_) return reactor_->connections();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
   size_t live = 0;
   for (const auto& conn : conns_) {
     if (conn->link->connected()) ++live;
@@ -112,7 +113,10 @@ void EchoTcpNode::accept_loop() {
     }
     ThreadedConn* raw = conn.get();
     conn->thread = std::thread([this, raw] { serve_conn(*raw); });
-    conns_.push_back(std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
   }
 }
 

@@ -85,6 +85,10 @@ class EchoTcpNode {
 
   // Threaded mode: the node mutex is the process's serialization domain.
   std::mutex process_mutex_;
+  // conns_ is appended to by the acceptor thread while connections() may
+  // iterate it from any thread — guarded by its own mutex so a
+  // reallocating push_back never races an iteration.
+  mutable std::mutex conns_mutex_;
   std::vector<std::unique_ptr<ThreadedConn>> conns_;
 
   // Reactor mode: links pinned until node destruction (see header comment).

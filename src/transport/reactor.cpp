@@ -222,6 +222,11 @@ void Reactor::post(std::function<void()> fn) {
 
 void Reactor::adopt(int fd) {
   set_nonblocking(fd);
+  // Counted here, on the caller's (acceptor's) thread, not in the posted
+  // task: the acceptor gates admission on connections(), and counting only
+  // when the loop runs the task would let an accept storm overshoot
+  // max_connections before any increment becomes visible.
+  conn_count_.fetch_add(1, std::memory_order_relaxed);
   post([this, fd] {
     auto conn = std::shared_ptr<AsyncTcpLink>(
         new AsyncTcpLink(fd, this, g_next_link_id.fetch_add(1, std::memory_order_relaxed)));
@@ -232,10 +237,10 @@ void Reactor::adopt(int fd) {
     ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
     ev.data.ptr = conn.get();
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
       return;  // fd closed by the link destructor
     }
     conns_[fd] = conn;
-    conn_count_.fetch_add(1, std::memory_order_relaxed);
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
     gm().accepted.inc();
     gm().connections.add(1);
@@ -271,49 +276,58 @@ void Reactor::request_close(std::shared_ptr<AsyncTcpLink> conn, const char* reas
 }
 
 bool Reactor::flush(AsyncTcpLink& conn) {
-  std::lock_guard<std::mutex> lock(conn.out_mutex_);
-  conn.flush_queued_ = false;
-  while (!conn.outbox_.empty()) {
-    iovec iov[kFlushIov];
-    int iovcnt = 0;
-    for (auto it = conn.outbox_.begin(); it != conn.outbox_.end() && iovcnt < kFlushIov; ++it) {
-      iov[iovcnt].iov_base = const_cast<uint8_t*>(it->data());
-      iov[iovcnt].iov_len = it->size();
-      ++iovcnt;
-    }
-    msghdr mh{};
-    mh.msg_iov = iov;
-    mh.msg_iovlen = static_cast<size_t>(iovcnt);
-    // sendmsg, not writev: writev has no MSG_NOSIGNAL, and a peer that
-    // closed mid-write must surface as EPIPE, never SIGPIPE.
-    const ssize_t n = ::sendmsg(conn.fd_, &mh, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return true;  // kernel buffer full: the EPOLLOUT edge resumes us
+  bool fatal = false;
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mutex_);
+    conn.flush_queued_ = false;
+    while (!conn.outbox_.empty()) {
+      iovec iov[kFlushIov];
+      int iovcnt = 0;
+      for (auto it = conn.outbox_.begin(); it != conn.outbox_.end() && iovcnt < kFlushIov; ++it) {
+        iov[iovcnt].iov_base = const_cast<uint8_t*>(it->data());
+        iov[iovcnt].iov_len = it->size();
+        ++iovcnt;
       }
-      conn.kill_ = true;
-      gm().outbox_bytes.add(-static_cast<double>(conn.out_bytes_));
-      conn.outbox_.clear();
-      conn.out_bytes_ = 0;
-      // close_conn re-locks out_mutex_; defer via task to stay re-entrant.
-      request_close(conn.shared(), "send error");
-      return false;
-    }
-    size_t left = static_cast<size_t>(n);
-    conn.out_bytes_ -= left;
-    gm().outbox_bytes.add(-static_cast<double>(left));
-    while (left > 0) {
-      AsyncTcpLink::OutChunk& front = conn.outbox_.front();
-      const size_t sz = front.size();
-      if (left >= sz) {
-        left -= sz;
-        conn.outbox_.pop_front();
-      } else {
-        front.off += left;
-        left = 0;
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<size_t>(iovcnt);
+      // sendmsg, not writev: writev has no MSG_NOSIGNAL, and a peer that
+      // closed mid-write must surface as EPIPE, never SIGPIPE.
+      const ssize_t n = ::sendmsg(conn.fd_, &mh, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return true;  // kernel buffer full: the EPOLLOUT edge resumes us
+        }
+        conn.kill_ = true;
+        gm().outbox_bytes.add(-static_cast<double>(conn.out_bytes_));
+        conn.outbox_.clear();
+        conn.out_bytes_ = 0;
+        fatal = true;
+        break;
+      }
+      size_t left = static_cast<size_t>(n);
+      conn.out_bytes_ -= left;
+      gm().outbox_bytes.add(-static_cast<double>(left));
+      while (left > 0) {
+        AsyncTcpLink::OutChunk& front = conn.outbox_.front();
+        const size_t sz = front.size();
+        if (left >= sz) {
+          left -= sz;
+          conn.outbox_.pop_front();
+        } else {
+          front.off += left;
+          left = 0;
+        }
       }
     }
+  }
+  if (fatal) {
+    // flush() only ever runs on the loop thread, so close synchronously —
+    // but only after out_mutex_ is released above, because close_conn
+    // re-locks it and std::mutex is non-recursive.
+    close_conn(conn, "send error");
+    return false;
   }
   return true;
 }

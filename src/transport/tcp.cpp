@@ -30,13 +30,34 @@ std::unique_ptr<TcpLink> TcpLink::connect(const std::string& host, uint16_t port
     ::close(fd);
     throw TransportError("bad address '" + host + "'");
   }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  } while (rc != 0 && errno == EINTR);
-  // A connect interrupted after the SYN went out completes asynchronously
-  // and retrying returns EISCONN — that is success, not an error.
-  if (rc != 0 && errno != EISCONN) {
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINTR) {
+    // Interrupted after the SYN went out: the handshake keeps completing
+    // asynchronously, and re-calling connect() meanwhile returns EALREADY
+    // (or EISCONN once done) — retrying the call cannot distinguish
+    // in-progress from failed. POSIX's answer is to wait for writability
+    // and read the real outcome from SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, -1);
+    } while (pr < 0 && errno == EINTR);
+    if (pr < 0) {
+      ::close(fd);
+      fail("poll (connect)");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      ::close(fd);
+      fail("getsockopt SO_ERROR");
+    }
+    if (err != 0) {
+      ::close(fd);
+      errno = err;
+      fail("connect");
+    }
+  } else if (rc != 0) {
     ::close(fd);
     fail("connect");
   }

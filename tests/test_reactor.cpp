@@ -3,6 +3,8 @@
 // reactor differential, and the EchoTcpNode serving shell in both modes.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -202,6 +204,60 @@ TEST(Reactor, BackpressureOverflowClosesConnection) {
   const uint64_t drops_before = server.stats().send_drops;
   end->send("late", 4);
   EXPECT_GE(server.stats().send_drops, drops_before + 1);
+}
+
+TEST(Reactor, SendErrorDuringFlushClosesWithoutDeadlockingLoop) {
+  // Regression: flush() used to call request_close() while holding
+  // out_mutex_; on the loop thread that synchronously re-locked the same
+  // non-recursive mutex in close_conn and deadlocked the entire loop.
+  //
+  // Drive the flush error branch deterministically: shutdown(SHUT_WR) on
+  // the adopted socket latches a write-only failure (sendmsg gets EPIPE
+  // while the read side stays quiet, so readv never sees the error first),
+  // and sending from the loop thread makes queue_flush run flush()
+  // synchronously.
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  Reactor loop{ReactorOptions{}};
+  std::shared_ptr<AsyncTcpLink> end;
+  std::atomic<bool> adopted{false};
+  std::mutex end_mutex;
+  loop.set_on_accept([&](AsyncTcpLink& link) {
+    std::lock_guard<std::mutex> lock(end_mutex);
+    end = link.shared();
+    adopted.store(true);
+  });
+  loop.adopt(sv[0]);
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (!adopted.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(adopted.load());
+  ::shutdown(sv[0], SHUT_WR);
+
+  std::shared_ptr<AsyncTcpLink> conn;
+  {
+    std::lock_guard<std::mutex> lock(end_mutex);
+    conn = end;
+  }
+  loop.post([conn] { conn->send("boom", 4); });
+
+  // The connection dies from the send error...
+  while (conn->connected() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_FALSE(conn->connected());
+  EXPECT_EQ(loop.stats().closed, 1u);
+  EXPECT_EQ(loop.connections(), 0u);
+
+  // ...and the loop survives it: posted tasks still run.
+  std::atomic<bool> alive{false};
+  loop.post([&] { alive.store(true); });
+  while (!alive.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(alive.load());
+  ::close(sv[1]);
 }
 
 TEST(Reactor, ThrowingCallbackCostsOnlyItsConnection) {
